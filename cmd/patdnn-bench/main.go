@@ -1,0 +1,48 @@
+// Command patdnn-bench regenerates the paper's evaluation artifacts: every
+// table and figure of the PatDNN evaluation section, plus the extra
+// ablations, from this repository's implementations.
+//
+// Usage:
+//
+//	patdnn-bench -list             # show available experiments
+//	patdnn-bench -run table3       # regenerate one artifact
+//	patdnn-bench -run all          # regenerate everything (minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"patdnn/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments")
+	run := flag.String("run", "", "experiment ID to run, or 'all'")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range bench.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Desc)
+		}
+	case *run == "all":
+		for _, e := range bench.All() {
+			start := time.Now()
+			fmt.Println(e.Run().Render())
+			fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	case *run != "":
+		e, ok := bench.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
+			os.Exit(1)
+		}
+		fmt.Println(e.Run().Render())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,72 @@
+// Command patdnn-run executes a deployed .patdnn compact model: it loads the
+// file (LR + FKW-compressed FP16 weights), compiles each layer's execution
+// plan at full optimization, runs real inference on synthetic inputs with the
+// worker-pool runtime, and reports per-layer host wall-clock plus the
+// device-model prediction for the Snapdragon 855.
+//
+// Create a model file with: patdnn-compile -model VGG -dataset cifar10 -o vgg.patdnn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"patdnn/internal/compiler/codegen"
+	"patdnn/internal/compiler/lr"
+	"patdnn/internal/device"
+	"patdnn/internal/modelfile"
+	"patdnn/internal/runtime"
+	"patdnn/internal/tensor"
+)
+
+func main() {
+	path := flag.String("model", "", "path to a .patdnn model file")
+	runs := flag.Int("runs", 10, "timed runs per layer")
+	threads := flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "usage: patdnn-run -model file.patdnn [-runs N]")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	mf, err := modelfile.Read(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("loaded %s: %d pruned conv layers (device %s)\n",
+		mf.LR.Model, len(mf.Layers), mf.LR.Device)
+
+	pool := runtime.NewPool(*threads)
+	d := device.SD855()
+	rng := rand.New(rand.NewSource(1))
+	var totalHost, totalDev float64
+	for _, layer := range mf.Layers {
+		c := layer.Conv
+		plan, err := codegen.Compile(c, codegen.Tuned, lr.DefaultTuning())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		in := tensor.New(c.InC, c.InH, c.InW)
+		in.Randn(rng, 1)
+		hostMs := runtime.Measure(*runs, func() {
+			pool.RunLayer(plan, in, layer.Bias)
+		})
+		devMs := d.TimeMs(plan.Stats(), device.CPU, 8, 4)
+		totalHost += hostMs
+		totalDev += devMs
+		fmt.Printf("  %-10s [%d,%d,3,3] %3dx%-3d  %.2fx compressed  host %8.3f ms  sd855-cpu %8.3f ms\n",
+			c.Name, c.OutC, c.InC, c.OutH, c.OutW, c.CompressionRate(), hostMs, devMs)
+	}
+	fmt.Printf("total: host %.2f ms, sd855-cpu model %.2f ms over %d layers\n",
+		totalHost, totalDev, len(mf.Layers))
+}

@@ -1,0 +1,95 @@
+// Patternexplore reproduces the pattern-set design study (paper Section 4.1
+// and Tables 3/7) at small scale with real training: it extracts the natural
+// patterns of a pre-trained CNN, builds Top-k candidate sets, and measures
+// how the pattern count affects (a) the weight mass the projection retains,
+// (b) accuracy immediately after hard projection, and (c) accuracy after
+// fine-tuning — too few patterns lose accuracy for lack of flexibility; 4-8
+// suffice.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"patdnn/internal/admm"
+	"patdnn/internal/dataset"
+	"patdnn/internal/nn"
+	"patdnn/internal/pattern"
+)
+
+func main() {
+	cfg := dataset.DefaultConfig()
+	cfg.N = 300
+	cfg.Noise = 1.1 // hard enough that pruning damage is visible
+	data := dataset.Synthetic(cfg)
+	train, test := data.Split(0.8)
+
+	net := nn.SmallCNN(cfg.C, cfg.H, cfg.W, 6, 8, cfg.Classes, 3)
+	nn.Train(net, train, nn.NewAdam(0.004), nn.TrainConfig{Epochs: 4, BatchSize: 16, Seed: 1})
+	dense := net.Accuracy(test)
+	fmt.Printf("dense accuracy: %.1f%%\n\n", 100*dense)
+
+	// Natural-pattern histogram over the trained conv weights (Section 4.1:
+	// scan all kernels, take the 4 largest-magnitude weights incl. center).
+	convs := net.ConvLayers()
+	hist := pattern.Histogram(convs[0].Weight.W, convs[1].Weight.W)
+	type pc struct {
+		p pattern.Pattern
+		n int
+	}
+	var counts []pc
+	total := 0
+	for p, n := range hist {
+		counts = append(counts, pc{p, n})
+		total += n
+	}
+	sort.Slice(counts, func(a, b int) bool {
+		if counts[a].n != counts[b].n {
+			return counts[a].n > counts[b].n
+		}
+		return counts[a].p.Mask < counts[b].p.Mask
+	})
+	fmt.Printf("%d distinct natural patterns across %d kernels; top 8:\n", len(counts), total)
+	for i := 0; i < 8 && i < len(counts); i++ {
+		fmt.Printf("  %2d. %s  x%d\n", i+1, counts[i].p, counts[i].n)
+	}
+
+	// retainedMass: fraction of conv weight L2 mass a Top-k set keeps under
+	// best-pattern projection — the distortion side of the pattern-count
+	// trade-off.
+	retainedMass := func(k int) float64 {
+		set := pattern.TopK(hist, k)
+		var kept, all float64
+		for _, conv := range convs {
+			w := conv.Weight.W
+			n := w.Len() / 9
+			for i := 0; i < n; i++ {
+				kernel := w.Data[i*9 : (i+1)*9]
+				var norm2 float64
+				for _, v := range kernel {
+					norm2 += float64(v) * float64(v)
+				}
+				best := pattern.Best(kernel, set)
+				r := best.RetainedNorm(kernel)
+				kept += r * r
+				all += norm2
+			}
+		}
+		return kept / all
+	}
+
+	fmt.Println("\npattern-count sweep (pattern pruning only, short ADMM + fine-tune):")
+	fmt.Println("#patterns  weight mass kept  acc after projection  acc after fine-tune")
+	for _, k := range []int{1, 2, 4, 6, 8} {
+		n := net.Clone()
+		acfg := admm.DefaultConfig(pattern.DesignSet(k,
+			n.ConvLayers()[0].Weight.W, n.ConvLayers()[1].Weight.W))
+		acfg.ConnRate = 0 // pattern pruning only
+		acfg.Iterations, acfg.EpochsPerIt, acfg.FinetuneEps = 2, 1, 1
+		rep := admm.Run(n, train, test, acfg)
+		fmt.Printf("%9d  %15.1f%%  %19.1f%%  %18.1f%%\n", k,
+			100*retainedMass(k), 100*rep.AccAfterADMM, 100*rep.AccAfterTune)
+	}
+	fmt.Println("\npaper trend (Table 3): accuracy recovers (and can improve) once 4-8 patterns are available;")
+	fmt.Println("a 1-pattern set forces every kernel into one shape and keeps the least weight mass.")
+}

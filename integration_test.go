@@ -1,0 +1,222 @@
+package patdnn
+
+// Integration tests spanning module boundaries: training → pruning →
+// compilation → serialization → deserialization → parallel execution, with
+// numeric equivalence asserted at every hand-off.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"patdnn/internal/admm"
+	"patdnn/internal/compiler/codegen"
+	"patdnn/internal/compiler/lr"
+	"patdnn/internal/compiler/reorder"
+	"patdnn/internal/dataset"
+	"patdnn/internal/model"
+	"patdnn/internal/modelfile"
+	"patdnn/internal/nn"
+	"patdnn/internal/pattern"
+	"patdnn/internal/pruned"
+	"patdnn/internal/runtime"
+	"patdnn/internal/tensor"
+)
+
+// TestCompileSaveLoadExecute checks the deployment chain: a pruned layer
+// compiled, serialized to the compact model format, reloaded, recompiled,
+// and executed must produce FP16-close outputs to the original, at every
+// optimization level, through the parallel runtime.
+func TestCompileSaveLoadExecute(t *testing.T) {
+	m := model.VGG16("cifar10")
+	rng := rand.New(rand.NewSource(3))
+	var file modelfile.File
+	file.LR = &lr.Representation{Model: m.Name, Device: "CPU"}
+	var biases [][]float32
+	for _, l := range m.ConvLayers()[1:3] {
+		c := pruned.Generate(l, pattern.Canonical(8), 3.6, 11, true)
+		bias := make([]float32, c.OutC)
+		for i := range bias {
+			bias[i] = float32(rng.NormFloat64())
+		}
+		biases = append(biases, bias)
+		file.Layers = append(file.Layers, modelfile.Layer{Conv: c, Bias: bias})
+		file.LR.Layers = append(file.LR.Layers,
+			lr.FromPruned(c, reorder.Build(c), lr.DefaultTuning()))
+	}
+
+	var buf bytes.Buffer
+	if err := modelfile.Write(&buf, &file); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := modelfile.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := runtime.NewPool(4)
+	for i, orig := range file.Layers {
+		in := tensor.New(orig.Conv.InC, orig.Conv.InH, orig.Conv.InW)
+		in.Randn(rng, 1)
+		for _, level := range []codegen.Level{codegen.NoOpt, codegen.Tuned} {
+			p1, err := codegen.Compile(orig.Conv, level, lr.DefaultTuning())
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := codegen.Compile(loaded.Layers[i].Conv, level, lr.DefaultTuning())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := pool.RunLayer(p1, in, biases[i])
+			got := pool.RunLayer(p2, in, loaded.Layers[i].Bias)
+			// FP16 storage allows small relative error, amplified by the
+			// accumulation over up to 64 input channels.
+			if d := got.MaxAbsDiff(want); d > 0.05 {
+				t.Fatalf("layer %d level %v: save/load diverged by %g", i, level, d)
+			}
+		}
+	}
+}
+
+// TestPruneCompileAccuracyChain runs the full algorithmic pipeline on real
+// data: dense training, ADMM pruning, per-layer compilation, and whole-network
+// inference through the compiled kernels — predictions must match the pruned
+// reference network exactly (the compiled path computes the same function).
+func TestPruneCompileAccuracyChain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a CNN")
+	}
+	cfg := dataset.DefaultConfig()
+	cfg.N = 200
+	data := dataset.Synthetic(cfg)
+	train, test := data.Split(0.8)
+	net := nn.SmallCNN(cfg.C, cfg.H, cfg.W, 6, 8, cfg.Classes, 3)
+	nn.Train(net, train, nn.NewAdam(0.004), nn.TrainConfig{Epochs: 4, BatchSize: 16, Seed: 1})
+
+	acfg := admm.DefaultConfig(pattern.Canonical(8))
+	acfg.Iterations, acfg.EpochsPerIt, acfg.FinetuneEps = 2, 1, 2
+	acfg.SkipFirstConv = true
+	rep := admm.Run(net, train, test, acfg)
+
+	convs := net.ConvLayers()
+	var plans []*codegen.Plan
+	for _, pc := range rep.Pruned {
+		p, err := codegen.Compile(pc, codegen.Tuned, lr.DefaultTuning())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans = append(plans, p)
+	}
+	pool := runtime.NewPool(2)
+	predictCompiled := func(img *tensor.Tensor) int {
+		x := img
+		for i, plan := range plans {
+			x = pool.RunLayer(plan, x, convs[i].Bias.W.Data)
+			tensor.ReLU(x)
+			x, _ = tensor.MaxPool2D(x, 2)
+		}
+		var fc *nn.Dense
+		for _, l := range net.Layers {
+			if d, ok := l.(*nn.Dense); ok {
+				fc = d
+			}
+		}
+		return fc.Forward(x.Reshape(x.Len())).ArgMax()
+	}
+	for i, img := range test.Images {
+		if got, want := predictCompiled(img), net.Predict(img); got != want {
+			t.Fatalf("example %d: compiled %d vs reference %d", i, got, want)
+		}
+	}
+}
+
+// TestTrainPruneSaveRun closes the full product loop with REAL weights: a
+// trained CNN is ADMM-pruned, saved via the facade to the compact model
+// format, reloaded, recompiled, and the compiled loaded model must classify
+// test examples like the in-memory pruned network (modulo FP16 storage).
+func TestTrainPruneSaveRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a CNN")
+	}
+	cfg := dataset.DefaultConfig()
+	cfg.N = 160
+	data := dataset.Synthetic(cfg)
+	train, test := data.Split(0.8)
+	net := nn.SmallCNN(cfg.C, cfg.H, cfg.W, 6, 8, cfg.Classes, 3)
+	nn.Train(net, train, nn.NewAdam(0.004), nn.TrainConfig{Epochs: 4, BatchSize: 16, Seed: 1})
+
+	pc := DefaultPruneConfig()
+	pc.Iterations, pc.EpochsPerIter, pc.FinetuneEps = 2, 1, 2
+	res := Prune(net, train, test, pc)
+
+	var buf bytes.Buffer
+	if err := SavePruned(net, res, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := modelfile.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Layers) != len(res.Layers) {
+		t.Fatalf("loaded %d layers, want %d", len(loaded.Layers), len(res.Layers))
+	}
+
+	pool := runtime.NewPool(2)
+	predictLoaded := func(img *tensor.Tensor) int {
+		x := img
+		for _, layer := range loaded.Layers {
+			p, err := codegen.Compile(layer.Conv, codegen.Tuned, lr.DefaultTuning())
+			if err != nil {
+				t.Fatal(err)
+			}
+			x = pool.RunLayer(p, x, layer.Bias)
+			tensor.ReLU(x)
+			x, _ = tensor.MaxPool2D(x, 2)
+		}
+		var fc *nn.Dense
+		for _, l := range net.Layers {
+			if d, ok := l.(*nn.Dense); ok {
+				fc = d
+			}
+		}
+		return fc.Forward(x.Reshape(x.Len())).ArgMax()
+	}
+	agree := 0
+	for _, img := range test.Images {
+		if predictLoaded(img) == net.Predict(img) {
+			agree++
+		}
+	}
+	// FP16 storage may flip a marginal prediction, but the vast majority
+	// must match.
+	if agree < test.Len()*9/10 {
+		t.Fatalf("only %d/%d predictions survive save/load", agree, test.Len())
+	}
+}
+
+// TestFacadeAgainstInternalPipeline cross-checks the public facade against a
+// manual assembly of the same pipeline.
+func TestFacadeAgainstInternalPipeline(t *testing.T) {
+	c, err := Compile("MBNT", "imagenet", 8, 3.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := c.EstimateLatencyMs("sd855", "gpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MobileNet-V2 is small; it must be deeply real-time on GPU.
+	if gpu > 10 {
+		t.Fatalf("MBNT GPU latency %.1f ms implausibly slow", gpu)
+	}
+	// Depthwise pattern pruning must be active: LR layers exist only for
+	// standard convs, but latency must reflect DW pruning (compare against
+	// a connectivity-only compile at rate 1 being slower).
+	mnn, err := c.BaselineLatencyMs("mnn", "sd855", "gpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mnn <= gpu {
+		t.Fatalf("MNN (%.2f) should be slower than PatDNN (%.2f)", mnn, gpu)
+	}
+}

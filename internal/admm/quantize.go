@@ -1,0 +1,98 @@
+package admm
+
+import (
+	"math"
+
+	"patdnn/internal/tensor"
+)
+
+// Weight quantization as an additional ADMM constraint. The paper's training
+// framework descends from ADMM-NN, which performs *joint* weight pruning and
+// quantization under the same solution framework: quantization levels are
+// another combinatorial constraint whose Euclidean projection is exact
+// (snap every weight to the nearest level). This file adds that optional
+// extension: with Config.QuantBits > 0, a third auxiliary/dual pair (Q, R)
+// joins the pattern and connectivity pairs, and the final masked-mapped
+// weights are snapped to the level grid.
+
+// quantStep returns the uniform symmetric step size for b-bit quantization
+// of w: Δ = max|w| / (2^(b-1) − 1), so the grid {0, ±Δ, …, ±(2^(b-1)−1)Δ}
+// covers the full range.
+func quantStep(w *tensor.Tensor, bits int) float32 {
+	if bits < 2 {
+		panic("admm: quantization needs >= 2 bits")
+	}
+	var maxAbs float64
+	for _, v := range w.Data {
+		if a := math.Abs(float64(v)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	levels := float64(int(1)<<(bits-1)) - 1
+	if maxAbs == 0 {
+		return 1
+	}
+	return float32(maxAbs / levels)
+}
+
+// projectQuantize snaps every element of w to the nearest quantization level
+// for the given step — the exact Euclidean projection onto the level grid.
+// Zeros stay exactly zero (so the pruning constraints are respected).
+func projectQuantize(w *tensor.Tensor, step float32, bits int) {
+	if step == 0 {
+		return
+	}
+	limit := float32(int(1)<<(bits-1)) - 1
+	for i, v := range w.Data {
+		if v == 0 {
+			continue
+		}
+		q := float32(math.Round(float64(v / step)))
+		if q > limit {
+			q = limit
+		}
+		if q < -limit {
+			q = -limit
+		}
+		w.Data[i] = q * step
+	}
+}
+
+// quantError returns the RMS quantization error of snapping w to the grid,
+// without modifying w.
+func quantError(w *tensor.Tensor, step float32, bits int) float64 {
+	limit := float64(int(1)<<(bits-1)) - 1
+	var sum float64
+	n := 0
+	for _, v := range w.Data {
+		if v == 0 {
+			continue
+		}
+		q := math.Round(float64(v) / float64(step))
+		if q > limit {
+			q = limit
+		}
+		if q < -limit {
+			q = -limit
+		}
+		d := float64(v) - q*float64(step)
+		sum += d * d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// DistinctLevels counts the distinct non-zero weight values in w — after
+// quantization this is at most 2^bits − 2.
+func DistinctLevels(w *tensor.Tensor) int {
+	seen := make(map[float32]bool)
+	for _, v := range w.Data {
+		if v != 0 {
+			seen[v] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,122 @@
+package admm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"patdnn/internal/dataset"
+	"patdnn/internal/nn"
+	"patdnn/internal/pattern"
+	"patdnn/internal/tensor"
+)
+
+func TestQuantStepAndProjection(t *testing.T) {
+	w := tensor.FromSlice([]float32{-3, -1.4, 0, 0.6, 3}, 5)
+	step := quantStep(w, 3) // levels 0..±3, step = 3/3 = 1
+	if math.Abs(float64(step)-1) > 1e-6 {
+		t.Fatalf("step = %v, want 1", step)
+	}
+	projectQuantize(w, step, 3)
+	want := []float32{-3, -1, 0, 1, 3}
+	for i, v := range want {
+		if w.Data[i] != v {
+			t.Fatalf("quantized = %v, want %v", w.Data, want)
+		}
+	}
+}
+
+func TestProjectQuantizePreservesZeros(t *testing.T) {
+	w := tensor.FromSlice([]float32{0, 0.49, 0, -2}, 4)
+	projectQuantize(w, quantStep(w, 4), 4)
+	if w.Data[0] != 0 || w.Data[2] != 0 {
+		t.Fatal("quantization disturbed pruned zeros")
+	}
+}
+
+func TestDistinctLevelsBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := tensor.New(64, 8, 3, 3)
+	w.Randn(rng, 1)
+	bits := 4
+	projectQuantize(w, quantStep(w, bits), bits)
+	if got, max := DistinctLevels(w), (1<<bits)-2; got > max {
+		t.Fatalf("distinct levels = %d, want <= %d", got, max)
+	}
+}
+
+// Property: projection is idempotent and never increases max|w|.
+func TestProjectQuantizeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := tensor.New(32)
+		w.Randn(rng, 2)
+		var maxBefore float64
+		for _, v := range w.Data {
+			if a := math.Abs(float64(v)); a > maxBefore {
+				maxBefore = a
+			}
+		}
+		step := quantStep(w, 4)
+		projectQuantize(w, step, 4)
+		once := w.Clone()
+		projectQuantize(w, step, 4)
+		if !w.AllClose(once, 0) {
+			return false
+		}
+		for _, v := range w.Data {
+			if math.Abs(float64(v)) > maxBefore+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJointPruneQuantizeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a CNN")
+	}
+	cfg := dataset.DefaultConfig()
+	cfg.N = 250
+	data := dataset.Synthetic(cfg)
+	train, test := data.Split(0.8)
+	net := nn.SmallCNN(cfg.C, cfg.H, cfg.W, 8, 12, cfg.Classes, 3)
+	nn.Train(net, train, nn.NewAdam(0.004), nn.TrainConfig{Epochs: 5, BatchSize: 16, Seed: 1})
+	dense := net.Accuracy(test)
+
+	acfg := DefaultConfig(pattern.Canonical(8))
+	acfg.SkipFirstConv = true
+	acfg.QuantBits = 6
+	rep := Run(net, train, test, acfg)
+
+	if rep.QuantBits != 6 || rep.AccQuantized == 0 {
+		t.Fatalf("quantization not reported: %+v", rep)
+	}
+	// Weights actually live on the grid with few distinct levels.
+	for _, conv := range net.ConvLayers() {
+		if got, max := DistinctLevels(conv.Weight.W), (1<<6)-2; got > max {
+			t.Fatalf("%s: %d distinct levels, want <= %d", conv.Name, got, max)
+		}
+	}
+	// Sparsity preserved through quantization.
+	for _, pc := range rep.Pruned {
+		if err := pc.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Joint prune+quantize keeps accuracy near the dense baseline (the
+	// ADMM-NN claim); allow small-sample noise.
+	if rep.AccQuantized < dense-0.15 {
+		t.Fatalf("quantized accuracy %.3f too far below dense %.3f",
+			rep.AccQuantized, dense)
+	}
+	// ADMM regularization keeps the final snap error well below the step.
+	if rep.QuantRMSError <= 0 {
+		t.Fatal("no quantization error recorded")
+	}
+}

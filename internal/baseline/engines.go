@@ -1,0 +1,47 @@
+package baseline
+
+import (
+	"patdnn/internal/sparse"
+	"patdnn/internal/tensor"
+)
+
+// CSRConv performs a sparse convolution via im2col + CSR matrix-vector
+// products — the conventional sparse execution PatDNN's evaluation
+// implements for comparison ("an optimized sparse matrix version ... based on
+// CSR, which shows almost the same speed to PatDNN's dense version").
+func CSRConv(input *tensor.Tensor, w *sparse.CSR, bias *tensor.Tensor, kh, kw int, spec tensor.ConvSpec) *tensor.Tensor {
+	cols := tensor.Im2Col(input, kh, kw, spec)
+	ho := tensor.ConvOutDim(input.Dim(1), kh, spec.Stride, spec.Pad)
+	wo := tensor.ConvOutDim(input.Dim(2), kw, spec.Stride, spec.Pad)
+	out := tensor.New(w.Rows, ho, wo)
+	n := ho * wo
+	x := make([]float32, w.Cols)
+	y := make([]float32, w.Rows)
+	for p := 0; p < n; p++ {
+		for r := 0; r < w.Cols; r++ {
+			x[r] = cols.Data[r*n+p]
+		}
+		if err := w.MatVec(x, y); err != nil {
+			panic(err)
+		}
+		for oc := 0; oc < w.Rows; oc++ {
+			out.Data[oc*n+p] = y[oc]
+		}
+	}
+	if bias != nil {
+		for oc := 0; oc < w.Rows; oc++ {
+			b := bias.Data[oc]
+			plane := out.Data[oc*n : (oc+1)*n]
+			for i := range plane {
+				plane[i] += b
+			}
+		}
+	}
+	return out
+}
+
+// DenseDirectConv is the optimized dense direct convolution (blocked loops),
+// the PatDNN dense baseline of Figure 17 when Winograd is off.
+func DenseDirectConv(input, weight, bias *tensor.Tensor, spec tensor.ConvSpec) *tensor.Tensor {
+	return tensor.Conv2DIm2Col(input, weight, bias, spec)
+}

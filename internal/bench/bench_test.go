@@ -1,0 +1,323 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parseLeadingFloat(t *testing.T, cell string) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(strings.TrimSuffix(strings.Fields(cell)[0], "x"), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	// One per paper artifact: tables 1-7, figures 12-18, + ablation.
+	for _, want := range []string{"table1", "table2", "table3", "table4",
+		"table5", "table6", "table7", "figure12", "figure13", "figure14",
+		"figure15", "figure16", "figure17", "figure18"} {
+		if !ids[want] {
+			t.Fatalf("missing experiment %s", want)
+		}
+	}
+	if _, ok := ByID("table3"); !ok {
+		t.Fatal("ByID failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID matched garbage")
+	}
+}
+
+func TestRenderAligned(t *testing.T) {
+	tb := &Table{ID: "x", Title: "t", Columns: []string{"a", "bb"}}
+	tb.AddRow("1", 2)
+	tb.AddRow(3.5, "zzz")
+	tb.Notes = append(tb.Notes, "n")
+	out := tb.Render()
+	for _, want := range []string{"== x: t ==", "a", "bb", "zzz", "note: n", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tb := Table1()
+	if len(tb.Rows) != 11 {
+		t.Fatalf("table1 rows = %d, want 11 knobs", len(tb.Rows))
+	}
+	// PatDNN must be the only framework with sparse support.
+	for _, row := range tb.Rows {
+		if strings.Contains(row[0], "Sparse DNN") {
+			if row[1] != "N" || row[2] != "N" || row[3] != "N" || row[4] != "Y" {
+				t.Fatalf("sparse support row wrong: %v", row)
+			}
+		}
+	}
+}
+
+func TestTable2Ranks(t *testing.T) {
+	tb := Table2()
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	get := func(scheme string) float64 {
+		for _, row := range tb.Rows {
+			if row[0] == scheme {
+				return parseLeadingFloat(t, row[3])
+			}
+		}
+		t.Fatalf("scheme %s missing", scheme)
+		return 0
+	}
+	nonStruct := get("Non-structured")
+	structured := get("Filter/Channel")
+	pat := get("Pattern")
+	if structured >= nonStruct {
+		t.Fatal("structured pruning must lose more accuracy than non-structured")
+	}
+	if pat <= structured {
+		t.Fatal("pattern pruning must beat structured pruning accuracy")
+	}
+}
+
+func TestFigure17PatternConvertsComputation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles 9 layers")
+	}
+	tb := Figure17()
+	// Part (a): our dense beats MNN on both targets.
+	var mnnCPU, oursCPU float64
+	for _, row := range tb.Rows {
+		if row[0] != "(a)" {
+			continue
+		}
+		if row[1] == "MNN" {
+			mnnCPU = parseLeadingFloat(t, row[2])
+		} else {
+			oursCPU = parseLeadingFloat(t, row[2])
+		}
+	}
+	if oursCPU >= mnnCPU {
+		t.Fatalf("dense PatDNN (%.1f) not faster than MNN (%.1f)", oursCPU, mnnCPU)
+	}
+	// Part (b): pattern GFLOPS >= dense on GPU for the large layers (L2+).
+	for _, row := range tb.Rows {
+		if row[0] != "(b)" || row[1] == "L1" {
+			continue
+		}
+		var dg, pg float64
+		if _, err := fmt.Sscanf(row[3], "%f vs %f", &dg, &pg); err != nil {
+			t.Fatalf("cannot parse GPU cell %q", row[3])
+		}
+		if pg < dg {
+			t.Fatalf("%s: pattern GPU GFLOPS %.1f below dense %.1f", row[1], pg, dg)
+		}
+	}
+}
+
+func TestTable3Trends(t *testing.T) {
+	tb := Table3()
+	for _, row := range tb.Rows {
+		base := parseLeadingFloat(t, row[1])
+		p6 := parseLeadingFloat(t, row[2])
+		p8 := parseLeadingFloat(t, row[3])
+		p12 := parseLeadingFloat(t, row[4])
+		if !(p6 >= base && p8 >= p6 && p12 >= p8) {
+			t.Fatalf("%s: pattern accuracy not monotone: %v", row[0], row)
+		}
+	}
+}
+
+func TestTable4OursBeatsPriorAtVGG(t *testing.T) {
+	tb := Table4()
+	var ours, admmNN float64
+	for _, row := range tb.Rows {
+		if row[0] == "VGG-16" && strings.HasPrefix(row[1], "Ours") {
+			ours = parseLeadingFloat(t, row[2])
+		}
+		if row[0] == "VGG-16" && strings.Contains(row[1], "ADMM-NN") {
+			admmNN = parseLeadingFloat(t, row[2])
+		}
+	}
+	if ours <= admmNN {
+		t.Fatalf("ours %.1f must exceed ADMM-NN %.1f at the same 8x rate", ours, admmNN)
+	}
+}
+
+func TestTable5RowsAndSizes(t *testing.T) {
+	tb := Table5()
+	if len(tb.Rows) != 6 {
+		t.Fatalf("table5 rows = %d, want 6", len(tb.Rows))
+	}
+	// Spot-check VGG/ImageNet size ~553.5 and layer counts.
+	r := tb.Rows[0]
+	if r[0] != "VGG" || r[3] != "16" || r[4] != "13" {
+		t.Fatalf("VGG row wrong: %v", r)
+	}
+	size := parseLeadingFloat(t, r[5])
+	if size < 545 || size > 560 {
+		t.Fatalf("VGG size %v", size)
+	}
+}
+
+func TestTable6HasNineLayers(t *testing.T) {
+	tb := Table6()
+	if len(tb.Rows) != 9 {
+		t.Fatalf("table6 rows = %d, want 9", len(tb.Rows))
+	}
+	if tb.Rows[0][1] != "[64,3,3,3]" || tb.Rows[8][1] != "[512,512,3,3]" {
+		t.Fatalf("L1/L9 shapes wrong: %v / %v", tb.Rows[0], tb.Rows[8])
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles VGG three times")
+	}
+	tb := Table7()
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Accuracy rises with pattern count; 12-pattern time much worse than 8.
+	acc8 := parseLeadingFloat(t, tb.Rows[1][1])
+	acc12 := parseLeadingFloat(t, tb.Rows[2][1])
+	if acc12 < acc8 {
+		t.Fatal("accuracy should not drop from 8 to 12 patterns")
+	}
+	cpu8 := parseLeadingFloat(t, tb.Rows[1][3])
+	cpu12 := parseLeadingFloat(t, tb.Rows[2][3])
+	if cpu12 < cpu8*1.2 {
+		t.Fatalf("12-pattern CPU time %.1f should clearly exceed 8-pattern %.1f", cpu12, cpu8)
+	}
+}
+
+func TestFigure13SpeedupsMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles 9 layers x 4 levels")
+	}
+	tb := Figure13()
+	if len(tb.Rows) != 18 { // 9 layers x {CPU, GPU}
+		t.Fatalf("rows = %d, want 18", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		reorderX := parseLeadingFloat(t, row[2])
+		lreX := parseLeadingFloat(t, row[3])
+		tuneX := parseLeadingFloat(t, row[4])
+		if !(reorderX >= 1 && lreX >= reorderX && tuneX >= lreX) {
+			t.Fatalf("%s/%s: speedups not cumulative: %v", row[0], row[1], row)
+		}
+		if tuneX < 2 || tuneX > 40 {
+			t.Fatalf("%s/%s: total speedup %.2f implausible", row[0], row[1], tuneX)
+		}
+	}
+}
+
+func TestFigure14Shape(t *testing.T) {
+	tb := Figure14()
+	// (a) rows: groups shrink after FKR; (b): loads shrink after LRE.
+	for _, row := range tb.Rows {
+		before := parseLeadingFloat(t, row[3])
+		after := parseLeadingFloat(t, row[4])
+		if after > before {
+			t.Fatalf("metric %q worsened: %v", row[2], row)
+		}
+	}
+}
+
+func TestFigure15BlockedWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles 9 layers x 4 permutations")
+	}
+	tb := Figure15()
+	for _, row := range tb.Rows {
+		cocihw := parseLeadingFloat(t, row[1])
+		blocked := parseLeadingFloat(t, row[4])
+		if blocked <= cocihw {
+			t.Fatalf("%s: cohwci_b (%.1f) must beat cocihw (%.1f)", row[0], blocked, cocihw)
+		}
+	}
+}
+
+func TestFigure16RatiosLow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("encodes 27 layers")
+	}
+	tb := Figure16()
+	if len(tb.Rows) != 10 { // L1..L9 + All
+		t.Fatalf("rows = %d, want 10", len(tb.Rows))
+	}
+	all := tb.Rows[len(tb.Rows)-1]
+	for _, cell := range all[1:] {
+		ratio := parseLeadingFloat(t, cell)
+		if ratio > 20 {
+			t.Fatalf("aggregate FKW/CSR ratio %.1f%% too high", ratio)
+		}
+	}
+}
+
+func TestFigure18PatDNNStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles VGG")
+	}
+	tb := Figure18()
+	for _, row := range tb.Rows {
+		pat := parseLeadingFloat(t, row[len(row)-1])
+		for _, cell := range row[2 : len(row)-1] {
+			if cell == "n/a" {
+				continue
+			}
+			if parseLeadingFloat(t, cell) <= pat {
+				t.Fatalf("PatDNN not fastest on %s/%s: %v", row[0], row[1], row)
+			}
+		}
+	}
+}
+
+func TestAblationStorageShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles VGG")
+	}
+	tb := AblationStorage()
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	denseCPU := parseLeadingFloat(t, tb.Rows[0][1])
+	csrCPU := parseLeadingFloat(t, tb.Rows[1][1])
+	patCPU := parseLeadingFloat(t, tb.Rows[2][1])
+	// CSR near dense (paper: "almost the same"); pattern far faster.
+	if r := csrCPU / denseCPU; r < 0.5 || r > 1.6 {
+		t.Fatalf("CSR/dense = %.2f, want near 1", r)
+	}
+	if patCPU >= denseCPU/2 {
+		t.Fatalf("pattern (%.1f) should be far faster than dense (%.1f)", patCPU, denseCPU)
+	}
+}
+
+func TestAblationTunerGAWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the GA")
+	}
+	tb := AblationTuner()
+	def := parseLeadingFloat(t, tb.Rows[0][2])
+	ga := parseLeadingFloat(t, tb.Rows[2][2])
+	if ga > def {
+		t.Fatalf("GA (%.2f) worse than default config (%.2f)", ga, def)
+	}
+}

@@ -1,0 +1,47 @@
+package bench
+
+import "testing"
+
+// TestFigure12Ordering checks the headline structural claim: on every
+// (dataset, target, network) combination, PatDNN is fastest and the dense
+// frameworks keep the paper's relative order TFLite > TVM > MNN.
+func TestFigure12Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles all six networks")
+	}
+	tb := Figure12()
+	if len(tb.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		pat := parseLeadingFloat(t, row[5])
+		var dense []float64
+		for _, cell := range row[2:5] {
+			if cell == "n/a" {
+				continue
+			}
+			dense = append(dense, parseLeadingFloat(t, cell))
+		}
+		for i, ms := range dense {
+			if ms <= pat {
+				t.Fatalf("%s %s: dense framework %d (%.1f) not slower than PatDNN (%.1f)",
+					row[0], row[1], i, ms, pat)
+			}
+		}
+		// TFLite > TVM > MNN whenever all three are present.
+		if len(dense) == 3 && !(dense[0] > dense[1] && dense[1] > dense[2]) {
+			t.Fatalf("%s %s: dense ordering wrong: %v", row[0], row[1], dense)
+		}
+		// Real-time check for the headline cell.
+		if row[0] == "(c) ImageNet-GPU" && row[1] == "VGG" && pat > 33 {
+			t.Fatalf("VGG ImageNet GPU %.1f ms misses real-time", pat)
+		}
+	}
+	// The speedup column must show meaningful factors everywhere.
+	for _, row := range tb.Rows {
+		s := parseLeadingFloat(t, row[6])
+		if s < 1.5 || s > 60 {
+			t.Fatalf("%s %s: speedup %.1f implausible", row[0], row[1], s)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package bench regenerates every table and figure of the paper's evaluation
+// (Section 6) from this repository's implementations. Each experiment returns
+// a Table — rows/columns mirroring the paper's artifact — plus notes
+// recording the paper-reported reference values so EXPERIMENTS.md can compare
+// shape (who wins, by what factor) rather than absolute numbers, which depend
+// on the substituted device model (see DESIGN.md).
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one regenerated experiment artifact.
+type Table struct {
+	ID      string // e.g. "table3", "figure13a"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string // paper-reported reference points and caveats
+}
+
+// AddRow appends a row, stringifying the cells.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		case int64:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment pairs an ID with its generator.
+type Experiment struct {
+	ID   string
+	Desc string
+	Run  func() *Table
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "DNN acceleration framework optimization matrix", Table1},
+		{"table2", "qualitative comparison of pruning schemes", Table2},
+		{"table3", "Top-5 accuracy vs pattern count (pattern pruning only)", Table3},
+		{"table4", "joint pattern+connectivity pruning vs prior work", Table4},
+		{"table5", "trained DNN characteristics", Table5},
+		{"table6", "VGG unique CONV layers L1-L9", Table6},
+		{"table7", "pattern count impact on accuracy and execution time", Table7},
+		{"figure12", "overall performance vs TFLite/TVM/MNN", Figure12},
+		{"figure13", "per-layer speedup of compiler optimizations", Figure13},
+		{"figure14", "FKR filter-length distribution and LRE load counts", Figure14},
+		{"figure15", "loop permutation and blocking effect (GFLOPS)", Figure15},
+		{"figure16", "FKW vs CSR extra-structure overhead", Figure16},
+		{"figure17", "GFLOPS: PatDNN pattern vs optimized dense", Figure17},
+		{"figure18", "portability: Kirin 980 and Snapdragon 845", Figure18},
+		{"ablation-tuner", "GA tuner vs random search (extra ablation)", AblationTuner},
+		{"ablation-storage", "dense vs CSR vs pattern execution (extra ablation)", AblationStorage},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

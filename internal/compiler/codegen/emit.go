@@ -1,0 +1,61 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EmitSource renders a C-like skeleton of the generated code for inspection,
+// mirroring the code-shape comparison in the paper's Figure 7. It is
+// documentation output — the executable path is the compiled Go plan — but
+// it shows exactly which control structure each optimization level produces.
+func (p *Plan) EmitSource() string {
+	var b strings.Builder
+	c := p.Conv
+	fmt.Fprintf(&b, "// layer %s  [%d,%d,%d,%d]  level %s\n",
+		c.Name, c.OutC, c.InC, c.KH, c.KW, p.Level)
+	fmt.Fprintf(&b, "// patterns present: %d, non-empty kernels: %d/%d\n",
+		len(p.FKW.Patterns), c.NonEmptyKernels(), c.OutC*c.InC)
+	switch p.Level {
+	case NoOpt:
+		b.WriteString(`for (oc = 0; oc < out_channels; oc++)
+  for (oh = 0; oh < out_h; oh++)
+    for (ow = 0; ow < out_w; ow++)
+      for (ic = 0; ic < in_channels; ic++)
+        switch (style[oc][ic]) {       // per-kernel branch in the hot loop
+          case 0: break;               // skip the empty kernel
+`)
+		for i := range p.FKW.Patterns {
+			fmt.Fprintf(&b, "          case %d: /* compute pattern %d taps */ break;\n", i+1, i+1)
+		}
+		b.WriteString("        }\n")
+	case Reorder:
+		b.WriteString(`for (g = 0; g < n_groups; g++)              // FKR groups, equal length
+  for (oc = group[g].start; oc < group[g].end; oc++)
+    for (run = 0; run < runs[oc]; run++)     // kernels sorted by pattern id
+      // branchless: pattern of the whole run known at compile time
+      for (oh = 0; oh < out_h; oh++)
+        for (ow = 0; ow < out_w; ow++)
+          out[reorder[oc]][oh][ow] += taps(run.pattern, in, oh, ow);
+`)
+	case ReorderLRE:
+		b.WriteString(`for (oc ...; run ...)                         // as +Reorder
+  for (oh = 0; oh < out_h; oh++) {
+    r0 = &in[ch][oh+dr0]; r1 = &in[ch][oh+dr1]; // row slices loaded ONCE
+    r2 = &in[ch][oh+dr2]; r3 = &in[ch][oh+dr3]; // (kernel-level LRE)
+    for (ow = 0; ow < out_w; ow++)
+      out[f][oh][ow] += w0*r0[ow+dc0] + w1*r1[ow+dc1]
+                      + w2*r2[ow+dc2] + w3*r3[ow+dc3];
+  }
+`)
+	case Tuned:
+		fmt.Fprintf(&b, `for (ocb = 0; ocb < out_channels; ocb += %d)   // unroll_oc
+  for (ohb = 0; ohb < out_h; ohb += %d)        // tile_oh (%s)
+    for ((ch, pattern) groups in block)        // filter-level LRE:
+      // identical (channel,pattern) kernels of the %d unrolled filters
+      // share one set of input row loads
+      for (oh in tile) { load rows once; accumulate into all filters; }
+`, p.Tune.Unroll[0], p.Tune.Tile[1], p.Tune.Permute, p.Tune.Unroll[0])
+	}
+	return b.String()
+}

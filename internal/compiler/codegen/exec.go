@@ -1,0 +1,224 @@
+package codegen
+
+// Execution kernels for the four optimization levels. All operate on a
+// pre-padded input [InC, InH+2p, InW+2p] and accumulate into the output
+// [OutC, OutH, OutW]. Stride 1 and stride 2 are supported (the networks in
+// the evaluation use only these).
+
+import "patdnn/internal/tensor"
+
+func (p *Plan) execNoOpt(padded, out *tensor.Tensor)   { p.rangeNoOpt(padded, out, 0, p.Conv.OutC) }
+func (p *Plan) execReorder(padded, out *tensor.Tensor) { p.rangeReorder(padded, out, 0, p.Conv.OutC) }
+func (p *Plan) execLRE(padded, out *tensor.Tensor)     { p.rangeLRE(padded, out, 0, p.Conv.OutC) }
+func (p *Plan) execTuned(padded, out *tensor.Tensor)   { p.rangeTuned(padded, out, 0, p.Conv.OutC) }
+
+// rangeNoOpt mirrors the paper's "+No-opt" skeleton: for every output
+// position it walks all input channels and switches on the kernel's pattern
+// style — a per-kernel branch inside the hot loop, full index arithmetic per
+// weight.
+func (p *Plan) rangeNoOpt(padded, out *tensor.Tensor, from, to int) {
+	c := p.Conv
+	ph, pw := padded.Dim(1), padded.Dim(2)
+	_ = ph
+	for pos := from; pos < to; pos++ {
+		f := p.FKR.FilterPerm[pos] // identity for NoOpt
+		oplane := out.Data[f*c.OutH*c.OutW:]
+		for oh := 0; oh < c.OutH; oh++ {
+			for ow := 0; ow < c.OutW; ow++ {
+				acc := oplane[oh*c.OutW+ow]
+				for ic := 0; ic < c.InC; ic++ {
+					id := c.ID(f, ic)
+					switch id {
+					case 0:
+						// skip the empty kernel
+					default:
+						wbase := (f*c.InC + ic) * c.KH * c.KW
+						inCh := c.InputChannel(f, ic)
+						for _, d := range p.offsets[id-1] {
+							ih := oh*c.Stride + d[0]
+							iw := ow*c.Stride + d[1]
+							acc += c.Weights.Data[wbase+d[0]*c.KW+d[1]] *
+								padded.Data[(inCh*ph+ih)*pw+iw]
+						}
+					}
+				}
+				oplane[oh*c.OutW+ow] = acc
+			}
+		}
+	}
+}
+
+// rangeReorder mirrors "+Reorder": filters in FKR order, kernels grouped into
+// branchless pattern runs; the pattern dispatch is hoisted out of the pixel
+// loops entirely.
+func (p *Plan) rangeReorder(padded, out *tensor.Tensor, from, to int) {
+	c := p.Conv
+	pw := padded.Dim(2)
+	ph := padded.Dim(1)
+	for pos := from; pos < to; pos++ {
+		f := p.FKR.FilterPerm[pos]
+		oplane := out.Data[f*c.OutH*c.OutW:]
+		for _, run := range p.FKR.Runs(c, pos) {
+			offs := p.offsets[run.PatternID-1]
+			for _, ic := range run.Channels {
+				wbase := (f*c.InC + ic) * c.KH * c.KW
+				w0 := c.Weights.Data[wbase+offs[0][0]*c.KW+offs[0][1]]
+				w1 := c.Weights.Data[wbase+offs[1][0]*c.KW+offs[1][1]]
+				w2 := c.Weights.Data[wbase+offs[2][0]*c.KW+offs[2][1]]
+				w3 := c.Weights.Data[wbase+offs[3][0]*c.KW+offs[3][1]]
+				iplane := padded.Data[c.InputChannel(f, ic)*ph*pw:]
+				for oh := 0; oh < c.OutH; oh++ {
+					ihBase := oh * c.Stride
+					orow := oplane[oh*c.OutW : oh*c.OutW+c.OutW]
+					for ow := 0; ow < c.OutW; ow++ {
+						iw := ow * c.Stride
+						orow[ow] += w0*iplane[(ihBase+offs[0][0])*pw+iw+offs[0][1]] +
+							w1*iplane[(ihBase+offs[1][0])*pw+iw+offs[1][1]] +
+							w2*iplane[(ihBase+offs[2][0])*pw+iw+offs[2][1]] +
+							w3*iplane[(ihBase+offs[3][0])*pw+iw+offs[3][1]]
+					}
+				}
+			}
+		}
+	}
+}
+
+// rangeLRE adds register-level load redundancy elimination: per output row,
+// the (at most three) input rows a pattern touches are sliced once and
+// reused across the row's outputs and across all weights that read them —
+// the kernel-level reuse of Figure 11 (left).
+func (p *Plan) rangeLRE(padded, out *tensor.Tensor, from, to int) {
+	c := p.Conv
+	pw := padded.Dim(2)
+	ph := padded.Dim(1)
+	for pos := from; pos < to; pos++ {
+		f := p.FKR.FilterPerm[pos]
+		oplane := out.Data[f*c.OutH*c.OutW:]
+		for _, run := range p.FKR.Runs(c, pos) {
+			offs := p.offsets[run.PatternID-1]
+			for _, ic := range run.Channels {
+				wbase := (f*c.InC + ic) * c.KH * c.KW
+				var wv [4]float32
+				for i, d := range offs {
+					wv[i] = c.Weights.Data[wbase+d[0]*c.KW+d[1]]
+				}
+				iplane := padded.Data[c.InputChannel(f, ic)*ph*pw:]
+				for oh := 0; oh < c.OutH; oh++ {
+					ihBase := oh * c.Stride
+					// Register-held row slices: one load per touched row.
+					var rows [4][]float32
+					for i, d := range offs {
+						r := iplane[(ihBase+d[0])*pw+d[1]:]
+						rows[i] = r
+					}
+					orow := oplane[oh*c.OutW : oh*c.OutW+c.OutW]
+					if c.Stride == 1 {
+						for ow := range orow {
+							orow[ow] += wv[0]*rows[0][ow] + wv[1]*rows[1][ow] +
+								wv[2]*rows[2][ow] + wv[3]*rows[3][ow]
+						}
+					} else {
+						for ow := range orow {
+							iw := ow * c.Stride
+							orow[ow] += wv[0]*rows[0][iw] + wv[1]*rows[1][iw] +
+								wv[2]*rows[2][iw] + wv[3]*rows[3][iw]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// rangeTuned adds the auto-tuned blocking: output rows are processed in tile
+// blocks and kernels with identical (channel, pattern) within an unrolled
+// filter block share their input row slices — the filter-level reuse of
+// Figure 11 (right). The loop order follows Tune.Permute (cohwci_b places the
+// channel loop innermost over a blocked spatial tile).
+func (p *Plan) rangeTuned(padded, out *tensor.Tensor, from, to int) {
+	c := p.Conv
+	pw := padded.Dim(2)
+	ph := padded.Dim(1)
+	tileOH := p.Tune.Tile[1]
+	if tileOH < 1 {
+		tileOH = c.OutH
+	}
+	uoc := p.Tune.Unroll[0]
+	if uoc < 1 {
+		uoc = 1
+	}
+	for blockStart := from; blockStart < to; blockStart += uoc {
+		blockEnd := blockStart + uoc
+		if blockEnd > to {
+			blockEnd = to
+		}
+		// Gather the block's kernels grouped by (channel, pattern) so input
+		// slices are shared across the unrolled filters.
+		type target struct {
+			orig int // original filter index
+			wv   [4]float32
+		}
+		type group struct {
+			ic      int
+			offs    [][2]int
+			targets []target
+		}
+		var groups []group
+		idx := map[[2]int]int{}
+		for pos := blockStart; pos < blockEnd; pos++ {
+			f := p.FKR.FilterPerm[pos]
+			for _, run := range p.FKR.Runs(c, pos) {
+				for _, ic := range run.Channels {
+					// Sharing is keyed by the *input feature-map channel*
+					// (equal to the filter index for depthwise layers, so
+					// depthwise kernels never alias each other's inputs).
+					inCh := c.InputChannel(f, ic)
+					key := [2]int{inCh, run.PatternID}
+					gi, ok := idx[key]
+					if !ok {
+						gi = len(groups)
+						idx[key] = gi
+						groups = append(groups, group{ic: inCh, offs: p.offsets[run.PatternID-1]})
+					}
+					wbase := (f*c.InC + ic) * c.KH * c.KW
+					var wv [4]float32
+					for i, d := range groups[gi].offs {
+						wv[i] = c.Weights.Data[wbase+d[0]*c.KW+d[1]]
+					}
+					groups[gi].targets = append(groups[gi].targets, target{orig: f, wv: wv})
+				}
+			}
+		}
+		for ohBase := 0; ohBase < c.OutH; ohBase += tileOH {
+			ohEnd := ohBase + tileOH
+			if ohEnd > c.OutH {
+				ohEnd = c.OutH
+			}
+			for _, g := range groups {
+				iplane := padded.Data[g.ic*ph*pw:]
+				for oh := ohBase; oh < ohEnd; oh++ {
+					ihBase := oh * c.Stride
+					var rows [4][]float32
+					for i, d := range g.offs {
+						rows[i] = iplane[(ihBase+d[0])*pw+d[1]:]
+					}
+					for _, tg := range g.targets {
+						orow := out.Data[tg.orig*c.OutH*c.OutW+oh*c.OutW:][:c.OutW]
+						if c.Stride == 1 {
+							for ow := range orow {
+								orow[ow] += tg.wv[0]*rows[0][ow] + tg.wv[1]*rows[1][ow] +
+									tg.wv[2]*rows[2][ow] + tg.wv[3]*rows[3][ow]
+							}
+						} else {
+							for ow := range orow {
+								iw := ow * c.Stride
+								orow[ow] += tg.wv[0]*rows[0][iw] + tg.wv[1]*rows[1][iw] +
+									tg.wv[2]*rows[2][iw] + tg.wv[3]*rows[3][iw]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

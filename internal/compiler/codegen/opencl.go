@@ -1,0 +1,81 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EmitOpenCL renders the GPU flavor of the generated code (the paper's
+// framework emits OpenCL for mobile GPUs): one kernel per FKR group, so every
+// work-group executes filters of identical length — the load-balance property
+// FKR establishes — with the pattern dispatch resolved at generation time
+// (no divergent branches inside the kernel) and FP16 weight storage.
+//
+// Like EmitSource, this is inspectable output; execution happens through the
+// compiled Go plan and the device model.
+func (p *Plan) EmitOpenCL() string {
+	var b strings.Builder
+	c := p.Conv
+	fmt.Fprintf(&b, "// layer %s [%d,%d,%d,%d], level %s, %d FKR groups\n",
+		c.Name, c.OutC, c.InC, c.KH, c.KW, p.Level, len(p.FKR.Groups))
+	b.WriteString("#pragma OPENCL EXTENSION cl_khr_fp16 : enable\n\n")
+
+	if p.Level == NoOpt {
+		// The un-reordered version needs a runtime switch per kernel — the
+		// divergence source Figure 7's +No-opt skeleton shows.
+		b.WriteString(`__kernel void conv_noopt(__global const half *in,
+                         __global const half *weights,
+                         __global const ushort *style,
+                         __global half *out) {
+  int oc = get_global_id(0), oh = get_global_id(1), ow = get_global_id(2);
+  float acc = 0.0f;
+  for (int ic = 0; ic < IN_CHANNELS; ic++) {
+    switch (style[oc * IN_CHANNELS + ic]) {   // divergent across the warp
+      case 0: break;                           // empty kernel
+      // one case per pattern, each with its own tap offsets
+    }
+  }
+  out[(oc * OUT_H + oh) * OUT_W + ow] = (half)acc;
+}
+`)
+		return b.String()
+	}
+
+	for gi, g := range p.FKR.Groups {
+		fmt.Fprintf(&b, "// group %d: filters [%d,%d), length %d -> one work-group, zero divergence\n",
+			gi, g.Start, g.End, g.Length)
+	}
+	b.WriteString("\n__kernel void conv_pattern(__global const half *in,\n")
+	b.WriteString("                           __global const half *fkw_weights,\n")
+	b.WriteString("                           __global const ushort *fkw_index,\n")
+	b.WriteString("                           __global const ushort *fkw_stride,\n")
+	b.WriteString("                           __global half *out) {\n")
+	b.WriteString("  int pos = get_group_id(0);        // reordered filter (FKR)\n")
+	b.WriteString("  int oh  = get_global_id(1);\n")
+	b.WriteString("  int ow  = get_global_id(2) * UNROLL_W;\n")
+	fmt.Fprintf(&b, "  float acc[%d];                    // UNROLL_W accumulators in registers\n",
+		p.Tune.Unroll[2])
+	for slot, pat := range p.FKW.Patterns {
+		idx := pat.Indices()
+		fmt.Fprintf(&b, "  // pattern slot %d (%s): branchless run over fkw_stride[pos][%d..%d)\n",
+			slot, pat, slot, slot+1)
+		fmt.Fprintf(&b, "  for (int k = start%d; k < end%d; k++) {\n", slot, slot)
+		b.WriteString("    int ic = fkw_index[k];\n")
+		if p.Level >= ReorderLRE {
+			rows := map[int]bool{}
+			for _, posn := range idx {
+				rows[posn/pat.K] = true
+			}
+			fmt.Fprintf(&b, "    // LRE: %d row segments loaded once, reused across %d taps\n",
+				len(rows), len(idx))
+		}
+		for t, posn := range idx {
+			fmt.Fprintf(&b, "    acc[*] += w%d * in[plane(ic) + off(oh+%d, ow+%d)];\n",
+				t, posn/pat.K, posn%pat.K)
+		}
+		b.WriteString("  }\n")
+	}
+	b.WriteString("  // write through the reorder array to the original output channel\n")
+	b.WriteString("  out[reorder[pos]] = ...;\n}\n")
+	return b.String()
+}

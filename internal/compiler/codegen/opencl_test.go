@@ -1,0 +1,48 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"patdnn/internal/compiler/lr"
+)
+
+func TestEmitOpenCLNoOptHasDivergentSwitch(t *testing.T) {
+	c := smallPruned(t, 20, 1)
+	p, err := Compile(c, NoOpt, lr.DefaultTuning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := p.EmitOpenCL()
+	for _, want := range []string{"cl_khr_fp16", "switch (style", "divergent"} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("NoOpt OpenCL missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestEmitOpenCLOptimizedIsBranchless(t *testing.T) {
+	c := smallPruned(t, 21, 1)
+	p, err := Compile(c, Tuned, lr.DefaultTuning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := p.EmitOpenCL()
+	if strings.Contains(src, "switch") {
+		t.Fatal("optimized OpenCL must not contain a switch")
+	}
+	for _, want := range []string{"get_group_id", "fkw_index", "fkw_stride",
+		"zero divergence", "reorder[pos]", "LRE:"} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("optimized OpenCL missing %q", want)
+		}
+	}
+	// One branchless run per pattern slot present in the layer.
+	if got := strings.Count(src, "pattern slot"); got != len(p.FKW.Patterns) {
+		t.Fatalf("emitted %d pattern runs, want %d", got, len(p.FKW.Patterns))
+	}
+	// Every FKR group is mapped to a work-group comment.
+	if got := strings.Count(src, "// group "); got != len(p.FKR.Groups) {
+		t.Fatalf("emitted %d group mappings, want %d", got, len(p.FKR.Groups))
+	}
+}

@@ -1,0 +1,234 @@
+// Package codegen generates executable kernel plans for pattern-pruned
+// convolutions, mirroring PatDNN's code-generation flow (paper Figure 7).
+// Four optimization levels correspond to the paper's ablation:
+//
+//	NoOpt      — branchy dispatch on every kernel's pattern (the "+No-opt"
+//	             skeleton), original filter order.
+//	Reorder    — Filter Kernel Reorder applied: branchless pattern runs,
+//	             grouped filters (the "+Reorder" skeleton).
+//	ReorderLRE — additionally, register-level load redundancy elimination:
+//	             input rows are materialized once per output row and reused
+//	             across kernel weights and adjacent outputs ("+LRE").
+//	Tuned      — additionally, tile/unroll/permutation parameters from the
+//	             auto-tuner are applied ("+Tune"), including filter-block
+//	             input sharing.
+//
+// Every level executes real arithmetic and is checked bit-for-bit (within
+// float tolerance) against the dense reference convolution; the levels also
+// report the instruction statistics the device model converts to mobile
+// execution times.
+package codegen
+
+import (
+	"fmt"
+
+	"patdnn/internal/compiler/lr"
+	"patdnn/internal/compiler/lre"
+	"patdnn/internal/compiler/reorder"
+	"patdnn/internal/pruned"
+	"patdnn/internal/sparse"
+	"patdnn/internal/tensor"
+)
+
+// Level selects the optimization stage.
+type Level int
+
+// Optimization levels in ascending order.
+const (
+	NoOpt Level = iota
+	Reorder
+	ReorderLRE
+	Tuned
+)
+
+var levelNames = map[Level]string{
+	NoOpt: "No-Opt", Reorder: "+Reorder", ReorderLRE: "+Reorder+LRE",
+	Tuned: "+Reorder+LRE+Tune",
+}
+
+func (l Level) String() string { return levelNames[l] }
+
+// Plan is a compiled execution plan for one pruned conv layer.
+type Plan struct {
+	Level Level
+	Conv  *pruned.Conv
+	FKR   *reorder.Plan
+	FKW   *sparse.FKW
+	Tune  lr.Tuning
+
+	// offsets[id-1] lists the (dr, dc) taps of pattern id.
+	offsets [][][2]int
+}
+
+// Compile builds the plan for the requested level. Layers must carry weights.
+func Compile(c *pruned.Conv, level Level, tune lr.Tuning) (*Plan, error) {
+	if c.Weights == nil {
+		return nil, fmt.Errorf("codegen: layer %s has no weights", c.Name)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	for _, pat := range c.Set {
+		if pat.Entries() != 4 {
+			return nil, fmt.Errorf("codegen: pattern %v is not 4-entry; the unrolled microkernels require 4-entry patterns", pat)
+		}
+	}
+	p := &Plan{Level: level, Conv: c, Tune: tune}
+	if level == NoOpt {
+		p.FKR = reorder.Identity(c)
+	} else {
+		p.FKR = reorder.Build(c)
+	}
+	fkw, err := sparse.Encode(c, p.FKR.FilterPerm)
+	if err != nil {
+		return nil, err
+	}
+	p.FKW = fkw
+	p.offsets = make([][][2]int, len(c.Set))
+	for i, pat := range c.Set {
+		for _, pos := range pat.Indices() {
+			p.offsets[i] = append(p.offsets[i], [2]int{pos / c.KW, pos % c.KW})
+		}
+	}
+	return p, nil
+}
+
+// pad returns input copied into a zero-padded buffer [C, H+2p, W+2p].
+func pad(input *tensor.Tensor, p int) *tensor.Tensor {
+	if p == 0 {
+		return input
+	}
+	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
+	out := tensor.New(c, h+2*p, w+2*p)
+	pw := w + 2*p
+	for ic := 0; ic < c; ic++ {
+		for y := 0; y < h; y++ {
+			src := input.Data[(ic*h+y)*w : (ic*h+y)*w+w]
+			dstOff := (ic*(h+2*p)+y+p)*pw + p
+			copy(out.Data[dstOff:dstOff+w], src)
+		}
+	}
+	return out
+}
+
+// Execute runs the compiled layer on a [InC, InH, InW] input and returns the
+// [OutC, OutH, OutW] output. bias may be nil.
+func (p *Plan) Execute(input *tensor.Tensor, bias []float32) *tensor.Tensor {
+	c := p.Conv
+	out := tensor.New(c.OutC, c.OutH, c.OutW)
+	if bias != nil {
+		for oc := 0; oc < c.OutC; oc++ {
+			plane := out.Data[oc*c.OutH*c.OutW : (oc+1)*c.OutH*c.OutW]
+			for i := range plane {
+				plane[i] = bias[oc]
+			}
+		}
+	}
+	padded := pad(input, c.Pad)
+	switch p.Level {
+	case NoOpt:
+		p.execNoOpt(padded, out)
+	case Reorder:
+		p.execReorder(padded, out)
+	case ReorderLRE:
+		p.execLRE(padded, out)
+	case Tuned:
+		p.execTuned(padded, out)
+	}
+	return out
+}
+
+// ExecuteRange computes only output channels (in plan order) [from, to); the
+// runtime uses it to parallelize a layer across worker threads along the
+// filter-group boundaries FKR produces.
+func (p *Plan) ExecuteRange(padded *tensor.Tensor, out *tensor.Tensor, from, to int) {
+	switch p.Level {
+	case NoOpt:
+		p.rangeNoOpt(padded, out, from, to)
+	case Reorder:
+		p.rangeReorder(padded, out, from, to)
+	case ReorderLRE:
+		p.rangeLRE(padded, out, from, to)
+	case Tuned:
+		p.rangeTuned(padded, out, from, to)
+	}
+}
+
+// PadInput exposes the padding step for the runtime's layer pipeline.
+func (p *Plan) PadInput(input *tensor.Tensor) *tensor.Tensor {
+	return pad(input, p.Conv.Pad)
+}
+
+// InstrStats aggregates the instruction-level quantities the mobile device
+// model consumes.
+type InstrStats struct {
+	MACs        int64   // multiply-accumulates executed
+	RegLoads    int64   // input register loads (after the level's LRE)
+	Branches    int64   // pattern-dispatch branches in the inner loops
+	WeightBytes int64   // compressed weight bytes streamed from memory
+	ActBytes    int64   // activation bytes (input + output feature maps)
+	Imbalance   float64 // thread load imbalance in [0,1] (0 = balanced)
+	Groups      int     // FKR filter groups (GPU block mapping quality)
+	// VecEff is the achievable SIMD-lane utilization: branchy per-kernel
+	// dispatch (No-Opt) largely defeats vectorization; branchless pattern
+	// runs vectorize fully.
+	VecEff float64
+	// CacheEff is the data-locality quality in (0,1]: conventional tiling
+	// plus tuned blocking keeps the working set cache-resident.
+	CacheEff float64
+}
+
+// Stats computes the instruction statistics of this plan analytically; it
+// does not execute the layer.
+func (p *Plan) Stats() InstrStats {
+	c := p.Conv
+	outPix := int64(c.OutH) * int64(c.OutW)
+	loads := lre.Analyze(c, p.FKR, p.Tune)
+	st := InstrStats{
+		MACs:        int64(c.NNZ()) * outPix,
+		WeightBytes: int64(p.FKW.TotalBytes(4)),
+		ActBytes:    4 * (int64(c.InChannels())*int64(c.InH)*int64(c.InW) + int64(c.OutC)*outPix),
+		Groups:      len(p.FKR.Groups),
+	}
+	st.Imbalance = p.FKR.LoadImbalance(c, p.Tune.Threads)
+	switch p.Level {
+	case NoOpt:
+		st.RegLoads = loads.NoLRE
+		// The "+No-opt" skeleton re-dispatches on the kernel's pattern for
+		// every output position (Figure 7): one branch per kernel per pixel.
+		st.Branches = int64(c.NonEmptyKernels()) * outPix
+		st.VecEff, st.CacheEff = 0.6, 0.55
+	case Reorder:
+		st.RegLoads = loads.NoLRE
+		st.Branches = p.FKR.BranchCount(c, 1)
+		st.VecEff, st.CacheEff = 1.0, 0.55
+	case ReorderLRE:
+		st.RegLoads = loads.KernelLRE
+		st.Branches = p.FKR.BranchCount(c, 1)
+		st.VecEff, st.CacheEff = 1.0, 0.60
+	case Tuned:
+		st.RegLoads = loads.FilterLRE
+		st.Branches = p.FKR.BranchCount(c, 1)
+		// The tuned configuration's locality depends on the chosen loop
+		// permutation (Figure 15): channel-innermost blocked preserves both
+		// input reuse and FKW weight streaming.
+		st.VecEff, st.CacheEff = 1.0, 0.90*permEff(p.Tune.Permute)
+	}
+	return st
+}
+
+// permEff is the relative cache quality of each loop order for the FKW
+// layout, normalized so the default (cohwci_b) is 1.
+func permEff(perm lr.Permutation) float64 {
+	switch perm {
+	case lr.PermCoCiHW:
+		return 0.58
+	case lr.PermCoHWCi:
+		return 0.71
+	case lr.PermCoCiHWBlock:
+		return 0.96
+	case lr.PermCoHWCiBlock:
+		return 1.0
+	}
+	return 1.0
+}

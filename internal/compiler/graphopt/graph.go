@@ -1,0 +1,334 @@
+// Package graphopt implements the computational-graph level of PatDNN's
+// compiler (paper Section 5, Table 1): the model is converted into a graph IR
+// and optimized with operator fusion, constant folding (BN folding), operation
+// replacement, data-layout selection, and a liveness-based static memory plan
+// with buffer reuse. These are the optimizations PatDNN shares with TVM/MNN;
+// the pattern-specific passes live in the sibling packages.
+package graphopt
+
+import (
+	"fmt"
+
+	"patdnn/internal/model"
+)
+
+// Node is one operator in the graph IR.
+type Node struct {
+	ID     int
+	Op     string // "conv", "conv+relu", "conv+bn+relu", "fc", "add", ...
+	Layer  *model.Layer
+	Inputs []int
+	// Layout is the chosen activation layout ("NCHW" or "NHWC").
+	Layout string
+	// Folded marks operators whose parameters were constant-folded away.
+	Folded bool
+}
+
+// Graph is a DAG of nodes in topological order (Inputs always reference
+// lower IDs).
+type Graph struct {
+	Nodes []*Node
+	// byName maps the producing model-layer name to node ID, for shortcuts.
+	byName map[string]int
+}
+
+// FromModel lowers a model into the graph IR.
+func FromModel(m *model.Model) *Graph {
+	g := &Graph{byName: make(map[string]int)}
+	prev := -1
+	for _, l := range m.Layers {
+		n := &Node{ID: len(g.Nodes), Op: l.Kind.String(), Layer: l, Layout: "NCHW"}
+		if prev >= 0 {
+			n.Inputs = append(n.Inputs, prev)
+		}
+		if l.Kind == model.Add && l.ShortcutOf != "" {
+			if src, ok := g.byName[l.ShortcutOf]; ok {
+				n.Inputs = append(n.Inputs, src)
+			}
+		}
+		if l.Projection {
+			// Projection convs branch from the block input, not from prev.
+			n.Inputs = nil
+			if src, ok := g.byName[l.ShortcutOf]; ok {
+				n.Inputs = append(n.Inputs, src)
+			}
+		}
+		g.Nodes = append(g.Nodes, n)
+		g.byName[l.Name] = n.ID
+		prev = n.ID
+	}
+	return g
+}
+
+// Validate checks topological ordering and input validity.
+func (g *Graph) Validate() error {
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if in < 0 || in >= len(g.Nodes) {
+				return fmt.Errorf("graphopt: node %d references missing input %d", n.ID, in)
+			}
+			if in >= n.ID {
+				return fmt.Errorf("graphopt: node %d not topologically ordered (input %d)", n.ID, in)
+			}
+		}
+	}
+	return nil
+}
+
+// consumers returns how many nodes consume each node's output.
+func (g *Graph) consumers() []int {
+	uses := make([]int, len(g.Nodes))
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			uses[in]++
+		}
+	}
+	return uses
+}
+
+// PassStats records what a pass changed.
+type PassStats struct {
+	Name    string
+	Applied int
+}
+
+// FuseConvBNReLU merges conv→bn→relu, conv→bn, and conv→relu chains into
+// single fused operators (operator fusion). Fusion requires the intermediate
+// values to have a single consumer.
+func (g *Graph) FuseConvBNReLU() PassStats {
+	st := PassStats{Name: "operator-fusion"}
+	uses := g.consumers()
+	remove := make(map[int]bool)
+	for _, n := range g.Nodes {
+		if n.Op != "conv" && n.Op != "dwconv" {
+			continue
+		}
+		cur := n
+		// Chain BN then ReLU greedily.
+		for {
+			next := g.soleConsumer(cur.ID, uses)
+			if next == nil {
+				break
+			}
+			if next.Op == "batchnorm" && !remove[next.ID] {
+				n.Op += "+bn"
+				n.Folded = true // BN scale/shift folded into conv weights
+				remove[next.ID] = true
+				cur = next
+				st.Applied++
+				continue
+			}
+			if next.Op == "relu" && !remove[next.ID] {
+				n.Op += "+relu"
+				remove[next.ID] = true
+				cur = next
+				st.Applied++
+			}
+			break
+		}
+	}
+	g.contract(remove)
+	return st
+}
+
+// soleConsumer returns the unique consumer of node id, or nil.
+func (g *Graph) soleConsumer(id int, uses []int) *Node {
+	if uses[id] != 1 {
+		return nil
+	}
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if in == id {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// contract removes nodes, rewiring consumers to the removed node's first
+// input, and renumbers IDs.
+func (g *Graph) contract(remove map[int]bool) {
+	if len(remove) == 0 {
+		return
+	}
+	// Forward each removed node to its first input transitively.
+	fwd := make([]int, len(g.Nodes))
+	for i := range fwd {
+		fwd[i] = i
+	}
+	for id := range remove {
+		in := -1
+		if len(g.Nodes[id].Inputs) > 0 {
+			in = g.Nodes[id].Inputs[0]
+		}
+		fwd[id] = in
+	}
+	resolve := func(id int) int {
+		for id >= 0 && remove[id] {
+			id = fwd[id]
+		}
+		return id
+	}
+	var kept []*Node
+	newID := make([]int, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if remove[n.ID] {
+			newID[n.ID] = -1
+			continue
+		}
+		newID[n.ID] = len(kept)
+		kept = append(kept, n)
+	}
+	g.byName = make(map[string]int)
+	for _, n := range kept {
+		var ins []int
+		for _, in := range n.Inputs {
+			r := resolve(in)
+			if r >= 0 {
+				ins = append(ins, newID[r])
+			}
+		}
+		n.Inputs = ins
+		n.ID = newID[n.ID]
+		if n.Layer != nil {
+			g.byName[n.Layer.Name] = n.ID
+		}
+	}
+	g.Nodes = kept
+}
+
+// FoldConstants counts BN parameters folded into the preceding conv weights
+// during fusion (constant folding): every fused "+bn" stage has its scale and
+// shift folded, removing 4·C runtime parameters.
+func (g *Graph) FoldConstants() PassStats {
+	st := PassStats{Name: "constant-folding"}
+	for _, n := range g.Nodes {
+		if n.Layer != nil && n.Folded {
+			st.Applied++
+		}
+	}
+	return st
+}
+
+// ReplaceOps applies operation replacement: an FC whose input is 1×1 spatial
+// becomes a 1×1 convolution, unifying the executor's kernel set (the paper's
+// "operation replacement" beyond TVM's pass list).
+func (g *Graph) ReplaceOps() PassStats {
+	st := PassStats{Name: "operation-replacement"}
+	for _, n := range g.Nodes {
+		if n.Op == "fc" && n.Layer != nil && n.Layer.InH == 1 && n.Layer.InW == 1 {
+			n.Op = "conv1x1"
+			st.Applied++
+		}
+	}
+	return st
+}
+
+// SelectLayouts performs the data-layout transform pass: depthwise convs
+// prefer NHWC (channel-innermost vectorizes across C), standard convs NCHW.
+// A layout-cast is counted whenever a node's producer uses a different
+// layout.
+func (g *Graph) SelectLayouts() (PassStats, int) {
+	st := PassStats{Name: "layout-transform"}
+	for _, n := range g.Nodes {
+		if n.Layer != nil && n.Layer.Kind == model.DWConv {
+			n.Layout = "NHWC"
+			st.Applied++
+		} else {
+			n.Layout = "NCHW"
+		}
+	}
+	casts := 0
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if g.Nodes[in].Layout != n.Layout {
+				casts++
+			}
+		}
+	}
+	return st, casts
+}
+
+// MemoryPlan computes a static activation-memory plan with liveness-based
+// buffer reuse and returns (planned bytes, naive sum bytes). Buffers are
+// assigned greedily: a freed buffer is reused for the next tensor that fits.
+func (g *Graph) MemoryPlan() (planned, naive int64) {
+	type buffer struct {
+		size int64
+		free bool
+	}
+	lastUse := make([]int, len(g.Nodes))
+	for i := range lastUse {
+		lastUse[i] = i
+	}
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if n.ID > lastUse[in] {
+				lastUse[in] = n.ID
+			}
+		}
+	}
+	outBytes := func(n *Node) int64 {
+		if n.Layer == nil {
+			return 0
+		}
+		l := n.Layer
+		return 4 * int64(l.OutC) * int64(max(l.OutH, 1)) * int64(max(l.OutW, 1))
+	}
+	var pool []buffer
+	assigned := make([]int, len(g.Nodes))
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	for _, n := range g.Nodes {
+		sz := outBytes(n)
+		naive += sz
+		if sz == 0 {
+			continue
+		}
+		// Free buffers whose tensors died before this node.
+		for id, b := range assigned {
+			if b >= 0 && lastUse[id] < n.ID {
+				pool[b].free = true
+				assigned[id] = -2 // released
+			}
+		}
+		// First-fit reuse.
+		slot := -1
+		for bi := range pool {
+			if pool[bi].free && pool[bi].size >= sz {
+				slot = bi
+				break
+			}
+		}
+		if slot < 0 {
+			pool = append(pool, buffer{size: sz})
+			slot = len(pool) - 1
+		}
+		pool[slot].free = false
+		assigned[n.ID] = slot
+	}
+	for _, b := range pool {
+		planned += b.size
+	}
+	return planned, naive
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Optimize runs the full pass pipeline and returns per-pass stats.
+func Optimize(g *Graph) []PassStats {
+	var out []PassStats
+	out = append(out, g.FuseConvBNReLU())
+	out = append(out, g.FoldConstants())
+	out = append(out, g.ReplaceOps())
+	layout, _ := g.SelectLayouts()
+	out = append(out, layout)
+	return out
+}

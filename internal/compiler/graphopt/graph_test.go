@@ -1,0 +1,184 @@
+package graphopt
+
+import (
+	"strings"
+	"testing"
+
+	"patdnn/internal/model"
+)
+
+func TestFromModelValid(t *testing.T) {
+	for _, m := range model.All() {
+		g := FromModel(m)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s/%s: %v", m.Name, m.Dataset, err)
+		}
+		if len(g.Nodes) != len(m.Layers) {
+			t.Fatalf("%s: node count %d != layer count %d", m.Name, len(g.Nodes), len(m.Layers))
+		}
+	}
+}
+
+func TestResidualEdgesPresent(t *testing.T) {
+	g := FromModel(model.ResNet50("imagenet"))
+	twoInputs := 0
+	for _, n := range g.Nodes {
+		if n.Op == "add" && len(n.Inputs) == 2 {
+			twoInputs++
+		}
+	}
+	// ResNet-50 has 16 residual adds.
+	if twoInputs != 16 {
+		t.Fatalf("residual adds with 2 inputs = %d, want 16", twoInputs)
+	}
+}
+
+func TestFuseVGG(t *testing.T) {
+	// VGG: every conv is followed by a ReLU with a single consumer; all 13
+	// fuse. The 2 FC ReLUs stay (they follow fc, not conv).
+	g := FromModel(model.VGG16("imagenet"))
+	st := g.FuseConvBNReLU()
+	if st.Applied != 13 {
+		t.Fatalf("fusions = %d, want 13", st.Applied)
+	}
+	fused := 0
+	for _, n := range g.Nodes {
+		if n.Op == "conv+relu" {
+			fused++
+		}
+		if n.Op == "batchnorm" {
+			t.Fatal("VGG has no BN, found one")
+		}
+	}
+	if fused != 13 {
+		t.Fatalf("conv+relu nodes = %d, want 13", fused)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuseResNetCreatesConvBNReLU(t *testing.T) {
+	g := FromModel(model.ResNet50("imagenet"))
+	before := len(g.Nodes)
+	st := g.FuseConvBNReLU()
+	if st.Applied == 0 {
+		t.Fatal("no fusions on ResNet")
+	}
+	hasCBR := false
+	for _, n := range g.Nodes {
+		if n.Op == "conv+bn+relu" {
+			hasCBR = true
+		}
+	}
+	if !hasCBR {
+		t.Fatal("expected conv+bn+relu fused nodes")
+	}
+	if len(g.Nodes) >= before {
+		t.Fatal("fusion did not shrink the graph")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Shortcut adds must still have both inputs after contraction.
+	adds := 0
+	for _, n := range g.Nodes {
+		if n.Op == "add" && len(n.Inputs) == 2 {
+			adds++
+		}
+	}
+	if adds != 16 {
+		t.Fatalf("adds with both inputs after fusion = %d, want 16", adds)
+	}
+}
+
+func TestFoldConstants(t *testing.T) {
+	g := FromModel(model.ResNet50("imagenet"))
+	g.FuseConvBNReLU()
+	st := g.FoldConstants()
+	if st.Applied == 0 {
+		t.Fatal("no BN constants folded")
+	}
+}
+
+func TestReplaceOps(t *testing.T) {
+	g := FromModel(model.ResNet50("imagenet"))
+	st := g.ReplaceOps()
+	if st.Applied != 1 {
+		t.Fatalf("replacements = %d, want 1 (the classifier FC)", st.Applied)
+	}
+	found := false
+	for _, n := range g.Nodes {
+		if n.Op == "conv1x1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fc not replaced by conv1x1")
+	}
+	// VGG's fc1 consumes a flattened 25088-vector (1x1 spatial after
+	// flatten), so it is also replaceable; check at least it doesn't crash
+	// and applies consistently.
+	g2 := FromModel(model.VGG16("imagenet"))
+	st2 := g2.ReplaceOps()
+	if st2.Applied != 3 {
+		t.Fatalf("VGG replacements = %d, want 3", st2.Applied)
+	}
+}
+
+func TestSelectLayouts(t *testing.T) {
+	g := FromModel(model.MobileNetV2("imagenet"))
+	st, casts := g.SelectLayouts()
+	if st.Applied == 0 {
+		t.Fatal("no NHWC selections for depthwise convs")
+	}
+	if casts == 0 {
+		t.Fatal("expected layout casts between NCHW and NHWC regions")
+	}
+	g2 := FromModel(model.VGG16("imagenet"))
+	_, casts2 := g2.SelectLayouts()
+	if casts2 != 0 {
+		t.Fatalf("VGG is homogeneous NCHW; casts = %d", casts2)
+	}
+}
+
+func TestMemoryPlanReusesBuffers(t *testing.T) {
+	for _, m := range []*model.Model{model.VGG16("imagenet"), model.ResNet50("imagenet")} {
+		g := FromModel(m)
+		g.FuseConvBNReLU()
+		planned, naive := g.MemoryPlan()
+		if planned <= 0 || naive <= 0 {
+			t.Fatalf("%s: empty plan", m.Name)
+		}
+		if planned >= naive {
+			t.Fatalf("%s: memory plan does not reuse buffers: %d >= %d", m.Name, planned, naive)
+		}
+		// Static planning should cut activation memory by a large factor on
+		// deep feed-forward nets.
+		if float64(planned) > 0.5*float64(naive) {
+			t.Fatalf("%s: weak reuse: planned %d vs naive %d", m.Name, planned, naive)
+		}
+	}
+}
+
+func TestOptimizePipeline(t *testing.T) {
+	g := FromModel(model.ResNet50("cifar10"))
+	stats := Optimize(g)
+	if len(stats) != 4 {
+		t.Fatalf("expected 4 passes, got %d", len(stats))
+	}
+	names := make([]string, 0, len(stats))
+	for _, s := range stats {
+		names = append(names, s.Name)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"operator-fusion", "constant-folding",
+		"operation-replacement", "layout-transform"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing pass %s in %s", want, joined)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

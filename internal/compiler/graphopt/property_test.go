@@ -1,0 +1,65 @@
+package graphopt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"patdnn/internal/model"
+)
+
+// Property: for every model, the full optimization pipeline preserves graph
+// validity, never grows the node count, and keeps the memory plan within the
+// naive bound.
+func TestOptimizePropertyAllModels(t *testing.T) {
+	models := model.All()
+	f := func(pick uint8) bool {
+		m := models[int(pick)%len(models)]
+		g := FromModel(m)
+		before := len(g.Nodes)
+		Optimize(g)
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		if len(g.Nodes) > before {
+			return false
+		}
+		planned, naive := g.MemoryPlan()
+		return planned > 0 && planned <= naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fusion never orphans a residual add — both inputs stay resolvable.
+func TestFusionKeepsResidualInputs(t *testing.T) {
+	for _, m := range []*model.Model{model.ResNet50("imagenet"), model.MobileNetV2("cifar10")} {
+		g := FromModel(m)
+		wantAdds := 0
+		for _, n := range g.Nodes {
+			if n.Op == "add" && len(n.Inputs) == 2 {
+				wantAdds++
+			}
+		}
+		g.FuseConvBNReLU()
+		gotAdds := 0
+		for _, n := range g.Nodes {
+			if n.Op == "add" && len(n.Inputs) == 2 {
+				gotAdds++
+			}
+		}
+		if gotAdds != wantAdds {
+			t.Fatalf("%s: residual adds %d -> %d after fusion", m.Name, wantAdds, gotAdds)
+		}
+	}
+}
+
+func TestMemoryPlanDeterministic(t *testing.T) {
+	g1 := FromModel(model.VGG16("imagenet"))
+	g2 := FromModel(model.VGG16("imagenet"))
+	p1, n1 := g1.MemoryPlan()
+	p2, n2 := g2.MemoryPlan()
+	if p1 != p2 || n1 != n2 {
+		t.Fatalf("memory plan not deterministic: %d/%d vs %d/%d", p1, n1, p2, n2)
+	}
+}

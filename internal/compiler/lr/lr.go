@@ -1,0 +1,200 @@
+// Package lr implements PatDNN's high-level, fine-grained Layerwise
+// Representation (paper Section 5.1, Figure 8). The LR captures, per layer,
+// the sparsity information the later passes need — pattern types present,
+// the FKW pattern layout, the connectivity between kernels and channels —
+// plus the tuning-decided execution parameters (tile sizes, unroll factors,
+// loop permutation) and basic layer facts (strides, dilations). It
+// serializes to JSON for inspection and round-trips losslessly.
+package lr
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"patdnn/internal/compiler/reorder"
+	"patdnn/internal/pruned"
+)
+
+// Permutation names the computation loop order of a conv layer. The paper's
+// Figure 15 evaluates CoCiHW and CoHWCi with and without blocking; cohwci_b
+// (blocked output-channel, height, width, input-channel) is the usual winner.
+type Permutation string
+
+// Supported loop permutations.
+const (
+	PermCoCiHW      Permutation = "cocihw"
+	PermCoHWCi      Permutation = "cohwci"
+	PermCoCiHWBlock Permutation = "cocihw_b"
+	PermCoHWCiBlock Permutation = "cohwci_b"
+)
+
+// Valid reports whether p is a known permutation.
+func (p Permutation) Valid() bool {
+	switch p {
+	case PermCoCiHW, PermCoHWCi, PermCoCiHWBlock, PermCoHWCiBlock:
+		return true
+	}
+	return false
+}
+
+// Blocked reports whether the permutation applies loop tiling.
+func (p Permutation) Blocked() bool {
+	return p == PermCoCiHWBlock || p == PermCoHWCiBlock
+}
+
+// Tuning holds the auto-tuner's decisions for one layer (Figure 8's
+// "tuning" block).
+type Tuning struct {
+	// Unroll factors in loop order [oc, oh, ow, ic].
+	Unroll [4]int `json:"unroll"`
+	// Tile sizes [oc, oh/ow pair, ic].
+	Tile [3]int `json:"tile"`
+	// Permute is the loop order.
+	Permute Permutation `json:"permute"`
+	// Threads the layer is parallelized over.
+	Threads int `json:"threads"`
+}
+
+// DefaultTuning is a safe starting configuration before auto-tuning.
+func DefaultTuning() Tuning {
+	return Tuning{
+		Unroll:  [4]int{4, 2, 8, 1},
+		Tile:    [3]int{16, 32, 8},
+		Permute: PermCoHWCiBlock,
+		Threads: 8,
+	}
+}
+
+// PatternInfo describes the sparsity of one layer (Figure 8's "pattern"
+// block).
+type PatternInfo struct {
+	// Types lists the pattern IDs present in the layer.
+	Types []int `json:"type"`
+	// Layout names the compressed storage; always "FKW" after reorder.
+	Layout string `json:"layout"`
+	// Masks holds each present pattern's bitmask, parallel to Types.
+	Masks []uint16 `json:"masks"`
+	// FilterOrder is the FKR filter permutation (reorder array).
+	FilterOrder []int `json:"filter_order,omitempty"`
+}
+
+// Info carries the basic layer facts (Figure 8's "info" block).
+type Info struct {
+	Strides   [2]int `json:"strides"`
+	Dilations [2]int `json:"dilations"`
+	Pad       [2]int `json:"pad"`
+	KH        int    `json:"kh"`
+	KW        int    `json:"kw"`
+	InC       int    `json:"in_channels"`
+	OutC      int    `json:"out_channels"`
+	InH       int    `json:"in_h"`
+	InW       int    `json:"in_w"`
+}
+
+// Layer is the LR of one conv op.
+type Layer struct {
+	Name    string      `json:"name"`
+	Storage string      `json:"storage"` // "tight" = compact FKW model
+	Pattern PatternInfo `json:"pattern"`
+	Tuning  Tuning      `json:"tuning"`
+	Info    Info        `json:"info"`
+}
+
+// Representation is the whole-model LR.
+type Representation struct {
+	Model  string  `json:"name"`
+	Device string  `json:"device"` // "CPU" or "GPU"
+	Layers []Layer `json:"layers"`
+}
+
+// FromPruned builds the LR layer for a pruned conv and its FKR plan; plan may
+// be nil to defer reordering.
+func FromPruned(c *pruned.Conv, plan *reorder.Plan, tune Tuning) Layer {
+	present := map[int]bool{}
+	for _, id := range c.IDs {
+		if id != 0 {
+			present[id] = true
+		}
+	}
+	var pi PatternInfo
+	pi.Layout = "FKW"
+	for id := 1; id <= len(c.Set); id++ {
+		if present[id] {
+			pi.Types = append(pi.Types, id)
+			pi.Masks = append(pi.Masks, c.Set[id-1].Mask)
+		}
+	}
+	if plan != nil {
+		pi.FilterOrder = append([]int(nil), plan.FilterPerm...)
+	}
+	return Layer{
+		Name:    c.Name,
+		Storage: "tight",
+		Pattern: pi,
+		Tuning:  tune,
+		Info: Info{
+			Strides: [2]int{c.Stride, c.Stride}, Dilations: [2]int{1, 1},
+			Pad: [2]int{c.Pad, c.Pad}, KH: c.KH, KW: c.KW,
+			InC: c.InC, OutC: c.OutC, InH: c.InH, InW: c.InW,
+		},
+	}
+}
+
+// Validate checks structural invariants of the representation.
+func (r *Representation) Validate() error {
+	if r.Device != "CPU" && r.Device != "GPU" {
+		return fmt.Errorf("lr: invalid device %q", r.Device)
+	}
+	for _, l := range r.Layers {
+		if l.Name == "" {
+			return fmt.Errorf("lr: unnamed layer")
+		}
+		if !l.Tuning.Permute.Valid() {
+			return fmt.Errorf("lr: layer %s: invalid permutation %q", l.Name, l.Tuning.Permute)
+		}
+		if len(l.Pattern.Types) != len(l.Pattern.Masks) {
+			return fmt.Errorf("lr: layer %s: pattern types/masks mismatch", l.Name)
+		}
+		for _, u := range l.Tuning.Unroll {
+			if u < 1 {
+				return fmt.Errorf("lr: layer %s: unroll factor < 1", l.Name)
+			}
+		}
+		for _, tl := range l.Tuning.Tile {
+			if tl < 1 {
+				return fmt.Errorf("lr: layer %s: tile size < 1", l.Name)
+			}
+		}
+		if fo := l.Pattern.FilterOrder; fo != nil {
+			if len(fo) != l.Info.OutC {
+				return fmt.Errorf("lr: layer %s: filter order length %d != OutC %d",
+					l.Name, len(fo), l.Info.OutC)
+			}
+			seen := make([]bool, l.Info.OutC)
+			for _, f := range fo {
+				if f < 0 || f >= l.Info.OutC || seen[f] {
+					return fmt.Errorf("lr: layer %s: filter order is not a permutation", l.Name)
+				}
+				seen[f] = true
+			}
+		}
+	}
+	return nil
+}
+
+// Marshal renders the representation as indented JSON.
+func (r *Representation) Marshal() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Unmarshal parses a representation and validates it.
+func Unmarshal(data []byte) (*Representation, error) {
+	var r Representation
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("lr: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,111 @@
+package lr
+
+import (
+	"strings"
+	"testing"
+
+	"patdnn/internal/compiler/reorder"
+	"patdnn/internal/model"
+	"patdnn/internal/pattern"
+	"patdnn/internal/pruned"
+)
+
+func sampleLayer(t *testing.T) (Layer, *pruned.Conv) {
+	t.Helper()
+	m := model.VGG16("cifar10")
+	c := pruned.Generate(m.ConvLayers()[1], pattern.Canonical(8), 3.6, 1, false)
+	plan := reorder.Build(c)
+	return FromPruned(c, plan, DefaultTuning()), c
+}
+
+func TestFromPruned(t *testing.T) {
+	l, c := sampleLayer(t)
+	if l.Name != c.Name || l.Storage != "tight" || l.Pattern.Layout != "FKW" {
+		t.Fatalf("header wrong: %+v", l)
+	}
+	if len(l.Pattern.Types) == 0 || len(l.Pattern.Types) > len(c.Set) {
+		t.Fatalf("pattern types = %v", l.Pattern.Types)
+	}
+	for i, id := range l.Pattern.Types {
+		if l.Pattern.Masks[i] != c.Set[id-1].Mask {
+			t.Fatal("mask does not match pattern ID")
+		}
+	}
+	if len(l.Pattern.FilterOrder) != c.OutC {
+		t.Fatal("filter order missing")
+	}
+	if l.Info.InC != c.InC || l.Info.OutC != c.OutC || l.Info.KH != 3 {
+		t.Fatalf("info wrong: %+v", l.Info)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	l, _ := sampleLayer(t)
+	r := &Representation{Model: "vgg16", Device: "CPU", Layers: []Layer{l}}
+	data, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The serialized form mirrors Figure 8's fields.
+	for _, want := range []string{`"storage": "tight"`, `"layout": "FKW"`,
+		`"permute": "cohwci_b"`, `"strides"`, `"dilations"`, `"unroll"`, `"tile"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("serialized LR missing %q", want)
+		}
+	}
+	r2, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Layers[0].Name != l.Name || r2.Layers[0].Tuning != l.Tuning {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	good, _ := sampleLayer(t)
+	cases := map[string]func(r *Representation){
+		"bad device":     func(r *Representation) { r.Device = "TPU" },
+		"unnamed":        func(r *Representation) { r.Layers[0].Name = "" },
+		"bad permute":    func(r *Representation) { r.Layers[0].Tuning.Permute = "zigzag" },
+		"bad unroll":     func(r *Representation) { r.Layers[0].Tuning.Unroll[0] = 0 },
+		"bad tile":       func(r *Representation) { r.Layers[0].Tuning.Tile[2] = -1 },
+		"masks mismatch": func(r *Representation) { r.Layers[0].Pattern.Masks = nil },
+		"bad perm len":   func(r *Representation) { r.Layers[0].Pattern.FilterOrder = []int{0} },
+		"dup perm": func(r *Representation) {
+			fo := r.Layers[0].Pattern.FilterOrder
+			fo[0] = fo[1]
+		},
+	}
+	for name, corrupt := range cases {
+		r := &Representation{Model: "m", Device: "CPU", Layers: []Layer{good}}
+		// Deep-ish copy of the mutable bits.
+		r.Layers[0].Pattern.FilterOrder = append([]int(nil), good.Pattern.FilterOrder...)
+		r.Layers[0].Pattern.Masks = append([]uint16(nil), good.Pattern.Masks...)
+		corrupt(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate did not fail", name)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("{not json")); err == nil {
+		t.Fatal("expected JSON error")
+	}
+	if _, err := Unmarshal([]byte(`{"device":"quantum","layers":[]}`)); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestPermutationHelpers(t *testing.T) {
+	if !PermCoHWCiBlock.Valid() || !PermCoHWCiBlock.Blocked() {
+		t.Fatal("cohwci_b should be valid and blocked")
+	}
+	if PermCoCiHW.Blocked() {
+		t.Fatal("cocihw is not blocked")
+	}
+	if Permutation("x").Valid() {
+		t.Fatal("unknown permutation accepted")
+	}
+}

@@ -1,0 +1,137 @@
+package lre
+
+import (
+	"testing"
+	"testing/quick"
+
+	"patdnn/internal/compiler/lr"
+	"patdnn/internal/compiler/reorder"
+	"patdnn/internal/model"
+	"patdnn/internal/pattern"
+	"patdnn/internal/pruned"
+)
+
+func genLayer(seed int64) *pruned.Conv {
+	m := model.VGG16("cifar10")
+	return pruned.Generate(m.ConvLayers()[2], pattern.Canonical(8), 3.6, seed, false)
+}
+
+func TestRowsTouched(t *testing.T) {
+	cross := pattern.New(3, 1, 3, 4, 5) // rows {0,1}
+	if got := rowsTouched(cross.Mask, 3, 1); got != 2 {
+		t.Fatalf("rowsTouched(cross, uh=1) = %d, want 2", got)
+	}
+	// With Uh=2 the union of {0,1} and {1,2} is {0,1,2}.
+	if got := rowsTouched(cross.Mask, 3, 2); got != 3 {
+		t.Fatalf("rowsTouched(cross, uh=2) = %d, want 3", got)
+	}
+	col := pattern.New(3, 1, 4, 7, 5) // rows {0,1,2}
+	if got := rowsTouched(col.Mask, 3, 1); got != 3 {
+		t.Fatalf("rowsTouched(col) = %d", got)
+	}
+	oneRow := pattern.New(3, 3, 4, 5, 0) // rows {0,1}
+	if got := rowsTouched(oneRow.Mask, 3, 1); got != 2 {
+		t.Fatalf("rowsTouched = %d", got)
+	}
+}
+
+func TestNoLREKnownValue(t *testing.T) {
+	// One filter, one kernel, 4-entry pattern, 4x4 output:
+	// NoLRE = 4 weights * 16 outputs = 64 loads.
+	c := &pruned.Conv{
+		Name: "k", OutC: 1, InC: 1, KH: 3, KW: 3,
+		OutH: 4, OutW: 4,
+		Set: []pattern.Pattern{pattern.New(3, 1, 3, 4, 5)},
+		IDs: []int{1},
+	}
+	s := Analyze(c, reorder.Identity(c), lr.Tuning{Unroll: [4]int{1, 1, 1, 1}, Tile: [3]int{1, 1, 1}, Permute: lr.PermCoCiHW, Threads: 1})
+	if s.NoLRE != 64 {
+		t.Fatalf("NoLRE = %d, want 64", s.NoLRE)
+	}
+	// KernelLRE with uh=uw=1: 2 rows * (1+2) scalars * 16 blocks = 96...
+	// larger than naive for tiny unroll, which is why the tuner picks
+	// uw>1; with uw=4: blocks = 4*1, rows 2, seg 6 -> 48 < 64.
+	s4 := Analyze(c, reorder.Identity(c), lr.Tuning{Unroll: [4]int{1, 1, 4, 1}, Tile: [3]int{1, 1, 1}, Permute: lr.PermCoCiHW, Threads: 1})
+	if s4.KernelLRE >= s4.NoLRE {
+		t.Fatalf("kernel LRE with uw=4 should reduce loads: %d >= %d", s4.KernelLRE, s4.NoLRE)
+	}
+}
+
+func TestFilterLRESharesAcrossFilters(t *testing.T) {
+	// Two filters with identical (channel, pattern) kernels: with uoc=2,
+	// filter-level LRE halves the loads relative to kernel-level.
+	set := []pattern.Pattern{pattern.New(3, 1, 3, 4, 5)}
+	c := &pruned.Conv{
+		Name: "share", OutC: 2, InC: 1, KH: 3, KW: 3, OutH: 4, OutW: 4,
+		Set: set, IDs: []int{1, 1},
+	}
+	tun := lr.Tuning{Unroll: [4]int{2, 1, 4, 1}, Tile: [3]int{1, 1, 1}, Permute: lr.PermCoHWCiBlock, Threads: 1}
+	s := Analyze(c, reorder.Build(c), tun)
+	if s.FilterLRE*2 != s.KernelLRE {
+		t.Fatalf("filter LRE should halve loads: kernel %d, filter %d", s.KernelLRE, s.FilterLRE)
+	}
+}
+
+func TestMonotonicityOnRealLayer(t *testing.T) {
+	c := genLayer(1)
+	s := AnalyzeDefault(c)
+	if !(s.NoLRE > 0 && s.KernelLRE > 0 && s.FilterLRE > 0) {
+		t.Fatalf("zero loads: %+v", s)
+	}
+	if s.KernelLRE > s.NoLRE {
+		t.Fatalf("kernel LRE increased loads: %+v", s)
+	}
+	if s.FilterLRE > s.KernelLRE {
+		t.Fatalf("filter LRE increased loads: %+v", s)
+	}
+	// Figure 14(b) shows a substantial (>1.5x) total reduction.
+	if s.TotalReduction() < 1.5 {
+		t.Fatalf("total reduction = %.2f, want >= 1.5", s.TotalReduction())
+	}
+}
+
+func TestFKRImprovesFilterLRE(t *testing.T) {
+	// Filter-level sharing depends on similar filters being adjacent,
+	// which is exactly what FKR provides.
+	c := genLayer(2)
+	tun := lr.DefaultTuning()
+	ident := Analyze(c, reorder.Identity(c), tun)
+	fkr := Analyze(c, reorder.Build(c), tun)
+	if fkr.FilterLRE > ident.FilterLRE {
+		t.Fatalf("FKR should not reduce sharing: identity %d, fkr %d",
+			ident.FilterLRE, fkr.FilterLRE)
+	}
+}
+
+func TestUnrollWidthReducesLoads(t *testing.T) {
+	c := genLayer(3)
+	plan := reorder.Build(c)
+	narrow := lr.DefaultTuning()
+	narrow.Unroll[2] = 1
+	wide := lr.DefaultTuning()
+	wide.Unroll[2] = 8
+	sn := Analyze(c, plan, narrow)
+	sw := Analyze(c, plan, wide)
+	if sw.KernelLRE >= sn.KernelLRE {
+		t.Fatalf("wider ow unroll should reduce kernel loads: %d vs %d",
+			sw.KernelLRE, sn.KernelLRE)
+	}
+}
+
+// Property: load counts are positive and ordered for random layers/configs.
+func TestAnalyzeProperty(t *testing.T) {
+	m := model.VGG16("cifar10")
+	l := m.ConvLayers()[1]
+	f := func(seed int64, uhRaw, uwRaw, uocRaw uint8) bool {
+		c := pruned.Generate(l, pattern.Canonical(6), 3.0, seed, false)
+		tun := lr.DefaultTuning()
+		tun.Unroll[1] = int(uhRaw%3) + 1
+		tun.Unroll[2] = int(uwRaw%8) + 1
+		tun.Unroll[0] = int(uocRaw%8) + 1
+		s := Analyze(c, reorder.Build(c), tun)
+		return s.NoLRE > 0 && s.FilterLRE > 0 && s.FilterLRE <= s.KernelLRE
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+// Package reorder implements PatDNN's Filter Kernel Reorder (FKR, paper
+// Section 5.2). FKR exploits that every kernel's pattern is known after
+// training: it (1) groups filters with the same number of non-empty kernels
+// ("length") together and orders similar filters adjacently, improving
+// thread-level parallelism and load balance, and (2) sorts the kernels inside
+// each filter by pattern ID so the generated code executes all kernels of one
+// pattern consecutively with no per-kernel branching.
+package reorder
+
+import (
+	"sort"
+
+	"patdnn/internal/pruned"
+)
+
+// Group is a contiguous run of reordered filters sharing one length; the
+// compiler maps a group to one GPU thread block or one CPU work chunk.
+type Group struct {
+	Start, End int // filter positions [Start, End) in the new order
+	Length     int // non-empty kernels per filter in this group
+}
+
+// Plan is the result of FKR for one layer.
+type Plan struct {
+	// FilterPerm[newPos] = original filter index (the paper's reorder array).
+	FilterPerm []int
+	// KernelOrder[newPos] lists the original input-channel indices of the
+	// filter's non-empty kernels, sorted by (pattern ID, channel).
+	KernelOrder [][]int
+	Groups      []Group
+}
+
+// Build computes the FKR plan for a pruned layer.
+func Build(c *pruned.Conv) *Plan {
+	type filterInfo struct {
+		orig   int
+		length int
+		sig    []int // kernel pattern IDs sorted ascending (the similarity key)
+	}
+	infos := make([]filterInfo, c.OutC)
+	for f := 0; f < c.OutC; f++ {
+		var sig []int
+		for k := 0; k < c.InC; k++ {
+			if id := c.ID(f, k); id != 0 {
+				sig = append(sig, id)
+			}
+		}
+		sort.Ints(sig)
+		infos[f] = filterInfo{orig: f, length: len(sig), sig: sig}
+	}
+	// Filter reorder: primary key length (descending, so heavy filters lead
+	// and groups stay contiguous), secondary key the pattern-ID signature
+	// (lexicographic — identical signatures become adjacent, maximizing the
+	// similarity the paper's second criterion asks for), tertiary original
+	// index for determinism.
+	sort.SliceStable(infos, func(a, b int) bool {
+		ia, ib := infos[a], infos[b]
+		if ia.length != ib.length {
+			return ia.length > ib.length
+		}
+		for i := range ia.sig {
+			if ia.sig[i] != ib.sig[i] {
+				return ia.sig[i] < ib.sig[i]
+			}
+		}
+		return ia.orig < ib.orig
+	})
+
+	p := &Plan{
+		FilterPerm:  make([]int, c.OutC),
+		KernelOrder: make([][]int, c.OutC),
+	}
+	for newPos, fi := range infos {
+		p.FilterPerm[newPos] = fi.orig
+		// Kernel reorder: group kernels by pattern ID within the filter.
+		ks := make([]int, 0, fi.length)
+		for k := 0; k < c.InC; k++ {
+			if c.ID(fi.orig, k) != 0 {
+				ks = append(ks, k)
+			}
+		}
+		orig := fi.orig
+		sort.SliceStable(ks, func(a, b int) bool {
+			ida, idb := c.ID(orig, ks[a]), c.ID(orig, ks[b])
+			if ida != idb {
+				return ida < idb
+			}
+			return ks[a] < ks[b]
+		})
+		p.KernelOrder[newPos] = ks
+		// Group bookkeeping.
+		if len(p.Groups) == 0 || p.Groups[len(p.Groups)-1].Length != fi.length {
+			p.Groups = append(p.Groups, Group{Start: newPos, End: newPos + 1, Length: fi.length})
+		} else {
+			p.Groups[len(p.Groups)-1].End = newPos + 1
+		}
+	}
+	return p
+}
+
+// Identity returns a no-reorder plan (used by the No-Opt code path): original
+// filter order, kernels in channel order.
+func Identity(c *pruned.Conv) *Plan {
+	p := &Plan{
+		FilterPerm:  make([]int, c.OutC),
+		KernelOrder: make([][]int, c.OutC),
+	}
+	for f := 0; f < c.OutC; f++ {
+		p.FilterPerm[f] = f
+		for k := 0; k < c.InC; k++ {
+			if c.ID(f, k) != 0 {
+				p.KernelOrder[f] = append(p.KernelOrder[f], k)
+			}
+		}
+	}
+	p.Groups = []Group{{Start: 0, End: c.OutC, Length: -1}}
+	return p
+}
+
+// Lengths returns the filter lengths in the plan's order; plotting this
+// before (Identity) and after (Build) reorder reproduces Figure 14(a).
+func (p *Plan) Lengths(c *pruned.Conv) []int {
+	out := make([]int, len(p.FilterPerm))
+	for pos, f := range p.FilterPerm {
+		out[pos] = c.FilterLength(f)
+	}
+	return out
+}
+
+// LoadImbalance models the thread-divergence cost FKR removes: filters are
+// dealt round-robin to `threads` workers in plan order and the result is
+// (max-min)/max worker load in kernels. 0 = perfectly balanced.
+func (p *Plan) LoadImbalance(c *pruned.Conv, threads int) float64 {
+	if threads <= 0 {
+		threads = 1
+	}
+	load := make([]int, threads)
+	for pos, f := range p.FilterPerm {
+		load[pos%threads] += c.FilterLength(f)
+	}
+	minL, maxL := load[0], load[0]
+	for _, l := range load[1:] {
+		if l < minL {
+			minL = l
+		}
+		if l > maxL {
+			maxL = l
+		}
+	}
+	if maxL == 0 {
+		return 0
+	}
+	return float64(maxL-minL) / float64(maxL)
+}
+
+// BranchCount estimates per-inference pattern-switch branches executed in the
+// inner loop: without reorder the generated code re-dispatches on every
+// kernel (one branch per kernel per output tile); with reorder it dispatches
+// once per (filter, pattern) run. Tiles is the number of output tiles the
+// layer is split into.
+func (p *Plan) BranchCount(c *pruned.Conv, tiles int) int64 {
+	if tiles < 1 {
+		tiles = 1
+	}
+	var runs int64
+	for pos := range p.FilterPerm {
+		prev := -1
+		for _, k := range p.KernelOrder[pos] {
+			id := c.ID(p.FilterPerm[pos], k)
+			if id != prev {
+				runs++
+				prev = id
+			}
+		}
+	}
+	return runs * int64(tiles)
+}
+
+// KernelRuns returns, for the filter at plan position pos, the consecutive
+// (patternID, channels) runs after kernel reorder; the codegen emits one
+// branchless loop per run.
+type Run struct {
+	PatternID int
+	Channels  []int
+}
+
+// Runs computes the pattern runs for one reordered filter.
+func (p *Plan) Runs(c *pruned.Conv, pos int) []Run {
+	f := p.FilterPerm[pos]
+	var runs []Run
+	for _, k := range p.KernelOrder[pos] {
+		id := c.ID(f, k)
+		if len(runs) == 0 || runs[len(runs)-1].PatternID != id {
+			runs = append(runs, Run{PatternID: id})
+		}
+		last := &runs[len(runs)-1]
+		last.Channels = append(last.Channels, k)
+	}
+	return runs
+}

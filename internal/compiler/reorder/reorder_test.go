@@ -1,0 +1,193 @@
+package reorder
+
+import (
+	"testing"
+	"testing/quick"
+
+	"patdnn/internal/model"
+	"patdnn/internal/pattern"
+	"patdnn/internal/pruned"
+)
+
+// tinyLayer builds a hand-crafted pruned layer resembling Figure 9's example:
+// filters with mixed lengths and pattern IDs.
+func tinyLayer() *pruned.Conv {
+	set := pattern.Canonical(2)
+	return &pruned.Conv{
+		Name: "fig9", OutC: 6, InC: 4, KH: 3, KW: 3, Set: set,
+		IDs: []int{
+			2, 0, 1, 0, // filter 0: len 2
+			1, 2, 2, 0, // filter 1: len 3
+			2, 2, 2, 1, // filter 2: len 4
+			0, 2, 0, 1, // filter 3: len 2
+			1, 0, 2, 1, // filter 4: len 3
+			1, 2, 1, 2, // filter 5: len 4
+		},
+	}
+}
+
+func genLayer(seed int64) *pruned.Conv {
+	m := model.VGG16("cifar10")
+	return pruned.Generate(m.ConvLayers()[2], pattern.Canonical(8), 3.6, seed, false)
+}
+
+func TestBuildGroupsByDescendingLength(t *testing.T) {
+	c := tinyLayer()
+	p := Build(c)
+	lengths := p.Lengths(c)
+	for i := 1; i < len(lengths); i++ {
+		if lengths[i] > lengths[i-1] {
+			t.Fatalf("lengths not sorted descending: %v", lengths)
+		}
+	}
+	// Groups: len4 x2, len3 x2, len2 x2.
+	if len(p.Groups) != 3 {
+		t.Fatalf("groups = %+v, want 3 groups", p.Groups)
+	}
+	wantLens := []int{4, 3, 2}
+	for i, g := range p.Groups {
+		if g.Length != wantLens[i] || g.End-g.Start != 2 {
+			t.Fatalf("group %d = %+v", i, g)
+		}
+	}
+}
+
+func TestFilterPermIsPermutation(t *testing.T) {
+	c := genLayer(1)
+	p := Build(c)
+	seen := make([]bool, c.OutC)
+	for _, f := range p.FilterPerm {
+		if f < 0 || f >= c.OutC || seen[f] {
+			t.Fatalf("invalid permutation: %v...", p.FilterPerm[:10])
+		}
+		seen[f] = true
+	}
+}
+
+func TestKernelOrderSortedByPatternID(t *testing.T) {
+	c := genLayer(2)
+	p := Build(c)
+	for pos, ks := range p.KernelOrder {
+		f := p.FilterPerm[pos]
+		prev := 0
+		for _, k := range ks {
+			id := c.ID(f, k)
+			if id == 0 {
+				t.Fatalf("empty kernel %d in kernel order of filter %d", k, f)
+			}
+			if id < prev {
+				t.Fatalf("kernel order not sorted by pattern ID in filter %d", f)
+			}
+			prev = id
+		}
+		if len(ks) != c.FilterLength(f) {
+			t.Fatalf("filter %d kernel order misses kernels", f)
+		}
+	}
+}
+
+func TestReorderImprovesLoadBalance(t *testing.T) {
+	c := genLayer(3)
+	before := Identity(c).LoadImbalance(c, 8)
+	after := Build(c).LoadImbalance(c, 8)
+	if after > before+1e-9 {
+		t.Fatalf("FKR worsened load imbalance: %.4f -> %.4f", before, after)
+	}
+}
+
+func TestReorderReducesBranches(t *testing.T) {
+	c := genLayer(4)
+	id := Identity(c)
+	fkr := Build(c)
+	// Without kernel reorder the per-filter ID sequence is unsorted, so it
+	// has at least as many pattern runs as the sorted one.
+	if fkr.BranchCount(c, 1) > id.BranchCount(c, 1) {
+		t.Fatalf("FKR increased branch count: %d -> %d",
+			id.BranchCount(c, 1), fkr.BranchCount(c, 1))
+	}
+	// After kernel reorder, runs per filter <= number of distinct patterns.
+	maxRuns := int64(len(c.Set)) * int64(c.OutC)
+	if got := fkr.BranchCount(c, 1); got > maxRuns {
+		t.Fatalf("branches %d exceed distinct-pattern bound %d", got, maxRuns)
+	}
+}
+
+func TestRunsCoverAllKernels(t *testing.T) {
+	c := tinyLayer()
+	p := Build(c)
+	for pos := range p.FilterPerm {
+		total := 0
+		prev := 0
+		for _, r := range p.Runs(c, pos) {
+			if r.PatternID == 0 {
+				t.Fatal("run with empty pattern")
+			}
+			if r.PatternID < prev {
+				t.Fatal("runs not ascending")
+			}
+			prev = r.PatternID
+			total += len(r.Channels)
+		}
+		if total != c.FilterLength(p.FilterPerm[pos]) {
+			t.Fatalf("runs cover %d kernels, want %d", total, c.FilterLength(p.FilterPerm[pos]))
+		}
+	}
+}
+
+func TestSimilarFiltersAdjacent(t *testing.T) {
+	set := pattern.Canonical(3)
+	// Filters 0 and 2 have identical signatures; 1 differs but same length.
+	c := &pruned.Conv{
+		Name: "sim", OutC: 3, InC: 3, KH: 3, KW: 3, Set: set,
+		IDs: []int{
+			1, 2, 0,
+			3, 3, 0,
+			2, 1, 0,
+		},
+	}
+	p := Build(c)
+	// After sorting by signature, filters 0 and 2 (sig [1 2]) must be
+	// adjacent, with filter 1 (sig [3 3]) after them.
+	if !((p.FilterPerm[0] == 0 && p.FilterPerm[1] == 2) ||
+		(p.FilterPerm[0] == 2 && p.FilterPerm[1] == 0)) {
+		t.Fatalf("similar filters not adjacent: %v", p.FilterPerm)
+	}
+}
+
+func TestIdentityPreservesOrder(t *testing.T) {
+	c := tinyLayer()
+	p := Identity(c)
+	for i, f := range p.FilterPerm {
+		if f != i {
+			t.Fatal("identity plan permutes filters")
+		}
+	}
+}
+
+// Property: for random pruned layers, Build always yields a valid
+// permutation with monotone non-increasing lengths and intact kernel sets.
+func TestBuildProperty(t *testing.T) {
+	m := model.VGG16("cifar10")
+	l := m.ConvLayers()[1]
+	f := func(seed int64) bool {
+		c := pruned.Generate(l, pattern.Canonical(6), 3.0, seed, false)
+		p := Build(c)
+		seen := make([]bool, c.OutC)
+		for _, f := range p.FilterPerm {
+			if seen[f] {
+				return false
+			}
+			seen[f] = true
+		}
+		lens := p.Lengths(c)
+		for i := 1; i < len(lens); i++ {
+			if lens[i] > lens[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

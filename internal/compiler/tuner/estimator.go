@@ -1,0 +1,156 @@
+package tuner
+
+import (
+	"math"
+	"math/rand"
+
+	"patdnn/internal/compiler/lr"
+)
+
+// Estimator is the learned performance model (paper Section 5.5): a one-
+// hidden-layer MLP trained with a least-squares regression loss on the
+// (configuration, measured time) history collected during exploration. On a
+// new platform it gives a quick prediction of promising configurations
+// without measuring everything.
+type Estimator struct {
+	hidden int
+	// w1 [hidden][features+1], w2 [hidden+1] with bias terms folded in.
+	w1 [][]float64
+	w2 []float64
+	// Normalization of the target collected from training data.
+	mean, scale float64
+}
+
+const estimatorFeatures = 10
+
+// features encodes a configuration for the MLP.
+func features(c lr.Tuning) []float64 {
+	f := make([]float64, estimatorFeatures)
+	f[0] = math.Log2(float64(c.Tile[0]))
+	f[1] = math.Log2(float64(c.Tile[1]))
+	f[2] = math.Log2(float64(c.Tile[2]))
+	f[3] = float64(c.Unroll[0])
+	f[4] = float64(c.Unroll[1])
+	f[5] = float64(c.Unroll[2])
+	f[6] = float64(c.Threads)
+	switch c.Permute {
+	case lr.PermCoCiHW:
+		f[7] = 1
+	case lr.PermCoHWCi:
+		f[8] = 1
+	case lr.PermCoCiHWBlock:
+		f[7], f[9] = 1, 1
+	case lr.PermCoHWCiBlock:
+		f[8], f[9] = 1, 1
+	}
+	return f
+}
+
+// NewEstimator builds an untrained estimator.
+func NewEstimator(hidden int, seed int64) *Estimator {
+	rng := rand.New(rand.NewSource(seed))
+	e := &Estimator{hidden: hidden, scale: 1}
+	e.w1 = make([][]float64, hidden)
+	for i := range e.w1 {
+		e.w1[i] = make([]float64, estimatorFeatures+1)
+		for j := range e.w1[i] {
+			e.w1[i][j] = rng.NormFloat64() * 0.3
+		}
+	}
+	e.w2 = make([]float64, hidden+1)
+	for i := range e.w2 {
+		e.w2[i] = rng.NormFloat64() * 0.3
+	}
+	return e
+}
+
+// forward returns the prediction in normalized space and the hidden
+// activations for backprop.
+func (e *Estimator) forward(x []float64) (float64, []float64) {
+	h := make([]float64, e.hidden)
+	for i := range h {
+		s := e.w1[i][estimatorFeatures] // bias
+		for j, v := range x {
+			s += e.w1[i][j] * v
+		}
+		h[i] = math.Tanh(s)
+	}
+	out := e.w2[e.hidden] // bias
+	for i, v := range h {
+		out += e.w2[i] * v
+	}
+	return out, h
+}
+
+// Fit trains the MLP by SGD on the least-squares loss over the history.
+// Targets are fit in log space: execution times span orders of magnitude
+// across configurations, and ranking quality is what the explorer needs.
+func (e *Estimator) Fit(history []Result, epochs int, lrate float64) {
+	if len(history) == 0 {
+		return
+	}
+	// Normalize log-targets to zero mean / unit scale for stable training.
+	var sum, sum2 float64
+	for _, r := range history {
+		lt := logCost(r.CostMs)
+		sum += lt
+		sum2 += lt * lt
+	}
+	n := float64(len(history))
+	e.mean = sum / n
+	variance := sum2/n - e.mean*e.mean
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	e.scale = math.Sqrt(variance)
+
+	rng := rand.New(rand.NewSource(7))
+	for ep := 0; ep < epochs; ep++ {
+		perm := rng.Perm(len(history))
+		for _, idx := range perm {
+			r := history[idx]
+			x := features(r.Config)
+			target := (logCost(r.CostMs) - e.mean) / e.scale
+			pred, h := e.forward(x)
+			err := pred - target // d(0.5*err^2)/dpred
+			// Output layer.
+			for i, hv := range h {
+				gh := err * e.w2[i] * (1 - hv*hv)
+				e.w2[i] -= lrate * err * hv
+				// Hidden layer.
+				for j, xv := range x {
+					e.w1[i][j] -= lrate * gh * xv
+				}
+				e.w1[i][estimatorFeatures] -= lrate * gh
+			}
+			e.w2[e.hidden] -= lrate * err
+		}
+	}
+}
+
+// logCost maps a cost to the log domain, guarding non-positive inputs.
+func logCost(ms float64) float64 {
+	if ms < 1e-9 {
+		ms = 1e-9
+	}
+	return math.Log(ms)
+}
+
+// Predict returns the estimated cost (ms) of a configuration.
+func (e *Estimator) Predict(c lr.Tuning) float64 {
+	pred, _ := e.forward(features(c))
+	return math.Exp(pred*e.scale + e.mean)
+}
+
+// MSE evaluates mean squared error over a sample set.
+func (e *Estimator) MSE(samples []Result) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range samples {
+		d := e.Predict(r.Config) - r.CostMs
+		s += d * d
+	}
+	return s / float64(len(samples))
+}

@@ -1,0 +1,228 @@
+// Package tuner implements PatDNN's parameter auto-tuning (paper Section
+// 5.5): a Genetic-Algorithm explorer over the execution-configuration space
+// (tile sizes, unroll factors, loop permutations, thread counts) plus a
+// learned performance estimator — a small MLP trained with least-squares loss
+// on configurations explored so far — that can predict good starting
+// configurations for a new platform. Unlike TVM's simulated annealing, the GA
+// evaluates an arbitrary-size population in parallel conceptually; here the
+// search is deterministic given a seed.
+package tuner
+
+import (
+	"math/rand"
+	"sort"
+
+	"patdnn/internal/compiler/lr"
+)
+
+// Space enumerates the candidate values per gene. The defaults cover the
+// ranges the paper tunes.
+type Space struct {
+	TileOC   []int
+	TileOH   []int
+	TileIC   []int
+	UnrollOC []int
+	UnrollOH []int
+	UnrollOW []int
+	Permute  []lr.Permutation
+	Threads  []int
+}
+
+// DefaultSpace returns the standard configuration space.
+func DefaultSpace() Space {
+	return Space{
+		TileOC:   []int{8, 16, 32, 64},
+		TileOH:   []int{8, 16, 32, 56},
+		TileIC:   []int{4, 8, 16},
+		UnrollOC: []int{1, 2, 4, 8},
+		UnrollOH: []int{1, 2},
+		UnrollOW: []int{2, 4, 8},
+		Permute:  []lr.Permutation{lr.PermCoCiHW, lr.PermCoHWCi, lr.PermCoCiHWBlock, lr.PermCoHWCiBlock},
+		Threads:  []int{1, 2, 4, 8},
+	}
+}
+
+// genome is an index per gene into the Space's candidate lists.
+type genome [8]int
+
+func (s Space) cardinalities() [8]int {
+	return [8]int{len(s.TileOC), len(s.TileOH), len(s.TileIC),
+		len(s.UnrollOC), len(s.UnrollOH), len(s.UnrollOW),
+		len(s.Permute), len(s.Threads)}
+}
+
+// decode converts a genome to a Tuning.
+func (s Space) decode(g genome) lr.Tuning {
+	return lr.Tuning{
+		Tile:    [3]int{s.TileOC[g[0]], s.TileOH[g[1]], s.TileIC[g[2]]},
+		Unroll:  [4]int{s.UnrollOC[g[3]], s.UnrollOH[g[4]], s.UnrollOW[g[5]], 1},
+		Permute: s.Permute[g[6]],
+		Threads: s.Threads[g[7]],
+	}
+}
+
+// encode maps a Tuning onto the nearest genome in the space: each gene picks
+// the candidate closest to the configuration's value (exact match when the
+// value is a member).
+func (s Space) encode(c lr.Tuning) genome {
+	nearestInt := func(vals []int, want int) int {
+		best, bestDiff := 0, 1<<30
+		for i, v := range vals {
+			d := v - want
+			if d < 0 {
+				d = -d
+			}
+			if d < bestDiff {
+				best, bestDiff = i, d
+			}
+		}
+		return best
+	}
+	var g genome
+	g[0] = nearestInt(s.TileOC, c.Tile[0])
+	g[1] = nearestInt(s.TileOH, c.Tile[1])
+	g[2] = nearestInt(s.TileIC, c.Tile[2])
+	g[3] = nearestInt(s.UnrollOC, c.Unroll[0])
+	g[4] = nearestInt(s.UnrollOH, c.Unroll[1])
+	g[5] = nearestInt(s.UnrollOW, c.Unroll[2])
+	for i, p := range s.Permute {
+		if p == c.Permute {
+			g[6] = i
+			break
+		}
+	}
+	g[7] = nearestInt(s.Threads, c.Threads)
+	return g
+}
+
+// Size returns the total number of configurations in the space.
+func (s Space) Size() int {
+	n := 1
+	for _, c := range s.cardinalities() {
+		n *= c
+	}
+	return n
+}
+
+// Result is one explored configuration with its measured cost.
+type Result struct {
+	Config lr.Tuning
+	CostMs float64
+}
+
+// Options controls the GA search.
+type Options struct {
+	Population  int
+	Generations int
+	MutationP   float64
+	Elite       int
+	Seed        int64
+	// WarmStart configurations are injected into the initial population
+	// (the estimator-predicted starting points of Section 5.5, or simply
+	// the default configuration). Configurations outside the Space are
+	// snapped to the nearest member gene-by-gene.
+	WarmStart []lr.Tuning
+}
+
+// DefaultOptions completes a VGG-layer search in a few milliseconds with the
+// analytic cost model, matching the paper's 3–5 ms exploration budget.
+func DefaultOptions() Options {
+	return Options{Population: 24, Generations: 12, MutationP: 0.15, Elite: 4, Seed: 1}
+}
+
+// Search runs the GA, calling eval for each candidate's cost (lower is
+// better). It returns the best result and the full evaluation history (the
+// training data for the performance estimator).
+func Search(space Space, eval func(lr.Tuning) float64, opt Options) (Result, []Result) {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	card := space.cardinalities()
+	randomGenome := func() genome {
+		var g genome
+		for i, c := range card {
+			g[i] = rng.Intn(c)
+		}
+		return g
+	}
+	type scored struct {
+		g    genome
+		cost float64
+	}
+	var history []Result
+	cache := map[genome]float64{}
+	score := func(g genome) float64 {
+		if c, ok := cache[g]; ok {
+			return c
+		}
+		cfg := space.decode(g)
+		c := eval(cfg)
+		cache[g] = c
+		history = append(history, Result{Config: cfg, CostMs: c})
+		return c
+	}
+
+	pop := make([]scored, 0, opt.Population)
+	for _, warm := range opt.WarmStart {
+		if len(pop) == opt.Population {
+			break
+		}
+		g := space.encode(warm)
+		pop = append(pop, scored{g, score(g)})
+	}
+	for len(pop) < opt.Population {
+		g := randomGenome()
+		pop = append(pop, scored{g, score(g)})
+	}
+	for gen := 0; gen < opt.Generations; gen++ {
+		sort.Slice(pop, func(a, b int) bool { return pop[a].cost < pop[b].cost })
+		next := make([]scored, 0, opt.Population)
+		// Elitism: carry the best configurations unchanged.
+		for i := 0; i < opt.Elite && i < len(pop); i++ {
+			next = append(next, pop[i])
+		}
+		// Tournament selection + single-point crossover + mutation.
+		tournament := func() genome {
+			a, b := pop[rng.Intn(len(pop))], pop[rng.Intn(len(pop))]
+			if a.cost < b.cost {
+				return a.g
+			}
+			return b.g
+		}
+		for len(next) < opt.Population {
+			p1, p2 := tournament(), tournament()
+			cut := rng.Intn(len(card))
+			var child genome
+			copy(child[:cut], p1[:cut])
+			copy(child[cut:], p2[cut:])
+			for i, c := range card {
+				if rng.Float64() < opt.MutationP {
+					child[i] = rng.Intn(c)
+				}
+			}
+			next = append(next, scored{child, score(child)})
+		}
+		pop = next
+	}
+	sort.Slice(pop, func(a, b int) bool { return pop[a].cost < pop[b].cost })
+	return Result{Config: space.decode(pop[0].g), CostMs: pop[0].cost}, history
+}
+
+// RandomSearch is the ablation baseline: n uniform random samples.
+func RandomSearch(space Space, eval func(lr.Tuning) float64, n int, seed int64) (Result, []Result) {
+	rng := rand.New(rand.NewSource(seed))
+	card := space.cardinalities()
+	best := Result{CostMs: -1}
+	var history []Result
+	for i := 0; i < n; i++ {
+		var g genome
+		for j, c := range card {
+			g[j] = rng.Intn(c)
+		}
+		cfg := space.decode(g)
+		cost := eval(cfg)
+		history = append(history, Result{cfg, cost})
+		if best.CostMs < 0 || cost < best.CostMs {
+			best = Result{cfg, cost}
+		}
+	}
+	return best, history
+}

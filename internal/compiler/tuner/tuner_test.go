@@ -1,0 +1,163 @@
+package tuner
+
+import (
+	"math"
+	"testing"
+
+	"patdnn/internal/compiler/lr"
+)
+
+// syntheticCost is a deterministic landscape with a known optimum:
+// cohwci_b, threads=8, tile {32,32,8}, unroll {4,1,8}.
+func syntheticCost(c lr.Tuning) float64 {
+	cost := 10.0
+	cost += math.Abs(math.Log2(float64(c.Tile[0])) - 5)
+	cost += math.Abs(math.Log2(float64(c.Tile[1])) - 5)
+	cost += math.Abs(math.Log2(float64(c.Tile[2])) - 3)
+	cost += math.Abs(float64(c.Unroll[0]) - 4)
+	cost += math.Abs(float64(c.Unroll[2]) - 8)
+	cost += 8.0 / float64(c.Threads)
+	if c.Permute != lr.PermCoHWCiBlock {
+		cost += 3
+	}
+	return cost
+}
+
+func TestSpaceSizeAndDecode(t *testing.T) {
+	s := DefaultSpace()
+	if s.Size() != 4*4*3*4*2*3*4*4 {
+		t.Fatalf("space size = %d", s.Size())
+	}
+	cfg := s.decode(genome{0, 0, 0, 0, 0, 0, 0, 0})
+	if cfg.Tile[0] != 8 || cfg.Permute != lr.PermCoCiHW || cfg.Threads != 1 {
+		t.Fatalf("decode wrong: %+v", cfg)
+	}
+}
+
+func TestGAFindsNearOptimum(t *testing.T) {
+	best, history := Search(DefaultSpace(), syntheticCost, DefaultOptions())
+	// Global optimum cost = 10 + 8/8 + 0 = 11.
+	if best.CostMs > 13.0 {
+		t.Fatalf("GA found cost %.2f, want <= 13 (optimum 11)", best.CostMs)
+	}
+	if len(history) == 0 {
+		t.Fatal("no history collected")
+	}
+	// GA must beat the mean random configuration decisively.
+	_, rnd := RandomSearch(DefaultSpace(), syntheticCost, 50, 3)
+	var mean float64
+	for _, r := range rnd {
+		mean += r.CostMs
+	}
+	mean /= float64(len(rnd))
+	if best.CostMs >= mean {
+		t.Fatalf("GA (%.2f) no better than random mean (%.2f)", best.CostMs, mean)
+	}
+}
+
+func TestGADeterministic(t *testing.T) {
+	b1, _ := Search(DefaultSpace(), syntheticCost, DefaultOptions())
+	b2, _ := Search(DefaultSpace(), syntheticCost, DefaultOptions())
+	if b1.Config != b2.Config || b1.CostMs != b2.CostMs {
+		t.Fatal("GA not deterministic for fixed seed")
+	}
+	opt := DefaultOptions()
+	opt.Seed = 99
+	b3, _ := Search(DefaultSpace(), syntheticCost, opt)
+	// Different seeds may find the same optimum, but cost must be sane.
+	if b3.CostMs > 14 {
+		t.Fatalf("seed 99 found poor cost %.2f", b3.CostMs)
+	}
+}
+
+func TestGABeatsEqualBudgetRandom(t *testing.T) {
+	opt := DefaultOptions()
+	gaBest, gaHist := Search(DefaultSpace(), syntheticCost, opt)
+	rndBest, _ := RandomSearch(DefaultSpace(), syntheticCost, len(gaHist), 11)
+	if gaBest.CostMs > rndBest.CostMs+1.0 {
+		t.Fatalf("GA (%.2f) much worse than equal-budget random (%.2f)",
+			gaBest.CostMs, rndBest.CostMs)
+	}
+}
+
+func TestWarmStartNeverLosesToSeed(t *testing.T) {
+	// A warm-started GA must return a configuration at least as good as
+	// the seed (elitism preserves it).
+	seed := lr.DefaultTuning()
+	opt := DefaultOptions()
+	opt.WarmStart = []lr.Tuning{seed}
+	best, _ := Search(DefaultSpace(), syntheticCost, opt)
+	if best.CostMs > syntheticCost(seed) {
+		t.Fatalf("warm-started GA (%.2f) worse than seed (%.2f)",
+			best.CostMs, syntheticCost(seed))
+	}
+}
+
+func TestEncodeRoundTripsMembers(t *testing.T) {
+	s := DefaultSpace()
+	cfg := lr.Tuning{Tile: [3]int{16, 32, 8}, Unroll: [4]int{4, 2, 8, 1},
+		Permute: lr.PermCoHWCiBlock, Threads: 8}
+	if got := s.decode(s.encode(cfg)); got != cfg {
+		t.Fatalf("encode/decode changed a member config: %+v -> %+v", cfg, got)
+	}
+	// Non-members snap to the nearest candidate.
+	odd := cfg
+	odd.Tile[0] = 17
+	snapped := s.decode(s.encode(odd))
+	if snapped.Tile[0] != 16 {
+		t.Fatalf("tile 17 snapped to %d, want 16", snapped.Tile[0])
+	}
+}
+
+func TestEstimatorLearnsLandscape(t *testing.T) {
+	_, history := RandomSearch(DefaultSpace(), syntheticCost, 220, 5)
+	train, test := history[:180], history[180:]
+	e := NewEstimator(10, 1)
+	baseMSE := e.MSE(test)
+	e.Fit(train, 220, 0.01)
+	mse := e.MSE(test)
+	if mse >= baseMSE {
+		t.Fatalf("training did not reduce MSE: %.3f -> %.3f", baseMSE, mse)
+	}
+	// Compare against predicting the mean: the MLP must beat it clearly.
+	var mean float64
+	for _, r := range train {
+		mean += r.CostMs
+	}
+	mean /= float64(len(train))
+	var meanMSE float64
+	for _, r := range test {
+		d := r.CostMs - mean
+		meanMSE += d * d
+	}
+	meanMSE /= float64(len(test))
+	if mse > meanMSE*0.8 {
+		t.Fatalf("estimator MSE %.3f vs mean-predictor %.3f: not learning", mse, meanMSE)
+	}
+}
+
+func TestEstimatorRanksConfigs(t *testing.T) {
+	// The estimator's purpose is ranking candidate configs on a new
+	// platform; check it orders a clearly-good config before a clearly-bad
+	// one.
+	_, history := RandomSearch(DefaultSpace(), syntheticCost, 250, 9)
+	e := NewEstimator(10, 2)
+	e.Fit(history, 250, 0.01)
+	good := lr.Tuning{Tile: [3]int{32, 32, 8}, Unroll: [4]int{4, 1, 8, 1},
+		Permute: lr.PermCoHWCiBlock, Threads: 8}
+	bad := lr.Tuning{Tile: [3]int{8, 8, 4}, Unroll: [4]int{1, 2, 2, 1},
+		Permute: lr.PermCoCiHW, Threads: 1}
+	if e.Predict(good) >= e.Predict(bad) {
+		t.Fatalf("estimator ranks bad (%.2f) <= good (%.2f)",
+			e.Predict(bad), e.Predict(good))
+	}
+}
+
+func TestFitOnEmptyHistoryIsNoop(t *testing.T) {
+	e := NewEstimator(4, 3)
+	e.Fit(nil, 10, 0.01)
+	// Must not panic and must still predict something finite.
+	if math.IsNaN(e.Predict(lr.DefaultTuning())) {
+		t.Fatal("NaN prediction after empty fit")
+	}
+}

@@ -1,0 +1,119 @@
+// Package dataset generates the deterministic synthetic image-classification
+// workload used in place of ImageNet/CIFAR-10 (see DESIGN.md, substitution
+// table). Each class is a distinct procedural texture — an oriented grating
+// with class-specific frequency and phase plus a class-positioned blob —
+// corrupted with Gaussian noise, so a small CNN can reach high accuracy while
+// pruning damage remains measurable.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"patdnn/internal/tensor"
+)
+
+// Dataset is an in-memory labeled image set.
+type Dataset struct {
+	Images  []*tensor.Tensor // each [C,H,W]
+	Labels  []int
+	Classes int
+	C, H, W int
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return len(d.Images) }
+
+// Config controls synthetic generation.
+type Config struct {
+	N       int // number of examples
+	Classes int // number of classes
+	C, H, W int // image shape
+	Noise   float64
+	Seed    int64
+}
+
+// DefaultConfig is the standard small workload: enough signal for a tiny CNN
+// to exceed 90% accuracy in a few epochs.
+func DefaultConfig() Config {
+	return Config{N: 600, Classes: 10, C: 3, H: 16, W: 16, Noise: 0.25, Seed: 42}
+}
+
+// Synthetic generates a deterministic dataset from cfg.
+func Synthetic(cfg Config) *Dataset {
+	if cfg.Classes < 2 || cfg.N < cfg.Classes {
+		panic(fmt.Sprintf("dataset: bad config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &Dataset{Classes: cfg.Classes, C: cfg.C, H: cfg.H, W: cfg.W}
+	for i := 0; i < cfg.N; i++ {
+		label := i % cfg.Classes
+		d.Images = append(d.Images, render(label, cfg, rng))
+		d.Labels = append(d.Labels, label)
+	}
+	return d
+}
+
+// render draws one class-conditional image.
+func render(label int, cfg Config, rng *rand.Rand) *tensor.Tensor {
+	img := tensor.New(cfg.C, cfg.H, cfg.W)
+	theta := float64(label) * math.Pi / float64(cfg.Classes)
+	freq := 2 * math.Pi * (1.0 + float64(label%5)) / float64(cfg.H)
+	// Class-dependent blob center.
+	bx := float64(cfg.W) * (0.25 + 0.5*float64(label%3)/2)
+	by := float64(cfg.H) * (0.25 + 0.5*float64(label/3%3)/2)
+	sin, cos := math.Sin(theta), math.Cos(theta)
+	for c := 0; c < cfg.C; c++ {
+		phase := float64(c) * math.Pi / 3
+		for y := 0; y < cfg.H; y++ {
+			for x := 0; x < cfg.W; x++ {
+				u := float64(x)*cos + float64(y)*sin
+				grating := math.Sin(u*freq + phase)
+				dx, dy := float64(x)-bx, float64(y)-by
+				blob := math.Exp(-(dx*dx + dy*dy) / 8)
+				v := 0.6*grating + 0.8*blob + cfg.Noise*rng.NormFloat64()
+				img.Set(float32(v), c, y, x)
+			}
+		}
+	}
+	return img
+}
+
+// Split partitions the dataset into stratified train/test sets: within each
+// class, every period-th occurrence goes to test, so both splits keep the
+// class balance regardless of how labels are ordered. frac is the train
+// fraction.
+func (d *Dataset) Split(frac float64) (train, test *Dataset) {
+	if frac <= 0 || frac >= 1 {
+		panic("dataset: Split fraction must be in (0,1)")
+	}
+	train = &Dataset{Classes: d.Classes, C: d.C, H: d.H, W: d.W}
+	test = &Dataset{Classes: d.Classes, C: d.C, H: d.H, W: d.W}
+	period := int(math.Round(1 / (1 - frac)))
+	if period < 2 {
+		period = 2
+	}
+	seen := make(map[int]int)
+	for i := range d.Images {
+		label := d.Labels[i]
+		seen[label]++
+		if seen[label]%period == 0 {
+			test.Images = append(test.Images, d.Images[i])
+			test.Labels = append(test.Labels, d.Labels[i])
+		} else {
+			train.Images = append(train.Images, d.Images[i])
+			train.Labels = append(train.Labels, d.Labels[i])
+		}
+	}
+	return train, test
+}
+
+// Shuffle permutes examples in place with the given seed.
+func (d *Dataset) Shuffle(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(d.Images), func(i, j int) {
+		d.Images[i], d.Images[j] = d.Images[j], d.Images[i]
+		d.Labels[i], d.Labels[j] = d.Labels[j], d.Labels[i]
+	})
+}

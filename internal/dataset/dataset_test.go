@@ -1,0 +1,126 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestSyntheticDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 40
+	a := Synthetic(cfg)
+	b := Synthetic(cfg)
+	if a.Len() != 40 || b.Len() != 40 {
+		t.Fatalf("len = %d/%d", a.Len(), b.Len())
+	}
+	for i := range a.Images {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("labels differ across identical seeds")
+		}
+		if !a.Images[i].AllClose(b.Images[i], 0) {
+			t.Fatal("images differ across identical seeds")
+		}
+	}
+}
+
+func TestSyntheticSeedsDiffer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 10
+	a := Synthetic(cfg)
+	cfg.Seed = 43
+	b := Synthetic(cfg)
+	same := true
+	for i := range a.Images {
+		if !a.Images[i].AllClose(b.Images[i], 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestClassBalance(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 100
+	d := Synthetic(cfg)
+	counts := make([]int, cfg.Classes)
+	for _, l := range d.Labels {
+		counts[l]++
+	}
+	for c, n := range counts {
+		if n != 10 {
+			t.Fatalf("class %d has %d examples, want 10", c, n)
+		}
+	}
+}
+
+func TestClassesAreSeparable(t *testing.T) {
+	// Mean images of different classes must differ far more than noise:
+	// a sanity check that the generator carries class signal.
+	cfg := DefaultConfig()
+	cfg.N = 200
+	d := Synthetic(cfg)
+	mean := func(label int) []float64 {
+		m := make([]float64, d.C*d.H*d.W)
+		n := 0
+		for i, img := range d.Images {
+			if d.Labels[i] != label {
+				continue
+			}
+			n++
+			for j, v := range img.Data {
+				m[j] += float64(v)
+			}
+		}
+		for j := range m {
+			m[j] /= float64(n)
+		}
+		return m
+	}
+	m0, m1 := mean(0), mean(5)
+	var dist float64
+	for j := range m0 {
+		dd := m0[j] - m1[j]
+		dist += dd * dd
+	}
+	if dist < 1.0 {
+		t.Fatalf("class means too close: %v", dist)
+	}
+}
+
+func TestSplitPreservesAllExamples(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 100
+	d := Synthetic(cfg)
+	train, test := d.Split(0.8)
+	if train.Len()+test.Len() != 100 {
+		t.Fatalf("split lost examples: %d + %d", train.Len(), test.Len())
+	}
+	if test.Len() < 15 || test.Len() > 25 {
+		t.Fatalf("test size = %d, want ~20", test.Len())
+	}
+}
+
+func TestSplitPanicsOnBadFraction(t *testing.T) {
+	d := Synthetic(Config{N: 10, Classes: 2, C: 1, H: 4, W: 4, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Split(1.5)
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 50
+	a := Synthetic(cfg)
+	b := Synthetic(cfg)
+	a.Shuffle(7)
+	b.Shuffle(7)
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("shuffle not deterministic")
+		}
+	}
+}

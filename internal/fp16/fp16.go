@@ -1,0 +1,134 @@
+// Package fp16 implements IEEE 754 binary16 (half-precision) conversion.
+// PatDNN stores weights and intermediate results in 16-bit floating point on
+// mobile GPUs (paper Section 2.2: "We utilize 16-bit floating point
+// representation on GPU for both weights and intermediate results which ...
+// incurs no accuracy loss"); this package provides the storage codec the
+// model-file writer uses, since the Go standard library has no float16.
+package fp16
+
+import "math"
+
+// Bits is a raw binary16 value: 1 sign bit, 5 exponent bits, 10 mantissa
+// bits.
+type Bits uint16
+
+// FromFloat32 converts a float32 to binary16 with round-to-nearest-even,
+// handling subnormals, overflow to ±Inf, and NaN propagation.
+func FromFloat32(f float32) Bits {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23) & 0xff
+	mant := b & 0x7fffff
+
+	switch {
+	case exp == 0xff: // Inf or NaN
+		if mant != 0 {
+			// Preserve a quiet NaN; keep the top mantissa bit set so it
+			// does not collapse to Inf.
+			return Bits(sign | 0x7e00)
+		}
+		return Bits(sign | 0x7c00)
+	case exp == 0 && mant == 0: // signed zero
+		return Bits(sign)
+	}
+
+	// Re-bias from float32 (127) to float16 (15).
+	e := exp - 127 + 15
+	switch {
+	case e >= 0x1f:
+		// Overflow: round to infinity.
+		return Bits(sign | 0x7c00)
+	case e <= 0:
+		// Subnormal half (or underflow to zero). The implicit leading 1
+		// becomes explicit; shift the 24-bit significand right.
+		if e < -10 {
+			return Bits(sign) // underflows to zero even after rounding
+		}
+		significand := mant | 0x800000 // add implicit bit
+		shift := uint32(14 - e)        // 14..24
+		half := significand >> shift
+		// Round to nearest even on the dropped bits.
+		rem := significand & ((1 << shift) - 1)
+		halfway := uint32(1) << (shift - 1)
+		if rem > halfway || (rem == halfway && half&1 == 1) {
+			half++
+		}
+		return Bits(sign | uint16(half))
+	default:
+		// Normal half: keep top 10 mantissa bits, round to nearest even.
+		half := uint16(e)<<10 | uint16(mant>>13)
+		rem := mant & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+			half++ // may carry into the exponent; that is correct rounding
+		}
+		return Bits(sign | half)
+	}
+}
+
+// ToFloat32 converts binary16 back to float32 exactly (every half value is
+// representable in single precision).
+func (h Bits) ToFloat32() float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1f
+	mant := uint32(h) & 0x3ff
+
+	switch {
+	case exp == 0x1f: // Inf or NaN
+		if mant != 0 {
+			return math.Float32frombits(sign | 0x7fc00000) // quiet NaN
+		}
+		return math.Float32frombits(sign | 0x7f800000)
+	case exp == 0:
+		if mant == 0 {
+			return math.Float32frombits(sign) // signed zero
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	}
+}
+
+// EncodeSlice converts a float32 slice to packed binary16 values.
+func EncodeSlice(src []float32) []Bits {
+	out := make([]Bits, len(src))
+	for i, v := range src {
+		out[i] = FromFloat32(v)
+	}
+	return out
+}
+
+// DecodeSlice converts packed binary16 values back to float32.
+func DecodeSlice(src []Bits) []float32 {
+	out := make([]float32, len(src))
+	for i, v := range src {
+		out[i] = v.ToFloat32()
+	}
+	return out
+}
+
+// MaxRelError returns the largest relative error introduced by a
+// round-trip over the slice (elements with |x| below tiny are compared
+// absolutely). Used to verify the paper's "no accuracy loss" premise for
+// weight storage.
+func MaxRelError(src []float32) float64 {
+	const tiny = 1e-4
+	var worst float64
+	for _, v := range src {
+		r := float64(FromFloat32(v).ToFloat32())
+		d := math.Abs(r - float64(v))
+		if math.Abs(float64(v)) > tiny {
+			d /= math.Abs(float64(v))
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,147 @@
+package fp16
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownValues(t *testing.T) {
+	cases := []struct {
+		f    float32
+		bits Bits
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},         // largest normal half
+		{5.9604645e-08, 0x0001}, // smallest subnormal half
+		{6.097555e-05, 0x03ff},  // largest subnormal half
+		{6.1035156e-05, 0x0400}, // smallest normal half
+		{float32(math.Inf(1)), 0x7c00},
+		{float32(math.Inf(-1)), 0xfc00},
+	}
+	for _, c := range cases {
+		if got := FromFloat32(c.f); got != c.bits {
+			t.Errorf("FromFloat32(%g) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+		if back := c.bits.ToFloat32(); back != c.f {
+			t.Errorf("ToFloat32(%#04x) = %g, want %g", c.bits, back, c.f)
+		}
+	}
+}
+
+func TestNegativeZero(t *testing.T) {
+	nz := FromFloat32(float32(math.Copysign(0, -1)))
+	if nz != 0x8000 {
+		t.Fatalf("-0 encodes to %#04x", nz)
+	}
+	if !math.Signbit(float64(nz.ToFloat32())) {
+		t.Fatal("-0 lost its sign")
+	}
+}
+
+func TestNaN(t *testing.T) {
+	n := FromFloat32(float32(math.NaN()))
+	f := n.ToFloat32()
+	if !math.IsNaN(float64(f)) {
+		t.Fatalf("NaN round trip produced %g", f)
+	}
+}
+
+func TestOverflowToInf(t *testing.T) {
+	h := FromFloat32(1e6)
+	if h.ToFloat32() != float32(math.Inf(1)) {
+		t.Fatalf("1e6 should overflow to +Inf, got %g", h.ToFloat32())
+	}
+	h = FromFloat32(-1e6)
+	if h.ToFloat32() != float32(math.Inf(-1)) {
+		t.Fatalf("-1e6 should overflow to -Inf, got %g", h.ToFloat32())
+	}
+}
+
+func TestUnderflowToZero(t *testing.T) {
+	h := FromFloat32(1e-10)
+	if h.ToFloat32() != 0 {
+		t.Fatalf("1e-10 should underflow to 0, got %g", h.ToFloat32())
+	}
+}
+
+func TestRoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between two halves; must round to even
+	// (i.e. stay at 1.0).
+	f := float32(1) + float32(math.Pow(2, -11))
+	if got := FromFloat32(f).ToFloat32(); got != 1.0 {
+		t.Fatalf("halfway rounding: got %g, want 1", got)
+	}
+	// 1 + 3*2^-11 is halfway and must round up to the even neighbour
+	// 1 + 2^-9... i.e. 1 + 2*2^-10 has an even mantissa.
+	f = float32(1) + 3*float32(math.Pow(2, -11))
+	want := float32(1) + 2*float32(math.Pow(2, -10))
+	if got := FromFloat32(f).ToFloat32(); got != want {
+		t.Fatalf("halfway rounding up: got %g, want %g", got, want)
+	}
+}
+
+// Property: round-tripping any half-representable value is exact.
+func TestRoundTripExactOnHalves(t *testing.T) {
+	f := func(raw uint16) bool {
+		h := Bits(raw)
+		f32 := h.ToFloat32()
+		if math.IsNaN(float64(f32)) {
+			return math.IsNaN(float64(FromFloat32(f32).ToFloat32()))
+		}
+		return FromFloat32(f32) == h || f32 == 0 // ±0 may canonicalize sign
+	}
+	cfg := &quick.Config{MaxCount: 4000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: conversion error is bounded by half-precision ULP (2^-11
+// relative) for all normal-range inputs.
+func TestRelativeErrorBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			v := float32(rng.NormFloat64())
+			r := FromFloat32(v).ToFloat32()
+			if v == 0 {
+				continue
+			}
+			rel := math.Abs(float64(r-v)) / math.Abs(float64(v))
+			if rel > math.Pow(2, -11) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceCodecAndMaxRelError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]float32, 512)
+	for i := range src {
+		src[i] = float32(rng.NormFloat64())
+	}
+	enc := EncodeSlice(src)
+	dec := DecodeSlice(enc)
+	if len(dec) != len(src) {
+		t.Fatal("length mismatch")
+	}
+	if err := MaxRelError(src); err > math.Pow(2, -11) {
+		t.Fatalf("max rel error %g exceeds half ULP", err)
+	}
+	for i := range src {
+		if math.Abs(float64(dec[i]-src[i])) > 1e-3*math.Abs(float64(src[i]))+1e-4 {
+			t.Fatalf("element %d: %g -> %g", i, src[i], dec[i])
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package model
+
+import "fmt"
+
+// builder incrementally appends layers, propagating the running feature-map
+// shape (c, h, w).
+type builder struct {
+	m       *Model
+	c, h, w int
+	n       int // layer counter for auto-naming
+}
+
+func newBuilder(name, short, dataset string) *builder {
+	m := &Model{Name: name, Short: short, Dataset: dataset, InC: 3}
+	switch dataset {
+	case "imagenet":
+		m.Classes, m.InH, m.InW = 1000, 224, 224
+	case "cifar10":
+		m.Classes, m.InH, m.InW = 10, 32, 32
+	default:
+		panic("model: unknown dataset " + dataset)
+	}
+	b := &builder{m: m, c: m.InC, h: m.InH, w: m.InW}
+	b.m.Layers = append(b.m.Layers, &Layer{
+		Name: "input", Kind: Input, OutC: b.c, OutH: b.h, OutW: b.w,
+	})
+	return b
+}
+
+func (b *builder) name(prefix string) string {
+	b.n++
+	return fmt.Sprintf("%s%d", prefix, b.n)
+}
+
+func (b *builder) conv(name string, outC, k, stride, pad int, proj bool) *Layer {
+	l := &Layer{
+		Name: name, Kind: Conv,
+		InC: b.c, OutC: outC, KH: k, KW: k, Stride: stride, Pad: pad, Groups: 1,
+		InH: b.h, InW: b.w, HasBias: true, Projection: proj,
+	}
+	l.OutH = (b.h+2*pad-k)/stride + 1
+	l.OutW = (b.w+2*pad-k)/stride + 1
+	b.c, b.h, b.w = outC, l.OutH, l.OutW
+	b.m.Layers = append(b.m.Layers, l)
+	return l
+}
+
+func (b *builder) dwconv(name string, k, stride, pad int) *Layer {
+	l := &Layer{
+		Name: name, Kind: DWConv,
+		InC: b.c, OutC: b.c, KH: k, KW: k, Stride: stride, Pad: pad, Groups: b.c,
+		InH: b.h, InW: b.w, HasBias: true,
+	}
+	l.OutH = (b.h+2*pad-k)/stride + 1
+	l.OutW = (b.w+2*pad-k)/stride + 1
+	b.h, b.w = l.OutH, l.OutW
+	b.m.Layers = append(b.m.Layers, l)
+	return l
+}
+
+func (b *builder) bn() {
+	b.m.Layers = append(b.m.Layers, &Layer{
+		Name: b.name("bn"), Kind: BatchNorm, InC: b.c, OutC: b.c,
+		InH: b.h, InW: b.w, OutH: b.h, OutW: b.w,
+	})
+}
+
+func (b *builder) relu() {
+	b.m.Layers = append(b.m.Layers, &Layer{
+		Name: b.name("relu"), Kind: ReLU, InC: b.c, OutC: b.c,
+		InH: b.h, InW: b.w, OutH: b.h, OutW: b.w,
+	})
+}
+
+func (b *builder) maxpool(k int) {
+	l := &Layer{
+		Name: b.name("pool"), Kind: MaxPool, InC: b.c, OutC: b.c,
+		KH: k, KW: k, Stride: k, InH: b.h, InW: b.w,
+	}
+	l.OutH, l.OutW = b.h/k, b.w/k
+	b.h, b.w = l.OutH, l.OutW
+	b.m.Layers = append(b.m.Layers, l)
+}
+
+func (b *builder) avgpoolGlobal() {
+	l := &Layer{
+		Name: b.name("gap"), Kind: AvgPoolGlobal, InC: b.c, OutC: b.c,
+		InH: b.h, InW: b.w, OutH: 1, OutW: 1,
+	}
+	b.h, b.w = 1, 1
+	b.m.Layers = append(b.m.Layers, l)
+}
+
+func (b *builder) flatten() {
+	l := &Layer{
+		Name: b.name("flatten"), Kind: Flatten,
+		InC: b.c, InH: b.h, InW: b.w,
+		OutC: b.c * b.h * b.w, OutH: 1, OutW: 1,
+	}
+	b.c, b.h, b.w = l.OutC, 1, 1
+	b.m.Layers = append(b.m.Layers, l)
+}
+
+func (b *builder) fc(name string, outC int) {
+	l := &Layer{
+		Name: name, Kind: FC, InC: b.c, OutC: outC, HasBias: true,
+		InH: 1, InW: 1, OutH: 1, OutW: 1,
+	}
+	b.c = outC
+	b.m.Layers = append(b.m.Layers, l)
+}
+
+func (b *builder) add(shortcut string) {
+	b.m.Layers = append(b.m.Layers, &Layer{
+		Name: b.name("add"), Kind: Add, InC: b.c, OutC: b.c,
+		InH: b.h, InW: b.w, OutH: b.h, OutW: b.w, ShortcutOf: shortcut,
+	})
+}
+
+func (b *builder) softmax() {
+	b.m.Layers = append(b.m.Layers, &Layer{
+		Name: "softmax", Kind: SoftmaxOp, InC: b.c, OutC: b.c,
+		OutH: 1, OutW: 1,
+	})
+}
+
+// VGG16 builds the 16-layer VGG network: 13 3×3 conv layers in five blocks
+// followed by three FC layers (ImageNet: 4096-4096-1000; CIFAR-10:
+// 512-512-10, the standard CIFAR adaptation).
+func VGG16(dataset string) *Model {
+	b := newBuilder("VGG-16", "VGG", dataset)
+	blocks := []struct{ n, c int }{{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}}
+	li := 0
+	for _, blk := range blocks {
+		for i := 0; i < blk.n; i++ {
+			li++
+			b.conv(fmt.Sprintf("conv%d", li), blk.c, 3, 1, 1, false)
+			b.relu()
+		}
+		b.maxpool(2)
+	}
+	b.flatten()
+	if dataset == "imagenet" {
+		b.fc("fc1", 4096)
+		b.relu()
+		b.fc("fc2", 4096)
+		b.relu()
+		b.fc("fc3", 1000)
+	} else {
+		b.fc("fc1", 512)
+		b.relu()
+		b.fc("fc2", 512)
+		b.relu()
+		b.fc("fc3", 10)
+	}
+	b.softmax()
+	return b.m
+}
+
+// ResNet50 builds ResNet-50: a 7×7 stem then bottleneck stages of
+// (3, 4, 6, 3) blocks with widths (64, 128, 256, 512)×4 expansion, global
+// average pooling, and a final FC. Projection shortcuts hold real weights but
+// are flagged Projection so the counted CONV layers total 49, matching
+// Table 5.
+func ResNet50(dataset string) *Model {
+	b := newBuilder("ResNet-50", "RNT", dataset)
+	if dataset == "imagenet" {
+		b.conv("conv1", 64, 7, 2, 3, false)
+		b.bn()
+		b.relu()
+		b.maxpool(2)
+	} else {
+		// CIFAR stem: 3×3 stride 1, no pool, preserving 32×32.
+		b.conv("conv1", 64, 3, 1, 1, false)
+		b.bn()
+		b.relu()
+	}
+	stages := []struct{ blocks, width, stride int }{
+		{3, 64, 1}, {4, 128, 2}, {6, 256, 2}, {3, 512, 2},
+	}
+	ci := 1
+	for si, st := range stages {
+		for blk := 0; blk < st.blocks; blk++ {
+			stride := 1
+			if blk == 0 && si > 0 {
+				stride = st.stride
+			}
+			inName := b.m.Layers[len(b.m.Layers)-1].Name
+			needProj := blk == 0
+			ci++
+			b.conv(fmt.Sprintf("conv%d_a", ci), st.width, 1, 1, 0, false)
+			b.bn()
+			b.relu()
+			b.conv(fmt.Sprintf("conv%d_b", ci), st.width, 3, stride, 1, false)
+			b.bn()
+			b.relu()
+			b.conv(fmt.Sprintf("conv%d_c", ci), st.width*4, 1, 1, 0, false)
+			b.bn()
+			if needProj {
+				// Projection shortcut built on the block input shape.
+				proj := &Layer{
+					Name: fmt.Sprintf("proj%d", ci), Kind: Conv,
+					InC: widthIn(b.m, inName), OutC: st.width * 4,
+					KH: 1, KW: 1, Stride: stride, Pad: 0, Groups: 1,
+					HasBias: false, Projection: true,
+					InH: b.h * stride, InW: b.w * stride, OutH: b.h, OutW: b.w,
+				}
+				b.m.Layers = append(b.m.Layers, proj)
+			}
+			b.add(inName)
+			b.relu()
+		}
+	}
+	b.avgpoolGlobal()
+	b.flatten()
+	b.fc("fc", b.m.Classes)
+	b.softmax()
+	return b.m
+}
+
+func widthIn(m *Model, name string) int {
+	if l := m.Layer(name); l != nil {
+		return l.OutC
+	}
+	return 0
+}
+
+// MobileNetV2 builds MobileNet-V2: a 3×3 stem, 17 inverted-residual
+// bottlenecks, and a 1×1 head conv before global pooling and the classifier.
+// The ImageNet variant's first bottleneck uses expansion t=1 (no expand
+// conv): 52 counted conv layers, 53 paper layers. The CIFAR variant keeps the
+// expand conv in the first bottleneck (53 conv, 54 layers), matching Table 5.
+func MobileNetV2(dataset string) *Model {
+	b := newBuilder("MobileNet-V2", "MBNT", dataset)
+	stemStride := 2
+	if dataset == "cifar10" {
+		stemStride = 1
+	}
+	b.conv("conv_stem", 32, 3, stemStride, 1, false)
+	b.bn()
+	b.relu()
+	// t (expansion), c (output channels), n (repeats), s (first stride)
+	cfg := []struct{ t, c, n, s int }{
+		{1, 16, 1, 1}, {6, 24, 2, 2}, {6, 32, 3, 2}, {6, 64, 4, 2},
+		{6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1},
+	}
+	if dataset == "cifar10" {
+		cfg[0].t = 6 // keep the expand conv: +1 conv layer (Table 5)
+		cfg[1].s = 1 // preserve resolution on 32×32 inputs
+	}
+	bi := 0
+	for _, c := range cfg {
+		for i := 0; i < c.n; i++ {
+			bi++
+			stride := 1
+			if i == 0 {
+				stride = c.s
+			}
+			inName := b.m.Layers[len(b.m.Layers)-1].Name
+			inC := b.c
+			if c.t != 1 {
+				b.conv(fmt.Sprintf("b%d_expand", bi), inC*c.t, 1, 1, 0, false)
+				b.bn()
+				b.relu()
+			}
+			b.dwconv(fmt.Sprintf("b%d_dw", bi), 3, stride, 1)
+			b.bn()
+			b.relu()
+			b.conv(fmt.Sprintf("b%d_project", bi), c.c, 1, 1, 0, false)
+			b.bn()
+			if stride == 1 && inC == c.c {
+				b.add(inName)
+			}
+		}
+	}
+	b.conv("conv_head", 1280, 1, 1, 0, false)
+	b.bn()
+	b.relu()
+	b.avgpoolGlobal()
+	b.flatten()
+	b.fc("fc", b.m.Classes)
+	b.softmax()
+	return b.m
+}
+
+// ByName returns a model by the paper's short or full name.
+func ByName(name, dataset string) (*Model, error) {
+	switch name {
+	case "VGG", "VGG-16", "vgg", "vgg16":
+		return VGG16(dataset), nil
+	case "RNT", "ResNet-50", "resnet50", "rnt":
+		return ResNet50(dataset), nil
+	case "MBNT", "MobileNet-V2", "mobilenetv2", "mbnt":
+		return MobileNetV2(dataset), nil
+	}
+	return nil, fmt.Errorf("model: unknown network %q", name)
+}
+
+// All returns the six trained-network descriptors of Table 5 in paper order.
+func All() []*Model {
+	return []*Model{
+		VGG16("imagenet"), VGG16("cifar10"),
+		ResNet50("imagenet"), ResNet50("cifar10"),
+		MobileNetV2("imagenet"), MobileNetV2("cifar10"),
+	}
+}

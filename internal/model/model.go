@@ -1,0 +1,261 @@
+// Package model describes DNN architectures as layer graphs with exact shape,
+// parameter, and FLOP accounting. It provides the three networks PatDNN is
+// evaluated on — VGG-16, ResNet-50, and MobileNet-V2 — in both ImageNet
+// (224×224) and CIFAR-10 (32×32) variants, matching the characteristics
+// reported in Tables 5 and 6 of the paper.
+//
+// The descriptors are metadata only; weight tensors are allocated on demand
+// (per layer) by the experiments so that describing VGG-16 does not require
+// 550 MB of storage.
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"patdnn/internal/tensor"
+)
+
+// OpKind enumerates the layer operator types.
+type OpKind int
+
+// Operator kinds. Conv covers standard and grouped convolutions; DWConv is
+// depthwise (Groups == InC).
+const (
+	Input OpKind = iota
+	Conv
+	DWConv
+	FC
+	MaxPool
+	AvgPoolGlobal
+	ReLU
+	BatchNorm
+	Add
+	Flatten
+	SoftmaxOp
+)
+
+var kindNames = map[OpKind]string{
+	Input: "input", Conv: "conv", DWConv: "dwconv", FC: "fc",
+	MaxPool: "maxpool", AvgPoolGlobal: "avgpool", ReLU: "relu",
+	BatchNorm: "batchnorm", Add: "add", Flatten: "flatten", SoftmaxOp: "softmax",
+}
+
+func (k OpKind) String() string { return kindNames[k] }
+
+// Layer is one operator in the network with resolved shapes.
+type Layer struct {
+	Name string
+	Kind OpKind
+
+	// Convolution / FC geometry. For FC, InC/OutC are the feature counts.
+	InC, OutC   int
+	KH, KW      int
+	Stride, Pad int
+	Groups      int
+	InH, InW    int
+	OutH, OutW  int
+	HasBias     bool
+	Projection  bool // ResNet downsample convs: real weights, but not
+	// counted in the paper's "CONV layers" tally.
+	ShortcutOf string // for Add: name of the layer providing the shortcut
+}
+
+// IsConv reports whether the layer holds convolution weights.
+func (l *Layer) IsConv() bool { return l.Kind == Conv || l.Kind == DWConv }
+
+// Params returns the number of weights (plus biases) the layer owns.
+func (l *Layer) Params() int64 {
+	switch l.Kind {
+	case Conv, DWConv:
+		w := int64(l.OutC) * int64(l.InC/l.Groups) * int64(l.KH) * int64(l.KW)
+		if l.HasBias {
+			w += int64(l.OutC)
+		}
+		return w
+	case FC:
+		w := int64(l.InC) * int64(l.OutC)
+		if l.HasBias {
+			w += int64(l.OutC)
+		}
+		return w
+	case BatchNorm:
+		return 4 * int64(l.OutC) // gamma, beta, running mean/var
+	default:
+		return 0
+	}
+}
+
+// MACs returns the multiply-accumulate count of one inference pass.
+func (l *Layer) MACs() int64 {
+	switch l.Kind {
+	case Conv, DWConv:
+		return int64(l.OutC) * int64(l.OutH) * int64(l.OutW) *
+			int64(l.InC/l.Groups) * int64(l.KH) * int64(l.KW)
+	case FC:
+		return int64(l.InC) * int64(l.OutC)
+	default:
+		return 0
+	}
+}
+
+// KernelCount returns Co*Ci kernels for a standard conv (the unit of
+// connectivity pruning); depthwise convs have one kernel per channel.
+func (l *Layer) KernelCount() int {
+	if l.Kind == DWConv {
+		return l.OutC
+	}
+	return l.OutC * (l.InC / l.Groups)
+}
+
+// FilterShape renders the paper's [Co, Ci, Kh, Kw] notation.
+func (l *Layer) FilterShape() string {
+	return fmt.Sprintf("[%d,%d,%d,%d]", l.OutC, l.InC/l.Groups, l.KH, l.KW)
+}
+
+// AllocWeights allocates and Xavier-initializes this conv/FC layer's weight
+// tensor with a deterministic RNG.
+func (l *Layer) AllocWeights(rng *rand.Rand) *tensor.Tensor {
+	switch l.Kind {
+	case Conv, DWConv:
+		w := tensor.New(l.OutC, l.InC/l.Groups, l.KH, l.KW)
+		fanIn := (l.InC / l.Groups) * l.KH * l.KW
+		fanOut := l.OutC * l.KH * l.KW
+		w.XavierInit(rng, fanIn, fanOut)
+		return w
+	case FC:
+		w := tensor.New(l.OutC, l.InC)
+		w.XavierInit(rng, l.InC, l.OutC)
+		return w
+	default:
+		panic("model: AllocWeights on non-parametric layer " + l.Name)
+	}
+}
+
+// Model is an ordered layer list with resolved shapes.
+type Model struct {
+	Name    string // "VGG-16", "ResNet-50", "MobileNet-V2"
+	Short   string // "VGG", "RNT", "MBNT" (paper's shorthand)
+	Dataset string // "imagenet" or "cifar10"
+	Classes int
+	InC     int
+	InH     int
+	InW     int
+	Layers  []*Layer
+}
+
+// ConvLayers returns the convolution layers counted by the paper (excluding
+// ResNet projection shortcuts).
+func (m *Model) ConvLayers() []*Layer {
+	var out []*Layer
+	for _, l := range m.Layers {
+		if l.IsConv() && !l.Projection {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// AllConvLayers returns every layer holding conv weights, including
+// projection shortcuts.
+func (m *Model) AllConvLayers() []*Layer {
+	var out []*Layer
+	for _, l := range m.Layers {
+		if l.IsConv() {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// FCLayers returns the fully-connected layers.
+func (m *Model) FCLayers() []*Layer {
+	var out []*Layer
+	for _, l := range m.Layers {
+		if l.Kind == FC {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Params returns total parameter count.
+func (m *Model) Params() int64 {
+	var s int64
+	for _, l := range m.Layers {
+		s += l.Params()
+	}
+	return s
+}
+
+// SizeMB returns the model size in decimal megabytes (1 MB = 10^6 bytes, the
+// paper's Table 5 convention) at the given bytes/weight (4 = float32, 2 = the
+// FP16 used on mobile GPUs).
+func (m *Model) SizeMB(bytesPerWeight int) float64 {
+	return float64(m.Params()) * float64(bytesPerWeight) / 1e6
+}
+
+// MACs returns total multiply-accumulates for one inference.
+func (m *Model) MACs() int64 {
+	var s int64
+	for _, l := range m.Layers {
+		s += l.MACs()
+	}
+	return s
+}
+
+// ConvMACs returns MACs of conv layers only (the paper's evaluation focuses
+// on CONV layers, >90–95% of total time).
+func (m *Model) ConvMACs() int64 {
+	var s int64
+	for _, l := range m.AllConvLayers() {
+		s += l.MACs()
+	}
+	return s
+}
+
+// PaperLayerCount reproduces Table 5's "Layers" column: counted conv layers
+// plus FC layers.
+func (m *Model) PaperLayerCount() int {
+	return len(m.ConvLayers()) + len(m.FCLayers())
+}
+
+// Layer returns the layer with the given name, or nil.
+func (m *Model) Layer(name string) *Layer {
+	for _, l := range m.Layers {
+		if l.Name == name {
+			return l
+		}
+	}
+	return nil
+}
+
+// UniqueConv groups counted conv layers by (filter shape, output size) and
+// returns one representative per group, in network order, with its
+// multiplicity. For VGG-16/ImageNet this yields exactly the paper's L1–L9
+// (Table 6).
+type UniqueConv struct {
+	ShortName string // L1..Ln
+	Rep       *Layer
+	Count     int
+}
+
+// UniqueConvs computes the unique conv layer groups.
+func (m *Model) UniqueConvs() []UniqueConv {
+	var out []UniqueConv
+	index := make(map[string]int)
+	for _, l := range m.ConvLayers() {
+		key := fmt.Sprintf("%s@%dx%d", l.FilterShape(), l.OutH, l.OutW)
+		if i, ok := index[key]; ok {
+			out[i].Count++
+			continue
+		}
+		index[key] = len(out)
+		out = append(out, UniqueConv{
+			ShortName: fmt.Sprintf("L%d", len(out)+1),
+			Rep:       l,
+			Count:     1,
+		})
+	}
+	return out
+}

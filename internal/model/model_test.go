@@ -1,0 +1,236 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestVGG16ImageNetCharacteristics(t *testing.T) {
+	m := VGG16("imagenet")
+	if got := len(m.ConvLayers()); got != 13 {
+		t.Fatalf("VGG conv layers = %d, want 13", got)
+	}
+	if got := m.PaperLayerCount(); got != 16 {
+		t.Fatalf("VGG paper layers = %d, want 16", got)
+	}
+	// Table 5: 553.5 MB at float32. Allow 1% slack (bias accounting).
+	size := m.SizeMB(4)
+	if size < 548 || size > 560 {
+		t.Fatalf("VGG size = %.1f MB, want ~553.5", size)
+	}
+	// VGG-16 is ~15.5 GMACs on 224x224 input.
+	macs := float64(m.MACs())
+	if macs < 15.0e9 || macs > 16.0e9 {
+		t.Fatalf("VGG MACs = %.2fG", macs/1e9)
+	}
+}
+
+func TestVGG16UniqueConvsMatchTable6(t *testing.T) {
+	m := VGG16("imagenet")
+	u := m.UniqueConvs()
+	if len(u) != 9 {
+		t.Fatalf("unique conv shapes = %d, want 9 (L1..L9)", len(u))
+	}
+	wantShapes := []string{
+		"[64,3,3,3]", "[64,64,3,3]", "[128,64,3,3]", "[128,128,3,3]",
+		"[256,128,3,3]", "[256,256,3,3]", "[512,256,3,3]", "[512,512,3,3]",
+		"[512,512,3,3]",
+	}
+	for i, w := range wantShapes {
+		if got := u[i].Rep.FilterShape(); got != w {
+			t.Errorf("%s shape = %s, want %s", u[i].ShortName, got, w)
+		}
+	}
+	// L8 and L9 share a filter shape but differ in spatial size.
+	if u[7].Rep.OutH == u[8].Rep.OutH {
+		t.Error("L8 and L9 must differ in output size")
+	}
+	// Multiplicities must cover all 13 conv layers.
+	total := 0
+	for _, g := range u {
+		total += g.Count
+	}
+	if total != 13 {
+		t.Fatalf("unique groups cover %d layers, want 13", total)
+	}
+}
+
+func TestVGG16CIFARSize(t *testing.T) {
+	m := VGG16("cifar10")
+	if got := len(m.ConvLayers()); got != 13 {
+		t.Fatalf("conv layers = %d", got)
+	}
+	size := m.SizeMB(4)
+	// Table 5 reports 61 MB (their FC head differs slightly); ours is ~58.
+	if size < 54 || size > 64 {
+		t.Fatalf("VGG/CIFAR size = %.1f MB, want ~61", size)
+	}
+}
+
+func TestResNet50Characteristics(t *testing.T) {
+	m := ResNet50("imagenet")
+	if got := len(m.ConvLayers()); got != 49 {
+		t.Fatalf("RNT counted conv layers = %d, want 49", got)
+	}
+	if got := m.PaperLayerCount(); got != 50 {
+		t.Fatalf("RNT paper layers = %d, want 50", got)
+	}
+	// Projections exist but are excluded from the counted set.
+	if got := len(m.AllConvLayers()) - len(m.ConvLayers()); got != 4 {
+		t.Fatalf("RNT projection convs = %d, want 4", got)
+	}
+	size := m.SizeMB(4)
+	// Table 5: 102.5 MB.
+	if size < 95 || size > 107 {
+		t.Fatalf("RNT size = %.1f MB, want ~102.5", size)
+	}
+	macs := float64(m.MACs())
+	if macs < 3.5e9 || macs > 4.5e9 {
+		t.Fatalf("RNT MACs = %.2fG, want ~4.1G", macs/1e9)
+	}
+	// Final feature map before GAP must be 2048 x 7 x 7.
+	fc := m.FCLayers()[0]
+	if fc.InC != 2048 {
+		t.Fatalf("RNT fc in = %d, want 2048", fc.InC)
+	}
+}
+
+func TestResNet50CIFAR(t *testing.T) {
+	m := ResNet50("cifar10")
+	if got := len(m.ConvLayers()); got != 49 {
+		t.Fatalf("conv layers = %d, want 49", got)
+	}
+	size := m.SizeMB(4)
+	// Table 5: 94.4 MB (ImageNet body, 10-class head).
+	if size < 87 || size > 99 {
+		t.Fatalf("RNT/CIFAR size = %.1f MB, want ~94.4", size)
+	}
+}
+
+func TestMobileNetV2Characteristics(t *testing.T) {
+	m := MobileNetV2("imagenet")
+	if got := len(m.ConvLayers()); got != 52 {
+		t.Fatalf("MBNT counted conv layers = %d, want 52", got)
+	}
+	if got := m.PaperLayerCount(); got != 53 {
+		t.Fatalf("MBNT paper layers = %d, want 53", got)
+	}
+	size := m.SizeMB(4)
+	// Table 5: 14.2 MB.
+	if size < 12.5 || size > 15.5 {
+		t.Fatalf("MBNT size = %.1f MB, want ~14.2", size)
+	}
+	macs := float64(m.MACs())
+	if macs < 0.25e9 || macs > 0.45e9 {
+		t.Fatalf("MBNT MACs = %.2fG, want ~0.3G", macs/1e9)
+	}
+}
+
+func TestMobileNetV2CIFAR(t *testing.T) {
+	m := MobileNetV2("cifar10")
+	if got := len(m.ConvLayers()); got != 53 {
+		t.Fatalf("MBNT/CIFAR conv layers = %d, want 53", got)
+	}
+	if got := m.PaperLayerCount(); got != 54 {
+		t.Fatalf("MBNT/CIFAR paper layers = %d, want 54", got)
+	}
+	size := m.SizeMB(4)
+	// Table 5: 9.4 MB.
+	if size < 7.5 || size > 11 {
+		t.Fatalf("MBNT/CIFAR size = %.1f MB, want ~9.4", size)
+	}
+}
+
+func TestShapePropagation(t *testing.T) {
+	m := VGG16("imagenet")
+	// After 5 pools, spatial must be 7x7 with 512 channels.
+	var last *Layer
+	for _, l := range m.Layers {
+		if l.Kind == MaxPool {
+			last = l
+		}
+	}
+	if last.OutH != 7 || last.OutW != 7 || last.OutC != 512 {
+		t.Fatalf("VGG final pool = %dx%dx%d, want 512x7x7", last.OutC, last.OutH, last.OutW)
+	}
+	fc := m.FCLayers()[0]
+	if fc.InC != 512*7*7 {
+		t.Fatalf("fc1 in = %d, want 25088", fc.InC)
+	}
+}
+
+func TestResidualShortcutsResolve(t *testing.T) {
+	for _, m := range []*Model{ResNet50("imagenet"), MobileNetV2("imagenet")} {
+		for _, l := range m.Layers {
+			if l.Kind != Add {
+				continue
+			}
+			src := m.Layer(l.ShortcutOf)
+			if src == nil {
+				t.Fatalf("%s: add layer %s references missing %q", m.Name, l.Name, l.ShortcutOf)
+			}
+		}
+	}
+}
+
+func TestAllocWeights(t *testing.T) {
+	m := VGG16("cifar10")
+	rng := rand.New(rand.NewSource(1))
+	l := m.ConvLayers()[2]
+	w := l.AllocWeights(rng)
+	wantShape := []int{l.OutC, l.InC, 3, 3}
+	for i, d := range wantShape {
+		if w.Dim(i) != d {
+			t.Fatalf("weight shape %v, want %v", w.Shape(), wantShape)
+		}
+	}
+	if w.L2Norm() == 0 {
+		t.Fatal("weights not initialized")
+	}
+}
+
+func TestDWConvAccounting(t *testing.T) {
+	m := MobileNetV2("imagenet")
+	var dw *Layer
+	for _, l := range m.Layers {
+		if l.Kind == DWConv {
+			dw = l
+			break
+		}
+	}
+	if dw == nil {
+		t.Fatal("no dwconv layer")
+	}
+	// Depthwise: one 3x3 kernel per channel.
+	if got := dw.Params(); got != int64(dw.OutC*9+dw.OutC) {
+		t.Fatalf("dw params = %d", got)
+	}
+	if got := dw.KernelCount(); got != dw.OutC {
+		t.Fatalf("dw kernels = %d, want %d", got, dw.OutC)
+	}
+}
+
+func TestByNameAndAll(t *testing.T) {
+	for _, name := range []string{"VGG", "RNT", "MBNT"} {
+		m, err := ByName(name, "imagenet")
+		if err != nil || m == nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+	}
+	if _, err := ByName("AlexNet", "imagenet"); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+	if got := len(All()); got != 6 {
+		t.Fatalf("All() = %d models, want 6", got)
+	}
+}
+
+func TestConvMACsDominant(t *testing.T) {
+	// The paper notes CONV layers are >90% (VGG) / >95% of compute.
+	for _, m := range []*Model{VGG16("imagenet"), ResNet50("imagenet")} {
+		frac := float64(m.ConvMACs()) / float64(m.MACs())
+		if frac < 0.90 {
+			t.Errorf("%s conv MAC fraction = %.2f, want >= 0.90", m.Name, frac)
+		}
+	}
+}

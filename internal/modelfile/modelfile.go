@@ -1,0 +1,296 @@
+// Package modelfile implements the deployable compact-model artifact of the
+// paper's Figure 7 ("compact model" + "opt-code for CPU/GPU" are what PatDNN
+// ships to the phone): a single binary file holding the layerwise
+// representation, the FKW-compressed weights of every pruned conv layer
+// (stored in FP16, the mobile weight precision), and per-layer biases, with a
+// CRC32 integrity footer.
+//
+// Layout (all integers little-endian):
+//
+//	magic   [8]byte  "PATDNN\x00\x01"       (includes format version)
+//	lrLen   uint32   length of the LR JSON section
+//	lr      []byte   lr.Representation JSON
+//	nLayers uint32
+//	per layer:
+//	  nameLen uint16, name []byte
+//	  outC, inC, kh, kw uint16
+//	  stride, pad uint16
+//	  inH, inW, outH, outW uint16
+//	  nPatterns uint16, patterns []uint16 (masks)
+//	  offsets  [outC+1]int32
+//	  reorder  [outC]uint16
+//	  nKernels uint32, index [nKernels]uint16
+//	  stride array [outC*(nPatterns+1)]uint16
+//	  nWeights uint32, weights [nWeights]uint16 (binary16)
+//	  bias [outC]uint16 (binary16)
+//	crc32   uint32 (IEEE, over everything before it)
+package modelfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"patdnn/internal/compiler/lr"
+	"patdnn/internal/fp16"
+	"patdnn/internal/pattern"
+	"patdnn/internal/pruned"
+	"patdnn/internal/sparse"
+)
+
+var magic = [8]byte{'P', 'A', 'T', 'D', 'N', 'N', 0, 1}
+
+// Layer couples a pruned conv with its bias for serialization.
+type Layer struct {
+	Conv *pruned.Conv
+	Bias []float32 // len OutC; nil means all-zero
+}
+
+// File is an in-memory deployable model.
+type File struct {
+	LR     *lr.Representation
+	Layers []Layer
+}
+
+// Write serializes the model to w.
+func Write(w io.Writer, f *File) error {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+
+	lrJSON, err := f.LR.Marshal()
+	if err != nil {
+		return fmt.Errorf("modelfile: %w", err)
+	}
+	put32(&buf, uint32(len(lrJSON)))
+	buf.Write(lrJSON)
+
+	put32(&buf, uint32(len(f.Layers)))
+	for _, layer := range f.Layers {
+		c := layer.Conv
+		if c.Weights == nil {
+			return fmt.Errorf("modelfile: layer %s has no weights", c.Name)
+		}
+		fkw, err := sparse.Encode(c, nil)
+		if err != nil {
+			return fmt.Errorf("modelfile: %w", err)
+		}
+		if len(c.Name) > 0xffff {
+			return fmt.Errorf("modelfile: layer name too long")
+		}
+		put16(&buf, uint16(len(c.Name)))
+		buf.WriteString(c.Name)
+		for _, v := range []int{c.OutC, c.InC, c.KH, c.KW, c.Stride, c.Pad,
+			c.InH, c.InW, c.OutH, c.OutW} {
+			if v < 0 || v > 0xffff {
+				return fmt.Errorf("modelfile: layer %s: field %d out of uint16 range", c.Name, v)
+			}
+			put16(&buf, uint16(v))
+		}
+		put16(&buf, uint16(len(fkw.Patterns)))
+		for _, p := range fkw.Patterns {
+			put16(&buf, p.Mask)
+		}
+		for _, o := range fkw.Offset {
+			putI32(&buf, o)
+		}
+		for _, r := range fkw.Reorder {
+			put16(&buf, r)
+		}
+		put32(&buf, uint32(len(fkw.Index)))
+		for _, ix := range fkw.Index {
+			put16(&buf, ix)
+		}
+		for _, s := range fkw.Stride {
+			put16(&buf, s)
+		}
+		put32(&buf, uint32(len(fkw.Weights)))
+		for _, wv := range fkw.Weights {
+			put16(&buf, uint16(fp16.FromFloat32(wv)))
+		}
+		bias := layer.Bias
+		for i := 0; i < c.OutC; i++ {
+			var b float32
+			if bias != nil {
+				b = bias[i]
+			}
+			put16(&buf, uint16(fp16.FromFloat32(b)))
+		}
+	}
+
+	sum := crc32.ChecksumIEEE(buf.Bytes())
+	put32(&buf, sum)
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+// Read deserializes and validates a model file, reconstructing each layer's
+// pruned representation (weights decoded from FP16) and bias.
+func Read(r io.Reader) (*File, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("modelfile: %w", err)
+	}
+	if len(data) < len(magic)+8 {
+		return nil, fmt.Errorf("modelfile: truncated file (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[:8], magic[:]) {
+		return nil, fmt.Errorf("modelfile: bad magic or unsupported version")
+	}
+	body, footer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(footer) {
+		return nil, fmt.Errorf("modelfile: checksum mismatch (corrupt file)")
+	}
+
+	d := &decoder{data: body, off: 8}
+	lrLen := d.u32()
+	lrJSON := d.bytes(int(lrLen))
+	if d.err != nil {
+		return nil, d.err
+	}
+	rep, err := lr.Unmarshal(lrJSON)
+	if err != nil {
+		return nil, fmt.Errorf("modelfile: %w", err)
+	}
+	out := &File{LR: rep}
+
+	nLayers := int(d.u32())
+	for li := 0; li < nLayers && d.err == nil; li++ {
+		name := string(d.bytes(int(d.u16())))
+		geom := make([]int, 10)
+		for i := range geom {
+			geom[i] = int(d.u16())
+		}
+		nPat := int(d.u16())
+		pats := make([]pattern.Pattern, nPat)
+		for i := range pats {
+			pats[i] = pattern.Pattern{Mask: d.u16(), K: geom[2]}
+		}
+		outC := geom[0]
+		fkw := &sparse.FKW{
+			OutC: outC, InC: geom[1], KH: geom[2], KW: geom[3],
+			Patterns: pats,
+		}
+		fkw.Offset = make([]int32, outC+1)
+		for i := range fkw.Offset {
+			fkw.Offset[i] = d.i32()
+		}
+		fkw.Reorder = make([]uint16, outC)
+		for i := range fkw.Reorder {
+			fkw.Reorder[i] = d.u16()
+		}
+		nKernels := int(d.u32())
+		fkw.Index = make([]uint16, nKernels)
+		for i := range fkw.Index {
+			fkw.Index[i] = d.u16()
+		}
+		fkw.Stride = make([]uint16, outC*(nPat+1))
+		for i := range fkw.Stride {
+			fkw.Stride[i] = d.u16()
+		}
+		nWeights := int(d.u32())
+		fkw.Weights = make([]float32, nWeights)
+		for i := range fkw.Weights {
+			fkw.Weights[i] = fp16.Bits(d.u16()).ToFloat32()
+		}
+		bias := make([]float32, outC)
+		for i := range bias {
+			bias[i] = fp16.Bits(d.u16()).ToFloat32()
+		}
+		if d.err != nil {
+			break
+		}
+
+		// Rebuild the pruned representation from the FKW arrays.
+		dense := fkw.Decode()
+		conv := &pruned.Conv{
+			Name: name, OutC: outC, InC: geom[1], KH: geom[2], KW: geom[3],
+			Stride: geom[4], Pad: geom[5],
+			InH: geom[6], InW: geom[7], OutH: geom[8], OutW: geom[9],
+			Set: pats, IDs: make([]int, outC*geom[1]), Weights: dense,
+		}
+		// Recover kernel pattern IDs by walking the stride table.
+		for pos := 0; pos < outC; pos++ {
+			orig := int(fkw.Reorder[pos])
+			for slot := range pats {
+				start, end, _ := fkw.KernelsOf(pos, slot)
+				for k := start; k < end; k++ {
+					conv.IDs[orig*conv.InC+int(fkw.Index[k])] = slot + 1
+				}
+			}
+		}
+		if err := conv.Validate(); err != nil {
+			return nil, fmt.Errorf("modelfile: layer %s invalid after decode: %w", name, err)
+		}
+		out.Layers = append(out.Layers, Layer{Conv: conv, Bias: bias})
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return out, nil
+}
+
+// decoder is a bounds-checked little-endian reader.
+type decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+n > len(d.data) {
+		d.err = fmt.Errorf("modelfile: truncated at offset %d", d.off)
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.data[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.data[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) i32() int32 { return int32(d.u32()) }
+
+func (d *decoder) bytes(n int) []byte {
+	if n < 0 || !d.need(n) {
+		if d.err == nil {
+			d.err = fmt.Errorf("modelfile: negative length")
+		}
+		return nil
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func put16(b *bytes.Buffer, v uint16) {
+	var tmp [2]byte
+	binary.LittleEndian.PutUint16(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+func put32(b *bytes.Buffer, v uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+func putI32(b *bytes.Buffer, v int32) { put32(b, uint32(v)) }

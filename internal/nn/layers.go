@@ -1,0 +1,247 @@
+// Package nn is a from-scratch trainable neural-network substrate: conv, FC,
+// pooling, and activation layers with full backpropagation, plus SGD and Adam
+// optimizers. It exists so the ADMM pattern/connectivity pruning of
+// internal/admm runs against a *real* loss function end to end rather than a
+// mock, as required by the reproduction (the paper trains with PyTorch; see
+// DESIGN.md for the substitution rationale).
+package nn
+
+import (
+	"patdnn/internal/tensor"
+)
+
+// Param is a trainable tensor with its accumulated gradient.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	Grad *tensor.Tensor
+}
+
+// ZeroGrad clears the gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is a differentiable network stage operating on single examples
+// (batching is done by gradient accumulation across examples, which keeps the
+// substrate simple and deterministic).
+type Layer interface {
+	// Forward consumes the input and returns the output; implementations may
+	// cache state needed by Backward.
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	// Backward consumes dL/dOutput and returns dL/dInput, accumulating
+	// parameter gradients.
+	Backward(dout *tensor.Tensor) *tensor.Tensor
+	// Params returns trainable parameters (possibly none).
+	Params() []*Param
+}
+
+// Conv2D is a trainable 2-D convolution over [Ci,H,W] inputs.
+type Conv2D struct {
+	Name         string
+	Weight, Bias *Param
+	Spec         tensor.ConvSpec
+	InC, OutC, K int
+	inH, inW     int
+	cols         *tensor.Tensor // cached im2col of last input
+	// Mask, when non-nil, is multiplied into the weight gradient after each
+	// backward pass; the ADMM masked-retraining stage uses it to freeze
+	// pruned weights at zero.
+	Mask *tensor.Tensor
+}
+
+// NewConv2D builds a conv layer with uninitialized (zero) weights; call
+// InitXavier or set weights directly.
+func NewConv2D(name string, inC, outC, k int, spec tensor.ConvSpec) *Conv2D {
+	w := tensor.New(outC, inC, k, k)
+	b := tensor.New(outC)
+	return &Conv2D{
+		Name: name, InC: inC, OutC: outC, K: k, Spec: spec,
+		Weight: &Param{Name: name + ".weight", W: w, Grad: tensor.New(outC, inC, k, k)},
+		Bias:   &Param{Name: name + ".bias", W: b, Grad: tensor.New(outC)},
+	}
+}
+
+// InputDims returns the spatial input size seen by the most recent Forward
+// (zero before any forward pass); the pruning pipeline uses it to record
+// layer geometry for the compiler.
+func (l *Conv2D) InputDims() (h, w int) { return l.inH, l.inW }
+
+// Forward implements Layer.
+func (l *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	l.inH, l.inW = x.Dim(1), x.Dim(2)
+	l.cols = tensor.Im2Col(x, l.K, l.K, l.Spec)
+	wmat := l.Weight.W.Reshape(l.OutC, l.InC*l.K*l.K)
+	out := tensor.MatMul(wmat, l.cols)
+	ho := tensor.ConvOutDim(l.inH, l.K, l.Spec.Stride, l.Spec.Pad)
+	wo := tensor.ConvOutDim(l.inW, l.K, l.Spec.Stride, l.Spec.Pad)
+	res := out.Reshape(l.OutC, ho, wo)
+	for oc := 0; oc < l.OutC; oc++ {
+		b := l.Bias.W.Data[oc]
+		plane := res.Data[oc*ho*wo : (oc+1)*ho*wo]
+		for i := range plane {
+			plane[i] += b
+		}
+	}
+	return res
+}
+
+// Backward implements Layer.
+func (l *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	ho, wo := dout.Dim(1), dout.Dim(2)
+	dmat := dout.Reshape(l.OutC, ho*wo)
+	// dW = dOut · colsᵀ
+	dw := tensor.MatMulT2(dmat, l.cols)
+	l.Weight.Grad.AddScaled(dw.Reshape(l.OutC, l.InC, l.K, l.K), 1)
+	if l.Mask != nil {
+		for i := range l.Weight.Grad.Data {
+			l.Weight.Grad.Data[i] *= l.Mask.Data[i]
+		}
+	}
+	// dB = row sums of dOut
+	for oc := 0; oc < l.OutC; oc++ {
+		var s float32
+		for _, v := range dmat.Data[oc*ho*wo : (oc+1)*ho*wo] {
+			s += v
+		}
+		l.Bias.Grad.Data[oc] += s
+	}
+	// dCols = Wᵀ · dOut, then fold back to the input.
+	wmat := l.Weight.W.Reshape(l.OutC, l.InC*l.K*l.K)
+	dcols := tensor.MatMulT1(wmat, dmat)
+	return tensor.Col2Im(dcols, l.InC, l.inH, l.inW, l.K, l.K, l.Spec)
+}
+
+// Params implements Layer.
+func (l *Conv2D) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// ReLULayer is the rectified-linear activation.
+type ReLULayer struct {
+	mask []bool
+}
+
+// Forward implements Layer.
+func (l *ReLULayer) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := x.Clone()
+	if cap(l.mask) < len(out.Data) {
+		l.mask = make([]bool, len(out.Data))
+	}
+	l.mask = l.mask[:len(out.Data)]
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+			l.mask[i] = false
+		} else {
+			l.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *ReLULayer) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := dout.Clone()
+	for i := range dx.Data {
+		if !l.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *ReLULayer) Params() []*Param { return nil }
+
+// MaxPool2 is 2×2 max pooling with stride 2.
+type MaxPool2 struct {
+	arg     []int
+	inShape []int
+}
+
+// Forward implements Layer.
+func (l *MaxPool2) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out, arg := tensor.MaxPool2D(x, 2)
+	l.arg = arg
+	l.inShape = append(l.inShape[:0], x.Shape()...)
+	return out
+}
+
+// Backward implements Layer.
+func (l *MaxPool2) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(l.inShape...)
+	for o, idx := range l.arg {
+		dx.Data[idx] += dout.Data[o]
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *MaxPool2) Params() []*Param { return nil }
+
+// FlattenLayer reshapes [C,H,W] to a vector.
+type FlattenLayer struct {
+	inShape []int
+}
+
+// Forward implements Layer.
+func (l *FlattenLayer) Forward(x *tensor.Tensor) *tensor.Tensor {
+	l.inShape = append(l.inShape[:0], x.Shape()...)
+	return x.Reshape(x.Len())
+}
+
+// Backward implements Layer.
+func (l *FlattenLayer) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return dout.Reshape(l.inShape...)
+}
+
+// Params implements Layer.
+func (l *FlattenLayer) Params() []*Param { return nil }
+
+// Dense is a fully-connected layer over flat vectors.
+type Dense struct {
+	Name         string
+	Weight, Bias *Param
+	In, Out      int
+	x            *tensor.Tensor
+}
+
+// NewDense builds an FC layer with zero weights.
+func NewDense(name string, in, out int) *Dense {
+	return &Dense{
+		Name: name, In: in, Out: out,
+		Weight: &Param{Name: name + ".weight", W: tensor.New(out, in), Grad: tensor.New(out, in)},
+		Bias:   &Param{Name: name + ".bias", W: tensor.New(out), Grad: tensor.New(out)},
+	}
+}
+
+// Forward implements Layer.
+func (l *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
+	l.x = x
+	out := tensor.New(l.Out)
+	for o := 0; o < l.Out; o++ {
+		row := l.Weight.W.Data[o*l.In : (o+1)*l.In]
+		s := l.Bias.W.Data[o]
+		for i, v := range x.Data {
+			s += row[i] * v
+		}
+		out.Data[o] = s
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(l.In)
+	for o := 0; o < l.Out; o++ {
+		g := dout.Data[o]
+		l.Bias.Grad.Data[o] += g
+		row := l.Weight.W.Data[o*l.In : (o+1)*l.In]
+		grow := l.Weight.Grad.Data[o*l.In : (o+1)*l.In]
+		for i, v := range l.x.Data {
+			grow[i] += g * v
+			dx.Data[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *Dense) Params() []*Param { return []*Param{l.Weight, l.Bias} }

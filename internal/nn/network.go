@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"math/rand"
+
+	"patdnn/internal/dataset"
+	"patdnn/internal/tensor"
+)
+
+// Network is an ordered stack of layers trained with softmax cross-entropy.
+type Network struct {
+	Layers []Layer
+}
+
+// Params returns all trainable parameters in layer order.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ConvLayers returns the trainable conv layers (the pruning targets).
+func (n *Network) ConvLayers() []*Conv2D {
+	var out []*Conv2D
+	for _, l := range n.Layers {
+		if c, ok := l.(*Conv2D); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ZeroGrad clears all parameter gradients.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// Forward runs the network and returns the logits.
+func (n *Network) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// LossAndGrad runs forward + backward for one example, accumulating
+// parameter gradients, and returns the cross-entropy loss.
+func (n *Network) LossAndGrad(x *tensor.Tensor, label int) float64 {
+	logits := n.Forward(x)
+	probs := tensor.Softmax(logits)
+	loss := tensor.CrossEntropy(probs, label)
+	// dL/dlogits = probs - onehot(label)
+	dlogits := probs.Clone()
+	dlogits.Data[label] -= 1
+	d := dlogits
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		d = n.Layers[i].Backward(d)
+	}
+	return loss
+}
+
+// Predict returns the argmax class for one example.
+func (n *Network) Predict(x *tensor.Tensor) int {
+	return n.Forward(x).ArgMax()
+}
+
+// Accuracy evaluates top-1 accuracy over a dataset.
+func (n *Network) Accuracy(d *dataset.Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i, img := range d.Images {
+		if n.Predict(img) == d.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}
+
+// Clone deep-copies the network structure and weights (caches excluded).
+// Only the layer types defined in this package are supported.
+func (n *Network) Clone() *Network {
+	c := &Network{}
+	for _, l := range n.Layers {
+		switch v := l.(type) {
+		case *Conv2D:
+			nc := NewConv2D(v.Name, v.InC, v.OutC, v.K, v.Spec)
+			copy(nc.Weight.W.Data, v.Weight.W.Data)
+			copy(nc.Bias.W.Data, v.Bias.W.Data)
+			if v.Mask != nil {
+				nc.Mask = v.Mask.Clone()
+			}
+			c.Layers = append(c.Layers, nc)
+		case *Dense:
+			nd := NewDense(v.Name, v.In, v.Out)
+			copy(nd.Weight.W.Data, v.Weight.W.Data)
+			copy(nd.Bias.W.Data, v.Bias.W.Data)
+			c.Layers = append(c.Layers, nd)
+		case *ReLULayer:
+			c.Layers = append(c.Layers, &ReLULayer{})
+		case *MaxPool2:
+			c.Layers = append(c.Layers, &MaxPool2{})
+		case *FlattenLayer:
+			c.Layers = append(c.Layers, &FlattenLayer{})
+		default:
+			panic("nn: Clone: unsupported layer type")
+		}
+	}
+	return c
+}
+
+// SmallCNN builds the reference CNN used by the pruning experiments:
+// conv(3→C1, 3×3) → ReLU → pool → conv(C1→C2, 3×3) → ReLU → pool →
+// FC → classes. All conv kernels are 3×3, so every kernel is a pattern
+// pruning target.
+func SmallCNN(inC, h, w, c1, c2, classes int, seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	conv1 := NewConv2D("conv1", inC, c1, 3, tensor.ConvSpec{Stride: 1, Pad: 1})
+	conv1.Weight.W.XavierInit(rng, inC*9, c1*9)
+	conv2 := NewConv2D("conv2", c1, c2, 3, tensor.ConvSpec{Stride: 1, Pad: 1})
+	conv2.Weight.W.XavierInit(rng, c1*9, c2*9)
+	flatIn := c2 * (h / 4) * (w / 4)
+	fc := NewDense("fc", flatIn, classes)
+	fc.Weight.W.XavierInit(rng, flatIn, classes)
+	return &Network{Layers: []Layer{
+		conv1, &ReLULayer{}, &MaxPool2{},
+		conv2, &ReLULayer{}, &MaxPool2{},
+		&FlattenLayer{}, fc,
+	}}
+}

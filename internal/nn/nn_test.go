@@ -1,0 +1,192 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"patdnn/internal/dataset"
+	"patdnn/internal/tensor"
+)
+
+// numericGrad estimates dLoss/dw by central differences for one weight.
+func numericGrad(net *Network, x *tensor.Tensor, label int, p *Param, i int) float64 {
+	const h = 1e-3
+	orig := p.W.Data[i]
+	p.W.Data[i] = orig + h
+	lp := lossOnly(net, x, label)
+	p.W.Data[i] = orig - h
+	lm := lossOnly(net, x, label)
+	p.W.Data[i] = orig
+	return (lp - lm) / (2 * h)
+}
+
+func lossOnly(net *Network, x *tensor.Tensor, label int) float64 {
+	logits := net.Forward(x)
+	return tensor.CrossEntropy(tensor.Softmax(logits), label)
+}
+
+func TestGradientCheckConvDense(t *testing.T) {
+	net := SmallCNN(2, 8, 8, 4, 6, 3, 11)
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.New(2, 8, 8)
+	x.Randn(rng, 1)
+	label := 1
+
+	net.ZeroGrad()
+	net.LossAndGrad(x, label)
+
+	checks := 0
+	for _, p := range net.Params() {
+		// Spot-check a handful of weights in each parameter tensor.
+		step := len(p.W.Data)/5 + 1
+		for i := 0; i < len(p.W.Data); i += step {
+			want := numericGrad(net, x, label, p, i)
+			got := float64(p.Grad.Data[i])
+			if math.Abs(want-got) > 1e-2*(1+math.Abs(want)) {
+				t.Fatalf("%s[%d]: analytic %g vs numeric %g", p.Name, i, got, want)
+			}
+			checks++
+		}
+	}
+	if checks < 10 {
+		t.Fatalf("too few gradient checks: %d", checks)
+	}
+}
+
+func TestReLUBackward(t *testing.T) {
+	l := &ReLULayer{}
+	x := tensor.FromSlice([]float32{-1, 2, -3, 4}, 4)
+	l.Forward(x)
+	d := tensor.FromSlice([]float32{1, 1, 1, 1}, 4)
+	dx := l.Backward(d)
+	want := []float32{0, 1, 0, 1}
+	for i, v := range want {
+		if dx.Data[i] != v {
+			t.Fatalf("relu backward = %v", dx.Data)
+		}
+	}
+}
+
+func TestMaxPoolBackwardRoutesToArgmax(t *testing.T) {
+	l := &MaxPool2{}
+	x := tensor.FromSlice([]float32{
+		1, 2,
+		3, 4,
+	}, 1, 2, 2)
+	l.Forward(x)
+	d := tensor.FromSlice([]float32{10}, 1, 1, 1)
+	dx := l.Backward(d)
+	if dx.At(0, 1, 1) != 10 || dx.At(0, 0, 0) != 0 {
+		t.Fatalf("pool backward = %v", dx.Data)
+	}
+}
+
+func TestDenseForwardKnown(t *testing.T) {
+	l := NewDense("fc", 2, 2)
+	copy(l.Weight.W.Data, []float32{1, 2, 3, 4})
+	copy(l.Bias.W.Data, []float32{0.5, -0.5})
+	out := l.Forward(tensor.FromSlice([]float32{1, 1}, 2))
+	if out.Data[0] != 3.5 || out.Data[1] != 6.5 {
+		t.Fatalf("dense out = %v", out.Data)
+	}
+}
+
+func TestConvMaskFreezesGradients(t *testing.T) {
+	conv := NewConv2D("c", 1, 1, 3, tensor.ConvSpec{Stride: 1, Pad: 1})
+	rng := rand.New(rand.NewSource(2))
+	conv.Weight.W.Randn(rng, 1)
+	mask := tensor.New(1, 1, 3, 3)
+	mask.Data[4] = 1 // only center trainable
+	conv.Mask = mask
+	x := tensor.New(1, 4, 4)
+	x.Randn(rng, 1)
+	out := conv.Forward(x)
+	d := out.Clone()
+	d.Fill(1)
+	conv.Backward(d)
+	for i, g := range conv.Weight.Grad.Data {
+		if i != 4 && g != 0 {
+			t.Fatalf("masked grad %d = %v, want 0", i, g)
+		}
+	}
+	if conv.Weight.Grad.Data[4] == 0 {
+		t.Fatal("unmasked grad should be nonzero")
+	}
+}
+
+func TestTrainingLearnsSyntheticData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	cfg := dataset.DefaultConfig()
+	cfg.N = 300
+	data := dataset.Synthetic(cfg)
+	train, test := data.Split(0.8)
+	net := SmallCNN(cfg.C, cfg.H, cfg.W, 8, 12, cfg.Classes, 3)
+	before := net.Accuracy(test)
+	Train(net, train, NewAdam(0.004), TrainConfig{Epochs: 6, BatchSize: 16, Seed: 1})
+	after := net.Accuracy(test)
+	if after < 0.8 {
+		t.Fatalf("accuracy after training = %.3f (before %.3f), want >= 0.8", after, before)
+	}
+	if after <= before {
+		t.Fatalf("training did not improve accuracy: %.3f -> %.3f", before, after)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	net := SmallCNN(1, 8, 8, 3, 4, 2, 9)
+	c := net.Clone()
+	net.ConvLayers()[0].Weight.W.Data[0] = 99
+	if c.ConvLayers()[0].Weight.W.Data[0] == 99 {
+		t.Fatal("clone shares weight storage")
+	}
+	if len(c.Params()) != len(net.Params()) {
+		t.Fatal("clone params mismatch")
+	}
+}
+
+func TestSGDMomentumMoves(t *testing.T) {
+	p := &Param{Name: "w", W: tensor.FromSlice([]float32{1}, 1), Grad: tensor.FromSlice([]float32{1}, 1)}
+	o := NewSGD(0.1, 0.9)
+	o.Step([]*Param{p})
+	if math.Abs(float64(p.W.Data[0])-0.9) > 1e-6 {
+		t.Fatalf("after step 1: %v", p.W.Data[0])
+	}
+	// Momentum accumulates: second step moves further.
+	o.Step([]*Param{p})
+	if math.Abs(float64(p.W.Data[0])-0.71) > 1e-5 {
+		t.Fatalf("after step 2: %v", p.W.Data[0])
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	// Minimize (w-3)^2 with explicit gradients.
+	p := &Param{Name: "w", W: tensor.FromSlice([]float32{0}, 1), Grad: tensor.New(1)}
+	o := NewAdam(0.1)
+	for i := 0; i < 400; i++ {
+		p.Grad.Data[0] = 2 * (p.W.Data[0] - 3)
+		o.Step([]*Param{p})
+	}
+	if math.Abs(float64(p.W.Data[0])-3) > 0.05 {
+		t.Fatalf("adam converged to %v, want 3", p.W.Data[0])
+	}
+}
+
+func TestPermuteDeterministicAndComplete(t *testing.T) {
+	a := permute(50, 7)
+	b := permute(50, 7)
+	seen := make([]bool, 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("permute not deterministic")
+		}
+		seen[a[i]] = true
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d missing from permutation", i)
+		}
+	}
+}

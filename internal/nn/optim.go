@@ -1,0 +1,142 @@
+package nn
+
+import (
+	"math"
+
+	"patdnn/internal/dataset"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      map[*Param][]float32
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*Param][]float32)}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v, ok := o.vel[p]
+		if !ok {
+			v = make([]float32, len(p.W.Data))
+			o.vel[p] = v
+		}
+		m, lr := float32(o.Momentum), float32(o.LR)
+		for i := range p.W.Data {
+			v[i] = m*v[i] - lr*p.Grad.Data[i]
+			p.W.Data[i] += v[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba), the solver the paper uses for
+// ADMM subproblem 1.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*Param][]float32
+}
+
+// NewAdam returns an Adam optimizer with standard defaults for the betas.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param][]float32), v: make(map[*Param][]float32),
+	}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m, ok := o.m[p]
+		if !ok {
+			m = make([]float32, len(p.W.Data))
+			o.m[p] = m
+			o.v[p] = make([]float32, len(p.W.Data))
+		}
+		v := o.v[p]
+		b1, b2 := float32(o.Beta1), float32(o.Beta2)
+		for i := range p.W.Data {
+			g := p.Grad.Data[i]
+			m[i] = b1*m[i] + (1-b1)*g
+			v[i] = b2*v[i] + (1-b2)*g*g
+			mhat := float64(m[i]) / c1
+			vhat := float64(v[i]) / c2
+			p.W.Data[i] -= float32(o.LR * mhat / (math.Sqrt(vhat) + o.Eps))
+		}
+	}
+}
+
+// TrainConfig controls the simple epoch/minibatch training loop.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	Seed      int64
+	// ExtraGrad, when non-nil, is invoked after each minibatch's gradient
+	// accumulation and before the optimizer step; ADMM uses it to add the
+	// proximal-term gradients rho*(W - Z + U).
+	ExtraGrad func(net *Network)
+}
+
+// Train runs minibatch training and returns the mean loss of the final epoch.
+func Train(net *Network, data *dataset.Dataset, opt Optimizer, cfg TrainConfig) float64 {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	var lastLoss float64
+	for e := 0; e < cfg.Epochs; e++ {
+		order := permute(data.Len(), cfg.Seed+int64(e))
+		var epochLoss float64
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			net.ZeroGrad()
+			for _, idx := range order[start:end] {
+				epochLoss += net.LossAndGrad(data.Images[idx], data.Labels[idx])
+			}
+			scale := 1 / float32(end-start)
+			for _, p := range net.Params() {
+				p.Grad.Scale(scale)
+			}
+			if cfg.ExtraGrad != nil {
+				cfg.ExtraGrad(net)
+			}
+			opt.Step(net.Params())
+		}
+		lastLoss = epochLoss / float64(data.Len())
+	}
+	return lastLoss
+}
+
+// permute returns a deterministic permutation of [0,n).
+func permute(n int, seed int64) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	// xorshift-based Fisher-Yates; avoids importing math/rand here.
+	s := uint64(seed)*2654435761 + 1
+	for i := n - 1; i > 0; i-- {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		j := int(s % uint64(i+1))
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}

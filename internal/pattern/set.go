@@ -1,0 +1,130 @@
+package pattern
+
+import (
+	"sort"
+
+	"patdnn/internal/tensor"
+)
+
+// Histogram counts natural-pattern occurrences over every 3×3 kernel of a
+// conv weight tensor [Co, Ci, 3, 3]. Non-3×3 tensors contribute nothing
+// (the paper applies pattern pruning to 3×3 kernels only).
+func Histogram(weights ...*tensor.Tensor) map[Pattern]int {
+	h := make(map[Pattern]int)
+	for _, w := range weights {
+		if w.Rank() != 4 || w.Dim(2) != 3 || w.Dim(3) != 3 {
+			continue
+		}
+		co, ci := w.Dim(0), w.Dim(1)
+		for oc := 0; oc < co; oc++ {
+			for ic := 0; ic < ci; ic++ {
+				off := ((oc*ci + ic) * 9)
+				h[Natural(w.Data[off:off+9])]++
+			}
+		}
+	}
+	return h
+}
+
+// TopK designs the pattern candidate set: the k most frequent natural
+// patterns across the histogram, ties broken by lower mask so the result is
+// deterministic (paper Section 4.1).
+func TopK(hist map[Pattern]int, k int) []Pattern {
+	type pc struct {
+		p Pattern
+		n int
+	}
+	all := make([]pc, 0, len(hist))
+	for p, n := range hist {
+		all = append(all, pc{p, n})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].n != all[b].n {
+			return all[a].n > all[b].n
+		}
+		return all[a].p.Mask < all[b].p.Mask
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]Pattern, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].p
+	}
+	return out
+}
+
+// DesignSet extracts the Top-k pattern set directly from pre-trained conv
+// weights, the end-to-end designer used by the training pipeline. If the
+// model has fewer than k distinct natural patterns the remainder is filled
+// from the canonical set.
+func DesignSet(k int, weights ...*tensor.Tensor) []Pattern {
+	set := TopK(Histogram(weights...), k)
+	if len(set) < k {
+		have := make(map[uint16]bool, len(set))
+		for _, p := range set {
+			have[p.Mask] = true
+		}
+		for _, p := range Canonical(12) {
+			if len(set) == k {
+				break
+			}
+			if !have[p.Mask] {
+				set = append(set, p)
+				have[p.Mask] = true
+			}
+		}
+	}
+	return set
+}
+
+// centerAdjacency scores how "visual-cortex like" a pattern is: positions
+// orthogonally adjacent to the center score 2, diagonal neighbours score 1.
+// The paper observes that desirable kernel shapes cluster around the center,
+// matching connection structures in the human visual system.
+func centerAdjacency(p Pattern) int {
+	orth := map[int]bool{1: true, 3: true, 5: true, 7: true}
+	s := 0
+	for _, pos := range p.Indices() {
+		if pos == 4 {
+			continue
+		}
+		if orth[pos] {
+			s += 2
+		} else {
+			s++
+		}
+	}
+	return s
+}
+
+// Canonical returns a deterministic k-pattern set used when no pre-trained
+// model is available: the 56 natural patterns ranked by center adjacency
+// (descending), ties broken by mask. With k=6/8/12 this yields the compact
+// cross-and-corner shapes the paper's Figure 3 illustrates.
+func Canonical(k int) []Pattern {
+	all := AllNatural()
+	sort.Slice(all, func(a, b int) bool {
+		sa, sb := centerAdjacency(all[a]), centerAdjacency(all[b])
+		if sa != sb {
+			return sa > sb
+		}
+		return all[a].Mask < all[b].Mask
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// IDOf returns 1-based index of p in set, or 0 if absent. ID 0 is reserved
+// for the empty (connectivity-pruned) kernel, matching the compiler's
+// convention in the FKW format and reorder passes.
+func IDOf(p Pattern, set []Pattern) int {
+	for i, q := range set {
+		if q.Mask == p.Mask && q.K == p.K {
+			return i + 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,243 @@
+// Package pruned defines the pattern-pruned convolution representation shared
+// between the training side (internal/admm produces it from real ADMM runs)
+// and the compiler side (internal/compiler/* consumes it). It also provides a
+// deterministic generator that synthesizes pruned layers at VGG/ResNet scale
+// for the compiler experiments, where full training is not required: patterns
+// are assigned by the same L2-projection rule ADMM uses, applied to random
+// pre-trained-like weights.
+package pruned
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"patdnn/internal/model"
+	"patdnn/internal/pattern"
+	"patdnn/internal/tensor"
+)
+
+// Conv is a convolution layer after kernel-pattern and connectivity pruning.
+type Conv struct {
+	Name        string
+	OutC, InC   int
+	KH, KW      int
+	Stride, Pad int
+	OutH, OutW  int
+	InH, InW    int
+	// Depthwise marks a depthwise convolution: one kernel per channel
+	// (InC == 1 per filter, the input channel equals the filter index).
+	// Pattern pruning applies per kernel; connectivity pruning does not
+	// (removing a depthwise kernel removes its whole channel).
+	Depthwise bool
+	Set       []pattern.Pattern // candidate set; pattern ID i+1 = Set[i]
+	// IDs[f*InC+k] is the pattern ID of kernel k in filter f:
+	// 0 = kernel removed by connectivity pruning, 1..len(Set) otherwise.
+	IDs []int
+	// Weights is the pruned dense tensor [OutC, InC, KH, KW]; zero outside
+	// pattern positions. May be nil for stats-only layers at large scale.
+	Weights *tensor.Tensor
+}
+
+// ID returns the pattern ID of kernel (filter f, input channel k).
+func (c *Conv) ID(f, k int) int { return c.IDs[f*c.InC+k] }
+
+// InChannels returns the number of input feature-map channels the layer
+// consumes: InC for standard convs, OutC for depthwise.
+func (c *Conv) InChannels() int {
+	if c.Depthwise {
+		return c.OutC
+	}
+	return c.InC
+}
+
+// InputChannel maps a (filter, kernel-channel) pair to the input feature-map
+// channel the kernel reads: k for standard convs, f for depthwise.
+func (c *Conv) InputChannel(f, k int) int {
+	if c.Depthwise {
+		return f
+	}
+	return k
+}
+
+// PatternOf returns the pattern for kernel (f,k); Empty if pruned.
+func (c *Conv) PatternOf(f, k int) pattern.Pattern {
+	id := c.ID(f, k)
+	if id == 0 {
+		return pattern.Empty
+	}
+	return c.Set[id-1]
+}
+
+// FilterLength returns the number of non-empty kernels in filter f — the
+// "length" notion Filter Kernel Reorder groups by.
+func (c *Conv) FilterLength(f int) int {
+	n := 0
+	for k := 0; k < c.InC; k++ {
+		if c.ID(f, k) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// NonEmptyKernels returns the total number of retained kernels.
+func (c *Conv) NonEmptyKernels() int {
+	n := 0
+	for _, id := range c.IDs {
+		if id != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// NNZ returns the retained weight count: entries-per-pattern summed over all
+// retained kernels.
+func (c *Conv) NNZ() int {
+	n := 0
+	for _, id := range c.IDs {
+		if id != 0 {
+			n += c.Set[id-1].Entries()
+		}
+	}
+	return n
+}
+
+// TotalWeights returns the dense weight count.
+func (c *Conv) TotalWeights() int { return c.OutC * c.InC * c.KH * c.KW }
+
+// CompressionRate returns dense/retained weight ratio.
+func (c *Conv) CompressionRate() float64 {
+	nnz := c.NNZ()
+	if nnz == 0 {
+		return 0
+	}
+	return float64(c.TotalWeights()) / float64(nnz)
+}
+
+// Validate checks internal consistency: ID ranges, weight zeros matching
+// patterns. Layers without weights validate IDs only.
+func (c *Conv) Validate() error {
+	if len(c.IDs) != c.OutC*c.InC {
+		return fmt.Errorf("pruned: %s: IDs len %d != %d", c.Name, len(c.IDs), c.OutC*c.InC)
+	}
+	for i, id := range c.IDs {
+		if id < 0 || id > len(c.Set) {
+			return fmt.Errorf("pruned: %s: kernel %d has invalid pattern ID %d", c.Name, i, id)
+		}
+	}
+	if c.Weights == nil {
+		return nil
+	}
+	for f := 0; f < c.OutC; f++ {
+		for k := 0; k < c.InC; k++ {
+			p := c.PatternOf(f, k)
+			off := (f*c.InC + k) * c.KH * c.KW
+			for pos := 0; pos < c.KH*c.KW; pos++ {
+				if !p.Has(pos) && c.Weights.Data[off+pos] != 0 {
+					return fmt.Errorf("pruned: %s: kernel (%d,%d) pos %d nonzero outside pattern",
+						c.Name, f, k, pos)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// FromWeights builds a pruned Conv from a dense weight tensor by (1)
+// projecting each kernel onto its best pattern from set and (2) keeping only
+// the keepKernels kernels with the largest retained L2 norm (connectivity
+// pruning). The weights are modified in place.
+func FromWeights(name string, w *tensor.Tensor, set []pattern.Pattern, keepKernels int, spec ConvGeom) *Conv {
+	outC, inC, kh, kw := w.Dim(0), w.Dim(1), w.Dim(2), w.Dim(3)
+	if kh != 3 || kw != 3 {
+		panic("pruned: FromWeights requires 3x3 kernels")
+	}
+	c := &Conv{
+		Name: name, OutC: outC, InC: inC, KH: kh, KW: kw,
+		Stride: spec.Stride, Pad: spec.Pad,
+		InH: spec.InH, InW: spec.InW, OutH: spec.OutH, OutW: spec.OutW,
+		Set: set, IDs: make([]int, outC*inC), Weights: w,
+	}
+	type kn struct {
+		idx  int
+		norm float64
+	}
+	norms := make([]kn, 0, outC*inC)
+	// First assign the best pattern per kernel (projection), recording the
+	// retained norm used for connectivity ranking.
+	for f := 0; f < outC; f++ {
+		for k := 0; k < inC; k++ {
+			off := (f*inC + k) * 9
+			kernel := w.Data[off : off+9]
+			p := pattern.Best(kernel, set)
+			p.Apply(kernel)
+			c.IDs[f*inC+k] = pattern.IDOf(p, set)
+			norms = append(norms, kn{f*inC + k, p.RetainedNorm(kernel)})
+		}
+	}
+	if keepKernels < len(norms) {
+		sort.Slice(norms, func(a, b int) bool {
+			if norms[a].norm != norms[b].norm {
+				return norms[a].norm > norms[b].norm
+			}
+			return norms[a].idx < norms[b].idx
+		})
+		for _, victim := range norms[keepKernels:] {
+			c.IDs[victim.idx] = 0
+			off := victim.idx * 9
+			for i := 0; i < 9; i++ {
+				w.Data[off+i] = 0
+			}
+		}
+	}
+	return c
+}
+
+// ConvGeom carries the spatial geometry FromWeights cannot infer from the
+// weight tensor.
+type ConvGeom struct {
+	Stride, Pad          int
+	InH, InW, OutH, OutW int
+}
+
+// GeomOf extracts ConvGeom from a model layer.
+func GeomOf(l *model.Layer) ConvGeom {
+	return ConvGeom{
+		Stride: l.Stride, Pad: l.Pad,
+		InH: l.InH, InW: l.InW, OutH: l.OutH, OutW: l.OutW,
+	}
+}
+
+// Generate synthesizes a pruned layer for a model conv descriptor: random
+// Xavier weights, pattern projection, and connectivity pruning keeping
+// 1/connRate of kernels (connRate = 3.6 reproduces the paper's uniform
+// connectivity pruning). Deterministic in seed. withWeights=false produces a
+// stats-only layer (IDs but nil weights), cheap enough for the largest VGG
+// layers.
+func Generate(l *model.Layer, set []pattern.Pattern, connRate float64, seed int64, withWeights bool) *Conv {
+	if !l.IsConv() || l.KH != 3 || l.KW != 3 {
+		panic("pruned: Generate requires a 3x3 conv layer, got " + l.Name)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := l.AllocWeights(rng)
+	if l.Kind == model.DWConv {
+		// Depthwise: pattern pruning only — every kernel survives.
+		c := FromWeights(l.Name, w, set, l.OutC, GeomOf(l))
+		c.Depthwise = true
+		if !withWeights {
+			c.Weights = nil
+		}
+		return c
+	}
+	keep := int(float64(l.OutC*l.InC)/connRate + 0.5)
+	if keep < 1 {
+		keep = 1
+	}
+	c := FromWeights(l.Name, w, set, keep, GeomOf(l))
+	if !withWeights {
+		c.Weights = nil
+	}
+	return c
+}

@@ -1,0 +1,186 @@
+package pruned
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"patdnn/internal/model"
+	"patdnn/internal/pattern"
+	"patdnn/internal/tensor"
+)
+
+func smallGeom() ConvGeom {
+	return ConvGeom{Stride: 1, Pad: 1, InH: 8, InW: 8, OutH: 8, OutW: 8}
+}
+
+func TestFromWeightsAssignsAndValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := tensor.New(4, 3, 3, 3)
+	w.Randn(rng, 1)
+	set := pattern.Canonical(8)
+	c := FromWeights("test", w, set, 4*3, smallGeom()) // keep all kernels
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NonEmptyKernels() != 12 {
+		t.Fatalf("kernels = %d, want 12", c.NonEmptyKernels())
+	}
+	// Each kernel keeps exactly 4 of 9 weights.
+	if c.NNZ() != 12*4 {
+		t.Fatalf("NNZ = %d, want 48", c.NNZ())
+	}
+	// Compression = 9/4 = 2.25 with no connectivity pruning.
+	if got := c.CompressionRate(); got < 2.24 || got > 2.26 {
+		t.Fatalf("compression = %v, want 2.25", got)
+	}
+}
+
+func TestFromWeightsConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := tensor.New(8, 9, 3, 3)
+	w.Randn(rng, 1)
+	set := pattern.Canonical(8)
+	keep := 20 // 72 kernels total, keep 20 -> 3.6x connectivity
+	c := FromWeights("conn", w, set, keep, smallGeom())
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NonEmptyKernels() != keep {
+		t.Fatalf("kept %d kernels, want %d", c.NonEmptyKernels(), keep)
+	}
+	// Joint compression: 9/4 * 72/20 = 8.1x, the paper's ~8x on VGG.
+	if got := c.CompressionRate(); got < 8.0 || got > 8.2 {
+		t.Fatalf("compression = %v, want ~8.1", got)
+	}
+}
+
+func TestConnectivityKeepsLargestKernels(t *testing.T) {
+	w := tensor.New(2, 2, 3, 3)
+	// Kernel (0,0) large, (1,1) large, others tiny.
+	for i := 0; i < 9; i++ {
+		w.Data[i] = 10
+		w.Data[3*9+i] = 10
+		w.Data[1*9+i] = 0.01
+		w.Data[2*9+i] = 0.01
+	}
+	set := pattern.Canonical(8)
+	c := FromWeights("sel", w, set, 2, smallGeom())
+	if c.ID(0, 0) == 0 || c.ID(1, 1) == 0 {
+		t.Fatal("large kernels were pruned")
+	}
+	if c.ID(0, 1) != 0 || c.ID(1, 0) != 0 {
+		t.Fatal("small kernels were kept")
+	}
+}
+
+func TestFilterLength(t *testing.T) {
+	c := &Conv{OutC: 2, InC: 3, KH: 3, KW: 3, Set: pattern.Canonical(8),
+		IDs: []int{1, 0, 2, 0, 0, 3}}
+	if c.FilterLength(0) != 2 || c.FilterLength(1) != 1 {
+		t.Fatalf("filter lengths = %d,%d", c.FilterLength(0), c.FilterLength(1))
+	}
+	if c.PatternOf(0, 1) != pattern.Empty {
+		t.Fatal("pruned kernel should map to Empty pattern")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := tensor.New(2, 2, 3, 3)
+	w.Randn(rng, 1)
+	set := pattern.Canonical(8)
+	c := FromWeights("bad", w, set, 4, smallGeom())
+	// Corrupt: set a weight outside its pattern.
+	p := c.PatternOf(0, 0)
+	for pos := 0; pos < 9; pos++ {
+		if !p.Has(pos) {
+			c.Weights.Data[pos] = 1
+			break
+		}
+	}
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate missed out-of-pattern weight")
+	}
+	// Corrupt IDs range.
+	c2 := FromWeights("bad2", w.Clone(), set, 4, smallGeom())
+	c2.IDs[0] = 99
+	if err := c2.Validate(); err == nil {
+		t.Fatal("Validate missed bad pattern ID")
+	}
+}
+
+func TestGenerateAtVGGScale(t *testing.T) {
+	m := model.VGG16("imagenet")
+	l := m.ConvLayers()[3] // L4: [128,128,3,3]
+	set := pattern.Canonical(8)
+	c := Generate(l, set, 3.6, 7, false)
+	if c.Weights != nil {
+		t.Fatal("stats-only generation should drop weights")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	kernels := 128.0 * 128.0
+	wantKeep := int(kernels/3.6 + 0.5)
+	if c.NonEmptyKernels() != wantKeep {
+		t.Fatalf("kept %d, want %d", c.NonEmptyKernels(), wantKeep)
+	}
+	// Deterministic in seed.
+	c2 := Generate(l, set, 3.6, 7, false)
+	for i := range c.IDs {
+		if c.IDs[i] != c2.IDs[i] {
+			t.Fatal("Generate not deterministic")
+		}
+	}
+	c3 := Generate(l, set, 3.6, 8, false)
+	diff := 0
+	for i := range c.IDs {
+		if c.IDs[i] != c3.IDs[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds gave identical assignment")
+	}
+}
+
+func TestGeneratePanicsOnNon3x3(t *testing.T) {
+	m := model.ResNet50("imagenet")
+	var oneByOne *model.Layer
+	for _, l := range m.ConvLayers() {
+		if l.KH == 1 {
+			oneByOne = l
+			break
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 1x1 conv")
+		}
+	}()
+	Generate(oneByOne, pattern.Canonical(8), 3.6, 1, false)
+}
+
+// Property: for any seed, generated layers are valid and every retained
+// kernel has a pattern from the set with exactly 4 entries.
+func TestGenerateProperty(t *testing.T) {
+	m := model.VGG16("cifar10")
+	l := m.ConvLayers()[1]
+	set := pattern.Canonical(6)
+	f := func(seed int64) bool {
+		c := Generate(l, set, 3.6, seed, true)
+		if c.Validate() != nil {
+			return false
+		}
+		for _, id := range c.IDs {
+			if id != 0 && c.Set[id-1].Entries() != 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package runtime executes compiled PatDNN plans on the host: a worker-pool
+// parallel-for that splits a layer's output channels across threads along the
+// filter-group boundaries FKR produces (the same mapping the paper uses for
+// GPU thread blocks and CPU threads), plus a simple layer pipeline and wall-
+// clock measurement helpers used by the host microbenchmarks.
+package runtime
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"patdnn/internal/compiler/codegen"
+	"patdnn/internal/tensor"
+)
+
+// Pool is a fixed-size worker pool for data-parallel layer execution.
+type Pool struct {
+	workers int
+}
+
+// NewPool creates a pool with n workers (n<=0 selects GOMAXPROCS).
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: n}
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// ParallelFor runs fn(chunk) for chunks [start,end) covering [0,n) split as
+// evenly as possible across the workers.
+func (p *Pool) ParallelFor(n int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// RunLayer executes a compiled conv plan with the pool, splitting output
+// channels across workers.
+func (p *Pool) RunLayer(plan *codegen.Plan, input *tensor.Tensor, bias []float32) *tensor.Tensor {
+	c := plan.Conv
+	out := tensor.New(c.OutC, c.OutH, c.OutW)
+	if bias != nil {
+		for oc := 0; oc < c.OutC; oc++ {
+			plane := out.Data[oc*c.OutH*c.OutW : (oc+1)*c.OutH*c.OutW]
+			for i := range plane {
+				plane[i] = bias[oc]
+			}
+		}
+	}
+	padded := plan.PadInput(input)
+	p.ParallelFor(c.OutC, func(start, end int) {
+		plan.ExecuteRange(padded, out, start, end)
+	})
+	return out
+}
+
+// Measure runs fn repeatedly and returns the average wall-clock milliseconds
+// over runs (after one warmup).
+func Measure(runs int, fn func()) float64 {
+	if runs < 1 {
+		runs = 1
+	}
+	fn() // warmup
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	return float64(time.Since(start).Milliseconds()) / float64(runs)
+}
+
+// Pipeline executes a sequence of compiled conv plans, feeding each output
+// into the next layer with a ReLU between stages (the fused conv+relu
+// execution of the graph optimizer).
+type Pipeline struct {
+	Plans  []*codegen.Plan
+	Biases [][]float32
+	pool   *Pool
+}
+
+// NewPipeline builds a pipeline over the pool.
+func NewPipeline(pool *Pool, plans []*codegen.Plan, biases [][]float32) *Pipeline {
+	return &Pipeline{Plans: plans, Biases: biases, pool: pool}
+}
+
+// Run executes the pipeline on one input.
+func (pl *Pipeline) Run(input *tensor.Tensor) *tensor.Tensor {
+	x := input
+	for i, plan := range pl.Plans {
+		var bias []float32
+		if pl.Biases != nil && i < len(pl.Biases) {
+			bias = pl.Biases[i]
+		}
+		x = pl.pool.RunLayer(plan, x, bias)
+		tensor.ReLU(x)
+	}
+	return x
+}

@@ -1,0 +1,112 @@
+package runtime
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"patdnn/internal/compiler/codegen"
+	"patdnn/internal/compiler/lr"
+	"patdnn/internal/pattern"
+	"patdnn/internal/pruned"
+	"patdnn/internal/tensor"
+)
+
+func testPlan(t testing.TB, level codegen.Level) (*codegen.Plan, *tensor.Tensor) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	w := tensor.New(12, 8, 3, 3)
+	w.Randn(rng, 1)
+	geom := pruned.ConvGeom{Stride: 1, Pad: 1, InH: 14, InW: 10, OutH: 14, OutW: 10}
+	c := pruned.FromWeights("rt", w, pattern.Canonical(8), 40, geom)
+	plan, err := codegen.Compile(c, level, lr.DefaultTuning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(8, 14, 10)
+	in.Randn(rng, 1)
+	return plan, in
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	p := NewPool(4)
+	var covered [100]int32
+	p.ParallelFor(100, func(start, end int) {
+		for i := start; i < end; i++ {
+			atomic.AddInt32(&covered[i], 1)
+		}
+	})
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestParallelForEdgeCases(t *testing.T) {
+	p := NewPool(8)
+	ran := false
+	p.ParallelFor(0, func(s, e int) { ran = true })
+	if ran {
+		t.Fatal("ParallelFor(0) must not call fn")
+	}
+	var n int32
+	p.ParallelFor(1, func(s, e int) { atomic.AddInt32(&n, int32(e-s)) })
+	if n != 1 {
+		t.Fatalf("ParallelFor(1) covered %d", n)
+	}
+	if NewPool(0).Workers() < 1 {
+		t.Fatal("pool must default to >= 1 worker")
+	}
+}
+
+func TestRunLayerMatchesSequential(t *testing.T) {
+	for _, level := range []codegen.Level{codegen.Reorder, codegen.Tuned} {
+		plan, in := testPlan(t, level)
+		bias := make([]float32, plan.Conv.OutC)
+		for i := range bias {
+			bias[i] = float32(i) * 0.1
+		}
+		want := plan.Execute(in, bias)
+		for _, workers := range []int{1, 2, 4, 8} {
+			pool := NewPool(workers)
+			got := pool.RunLayer(plan, in, bias)
+			if !got.AllClose(want, 1e-4) {
+				t.Fatalf("level %v workers %d: parallel diff %g",
+					level, workers, got.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+func TestPipelineRuns(t *testing.T) {
+	plan1, in := testPlan(t, codegen.Tuned)
+	// Second layer consumes the first layer's 12-channel output.
+	rng := rand.New(rand.NewSource(2))
+	w2 := tensor.New(6, 12, 3, 3)
+	w2.Randn(rng, 1)
+	geom := pruned.ConvGeom{Stride: 1, Pad: 1, InH: 14, InW: 10, OutH: 14, OutW: 10}
+	c2 := pruned.FromWeights("rt2", w2, pattern.Canonical(8), 30, geom)
+	plan2, err := codegen.Compile(c2, codegen.Tuned, lr.DefaultTuning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := NewPipeline(NewPool(4), []*codegen.Plan{plan1, plan2}, nil)
+	out := pl.Run(in)
+	if out.Dim(0) != 6 || out.Dim(1) != 14 || out.Dim(2) != 10 {
+		t.Fatalf("pipeline output shape %v", out.Shape())
+	}
+	// ReLU applied: no negatives.
+	for _, v := range out.Data {
+		if v < 0 {
+			t.Fatal("pipeline output not rectified")
+		}
+	}
+}
+
+func TestMeasureReturnsNonNegative(t *testing.T) {
+	ms := Measure(3, func() {})
+	if ms < 0 {
+		t.Fatalf("negative time %f", ms)
+	}
+}

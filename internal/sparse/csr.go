@@ -1,0 +1,95 @@
+// Package sparse implements the compressed weight storage formats compared in
+// the paper: the standard CSR format (the clSPARSE-style baseline the paper's
+// Figure 16 compares against) and PatDNN's FKW (Filter-Kernel-Weight) format,
+// whose five arrays — offset, reorder, index, stride, weight — exploit
+// pattern regularity to cut the extra-structure overhead by roughly an order
+// of magnitude.
+package sparse
+
+import (
+	"fmt"
+
+	"patdnn/internal/tensor"
+)
+
+// CSR stores a sparse matrix in compressed-sparse-row form with 32-bit
+// indices (the standard layout of clSPARSE and similar libraries).
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int32
+	ColIdx     []int32
+	Values     []float32
+}
+
+// NewCSR compresses a dense [rows, cols] matrix.
+func NewCSR(m *tensor.Tensor) *CSR {
+	rows, cols := m.Dim(0), m.Dim(1)
+	c := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int32, rows+1)}
+	for r := 0; r < rows; r++ {
+		for j := 0; j < cols; j++ {
+			v := m.Data[r*cols+j]
+			if v != 0 {
+				c.ColIdx = append(c.ColIdx, int32(j))
+				c.Values = append(c.Values, v)
+			}
+		}
+		c.RowPtr[r+1] = int32(len(c.Values))
+	}
+	return c
+}
+
+// FromConvWeights compresses a [Co, Ci, Kh, Kw] conv weight tensor as the
+// flattened [Co, Ci*Kh*Kw] matrix — the representation a sparse-GEMM conv
+// uses.
+func FromConvWeights(w *tensor.Tensor) *CSR {
+	co := w.Dim(0)
+	cols := w.Dim(1) * w.Dim(2) * w.Dim(3)
+	return NewCSR(w.Reshape(co, cols))
+}
+
+// NNZ returns the stored non-zero count.
+func (c *CSR) NNZ() int { return len(c.Values) }
+
+// Dense reconstructs the dense matrix.
+func (c *CSR) Dense() *tensor.Tensor {
+	out := tensor.New(c.Rows, c.Cols)
+	for r := 0; r < c.Rows; r++ {
+		for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+			out.Data[r*c.Cols+int(c.ColIdx[p])] = c.Values[p]
+		}
+	}
+	return out
+}
+
+// OverheadBytes returns the extra-structure bytes (index arrays only, not
+// weight values): 4 bytes per row-pointer entry plus 4 per column index.
+func (c *CSR) OverheadBytes() int {
+	return 4*len(c.RowPtr) + 4*len(c.ColIdx)
+}
+
+// WeightBytes returns the weight-value storage at the given precision
+// (4 = float32, 2 = FP16 as used on mobile GPUs).
+func (c *CSR) WeightBytes(bytesPerWeight int) int {
+	return bytesPerWeight * len(c.Values)
+}
+
+// TotalBytes returns structure + weights.
+func (c *CSR) TotalBytes(bytesPerWeight int) int {
+	return c.OverheadBytes() + c.WeightBytes(bytesPerWeight)
+}
+
+// MatVec computes y = A·x; the kernel of the CSR sparse-conv baseline.
+func (c *CSR) MatVec(x, y []float32) error {
+	if len(x) != c.Cols || len(y) != c.Rows {
+		return fmt.Errorf("sparse: MatVec dims: x %d (want %d), y %d (want %d)",
+			len(x), c.Cols, len(y), c.Rows)
+	}
+	for r := 0; r < c.Rows; r++ {
+		var s float32
+		for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+			s += c.Values[p] * x[c.ColIdx[p]]
+		}
+		y[r] = s
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"patdnn/internal/pattern"
+	"patdnn/internal/pruned"
+	"patdnn/internal/tensor"
+)
+
+// FKW is PatDNN's Filter-Kernel-Weight compact storage (paper Section 5.3,
+// Figure 10). It stores pattern-pruned conv weights after Filter Kernel
+// Reorder with five arrays at three hierarchy levels:
+//
+//	filter level:  Offset  — per filter, cumulative non-empty kernel count
+//	               Reorder — per filter, the original filter (output channel)
+//	kernel level:  Index   — per kernel, the input channel it convolves
+//	               Stride  — per filter, cumulative kernel counts per pattern
+//	weight level:  Weights — the retained weights, Entries() per kernel
+//
+// Because every kernel of a pattern has the same shape, no per-weight index
+// is needed — that is where the overhead win over CSR comes from.
+type FKW struct {
+	OutC, InC, KH, KW int
+	Patterns          []pattern.Pattern // distinct patterns present, by layer ID order
+
+	Offset  []int32  // len OutC+1
+	Reorder []uint16 // len OutC
+	Index   []uint16 // len = non-empty kernels
+	Stride  []uint16 // len = OutC * (len(Patterns)+1)
+	Weights []float32
+}
+
+// Encode builds the FKW representation of a pruned layer. filterPerm is the
+// FKR filter permutation (newPos -> original filter); pass nil for identity.
+// Kernels inside each filter are stored grouped by pattern ID ascending (the
+// kernel-reorder step), as the format requires.
+func Encode(c *pruned.Conv, filterPerm []int) (*FKW, error) {
+	if c.Weights == nil {
+		return nil, fmt.Errorf("sparse: Encode requires weights on layer %s", c.Name)
+	}
+	if c.OutC > 65535 || c.InC > 65535 {
+		return nil, fmt.Errorf("sparse: layer %s exceeds uint16 index range", c.Name)
+	}
+	if filterPerm == nil {
+		filterPerm = make([]int, c.OutC)
+		for i := range filterPerm {
+			filterPerm[i] = i
+		}
+	}
+	// Distinct pattern IDs present in the layer, ascending.
+	present := map[int]bool{}
+	for _, id := range c.IDs {
+		if id != 0 {
+			present[id] = true
+		}
+	}
+	ids := make([]int, 0, len(present))
+	for id := range present {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	idToSlot := make(map[int]int, len(ids))
+	f := &FKW{
+		OutC: c.OutC, InC: c.InC, KH: c.KH, KW: c.KW,
+		Offset: make([]int32, 1, c.OutC+1),
+	}
+	for slot, id := range ids {
+		idToSlot[id] = slot
+		f.Patterns = append(f.Patterns, c.Set[id-1])
+	}
+
+	for newPos := 0; newPos < c.OutC; newPos++ {
+		orig := filterPerm[newPos]
+		f.Reorder = append(f.Reorder, uint16(orig))
+		// Collect non-empty kernels sorted by (pattern ID, channel).
+		type kk struct{ id, ch int }
+		var ks []kk
+		for ch := 0; ch < c.InC; ch++ {
+			if id := c.ID(orig, ch); id != 0 {
+				ks = append(ks, kk{id, ch})
+			}
+		}
+		sort.Slice(ks, func(a, b int) bool {
+			if ks[a].id != ks[b].id {
+				return ks[a].id < ks[b].id
+			}
+			return ks[a].ch < ks[b].ch
+		})
+		// Stride: cumulative counts across the layer's pattern list.
+		counts := make([]int, len(ids))
+		for _, k := range ks {
+			counts[idToSlot[k.id]]++
+		}
+		cum := 0
+		f.Stride = append(f.Stride, uint16(0))
+		for _, n := range counts {
+			cum += n
+			f.Stride = append(f.Stride, uint16(cum))
+		}
+		// Index + weights.
+		for _, k := range ks {
+			f.Index = append(f.Index, uint16(k.ch))
+			p := c.Set[k.id-1]
+			off := (orig*c.InC + k.ch) * c.KH * c.KW
+			for _, pos := range p.Indices() {
+				f.Weights = append(f.Weights, c.Weights.Data[off+pos])
+			}
+		}
+		f.Offset = append(f.Offset, int32(len(f.Index)))
+	}
+	return f, nil
+}
+
+// KernelsOf returns, for reordered filter position pos and pattern slot s,
+// the [start, end) kernel range in Index/weight order, and the pattern.
+func (f *FKW) KernelsOf(pos, slot int) (start, end int, p pattern.Pattern) {
+	base := pos * (len(f.Patterns) + 1)
+	s := int(f.Stride[base+slot])
+	e := int(f.Stride[base+slot+1])
+	off := int(f.Offset[pos])
+	return off + s, off + e, f.Patterns[slot]
+}
+
+// Decode reconstructs the dense [OutC, InC, KH, KW] weight tensor (in the
+// original, un-reordered filter order).
+func (f *FKW) Decode() *tensor.Tensor {
+	out := tensor.New(f.OutC, f.InC, f.KH, f.KW)
+	wOff := 0
+	for pos := 0; pos < f.OutC; pos++ {
+		orig := int(f.Reorder[pos])
+		for slot := range f.Patterns {
+			start, end, p := f.KernelsOf(pos, slot)
+			idx := p.Indices()
+			for k := start; k < end; k++ {
+				ch := int(f.Index[k])
+				base := (orig*f.InC + ch) * f.KH * f.KW
+				for _, pp := range idx {
+					out.Data[base+pp] = f.Weights[wOff]
+					wOff++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NNZ returns the stored weight count.
+func (f *FKW) NNZ() int { return len(f.Weights) }
+
+// KernelCount returns the stored (non-empty) kernel count.
+func (f *FKW) KernelCount() int { return len(f.Index) }
+
+// OverheadBytes returns the extra-structure bytes: offset (int32), reorder,
+// index and stride (uint16), plus the pattern masks (2 bytes each).
+func (f *FKW) OverheadBytes() int {
+	return 4*len(f.Offset) + 2*len(f.Reorder) + 2*len(f.Index) +
+		2*len(f.Stride) + 2*len(f.Patterns)
+}
+
+// WeightBytes returns weight-value storage at the given precision.
+func (f *FKW) WeightBytes(bytesPerWeight int) int {
+	return bytesPerWeight * len(f.Weights)
+}
+
+// TotalBytes returns structure + weights.
+func (f *FKW) TotalBytes(bytesPerWeight int) int {
+	return f.OverheadBytes() + f.WeightBytes(bytesPerWeight)
+}

@@ -1,0 +1,49 @@
+package sparse
+
+import (
+	"patdnn/internal/compiler/reorder"
+	"patdnn/internal/pruned"
+)
+
+// OverheadStats compares the extra-structure cost of FKW against CSR for one
+// pruned layer, the quantity Figure 16 plots.
+type OverheadStats struct {
+	Layer       string
+	NNZ         int
+	CSROverhead int
+	FKWOverhead int
+	CSRTotal    int // structure + float32 weights
+	FKWTotal    int
+	// Ratio = FKW/CSR extra-structure overhead (Figure 16's y-axis).
+	Ratio float64
+	// StorageSaving = 1 - FKWTotal/CSRTotal (the "overall storage space
+	// saving" the paper quotes).
+	StorageSaving float64
+}
+
+// AnalyzeOverhead computes the FKW-vs-CSR comparison for a pruned layer with
+// weights. The FKR plan is computed internally so the FKW encoding matches
+// real deployment.
+func AnalyzeOverhead(c *pruned.Conv) (OverheadStats, error) {
+	plan := reorder.Build(c)
+	fkw, err := Encode(c, plan.FilterPerm)
+	if err != nil {
+		return OverheadStats{}, err
+	}
+	csr := FromConvWeights(c.Weights)
+	st := OverheadStats{
+		Layer:       c.Name,
+		NNZ:         csr.NNZ(),
+		CSROverhead: csr.OverheadBytes(),
+		FKWOverhead: fkw.OverheadBytes(),
+		CSRTotal:    csr.TotalBytes(4),
+		FKWTotal:    fkw.TotalBytes(4),
+	}
+	if st.CSROverhead > 0 {
+		st.Ratio = float64(st.FKWOverhead) / float64(st.CSROverhead)
+	}
+	if st.CSRTotal > 0 {
+		st.StorageSaving = 1 - float64(st.FKWTotal)/float64(st.CSRTotal)
+	}
+	return st, nil
+}

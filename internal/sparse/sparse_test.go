@@ -1,0 +1,241 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"patdnn/internal/compiler/reorder"
+	"patdnn/internal/model"
+	"patdnn/internal/pattern"
+	"patdnn/internal/pruned"
+	"patdnn/internal/tensor"
+)
+
+func genLayer(seed int64, setSize int, connRate float64) *pruned.Conv {
+	m := model.VGG16("cifar10")
+	return pruned.Generate(m.ConvLayers()[2], pattern.Canonical(setSize), connRate, seed, true)
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := tensor.New(6, 10)
+	for i := range m.Data {
+		if rng.Float64() < 0.3 {
+			m.Data[i] = float32(rng.NormFloat64())
+		}
+	}
+	c := NewCSR(m)
+	if !c.Dense().AllClose(m, 0) {
+		t.Fatal("CSR round trip failed")
+	}
+	if c.NNZ() != m.NNZ() {
+		t.Fatalf("NNZ mismatch: %d vs %d", c.NNZ(), m.NNZ())
+	}
+}
+
+func TestCSRMatVec(t *testing.T) {
+	m := tensor.FromSlice([]float32{
+		1, 0, 2,
+		0, 3, 0,
+	}, 2, 3)
+	c := NewCSR(m)
+	x := []float32{1, 2, 3}
+	y := make([]float32, 2)
+	if err := c.MatVec(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 7 || y[1] != 6 {
+		t.Fatalf("MatVec = %v", y)
+	}
+	if err := c.MatVec(x[:2], y); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestCSROverheadBytes(t *testing.T) {
+	m := tensor.New(4, 8)
+	m.Data[0], m.Data[9], m.Data[31] = 1, 2, 3
+	c := NewCSR(m)
+	// rowptr: 5*4 bytes; colidx: 3*4 bytes.
+	if got := c.OverheadBytes(); got != 5*4+3*4 {
+		t.Fatalf("overhead = %d", got)
+	}
+	if got := c.WeightBytes(2); got != 6 {
+		t.Fatalf("fp16 weight bytes = %d", got)
+	}
+}
+
+func TestFKWRoundTripIdentityPerm(t *testing.T) {
+	c := genLayer(2, 8, 3.6)
+	f, err := Encode(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Decode().AllClose(c.Weights, 0) {
+		t.Fatal("FKW round trip (identity perm) failed")
+	}
+}
+
+func TestFKWRoundTripWithFKR(t *testing.T) {
+	c := genLayer(3, 8, 3.6)
+	plan := reorder.Build(c)
+	f, err := Encode(c, plan.FilterPerm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Decode().AllClose(c.Weights, 0) {
+		t.Fatal("FKW round trip (FKR perm) failed")
+	}
+	if f.KernelCount() != c.NonEmptyKernels() {
+		t.Fatalf("kernel count %d, want %d", f.KernelCount(), c.NonEmptyKernels())
+	}
+	if f.NNZ() != c.NNZ() {
+		t.Fatalf("NNZ %d, want %d", f.NNZ(), c.NNZ())
+	}
+}
+
+func TestFKWStrideStructure(t *testing.T) {
+	c := genLayer(4, 6, 3.0)
+	f, err := Encode(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := len(f.Patterns) + 1
+	if len(f.Stride) != c.OutC*per {
+		t.Fatalf("stride len = %d, want %d", len(f.Stride), c.OutC*per)
+	}
+	for pos := 0; pos < c.OutC; pos++ {
+		row := f.Stride[pos*per : (pos+1)*per]
+		if row[0] != 0 {
+			t.Fatalf("stride row %d does not start at 0: %v", pos, row)
+		}
+		for i := 1; i < per; i++ {
+			if row[i] < row[i-1] {
+				t.Fatalf("stride row %d not monotone: %v", pos, row)
+			}
+		}
+		// Last stride equals the filter's kernel count.
+		want := int(f.Offset[pos+1] - f.Offset[pos])
+		if int(row[per-1]) != want {
+			t.Fatalf("stride row %d total %d, want %d", pos, row[per-1], want)
+		}
+	}
+}
+
+func TestFKWRequiresWeights(t *testing.T) {
+	c := genLayer(5, 8, 3.6)
+	c.Weights = nil
+	if _, err := Encode(c, nil); err == nil {
+		t.Fatal("expected error without weights")
+	}
+}
+
+func TestFKWOverheadFarBelowCSR(t *testing.T) {
+	// Figure 16's claim: FKW saves ~88-93% of CSR extra-structure overhead
+	// and >40% total storage at the paper's pruning rates.
+	c := genLayer(6, 8, 3.6) // ~8x overall
+	st, err := AnalyzeOverhead(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small layers amortize the per-filter arrays worse; <=25% here, ~13%
+	// at L8/L9 scale (see TestOverheadBigLayer).
+	if st.Ratio > 0.25 {
+		t.Fatalf("FKW/CSR overhead ratio = %.3f, want <= 0.25", st.Ratio)
+	}
+	if st.StorageSaving < 0.35 {
+		t.Fatalf("total storage saving = %.3f, want >= 0.35", st.StorageSaving)
+	}
+}
+
+func TestOverheadBigLayer(t *testing.T) {
+	// VGG L8 [512,512,3,3] at the paper's 8x overall rate: FKW overhead
+	// must be close to the paper's ~12% of CSR, and total storage saving
+	// >= 40% (paper: 43.9% at 8x).
+	m := model.VGG16("imagenet")
+	var l8 *model.Layer
+	for _, l := range m.ConvLayers() {
+		if l.OutC == 512 && l.InC == 512 {
+			l8 = l
+			break
+		}
+	}
+	c := pruned.Generate(l8, pattern.Canonical(8), 3.56, 9, true)
+	st, err := AnalyzeOverhead(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ratio > 0.16 {
+		t.Fatalf("L8 FKW/CSR ratio = %.3f, want <= 0.16", st.Ratio)
+	}
+	if st.StorageSaving < 0.40 {
+		t.Fatalf("L8 storage saving = %.3f, want >= 0.40", st.StorageSaving)
+	}
+}
+
+func TestOverheadAcrossPruningRates(t *testing.T) {
+	// Overhead ratio stays far below CSR at every rate Figure 16 uses
+	// (overall 8x, 12x, 18x = connectivity 3.56x, 5.33x, 8x on top of the
+	// 2.25x pattern rate). Measured on a large layer (VGG L6-like), where
+	// the per-filter arrays amortize as in the paper.
+	m := model.VGG16("imagenet")
+	var l6 *model.Layer
+	for _, l := range m.ConvLayers() {
+		if l.OutC == 256 && l.InC == 256 {
+			l6 = l
+			break
+		}
+	}
+	for _, conn := range []float64{3.56, 5.33, 8.0} {
+		c := pruned.Generate(l6, pattern.Canonical(8), conn, 7, true)
+		st, err := AnalyzeOverhead(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Ratio > 0.25 {
+			t.Fatalf("conn %.2f: ratio %.3f too high", conn, st.Ratio)
+		}
+	}
+}
+
+// Property: FKW round-trips for random layers across set sizes and rates.
+func TestFKWRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		c := genLayer(seed, 6, 3.0)
+		plan := reorder.Build(c)
+		fkw, err := Encode(c, plan.FilterPerm)
+		if err != nil {
+			return false
+		}
+		return fkw.Decode().AllClose(c.Weights, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelsOfRanges(t *testing.T) {
+	c := genLayer(8, 6, 3.0)
+	f, err := Encode(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walking all (pos, slot) ranges must cover Index exactly once.
+	covered := 0
+	for pos := 0; pos < f.OutC; pos++ {
+		for slot := range f.Patterns {
+			start, end, p := f.KernelsOf(pos, slot)
+			if start > end {
+				t.Fatalf("negative range at pos %d slot %d", pos, slot)
+			}
+			if p.Entries() != 4 {
+				t.Fatal("bad pattern from KernelsOf")
+			}
+			covered += end - start
+		}
+	}
+	if covered != f.KernelCount() {
+		t.Fatalf("ranges cover %d kernels, want %d", covered, f.KernelCount())
+	}
+}

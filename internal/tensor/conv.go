@@ -1,0 +1,305 @@
+package tensor
+
+// Convolution and pooling reference implementations. These are the ground
+// truth the compiled sparse kernels in internal/compiler/codegen are checked
+// against, and the compute core of the training substrate.
+
+// ConvSpec describes a 2-D convolution: kernel size, stride, and symmetric
+// zero padding.
+type ConvSpec struct {
+	Stride int
+	Pad    int
+}
+
+// ConvOutDim returns the output spatial size for input size in, kernel k,
+// stride s, and padding p.
+func ConvOutDim(in, k, s, p int) int {
+	return (in+2*p-k)/s + 1
+}
+
+// Conv2D computes a direct 2-D convolution.
+//
+//	input:  [Ci, H, W]
+//	weight: [Co, Ci, Kh, Kw]
+//	bias:   [Co] or nil
+//	output: [Co, Ho, Wo]
+func Conv2D(input, weight, bias *Tensor, spec ConvSpec) *Tensor {
+	ci, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
+	co, wci, kh, kw := weight.Dim(0), weight.Dim(1), weight.Dim(2), weight.Dim(3)
+	if ci != wci {
+		panic("tensor: Conv2D channel mismatch")
+	}
+	ho := ConvOutDim(h, kh, spec.Stride, spec.Pad)
+	wo := ConvOutDim(w, kw, spec.Stride, spec.Pad)
+	out := New(co, ho, wo)
+	for oc := 0; oc < co; oc++ {
+		var b float32
+		if bias != nil {
+			b = bias.Data[oc]
+		}
+		for oh := 0; oh < ho; oh++ {
+			for ow := 0; ow < wo; ow++ {
+				acc := b
+				for ic := 0; ic < ci; ic++ {
+					for r := 0; r < kh; r++ {
+						ih := oh*spec.Stride + r - spec.Pad
+						if ih < 0 || ih >= h {
+							continue
+						}
+						for c := 0; c < kw; c++ {
+							iw := ow*spec.Stride + c - spec.Pad
+							if iw < 0 || iw >= w {
+								continue
+							}
+							acc += input.Data[(ic*h+ih)*w+iw] *
+								weight.Data[((oc*ci+ic)*kh+r)*kw+c]
+						}
+					}
+				}
+				out.Data[(oc*ho+oh)*wo+ow] = acc
+			}
+		}
+	}
+	return out
+}
+
+// Im2Col lowers the input [Ci,H,W] into a matrix of shape
+// [Ci*Kh*Kw, Ho*Wo] so that convolution becomes a GEMM with the weight
+// matrix [Co, Ci*Kh*Kw].
+func Im2Col(input *Tensor, kh, kw int, spec ConvSpec) *Tensor {
+	ci, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
+	ho := ConvOutDim(h, kh, spec.Stride, spec.Pad)
+	wo := ConvOutDim(w, kw, spec.Stride, spec.Pad)
+	cols := New(ci*kh*kw, ho*wo)
+	row := 0
+	for ic := 0; ic < ci; ic++ {
+		for r := 0; r < kh; r++ {
+			for c := 0; c < kw; c++ {
+				dst := cols.Data[row*ho*wo : (row+1)*ho*wo]
+				for oh := 0; oh < ho; oh++ {
+					ih := oh*spec.Stride + r - spec.Pad
+					for ow := 0; ow < wo; ow++ {
+						iw := ow*spec.Stride + c - spec.Pad
+						if ih >= 0 && ih < h && iw >= 0 && iw < w {
+							dst[oh*wo+ow] = input.Data[(ic*h+ih)*w+iw]
+						} else {
+							dst[oh*wo+ow] = 0
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return cols
+}
+
+// MatMul computes C = A·B for A [m,k] and B [k,n] with simple register
+// blocking; good enough for the training substrate.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic("tensor: MatMul inner dimension mismatch")
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		ci := c.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := a.Data[i*k+p]
+			if av == 0 {
+				continue
+			}
+			bp := b.Data[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// Conv2DIm2Col computes the same result as Conv2D via im2col + GEMM.
+func Conv2DIm2Col(input, weight, bias *Tensor, spec ConvSpec) *Tensor {
+	co, ci, kh, kw := weight.Dim(0), weight.Dim(1), weight.Dim(2), weight.Dim(3)
+	cols := Im2Col(input, kh, kw, spec)
+	wmat := weight.Reshape(co, ci*kh*kw)
+	out := MatMul(wmat, cols)
+	ho := ConvOutDim(input.Dim(1), kh, spec.Stride, spec.Pad)
+	wo := ConvOutDim(input.Dim(2), kw, spec.Stride, spec.Pad)
+	res := out.Reshape(co, ho, wo)
+	if bias != nil {
+		for oc := 0; oc < co; oc++ {
+			b := bias.Data[oc]
+			plane := res.Data[oc*ho*wo : (oc+1)*ho*wo]
+			for i := range plane {
+				plane[i] += b
+			}
+		}
+	}
+	return res
+}
+
+// Col2Im accumulates a column matrix [Ci*Kh*Kw, Ho*Wo] back into an input
+// gradient [Ci,H,W]; the adjoint of Im2Col, used by convolution backprop.
+func Col2Im(cols *Tensor, ci, h, w, kh, kw int, spec ConvSpec) *Tensor {
+	ho := ConvOutDim(h, kh, spec.Stride, spec.Pad)
+	wo := ConvOutDim(w, kw, spec.Stride, spec.Pad)
+	out := New(ci, h, w)
+	row := 0
+	for ic := 0; ic < ci; ic++ {
+		for r := 0; r < kh; r++ {
+			for c := 0; c < kw; c++ {
+				src := cols.Data[row*ho*wo : (row+1)*ho*wo]
+				for oh := 0; oh < ho; oh++ {
+					ih := oh*spec.Stride + r - spec.Pad
+					if ih < 0 || ih >= h {
+						continue
+					}
+					for ow := 0; ow < wo; ow++ {
+						iw := ow*spec.Stride + c - spec.Pad
+						if iw < 0 || iw >= w {
+							continue
+						}
+						out.Data[(ic*h+ih)*w+iw] += src[oh*wo+ow]
+					}
+				}
+				row++
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT1 computes C = Aᵀ·B for A [k,m] and B [k,n], yielding [m,n].
+func MatMulT1(a, b *Tensor) *Tensor {
+	k, m := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic("tensor: MatMulT1 inner dimension mismatch")
+	}
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		ap := a.Data[p*m : (p+1)*m]
+		bp := b.Data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := c.Data[i*n : (i+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulT2 computes C = A·Bᵀ for A [m,k] and B [n,k], yielding [m,n].
+func MatMulT2(a, b *Tensor) *Tensor {
+	m, k := a.Dim(0), a.Dim(1)
+	n, k2 := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic("tensor: MatMulT2 inner dimension mismatch")
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			bj := b.Data[j*k : (j+1)*k]
+			var s float32
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			c.Data[i*n+j] = s
+		}
+	}
+	return c
+}
+
+// MaxPool2D performs max pooling with a square window and equal stride.
+// Input [C,H,W] -> output [C,H/k,W/k] (floor). It also returns the argmax
+// flat indices (into the input plane) for backprop.
+func MaxPool2D(input *Tensor, k int) (*Tensor, []int) {
+	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
+	ho, wo := h/k, w/k
+	out := New(c, ho, wo)
+	arg := make([]int, c*ho*wo)
+	for ic := 0; ic < c; ic++ {
+		for oh := 0; oh < ho; oh++ {
+			for ow := 0; ow < wo; ow++ {
+				best := float32(-3.4e38)
+				bi := 0
+				for r := 0; r < k; r++ {
+					for cc := 0; cc < k; cc++ {
+						idx := (ic*h+oh*k+r)*w + ow*k + cc
+						if v := input.Data[idx]; v > best {
+							best, bi = v, idx
+						}
+					}
+				}
+				o := (ic*ho+oh)*wo + ow
+				out.Data[o] = best
+				arg[o] = bi
+			}
+		}
+	}
+	return out, arg
+}
+
+// AvgPool2DGlobal averages each channel plane to a single value:
+// [C,H,W] -> [C,1,1].
+func AvgPool2DGlobal(input *Tensor) *Tensor {
+	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
+	out := New(c, 1, 1)
+	inv := 1 / float32(h*w)
+	for ic := 0; ic < c; ic++ {
+		var s float32
+		plane := input.Data[ic*h*w : (ic+1)*h*w]
+		for _, v := range plane {
+			s += v
+		}
+		out.Data[ic] = s * inv
+	}
+	return out
+}
+
+// ReLU applies max(0,x) in place and returns its argument.
+func ReLU(t *Tensor) *Tensor {
+	for i, v := range t.Data {
+		if v < 0 {
+			t.Data[i] = 0
+		}
+	}
+	return t
+}
+
+// Softmax returns softmax over a 1-D logits tensor, numerically stabilized.
+func Softmax(logits *Tensor) *Tensor {
+	out := New(logits.shape...)
+	maxv := logits.Data[0]
+	for _, v := range logits.Data {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range logits.Data {
+		e := exp32(v - maxv)
+		out.Data[i] = e
+		sum += float64(e)
+	}
+	inv := float32(1 / sum)
+	for i := range out.Data {
+		out.Data[i] *= inv
+	}
+	return out
+}
+
+func exp32(x float32) float32 {
+	// Clamp to avoid overflow in float64 exp, then convert.
+	if x < -40 {
+		return 0
+	}
+	return float32(expFloat(float64(x)))
+}

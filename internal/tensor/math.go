@@ -1,0 +1,31 @@
+package tensor
+
+import "math"
+
+// expFloat is a trivial indirection over math.Exp kept so the hot softmax
+// path has a single call site to tune if needed.
+func expFloat(x float64) float64 { return math.Exp(x) }
+
+// BatchNormInference applies y = gamma*(x-mean)/sqrt(var+eps) + beta per
+// channel on a [C,H,W] tensor, in place, and returns its argument.
+func BatchNormInference(x, gamma, beta, mean, variance *Tensor, eps float32) *Tensor {
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	for ic := 0; ic < c; ic++ {
+		inv := float32(1 / math.Sqrt(float64(variance.Data[ic]+eps)))
+		g, b, m := gamma.Data[ic], beta.Data[ic], mean.Data[ic]
+		plane := x.Data[ic*h*w : (ic+1)*h*w]
+		for i, v := range plane {
+			plane[i] = g*(v-m)*inv + b
+		}
+	}
+	return x
+}
+
+// CrossEntropy returns -log(prob[label]) for a probability vector.
+func CrossEntropy(probs *Tensor, label int) float64 {
+	p := float64(probs.Data[label])
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return -math.Log(p)
+}

@@ -1,0 +1,235 @@
+// Package tensor provides the dense float32 tensor substrate used throughout
+// PatDNN: n-dimensional storage, deterministic initializers, and the numeric
+// helpers the training and inference engines build on.
+//
+// The package is deliberately minimal and allocation-conscious: a Tensor is a
+// flat []float32 plus a shape, indexed in row-major order. Convolution weights
+// follow the paper's convention [Co, Ci, Kh, Kw] and feature maps [C, H, W]
+// (single image) or [N, C, H, W] (batch).
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major float32 tensor.
+type Tensor struct {
+	shape []int
+	Data  []float32
+}
+
+// New returns a zero-filled tensor with the given shape.
+// It panics if any dimension is non-positive.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, Data: make([]float32, n)}
+}
+
+// FromSlice wraps data (not copied) in a tensor of the given shape.
+// It panics if the element count does not match the shape.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v wants %d elements, got %d", shape, n, len(data)))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, Data: data}
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// mutated.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view over the same data with a new shape.
+// It panics if element counts differ.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)",
+			t.shape, len(t.Data), shape, n))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, Data: t.Data}
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 { return t.Data[t.Offset(idx...)] }
+
+// Set writes the element at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) { t.Data[t.Offset(idx...)] = v }
+
+// Offset converts a multi-index to a flat offset.
+func (t *Tensor) Offset(idx ...int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index %v does not match rank %d", idx, len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero resets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// Randn fills the tensor with N(0, std) samples from rng.
+func (t *Tensor) Randn(rng *rand.Rand, std float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64() * std)
+	}
+}
+
+// XavierInit fills the tensor with the Glorot-uniform initialization used for
+// conv/FC weights: U(-a, a) with a = sqrt(6/(fanIn+fanOut)).
+func (t *Tensor) XavierInit(rng *rand.Rand, fanIn, fanOut int) {
+	a := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range t.Data {
+		t.Data[i] = float32((rng.Float64()*2 - 1) * a)
+	}
+}
+
+// L2Norm returns the Euclidean norm of all elements.
+func (t *Tensor) L2Norm() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Scale multiplies every element by a.
+func (t *Tensor) Scale(a float32) {
+	for i := range t.Data {
+		t.Data[i] *= a
+	}
+}
+
+// AddScaled adds a*o element-wise into t. Shapes must match.
+func (t *Tensor) AddScaled(o *Tensor, a float32) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: AddScaled shape mismatch")
+	}
+	for i := range t.Data {
+		t.Data[i] += a * o.Data[i]
+	}
+}
+
+// NNZ returns the number of non-zero elements.
+func (t *Tensor) NNZ() int {
+	n := 0
+	for _, v := range t.Data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Sparsity returns the fraction of zero elements in [0,1].
+func (t *Tensor) Sparsity() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return 1 - float64(t.NNZ())/float64(len(t.Data))
+}
+
+// MaxAbsDiff returns the largest |t_i - o_i|; useful for numeric checks.
+func (t *Tensor) MaxAbsDiff(o *Tensor) float64 {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: MaxAbsDiff shape mismatch")
+	}
+	var m float64
+	for i := range t.Data {
+		d := math.Abs(float64(t.Data[i]) - float64(o.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// AllClose reports whether every element pair differs by at most tol.
+func (t *Tensor) AllClose(o *Tensor, tol float64) bool {
+	if len(t.Data) != len(o.Data) {
+		return false
+	}
+	return t.MaxAbsDiff(o) <= tol
+}
+
+// ArgMax returns the flat index of the maximum element.
+func (t *Tensor) ArgMax() int {
+	best, bi := float32(math.Inf(-1)), 0
+	for i, v := range t.Data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// String renders a short description (shape + a few leading values).
+func (t *Tensor) String() string {
+	n := len(t.Data)
+	if n > 6 {
+		n = 6
+	}
+	return fmt.Sprintf("Tensor%v%v...", t.shape, t.Data[:n])
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	return true
+}

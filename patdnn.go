@@ -1,0 +1,234 @@
+// Package patdnn is the public API of this PatDNN reproduction: an end-to-end
+// framework for real-time DNN inference on mobile devices via pattern-based
+// weight pruning (kernel patterns + connectivity pruning, trained with an
+// extended ADMM framework) and compiler code generation (filter kernel
+// reorder, FKW compressed storage, load redundancy elimination, parameter
+// auto-tuning), following Niu et al., ASPLOS 2020.
+//
+// The package exposes the two stages of the paper's pipeline:
+//
+//	Prune    — run ADMM pattern+connectivity pruning on a real trainable CNN
+//	           (the training substrate in internal/nn) and obtain accuracy
+//	           plus the pruned layer representations.
+//	Compile  — lower a network description (VGG-16, ResNet-50, MobileNet-V2)
+//	           through the full compiler: FKR, FKW encoding, LRE, tuning —
+//	           and estimate latency on the modeled mobile devices.
+//
+// Everything deeper (tensor math, the compiler passes, the device models,
+// the benchmark harness) lives under internal/; see DESIGN.md for the map.
+package patdnn
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"patdnn/internal/accuracy"
+	"patdnn/internal/admm"
+	"patdnn/internal/baseline"
+	"patdnn/internal/bench"
+	"patdnn/internal/compiler/codegen"
+	"patdnn/internal/compiler/lr"
+	"patdnn/internal/compiler/reorder"
+	"patdnn/internal/dataset"
+	"patdnn/internal/device"
+	"patdnn/internal/model"
+	"patdnn/internal/modelfile"
+	"patdnn/internal/nn"
+	"patdnn/internal/pattern"
+	"patdnn/internal/pruned"
+)
+
+// PruneConfig configures an ADMM pruning run on the training substrate.
+type PruneConfig struct {
+	Patterns      int     // pattern-set size (paper default 8)
+	ConnRate      float64 // connectivity pruning rate (paper default 3.6; <=1 disables)
+	Iterations    int     // ADMM iterations
+	EpochsPerIter int
+	FinetuneEps   int
+	Seed          int64
+}
+
+// DefaultPruneConfig returns the paper's operating point scaled to the small
+// training substrate.
+func DefaultPruneConfig() PruneConfig {
+	return PruneConfig{Patterns: 8, ConnRate: 3.6, Iterations: 4,
+		EpochsPerIter: 2, FinetuneEps: 3, Seed: 1}
+}
+
+// PruneResult reports an ADMM pruning run.
+type PruneResult struct {
+	AccuracyBefore float64
+	AccuracyAfter  float64
+	Compression    float64
+	Layers         []*pruned.Conv
+}
+
+// Prune trains-with-constraints: it applies joint kernel-pattern and
+// connectivity pruning to net using the extended ADMM framework, fine-tunes
+// the surviving weights, and reports accuracy on test.
+func Prune(net *nn.Network, train, test *dataset.Dataset, cfg PruneConfig) *PruneResult {
+	acfg := admm.DefaultConfig(pattern.Canonical(cfg.Patterns))
+	acfg.ConnRate = cfg.ConnRate
+	if cfg.Iterations > 0 {
+		acfg.Iterations = cfg.Iterations
+	}
+	if cfg.EpochsPerIter > 0 {
+		acfg.EpochsPerIt = cfg.EpochsPerIter
+	}
+	if cfg.FinetuneEps > 0 {
+		acfg.FinetuneEps = cfg.FinetuneEps
+	}
+	acfg.Seed = cfg.Seed
+	acfg.SkipFirstConv = true
+	rep := admm.Run(net, train, test, acfg)
+	return &PruneResult{
+		AccuracyBefore: rep.AccBefore,
+		AccuracyAfter:  rep.AccAfterTune,
+		Compression:    rep.CompressionRate,
+		Layers:         rep.Pruned,
+	}
+}
+
+// SavePruned writes a trained-and-pruned network (the output of Prune) as a
+// deployable .patdnn compact model: FKW-compressed FP16 weights plus biases
+// and the layerwise representation. The file round-trips through
+// internal/modelfile and runs with cmd/patdnn-run.
+func SavePruned(net *nn.Network, res *PruneResult, w io.Writer) error {
+	file := &modelfile.File{LR: &lr.Representation{Model: "custom-cnn", Device: "CPU"}}
+	convs := net.ConvLayers()
+	if len(convs) < len(res.Layers) {
+		return fmt.Errorf("patdnn: network has %d conv layers, result has %d",
+			len(convs), len(res.Layers))
+	}
+	for i, pc := range res.Layers {
+		bias := append([]float32(nil), convs[i].Bias.W.Data...)
+		file.Layers = append(file.Layers, modelfile.Layer{Conv: pc, Bias: bias})
+		file.LR.Layers = append(file.LR.Layers,
+			lr.FromPruned(pc, reorder.Build(pc), lr.DefaultTuning()))
+	}
+	return modelfile.Write(w, file)
+}
+
+// Compiled is a pattern-pruned, compiler-optimized model ready for latency
+// estimation and inspection.
+type Compiled struct {
+	Model    *model.Model
+	Patterns int
+	ConnRate float64
+	sparse   *baseline.PatDNNSparse
+	lrRep    *lr.Representation
+}
+
+// Compile lowers one of the paper's networks ("VGG", "RNT", "MBNT" — or full
+// names) on "imagenet" or "cifar10" through the whole PatDNN compiler at the
+// given operating point.
+func Compile(network, ds string, patterns int, connRate float64) (*Compiled, error) {
+	m, err := model.ByName(network, ds)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := baseline.CompilePatDNN(m, patterns, connRate, codegen.Tuned, 42)
+	if err != nil {
+		return nil, err
+	}
+	rep := &lr.Representation{Model: m.Name, Device: "CPU"}
+	set := pattern.Canonical(patterns)
+	for i, l := range m.ConvLayers() {
+		if l.KH != 3 || l.KW != 3 || l.Kind != model.Conv {
+			continue
+		}
+		c := pruned.Generate(l, set, connRate, int64(300+i), false)
+		rep.Layers = append(rep.Layers, lr.FromPruned(c, reorder.Build(c), lr.DefaultTuning()))
+	}
+	if err := rep.Validate(); err != nil {
+		return nil, err
+	}
+	return &Compiled{Model: m, Patterns: patterns, ConnRate: connRate,
+		sparse: sp, lrRep: rep}, nil
+}
+
+// LRJSON renders the model's Layerwise Representation as JSON (Figure 8).
+func (c *Compiled) LRJSON() ([]byte, error) { return c.lrRep.Marshal() }
+
+// EstimateLatencyMs predicts inference latency on a modeled platform:
+// device is "sd855", "sd845" or "kirin980"; target is "cpu" or "gpu".
+func (c *Compiled) EstimateLatencyMs(dev, target string) (float64, error) {
+	d, err := deviceByName(dev)
+	if err != nil {
+		return 0, err
+	}
+	tgt, err := targetByName(target)
+	if err != nil {
+		return 0, err
+	}
+	return c.sparse.TimeMs(d, tgt), nil
+}
+
+// BaselineLatencyMs predicts the latency of a competitor framework
+// ("tflite", "tvm", "mnn", "dense") on the same model/platform.
+func (c *Compiled) BaselineLatencyMs(framework, dev, target string) (float64, error) {
+	d, err := deviceByName(dev)
+	if err != nil {
+		return 0, err
+	}
+	tgt, err := targetByName(target)
+	if err != nil {
+		return 0, err
+	}
+	var f baseline.Framework
+	switch strings.ToLower(framework) {
+	case "tflite":
+		f = baseline.TFLite()
+	case "tvm":
+		f = baseline.TVM()
+	case "mnn":
+		f = baseline.MNN()
+	case "dense":
+		f = baseline.PatDNNDense(true)
+	default:
+		return 0, fmt.Errorf("patdnn: unknown framework %q", framework)
+	}
+	return f.TimeMs(c.Model, d, tgt)
+}
+
+// EstimatedAccuracy returns the calibrated accuracy at this operating point
+// (ImageNet Top-5 / CIFAR Top-1; see DESIGN.md on the substitution).
+func (c *Compiled) EstimatedAccuracy() float64 {
+	return accuracy.Joint(c.Model.Short, c.Model.Dataset, c.Patterns, c.ConnRate)
+}
+
+func deviceByName(name string) (device.Device, error) {
+	switch strings.ToLower(name) {
+	case "sd855", "snapdragon855":
+		return device.SD855(), nil
+	case "sd845", "snapdragon845":
+		return device.SD845(), nil
+	case "kirin980":
+		return device.Kirin980(), nil
+	}
+	return device.Device{}, fmt.Errorf("patdnn: unknown device %q (want sd855, sd845, kirin980)", name)
+}
+
+func targetByName(name string) (device.Target, error) {
+	switch strings.ToLower(name) {
+	case "cpu":
+		return device.CPU, nil
+	case "gpu":
+		return device.GPU, nil
+	}
+	return device.CPU, fmt.Errorf("patdnn: unknown target %q (want cpu or gpu)", name)
+}
+
+// Experiments lists the reproduction experiments (one per paper table and
+// figure); each Run() regenerates the artifact.
+func Experiments() []bench.Experiment { return bench.All() }
+
+// RunExperiment regenerates one artifact by ID ("table3", "figure13", ...).
+func RunExperiment(id string) (string, error) {
+	e, ok := bench.ByID(id)
+	if !ok {
+		return "", fmt.Errorf("patdnn: unknown experiment %q", id)
+	}
+	return e.Run().Render(), nil
+}

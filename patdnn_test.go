@@ -1,0 +1,106 @@
+package patdnn
+
+import (
+	"strings"
+	"testing"
+
+	"patdnn/internal/dataset"
+	"patdnn/internal/nn"
+)
+
+func TestCompileAndEstimate(t *testing.T) {
+	c, err := Compile("VGG", "imagenet", 8, 3.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := c.EstimateLatencyMs("sd855", "cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := c.EstimateLatencyMs("sd855", "gpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu <= gpu {
+		t.Fatalf("CPU (%.1f) should be slower than GPU (%.1f)", cpu, gpu)
+	}
+	tvm, err := c.BaselineLatencyMs("tvm", "sd855", "cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tvm <= cpu {
+		t.Fatalf("TVM (%.1f) should be slower than PatDNN (%.1f)", tvm, cpu)
+	}
+	if acc := c.EstimatedAccuracy(); acc < 91 || acc > 92 {
+		t.Fatalf("accuracy %.1f out of expected band", acc)
+	}
+	data, err := c.LRJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"layout": "FKW"`) {
+		t.Fatal("LR JSON missing FKW layout")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile("AlexNet", "imagenet", 8, 3.6); err == nil {
+		t.Fatal("expected unknown-network error")
+	}
+	c, err := Compile("MBNT", "cifar10", 8, 3.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EstimateLatencyMs("sd999", "cpu"); err == nil {
+		t.Fatal("expected unknown-device error")
+	}
+	if _, err := c.EstimateLatencyMs("sd855", "npu"); err == nil {
+		t.Fatal("expected unknown-target error")
+	}
+	if _, err := c.BaselineLatencyMs("caffe", "sd855", "cpu"); err == nil {
+		t.Fatal("expected unknown-framework error")
+	}
+}
+
+func TestPruneEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a CNN")
+	}
+	cfg := dataset.DefaultConfig()
+	cfg.N = 200
+	data := dataset.Synthetic(cfg)
+	train, test := data.Split(0.8)
+	net := nn.SmallCNN(cfg.C, cfg.H, cfg.W, 6, 8, cfg.Classes, 3)
+	nn.Train(net, train, nn.NewAdam(0.004), nn.TrainConfig{Epochs: 4, BatchSize: 16, Seed: 1})
+
+	pc := DefaultPruneConfig()
+	pc.Iterations, pc.EpochsPerIter, pc.FinetuneEps = 2, 1, 2
+	res := Prune(net, train, test, pc)
+	if res.Compression < 2 {
+		t.Fatalf("compression %.2f too low", res.Compression)
+	}
+	if len(res.Layers) == 0 {
+		t.Fatal("no pruned layers returned")
+	}
+	for _, l := range res.Layers {
+		if err := l.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExperimentsRegistryAndRun(t *testing.T) {
+	if len(Experiments()) < 15 {
+		t.Fatalf("experiments = %d", len(Experiments()))
+	}
+	out, err := RunExperiment("table6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "L9") {
+		t.Fatalf("table6 output missing L9:\n%s", out)
+	}
+	if _, err := RunExperiment("figure99"); err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+}
