@@ -9,8 +9,11 @@ package patdnn
 // Run with: go test -bench=. -benchmem
 
 import (
+	"context"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"patdnn/internal/baseline"
 	"patdnn/internal/bench"
@@ -20,6 +23,7 @@ import (
 	"patdnn/internal/pattern"
 	"patdnn/internal/pruned"
 	"patdnn/internal/runtime"
+	"patdnn/internal/serve"
 	"patdnn/internal/sparse"
 	"patdnn/internal/tensor"
 )
@@ -149,6 +153,64 @@ func BenchmarkHostFKWEncode(b *testing.B) {
 		}
 	}
 }
+
+// --- Serving engine benchmarks ---
+//
+// benchEngineThroughput drives the concurrent inference engine with waves of
+// `clients` simultaneous VGG-16/CIFAR requests; ns/op is per request, so
+// inverse throughput. The worker sweep shows batched throughput scaling with
+// pool size; the batch sweep shows the effect of fusing more requests into
+// one layer sweep at a fixed pool.
+func benchEngineThroughput(b *testing.B, workers, maxBatch, clients int) {
+	eng := serve.New(serve.Config{
+		Workers: workers, MaxBatch: maxBatch,
+		BatchWindow: 500 * time.Microsecond,
+	})
+	defer eng.Close()
+	if err := eng.Preload("VGG", "cifar10"); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	input := make([]float32, 3*32*32)
+	for i := range input {
+		input[i] = float32(rng.NormFloat64())
+	}
+	req := serve.Request{Network: "VGG", Dataset: "cifar10", Input: input}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := clients
+		if b.N-done < n {
+			n = b.N - done
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := eng.Infer(context.Background(), req); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+		done += n
+	}
+	b.StopTimer()
+	s := eng.Stats()
+	if s.Batches > 0 {
+		b.ReportMetric(s.AvgBatch, "reqs/batch")
+	}
+}
+
+func BenchmarkServeWorkers1(b *testing.B) { benchEngineThroughput(b, 1, 8, 8) }
+func BenchmarkServeWorkers2(b *testing.B) { benchEngineThroughput(b, 2, 8, 8) }
+func BenchmarkServeWorkers4(b *testing.B) { benchEngineThroughput(b, 4, 8, 8) }
+func BenchmarkServeWorkers8(b *testing.B) { benchEngineThroughput(b, 8, 8, 8) }
+
+func BenchmarkServeBatch1(b *testing.B)  { benchEngineThroughput(b, 0, 1, 16) }
+func BenchmarkServeBatch4(b *testing.B)  { benchEngineThroughput(b, 0, 4, 16) }
+func BenchmarkServeBatch16(b *testing.B) { benchEngineThroughput(b, 0, 16, 16) }
 
 // BenchmarkHostVGGCifarConvStack times one real inference through all 13
 // pruned VGG-16/CIFAR conv layers (8 patterns, 3.6x connectivity) executed by

@@ -1,0 +1,149 @@
+// Command patdnn-serve fronts the concurrent inference engine with an
+// HTTP/JSON API: models compile once into the plan cache, and concurrent
+// /infer requests are gathered into batched layer sweeps over the worker
+// pool (the compile-once / execute-many deployment the paper's offline
+// compiler implies, exposed as a server).
+//
+// Endpoints:
+//
+//	POST /infer   {"network":"VGG","dataset":"cifar10","input":[...]}
+//	              input is the flattened [C,H,W] image and may be omitted
+//	              for a deterministic synthetic input; responds with the
+//	              output feature map, argmax, and batch/latency detail.
+//	GET  /models  compiled models currently in the plan cache
+//	GET  /stats   engine counters (requests, batches, plan-cache hits)
+//	GET  /healthz liveness probe
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting,
+// drains in-flight requests, then closes the engine.
+//
+// Quickstart:
+//
+//	patdnn-serve -addr :8080 -preload VGG/cifar10
+//	curl -s -X POST localhost:8080/infer -d '{"network":"VGG","dataset":"cifar10"}'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"patdnn/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	batch := flag.Int("batch", 8, "max requests fused into one batched sweep")
+	window := flag.Duration("window", 2*time.Millisecond, "batch gather window")
+	patterns := flag.Int("patterns", 8, "pattern-set size")
+	connRate := flag.Float64("connrate", 3.6, "connectivity pruning rate")
+	preload := flag.String("preload", "VGG/cifar10",
+		"comma-separated network/dataset pairs to compile at startup (empty = compile lazily)")
+	flag.Parse()
+
+	eng := serve.New(serve.Config{
+		Workers: *workers, MaxBatch: *batch, BatchWindow: *window,
+		Patterns: *patterns, ConnRate: *connRate,
+	})
+	for _, spec := range strings.Split(*preload, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		network, dataset, ok := strings.Cut(spec, "/")
+		if !ok {
+			log.Fatalf("bad -preload entry %q: want network/dataset", spec)
+		}
+		start := time.Now()
+		if err := eng.Preload(network, dataset); err != nil {
+			log.Fatalf("preload %s: %v", spec, err)
+		}
+		log.Printf("compiled %s in %v", spec, time.Since(start).Round(time.Millisecond))
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /infer", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		resp, err := eng.Infer(r.Context(), req)
+		if err != nil {
+			status := http.StatusBadRequest
+			switch {
+			case errors.Is(err, serve.ErrClosed):
+				status = http.StatusServiceUnavailable
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				status = 499 // client closed request
+			}
+			httpError(w, status, err)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
+		models := eng.Models()
+		if models == nil {
+			models = []serve.ModelInfo{}
+		}
+		writeJSON(w, models)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, eng.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// ListenAndServe returns as soon as Shutdown closes the listeners, while
+	// in-flight requests are still draining — main must wait for the drain to
+	// finish before closing the engine and exiting.
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		log.Print("shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("serving on %s (workers=%d batch=%d window=%v)",
+		*addr, *workers, *batch, *window)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-shutdownDone
+	eng.Close() // drain batchers after the HTTP server has quiesced
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,86 @@
+package patdnn_test
+
+// Testable godoc examples for the public API. They print invariants rather
+// than raw floats so `go test` keeps them honest on every platform.
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"patdnn"
+	"patdnn/internal/dataset"
+	"patdnn/internal/nn"
+)
+
+// ExamplePrune runs the ADMM pattern+connectivity pruning pipeline on a tiny
+// CNN over the synthetic training substrate.
+func ExamplePrune() {
+	cfg := dataset.DefaultConfig()
+	cfg.N = 120
+	data := dataset.Synthetic(cfg)
+	train, test := data.Split(0.8)
+	net := nn.SmallCNN(cfg.C, cfg.H, cfg.W, 6, 8, cfg.Classes, 3)
+	nn.Train(net, train, nn.NewAdam(0.004), nn.TrainConfig{Epochs: 2, BatchSize: 16, Seed: 1})
+
+	pc := patdnn.DefaultPruneConfig()
+	pc.Iterations, pc.EpochsPerIter, pc.FinetuneEps = 1, 1, 1
+	res := patdnn.Prune(net, train, test, pc)
+
+	fmt.Println("pruned layers:", len(res.Layers) > 0)
+	fmt.Println("compressed:", res.Compression > 1.5)
+	fmt.Println("accuracy sane:", res.AccuracyAfter >= 0 && res.AccuracyAfter <= 100)
+	// Output:
+	// pruned layers: true
+	// compressed: true
+	// accuracy sane: true
+}
+
+// ExampleCompile lowers VGG-16 through the full PatDNN compiler and compares
+// the modeled mobile latency against a baseline framework.
+func ExampleCompile() {
+	c, err := patdnn.Compile("VGG", "imagenet", 8, 3.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpu, err := c.EstimateLatencyMs("sd855", "cpu")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tflite, err := c.BaselineLatencyMs("tflite", "sd855", "cpu")
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc := c.EstimatedAccuracy()
+
+	fmt.Println("model:", c.Model.Name)
+	fmt.Println("faster than TFLite:", cpu < tflite)
+	fmt.Println("accuracy in band:", acc > 90 && acc < 93)
+	// Output:
+	// model: VGG-16
+	// faster than TFLite: true
+	// accuracy in band: true
+}
+
+// ExampleEngine_Infer embeds the concurrent inference engine: the model
+// compiles once into the plan cache, then requests execute as batched layer
+// sweeps over the worker pool.
+func ExampleEngine_Infer() {
+	eng := patdnn.NewEngine(patdnn.EngineConfig{MaxBatch: 4})
+	defer eng.Close()
+
+	// nil Input selects a deterministic synthetic image.
+	resp, err := eng.Infer(context.Background(),
+		patdnn.InferRequest{Network: "VGG", Dataset: "cifar10"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("feature map:", resp.Shape)
+	fmt.Println("served in batch:", resp.BatchSize >= 1)
+	fmt.Println("compiled once:", eng.Stats().PlanCompiles == 1)
+	// Output:
+	// feature map: [512 1 1]
+	// served in batch: true
+	// compiled once: true
+}

@@ -1,0 +1,3 @@
+module patdnn
+
+go 1.24

@@ -31,7 +31,11 @@ func NewPool(n int) *Pool {
 func (p *Pool) Workers() int { return p.workers }
 
 // ParallelFor runs fn(chunk) for chunks [start,end) covering [0,n) split as
-// evenly as possible across the workers.
+// evenly as possible across the workers. A panic inside fn is captured on the
+// worker goroutine and re-raised on the calling goroutine after every worker
+// has finished, so callers (and deferred recovers above them) observe it the
+// same way they would a panic from a plain loop; if several chunks panic, the
+// first one captured wins.
 func (p *Pool) ParallelFor(n int, fn func(start, end int)) {
 	if n <= 0 {
 		return
@@ -44,7 +48,11 @@ func (p *Pool) ParallelFor(n int, fn func(start, end int)) {
 		fn(0, n)
 		return
 	}
-	var wg sync.WaitGroup
+	var (
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicVal  any
+	)
 	chunk := (n + w - 1) / w
 	for start := 0; start < n; start += chunk {
 		end := start + chunk
@@ -54,10 +62,18 @@ func (p *Pool) ParallelFor(n int, fn func(start, end int)) {
 		wg.Add(1)
 		go func(s, e int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
 			fn(s, e)
 		}(start, end)
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }
 
 // RunLayer executes a compiled conv plan with the pool, splitting output

@@ -60,6 +60,67 @@ func TestParallelForEdgeCases(t *testing.T) {
 	}
 }
 
+func TestParallelForFewerItemsThanWorkers(t *testing.T) {
+	p := NewPool(8)
+	var covered [3]int32
+	p.ParallelFor(len(covered), func(start, end int) {
+		for i := start; i < end; i++ {
+			atomic.AddInt32(&covered[i], 1)
+		}
+	})
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestParallelForNegativeN(t *testing.T) {
+	p := NewPool(4)
+	p.ParallelFor(-5, func(s, e int) { t.Error("fn called for negative n") })
+}
+
+func TestParallelForPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if r != "boom" {
+					t.Fatalf("workers=%d: panic value %v, want boom", workers, r)
+				}
+			}()
+			p.ParallelFor(64, func(s, e int) {
+				if s == 0 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestParallelForPanicStillCoversOtherChunks(t *testing.T) {
+	// A panicking chunk must not prevent the other workers from finishing
+	// (the pool waits for all goroutines before re-raising).
+	p := NewPool(4)
+	var n int32
+	func() {
+		defer func() { recover() }()
+		p.ParallelFor(100, func(s, e int) {
+			if s == 0 {
+				panic("boom")
+			}
+			atomic.AddInt32(&n, int32(e-s))
+		})
+	}()
+	if n == 0 {
+		t.Fatal("no other chunk ran to completion")
+	}
+}
+
 func TestRunLayerMatchesSequential(t *testing.T) {
 	for _, level := range []codegen.Level{codegen.Reorder, codegen.Tuned} {
 		plan, in := testPlan(t, level)

@@ -1,0 +1,198 @@
+package serve
+
+// Offline half of the engine: lower a network descriptor into an executable
+// stack of compiled conv plans (pattern pruning → FKR → FKW → codegen, the
+// same path patdnn.Compile uses for latency estimation, but keeping the
+// weights so the plans actually run), and the batched sweep that executes a
+// gathered request batch over the worker pool.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"patdnn/internal/compiler/codegen"
+	"patdnn/internal/compiler/lr"
+	"patdnn/internal/model"
+	"patdnn/internal/pattern"
+	"patdnn/internal/pruned"
+	"patdnn/internal/runtime"
+	"patdnn/internal/tensor"
+)
+
+type opKind int
+
+const (
+	opConv opKind = iota
+	opReLU
+	opMaxPool
+)
+
+// op is one executable stage of a compiled model.
+type op struct {
+	kind  opKind
+	plan  *codegen.Plan // opConv
+	poolK int           // opMaxPool kernel/stride
+}
+
+// compiledModel is a network lowered to an executable op stack: the cached
+// artifact the plan cache holds per (model, dataset, tuning) key.
+type compiledModel struct {
+	model            *model.Model
+	ops              []op
+	convLayers       int
+	inC, inH, inW    int
+	outC, outH, outW int
+	totalW, keptW    int64 // dense vs surviving weight counts (compression)
+}
+
+// compileModel lowers m's convolutional trunk. It walks the layer graph in
+// order, compiling every 3×3 conv through the full pattern path and chaining
+// shapes; the walk stops at the classifier head (flatten/FC/global-pool),
+// whose dense layers the pattern compiler does not cover. Networks whose
+// trunk needs operators the sweep cannot execute (1×1 convs, residual adds)
+// are rejected with a descriptive error rather than served wrong.
+func compileModel(cfg Config, m *model.Model) (*compiledModel, error) {
+	set := pattern.Canonical(cfg.Patterns)
+	cm := &compiledModel{model: m, inC: m.InC, inH: m.InH, inW: m.InW}
+	c, h, w := m.InC, m.InH, m.InW
+	for i, l := range m.Layers {
+		switch l.Kind {
+		case model.Input, model.BatchNorm:
+			// BatchNorm folds into conv weights at deploy time; identity here.
+			continue
+		case model.Conv, model.DWConv:
+			if l.KH != 3 || l.KW != 3 {
+				return nil, fmt.Errorf("serve: %s/%s: layer %s is a %dx%d conv; only 3x3 pattern kernels are servable yet",
+					m.Short, m.Dataset, l.Name, l.KH, l.KW)
+			}
+			if l.InC != c || l.InH != h || l.InW != w {
+				return nil, fmt.Errorf("serve: %s/%s: layer %s expects input [%d,%d,%d] but the trunk carries [%d,%d,%d]",
+					m.Short, m.Dataset, l.Name, l.InC, l.InH, l.InW, c, h, w)
+			}
+			pc := pruned.Generate(l, set, cfg.ConnRate, cfg.Seed+int64(i), true)
+			plan, err := codegen.Compile(pc, cfg.Level, lr.DefaultTuning())
+			if err != nil {
+				return nil, err
+			}
+			cm.ops = append(cm.ops, op{kind: opConv, plan: plan})
+			cm.convLayers++
+			cm.totalW += int64(pc.TotalWeights())
+			cm.keptW += int64(pc.NNZ())
+			c, h, w = l.OutC, l.OutH, l.OutW
+		case model.ReLU:
+			cm.ops = append(cm.ops, op{kind: opReLU})
+		case model.MaxPool:
+			// The sweep executes pools with tensor.MaxPool2D, which hard-codes
+			// stride == kernel; reject descriptors it cannot honor, and chain
+			// the shape from what MaxPool2D will actually produce rather than
+			// trusting the declared output.
+			if l.KW != l.KH || l.Stride != l.KH || l.KH < 1 {
+				return nil, fmt.Errorf("serve: %s/%s: pool %s is %dx%d stride %d; only square stride==kernel pools are servable",
+					m.Short, m.Dataset, l.Name, l.KH, l.KW, l.Stride)
+			}
+			if l.OutH != h/l.KH || l.OutW != w/l.KH {
+				return nil, fmt.Errorf("serve: %s/%s: pool %s declares output %dx%d but %dx%d/%d pooling yields %dx%d",
+					m.Short, m.Dataset, l.Name, l.OutH, l.OutW, h, w, l.KH, h/l.KH, w/l.KH)
+			}
+			cm.ops = append(cm.ops, op{kind: opMaxPool, poolK: l.KH})
+			h, w = l.OutH, l.OutW
+		case model.Flatten, model.FC, model.AvgPoolGlobal, model.SoftmaxOp:
+			// Classifier head: the convolutional trunk ends here; the engine
+			// returns the final feature map.
+			cm.setOutput(c, h, w)
+			return cm, nil
+		case model.Add:
+			return nil, fmt.Errorf("serve: %s/%s: residual add (%s) is not servable yet",
+				m.Short, m.Dataset, l.Name)
+		default:
+			return nil, fmt.Errorf("serve: %s/%s: unsupported operator %s (%s)",
+				m.Short, m.Dataset, l.Kind, l.Name)
+		}
+	}
+	cm.setOutput(c, h, w)
+	return cm, nil
+}
+
+func (cm *compiledModel) setOutput(c, h, w int) {
+	cm.outC, cm.outH, cm.outW = c, h, w
+}
+
+func (cm *compiledModel) info() ModelInfo {
+	inf := ModelInfo{
+		Network:     cm.model.Short,
+		Dataset:     cm.model.Dataset,
+		ConvLayers:  cm.convLayers,
+		InputShape:  [3]int{cm.inC, cm.inH, cm.inW},
+		OutputShape: [3]int{cm.outC, cm.outH, cm.outW},
+	}
+	if cm.keptW > 0 {
+		inf.Compression = float64(cm.totalW) / float64(cm.keptW)
+	}
+	return inf
+}
+
+// inputTensor validates and copies a request input (the engine owns the
+// tensor it feeds the sweep — callers may reuse their slice immediately). A
+// nil input synthesizes a deterministic pseudo-image, which keeps the curl
+// quickstart to one line.
+func (cm *compiledModel) inputTensor(data []float32) (*tensor.Tensor, error) {
+	t := tensor.New(cm.inC, cm.inH, cm.inW)
+	if data == nil {
+		t.Randn(rand.New(rand.NewSource(1)), 1)
+		return t, nil
+	}
+	if len(data) != len(t.Data) {
+		return nil, fmt.Errorf("serve: %s/%s input has %d values, want %d ([%d,%d,%d])",
+			cm.model.Short, cm.model.Dataset, len(data), len(t.Data), cm.inC, cm.inH, cm.inW)
+	}
+	copy(t.Data, data)
+	return t, nil
+}
+
+// runBatch executes one gathered batch as a single layer sweep: every op runs
+// once for the whole batch, and conv layers parallelize over batch ×
+// output-channels in one ParallelFor, so small per-request layers still fill
+// the pool.
+func (cm *compiledModel) runBatch(pool *runtime.Pool, xs []*tensor.Tensor) []*tensor.Tensor {
+	for _, o := range cm.ops {
+		switch o.kind {
+		case opConv:
+			conv := o.plan.Conv
+			padded := make([]*tensor.Tensor, len(xs))
+			outs := make([]*tensor.Tensor, len(xs))
+			pool.ParallelFor(len(xs), func(s, e int) {
+				for i := s; i < e; i++ {
+					padded[i] = o.plan.PadInput(xs[i])
+					outs[i] = tensor.New(conv.OutC, conv.OutH, conv.OutW)
+				}
+			})
+			pool.ParallelFor(len(xs)*conv.OutC, func(s, e int) {
+				for i := s; i < e; {
+					item, from := i/conv.OutC, i%conv.OutC
+					to := from + (e - i)
+					if to > conv.OutC {
+						to = conv.OutC
+					}
+					o.plan.ExecuteRange(padded[item], outs[item], from, to)
+					i += to - from
+				}
+			})
+			xs = outs
+		case opReLU:
+			pool.ParallelFor(len(xs), func(s, e int) {
+				for i := s; i < e; i++ {
+					tensor.ReLU(xs[i])
+				}
+			})
+		case opMaxPool:
+			outs := make([]*tensor.Tensor, len(xs))
+			pool.ParallelFor(len(xs), func(s, e int) {
+				for i := s; i < e; i++ {
+					outs[i], _ = tensor.MaxPool2D(xs[i], o.poolK)
+				}
+			})
+			xs = outs
+		}
+	}
+	return xs
+}

@@ -1,0 +1,480 @@
+// Package serve is the concurrent inference engine: the compile-once /
+// execute-many layer PatDNN's offline compilation story implies (paper §4,
+// Figure 7 — the "compact model" plus generated code is produced once, then
+// executed for every inference on the phone).
+//
+// The Engine compiles a network exactly once per (network, dataset,
+// pattern-set, connectivity-rate, optimization-level) key — running the whole
+// pattern-pruning + FKR + FKW + codegen path — and caches the resulting plan
+// stack. Inference requests against a cached model are gathered into batches
+// (up to Config.MaxBatch requests within Config.BatchWindow) and executed as
+// one batched layer sweep over the shared worker pool: each conv layer runs a
+// single ParallelFor across batch×output-channels, so kernel plans, packed
+// FKW weights, and the pool's threads stay hot across the whole request
+// stream, amortizing compilation and scheduling the way GRIM and PCONV argue
+// a reusable sparse-inference framework should.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"patdnn/internal/compiler/codegen"
+	"patdnn/internal/model"
+	"patdnn/internal/runtime"
+	"patdnn/internal/tensor"
+)
+
+// ErrClosed is returned by Infer after Close.
+var ErrClosed = errors.New("serve: engine closed")
+
+// Config parameterizes an Engine. The zero value selects sensible defaults.
+type Config struct {
+	Workers     int           // worker-pool size (<=0 selects GOMAXPROCS)
+	MaxBatch    int           // max requests fused into one layer sweep (default 8)
+	BatchWindow time.Duration // how long the first request waits for company (default 2ms)
+	Patterns    int           // pattern-set size (default 8)
+	ConnRate    float64       // connectivity pruning rate (default 3.6)
+	Level       codegen.Level // kernel optimization level; the zero value selects Tuned
+	Seed        int64         // deterministic weight-generation seed (default 42)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 8
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.Patterns <= 0 {
+		c.Patterns = 8
+	}
+	if c.ConnRate <= 0 {
+		c.ConnRate = 3.6
+	}
+	if c.Level == codegen.NoOpt {
+		// Serving the branchy "+No-opt" skeleton is never what you want on a
+		// hot path; the zero value means "fully optimized".
+		c.Level = codegen.Tuned
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Request is one inference call.
+type Request struct {
+	// Network names a paper model ("VGG", "RNT", "MBNT" or the full names
+	// model.ByName accepts) or a RegisterModel key.
+	Network string `json:"network"`
+	// Dataset is "imagenet" or "cifar10" (or the registered model's dataset).
+	Dataset string `json:"dataset"`
+	// Input is the flattened [InC,InH,InW] image; nil selects a
+	// deterministic synthetic input.
+	Input []float32 `json:"input,omitempty"`
+}
+
+// Response reports one completed inference.
+type Response struct {
+	Network   string    `json:"network"`
+	Dataset   string    `json:"dataset"`
+	Shape     [3]int    `json:"shape"`      // output [C,H,W]
+	Output    []float32 `json:"output"`     // flattened feature map
+	ArgMax    int       `json:"argmax"`     // index of the max output element
+	BatchSize int       `json:"batch_size"` // size of the batch this request rode in
+	QueueMs   float64   `json:"queue_ms"`   // enqueue → batch start
+	RunMs     float64   `json:"run_ms"`     // batched sweep wall-clock
+}
+
+// Stats is a snapshot of the engine counters.
+type Stats struct {
+	Requests        uint64  `json:"requests"`
+	Errors          uint64  `json:"errors"`
+	Batches         uint64  `json:"batches"`
+	BatchedRequests uint64  `json:"batched_requests"` // requests that shared a batch with >=1 other
+	PlanCompiles    uint64  `json:"plan_compiles"`    // plan-cache misses (models compiled)
+	PlanHits        uint64  `json:"plan_hits"`        // plan-cache hits
+	Workers         int     `json:"workers"`
+	AvgBatch        float64 `json:"avg_batch"` // Requests-that-ran / Batches
+}
+
+// ModelInfo describes one compiled (cached) model.
+type ModelInfo struct {
+	Network     string  `json:"network"`
+	Dataset     string  `json:"dataset"`
+	ConvLayers  int     `json:"conv_layers"`
+	InputShape  [3]int  `json:"input_shape"`
+	OutputShape [3]int  `json:"output_shape"`
+	Compression float64 `json:"compression"` // total weights / surviving weights
+}
+
+type modelKey struct {
+	short, dataset string
+}
+
+type modelEntry struct {
+	once    sync.Once
+	ready   atomic.Bool                    // set inside once: cm/err safe to read when true
+	compile func() (*compiledModel, error) // fixed at creation; run by the first get
+	cm      *compiledModel
+	err     error
+}
+
+// get runs the entry's compile exactly once and returns the cached result;
+// concurrent callers block until the first compile finishes.
+func (en *modelEntry) get() (*compiledModel, error) {
+	en.once.Do(func() {
+		en.cm, en.err = en.compile()
+		en.ready.Store(true)
+	})
+	return en.cm, en.err
+}
+
+// snapshot returns the compiled result without blocking: ok is false while
+// the first compile is still in flight (the ready flag's store inside the
+// once body orders the cm/err writes before any reader that observes true).
+func (en *modelEntry) snapshot() (cm *compiledModel, err error, ok bool) {
+	if !en.ready.Load() {
+		return nil, nil, false
+	}
+	return en.cm, en.err, true
+}
+
+// Engine is the concurrent inference engine. Create with New; it is safe for
+// use by any number of goroutines.
+type Engine struct {
+	cfg  Config
+	pool *runtime.Pool
+
+	mu       sync.Mutex // guards models + batchers maps
+	models   map[modelKey]*modelEntry
+	batchers map[modelKey]*batcher
+
+	// lifecycle serializes Close against in-flight enqueues: enqueuers hold
+	// the read side across the channel send, Close takes the write side
+	// before closing batcher channels, so a send never hits a closed channel
+	// and every accepted request gets a response.
+	lifecycle sync.RWMutex
+	closed    bool
+	wg        sync.WaitGroup
+
+	requests        atomic.Uint64
+	errs            atomic.Uint64
+	batches         atomic.Uint64
+	ranRequests     atomic.Uint64
+	batchedRequests atomic.Uint64
+	planCompiles    atomic.Uint64
+	planHits        atomic.Uint64
+}
+
+// New creates an Engine and its worker pool. Models compile lazily on first
+// use (or eagerly via Preload) and stay cached until Close.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{
+		cfg:      cfg,
+		pool:     runtime.NewPool(cfg.Workers),
+		models:   make(map[modelKey]*modelEntry),
+		batchers: make(map[modelKey]*batcher),
+	}
+}
+
+// Preload compiles a model into the plan cache without running inference, so
+// the first request doesn't pay compilation latency.
+func (e *Engine) Preload(network, dataset string) error {
+	_, _, err := e.compiled(network, dataset)
+	return err
+}
+
+// RegisterModel compiles a custom network descriptor into the plan cache
+// under its (Short, Dataset) key, so Infer can address networks beyond the
+// three paper models (and tests can use small fixtures). Registering a key
+// that is already cached is an error.
+func (e *Engine) RegisterModel(m *model.Model) error {
+	key := modelKey{m.Short, m.Dataset}
+	e.mu.Lock()
+	if _, ok := e.models[key]; ok {
+		e.mu.Unlock()
+		return fmt.Errorf("serve: model %s/%s already registered", m.Short, m.Dataset)
+	}
+	entry := &modelEntry{compile: func() (*compiledModel, error) { return compileModel(e.cfg, m) }}
+	e.models[key] = entry
+	e.planCompiles.Add(1)
+	e.mu.Unlock()
+	_, err := entry.get()
+	if err != nil {
+		// Evict the failed entry so a corrected descriptor can re-register
+		// under the same key.
+		e.mu.Lock()
+		if e.models[key] == entry {
+			delete(e.models, key)
+		}
+		e.mu.Unlock()
+	}
+	return err
+}
+
+// compiled resolves the network name and returns the cached compiled model,
+// compiling it exactly once per key. Registered custom models match by exact
+// (network, dataset); the paper networks additionally match every alias
+// model.ByName accepts.
+func (e *Engine) compiled(network, dataset string) (modelKey, *compiledModel, error) {
+	key := modelKey{network, dataset}
+	e.mu.Lock()
+	entry, ok := e.models[key]
+	if ok {
+		e.planHits.Add(1)
+		e.mu.Unlock()
+		cm, err := entry.get() // waits out a concurrent first compile
+		return key, cm, err
+	}
+	e.mu.Unlock()
+
+	// The model builders panic on datasets they don't know; reject
+	// client-supplied garbage with an error instead.
+	if dataset != "imagenet" && dataset != "cifar10" {
+		return modelKey{}, nil, fmt.Errorf("serve: unknown dataset %q (want imagenet or cifar10, or a registered model's dataset)", dataset)
+	}
+	m, err := model.ByName(network, dataset)
+	if err != nil {
+		return modelKey{}, nil, err
+	}
+	key = modelKey{m.Short, m.Dataset}
+	e.mu.Lock()
+	entry, ok = e.models[key]
+	if ok {
+		e.planHits.Add(1)
+	} else {
+		entry = &modelEntry{compile: func() (*compiledModel, error) { return compileModel(e.cfg, m) }}
+		e.models[key] = entry
+		e.planCompiles.Add(1)
+	}
+	e.mu.Unlock()
+	cm, cerr := entry.get()
+	return key, cm, cerr
+}
+
+// batcherFor returns (creating if needed) the per-model batcher goroutine.
+func (e *Engine) batcherFor(key modelKey, cm *compiledModel) *batcher {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if bt, ok := e.batchers[key]; ok {
+		return bt
+	}
+	bt := &batcher{
+		eng: e,
+		cm:  cm,
+		ch:  make(chan *call, 4*e.cfg.MaxBatch),
+	}
+	e.batchers[key] = bt
+	e.wg.Add(1)
+	go bt.loop()
+	return bt
+}
+
+// Infer runs one inference. Requests for the same model arriving within the
+// batch window execute together as a single batched layer sweep; ctx
+// cancellation abandons the wait (the batch still completes server-side).
+func (e *Engine) Infer(ctx context.Context, req Request) (*Response, error) {
+	e.requests.Add(1)
+	resp, err := e.infer(ctx, req)
+	if err != nil {
+		e.errs.Add(1)
+	}
+	return resp, err
+}
+
+func (e *Engine) infer(ctx context.Context, req Request) (*Response, error) {
+	// Fast-fail before compiling anything: a straggler request after Close
+	// must not burn seconds populating a plan cache that can never serve.
+	e.lifecycle.RLock()
+	closed := e.closed
+	e.lifecycle.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	key, cm, err := e.compiled(req.Network, req.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	in, err := cm.inputTensor(req.Input)
+	if err != nil {
+		return nil, err
+	}
+	c := &call{input: in, resp: make(chan batchResult, 1), enqueued: time.Now()}
+
+	// The closed check, batcher creation, and channel send all happen under
+	// the lifecycle read lock: Close cannot slip between them, so no batcher
+	// goroutine is ever spawned after Close started and no send hits a closed
+	// channel.
+	e.lifecycle.RLock()
+	if e.closed {
+		e.lifecycle.RUnlock()
+		return nil, ErrClosed
+	}
+	bt := e.batcherFor(key, cm)
+	select {
+	case bt.ch <- c:
+		e.lifecycle.RUnlock()
+	case <-ctx.Done():
+		e.lifecycle.RUnlock()
+		return nil, ctx.Err()
+	}
+
+	select {
+	case r := <-c.resp:
+		out := r.out
+		resp := &Response{
+			Network:   cm.model.Short,
+			Dataset:   cm.model.Dataset,
+			Shape:     [3]int{out.Dim(0), out.Dim(1), out.Dim(2)},
+			Output:    out.Data,
+			ArgMax:    out.ArgMax(),
+			BatchSize: r.size,
+			QueueMs:   r.queueMs,
+			RunMs:     r.runMs,
+		}
+		return resp, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close drains every batcher and stops the engine. In-flight requests
+// complete; later Infer calls return ErrClosed. Close is idempotent.
+func (e *Engine) Close() error {
+	e.lifecycle.Lock()
+	if e.closed {
+		e.lifecycle.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Lock()
+	for _, bt := range e.batchers {
+		close(bt.ch)
+	}
+	e.mu.Unlock()
+	e.lifecycle.Unlock()
+	e.wg.Wait()
+	return nil
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Requests:        e.requests.Load(),
+		Errors:          e.errs.Load(),
+		Batches:         e.batches.Load(),
+		BatchedRequests: e.batchedRequests.Load(),
+		PlanCompiles:    e.planCompiles.Load(),
+		PlanHits:        e.planHits.Load(),
+		Workers:         e.pool.Workers(),
+	}
+	if s.Batches > 0 {
+		s.AvgBatch = float64(e.ranRequests.Load()) / float64(s.Batches)
+	}
+	return s
+}
+
+// Models lists the compiled models currently in the plan cache, sorted by
+// name for stable output.
+func (e *Engine) Models() []ModelInfo {
+	e.mu.Lock()
+	entries := make([]*modelEntry, 0, len(e.models))
+	for _, entry := range e.models {
+		entries = append(entries, entry)
+	}
+	e.mu.Unlock()
+	var out []ModelInfo
+	for _, entry := range entries {
+		cm, err, ok := entry.snapshot()
+		if !ok || err != nil || cm == nil { // still compiling, or failed
+			continue
+		}
+		out = append(out, cm.info())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Network != out[j].Network {
+			return out[i].Network < out[j].Network
+		}
+		return out[i].Dataset < out[j].Dataset
+	})
+	return out
+}
+
+// call is one enqueued request inside a batcher.
+type call struct {
+	input    *tensor.Tensor
+	resp     chan batchResult // buffered(1): abandoned callers never block the batcher
+	enqueued time.Time
+}
+
+type batchResult struct {
+	out     *tensor.Tensor
+	size    int
+	queueMs float64
+	runMs   float64
+}
+
+// batcher owns one compiled model's request stream: it gathers up to MaxBatch
+// calls within BatchWindow and executes them as one batched layer sweep.
+type batcher struct {
+	eng *Engine
+	cm  *compiledModel
+	ch  chan *call
+}
+
+func (bt *batcher) loop() {
+	defer bt.eng.wg.Done()
+	for {
+		first, ok := <-bt.ch
+		if !ok {
+			return
+		}
+		calls := []*call{first}
+		timer := time.NewTimer(bt.eng.cfg.BatchWindow)
+	gather:
+		for len(calls) < bt.eng.cfg.MaxBatch {
+			select {
+			case c, ok := <-bt.ch:
+				if !ok {
+					break gather // closed: run what we have; next recv exits
+				}
+				calls = append(calls, c)
+			case <-timer.C:
+				break gather
+			}
+		}
+		timer.Stop()
+		bt.run(calls)
+	}
+}
+
+func (bt *batcher) run(calls []*call) {
+	inputs := make([]*tensor.Tensor, len(calls))
+	for i, c := range calls {
+		inputs[i] = c.input
+	}
+	start := time.Now()
+	outs := bt.cm.runBatch(bt.eng.pool, inputs)
+	runMs := float64(time.Since(start).Nanoseconds()) / 1e6
+	bt.eng.batches.Add(1)
+	bt.eng.ranRequests.Add(uint64(len(calls)))
+	if len(calls) > 1 {
+		bt.eng.batchedRequests.Add(uint64(len(calls)))
+	}
+	for i, c := range calls {
+		c.resp <- batchResult{
+			out:     outs[i],
+			size:    len(calls),
+			queueMs: float64(start.Sub(c.enqueued).Nanoseconds()) / 1e6,
+			runMs:   runMs,
+		}
+	}
+}

@@ -5,7 +5,7 @@
 // reorder, FKW compressed storage, load redundancy elimination, parameter
 // auto-tuning), following Niu et al., ASPLOS 2020.
 //
-// The package exposes the two stages of the paper's pipeline:
+// The package exposes the three stages of the paper's pipeline:
 //
 //	Prune    — run ADMM pattern+connectivity pruning on a real trainable CNN
 //	           (the training substrate in internal/nn) and obtain accuracy
@@ -13,9 +13,14 @@
 //	Compile  — lower a network description (VGG-16, ResNet-50, MobileNet-V2)
 //	           through the full compiler: FKR, FKW encoding, LRE, tuning —
 //	           and estimate latency on the modeled mobile devices.
+//	Engine   — serve inference: compile a model once, cache the plan stack,
+//	           and execute concurrent requests as batched layer sweeps over
+//	           the worker-pool runtime (the compile-once / execute-many
+//	           deployment story of paper Figure 7, as a server).
 //
 // Everything deeper (tensor math, the compiler passes, the device models,
-// the benchmark harness) lives under internal/; see DESIGN.md for the map.
+// the serving engine, the benchmark harness) lives under internal/; see
+// DESIGN.md for the map.
 package patdnn
 
 import (
@@ -37,6 +42,7 @@ import (
 	"patdnn/internal/nn"
 	"patdnn/internal/pattern"
 	"patdnn/internal/pruned"
+	"patdnn/internal/serve"
 )
 
 // PruneConfig configures an ADMM pruning run on the training substrate.
@@ -219,6 +225,38 @@ func targetByName(name string) (device.Target, error) {
 	}
 	return device.CPU, fmt.Errorf("patdnn: unknown target %q (want cpu or gpu)", name)
 }
+
+// Engine is the concurrent inference engine: it compiles each requested
+// model exactly once through the full pattern path, caches the compiled plan
+// stack plus packed FKW weights, and executes concurrent Infer calls as
+// batched layer sweeps over the shared worker pool. Create one with
+// NewEngine; cmd/patdnn-serve wraps it in an HTTP server, and examples can
+// embed it directly. It is safe for concurrent use.
+type Engine = serve.Engine
+
+// EngineConfig configures an Engine; the zero value selects sensible
+// defaults (GOMAXPROCS workers, batches of 8 within a 2ms window, the
+// paper's 8-pattern / 3.6x operating point, fully tuned kernels).
+type EngineConfig = serve.Config
+
+// InferRequest is one inference call against an Engine.
+type InferRequest = serve.Request
+
+// InferResponse reports one completed inference: the output feature map plus
+// how the request was served (batch size, queue and run time).
+type InferResponse = serve.Response
+
+// EngineStats is a snapshot of an Engine's counters (requests, batches,
+// plan-cache hits/misses).
+type EngineStats = serve.Stats
+
+// ErrEngineClosed is returned by Engine.Infer after Engine.Close.
+var ErrEngineClosed = serve.ErrClosed
+
+// NewEngine creates a concurrent inference engine. Models compile lazily on
+// first use (or eagerly via Engine.Preload) and stay cached until
+// Engine.Close.
+func NewEngine(cfg EngineConfig) *Engine { return serve.New(cfg) }
 
 // Experiments lists the reproduction experiments (one per paper table and
 // figure); each Run() regenerates the artifact.
