@@ -19,6 +19,7 @@ import (
 	"patdnn/internal/bench"
 	"patdnn/internal/compiler/codegen"
 	"patdnn/internal/compiler/lr"
+	"patdnn/internal/compiler/tuner"
 	"patdnn/internal/model"
 	"patdnn/internal/pattern"
 	"patdnn/internal/pruned"
@@ -131,6 +132,49 @@ func BenchmarkHostPatternNoOpt(b *testing.B)   { benchHostLevel(b, codegen.NoOpt
 func BenchmarkHostPatternReorder(b *testing.B) { benchHostLevel(b, codegen.Reorder) }
 func BenchmarkHostPatternLRE(b *testing.B)     { benchHostLevel(b, codegen.ReorderLRE) }
 func BenchmarkHostPatternTuned(b *testing.B)   { benchHostLevel(b, codegen.Tuned) }
+func BenchmarkHostPatternPacked(b *testing.B)  { benchHostLevel(b, codegen.Packed) }
+
+// --- Tuned vs Packed head-to-head ---
+//
+// The acceptance sweep for the FKW-direct backend: both levels execute the
+// same VGG-style bench layer through the identical batched harness the
+// serving engine uses (batch×OutC ParallelFor, pooled padded buffers, fused
+// bias+ReLU epilogue where the kernels support it); the only variable is the
+// kernel generation. ns/op is per batch.
+
+func hostLevelTuning(level codegen.Level) lr.Tuning {
+	if level != codegen.Packed {
+		return lr.DefaultTuning()
+	}
+	c := hostFix.conv
+	return tuner.PackedTuning(c.OutH, c.OutW, c.InW+2*c.Pad, c.NNZ()/c.OutC, c.Stride)
+}
+
+func benchBatchedLevel(b *testing.B, level codegen.Level, batch int) {
+	plan, err := codegen.Compile(hostFix.conv, level, hostLevelTuning(level))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := runtime.NewPool(0)
+	inputs := make([]*tensor.Tensor, batch)
+	for i := range inputs {
+		inputs[i] = hostFix.input
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		outs := pool.RunLayerBatchFused(plan, inputs, hostFix.bias.Data, true)
+		for _, out := range outs {
+			runtime.PutTensor(out)
+		}
+	}
+}
+
+func BenchmarkTuned(b *testing.B)  { benchBatchedLevel(b, codegen.Tuned, 4) }
+func BenchmarkPacked(b *testing.B) { benchBatchedLevel(b, codegen.Packed, 4) }
+
+func BenchmarkTunedBatch8(b *testing.B)  { benchBatchedLevel(b, codegen.Tuned, 8) }
+func BenchmarkPackedBatch8(b *testing.B) { benchBatchedLevel(b, codegen.Packed, 8) }
 
 func BenchmarkHostPatternTunedParallel(b *testing.B) {
 	plan, err := codegen.Compile(hostFix.conv, codegen.Tuned, lr.DefaultTuning())

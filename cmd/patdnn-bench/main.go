@@ -1,29 +1,44 @@
 // Command patdnn-bench regenerates the paper's evaluation artifacts: every
 // table and figure of the PatDNN evaluation section, plus the extra
-// ablations, from this repository's implementations.
+// ablations, from this repository's implementations. It also hosts the
+// Tuned-vs-Packed kernel sweep: a measured head-to-head of the tuned
+// dense-layout kernels against the FKW-direct packed backend on a VGG-style
+// layer across batch sizes.
 //
 // Usage:
 //
 //	patdnn-bench -list             # show available experiments
 //	patdnn-bench -run table3       # regenerate one artifact
 //	patdnn-bench -run all          # regenerate everything (minutes)
+//	patdnn-bench -sweep            # Tuned vs Packed wall-clock sweep
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"time"
 
 	"patdnn/internal/bench"
+	"patdnn/internal/compiler/codegen"
+	"patdnn/internal/compiler/lr"
+	"patdnn/internal/compiler/tuner"
+	"patdnn/internal/pattern"
+	"patdnn/internal/pruned"
+	"patdnn/internal/runtime"
+	"patdnn/internal/tensor"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiments")
 	run := flag.String("run", "", "experiment ID to run, or 'all'")
+	sweep := flag.Bool("sweep", false, "run the Tuned-vs-Packed kernel sweep")
 	flag.Parse()
 
 	switch {
+	case *sweep:
+		runSweep()
 	case *list:
 		for _, e := range bench.All() {
 			fmt.Printf("%-16s %s\n", e.ID, e.Desc)
@@ -44,5 +59,67 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// runSweep measures the tuned dense-layout kernels against the packed
+// FKW-direct backend on a VGG-L4-style layer (128×128 channels, 28×28 map,
+// 8 patterns, 3.6× connectivity) through the batched execution harness the
+// serving engine uses, across batch sizes.
+func runSweep() {
+	rng := rand.New(rand.NewSource(7))
+	const outC, inC, h, w = 128, 128, 28, 28
+	weights := tensor.New(outC, inC, 3, 3)
+	weights.Randn(rng, 0.1)
+	geom := pruned.ConvGeom{Stride: 1, Pad: 1, InH: h, InW: w, OutH: h, OutW: w}
+	kernels := float64(outC) * float64(inC)
+	conv := pruned.FromWeights("sweep-l4", weights, pattern.Canonical(8), int(kernels/3.6), geom)
+	input := tensor.New(inC, h, w)
+	input.Randn(rng, 1)
+	bias := make([]float32, outC)
+
+	pool := runtime.NewPool(0)
+	levels := []codegen.Level{codegen.Tuned, codegen.Packed}
+	plans := map[codegen.Level]*codegen.Plan{}
+	for _, lv := range levels {
+		tune := lr.DefaultTuning()
+		if lv == codegen.Packed {
+			tune = tuner.PackedTuning(conv.OutH, conv.OutW, conv.InW+2*conv.Pad, conv.NNZ()/conv.OutC, conv.Stride)
+		}
+		p, err := codegen.Compile(conv, lv, tune)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compile %v: %v\n", lv, err)
+			os.Exit(1)
+		}
+		plans[lv] = p
+	}
+
+	fmt.Printf("Tuned vs Packed sweep — %dx%d conv, %dx%d map, %d workers\n",
+		outC, inC, h, w, pool.Workers())
+	fmt.Printf("%-6s  %-20s  %-20s  %s\n", "batch", codegen.Tuned, codegen.Packed, "speedup")
+	for _, batch := range []int{1, 2, 4, 8, 16} {
+		ms := map[codegen.Level]float64{}
+		for _, lv := range levels {
+			plan := plans[lv]
+			ms[lv] = runtime.Measure(5, func() {
+				runBatchOnce(pool, plan, input, bias, batch)
+			})
+		}
+		fmt.Printf("%-6d  %17.2fms  %17.2fms  %.2fx\n",
+			batch, ms[codegen.Tuned], ms[codegen.Packed], ms[codegen.Tuned]/ms[codegen.Packed])
+	}
+}
+
+// runBatchOnce executes one batched layer sweep through the serving engine's
+// exact execution path (runtime.RunLayerBatchFused: pooled padded buffers,
+// batch×OutC ParallelFor, fused epilogue).
+func runBatchOnce(pool *runtime.Pool, plan *codegen.Plan, input *tensor.Tensor, bias []float32, batch int) {
+	inputs := make([]*tensor.Tensor, batch)
+	for i := range inputs {
+		inputs[i] = input
+	}
+	outs := pool.RunLayerBatchFused(plan, inputs, bias, true)
+	for _, out := range outs {
+		runtime.PutTensor(out)
 	}
 }

@@ -118,15 +118,16 @@ func main() {
 		pc := pruned.Generate(first, pattern.Canonical(*patterns), *connRate, 1, true)
 		fmt.Printf("\ngenerated CPU code for %s at each optimization level:\n", first.Name)
 		var tuned *codegen.Plan
-		for _, level := range []codegen.Level{codegen.NoOpt, codegen.Reorder,
-			codegen.ReorderLRE, codegen.Tuned} {
+		for _, level := range codegen.AllLevels() {
 			plan, err := codegen.Compile(pc, level, lr.DefaultTuning())
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 			fmt.Println(plan.EmitSource())
-			tuned = plan
+			if level == codegen.Tuned {
+				tuned = plan
+			}
 		}
 		fmt.Printf("generated GPU (OpenCL) code for %s:\n%s\n", first.Name, tuned.EmitOpenCL())
 		fkw, err := sparse.Encode(pc, nil)

@@ -8,10 +8,14 @@
 //
 //	POST /infer   {"network":"VGG","dataset":"cifar10","input":[...]}
 //	              input is the flattened [C,H,W] image and may be omitted
-//	              for a deterministic synthetic input; responds with the
-//	              output feature map, argmax, and batch/latency detail.
-//	GET  /models  compiled models currently in the plan cache
-//	GET  /stats   engine counters (requests, batches, plan-cache hits)
+//	              for a deterministic synthetic input; an optional "level"
+//	              ("noopt".."packed", "auto") overrides the engine's kernel
+//	              optimization level for this request — each level is its own
+//	              plan-cache entry. Responds with the output feature map,
+//	              argmax, and batch/latency detail.
+//	GET  /models  compiled models currently in the plan cache (with level)
+//	GET  /stats   engine counters (requests, batches, plan-cache hits —
+//	              including per-level hit counts)
 //	GET  /healthz liveness probe
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting,
@@ -47,13 +51,15 @@ func main() {
 	window := flag.Duration("window", 2*time.Millisecond, "batch gather window")
 	patterns := flag.Int("patterns", 8, "pattern-set size")
 	connRate := flag.Float64("connrate", 3.6, "connectivity pruning rate")
+	level := flag.String("level", serve.LevelAuto,
+		"kernel optimization level: noopt, reorder, lre, tuned, packed, or auto (tuner picks per layer)")
 	preload := flag.String("preload", "VGG/cifar10",
 		"comma-separated network/dataset pairs to compile at startup (empty = compile lazily)")
 	flag.Parse()
 
 	eng := serve.New(serve.Config{
 		Workers: *workers, MaxBatch: *batch, BatchWindow: *window,
-		Patterns: *patterns, ConnRate: *connRate,
+		Patterns: *patterns, ConnRate: *connRate, Level: *level,
 	})
 	for _, spec := range strings.Split(*preload, ",") {
 		spec = strings.TrimSpace(spec)

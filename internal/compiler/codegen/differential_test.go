@@ -1,0 +1,218 @@
+package codegen
+
+// Differential golden harness: every optimization level — the four paper
+// ablation levels plus the packed FKW-direct backend — must produce the same
+// convolution as the dense reference tensor.Conv2D, over a randomized sweep
+// of layer geometries, pattern sets, and connectivity sparsities. All sparse
+// execution paths share this one ground truth, so a wrong stride handling, a
+// misplaced FKW run, or a reorder bug in any level fails here with the seed
+// that reproduces it.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"patdnn/internal/compiler/lr"
+	"patdnn/internal/pattern"
+	"patdnn/internal/pruned"
+	"patdnn/internal/tensor"
+)
+
+// diffCase is one randomized layer configuration, fully determined by seed.
+type diffCase struct {
+	seed         int64
+	outC, inC    int
+	inH, inW     int
+	stride, pad  int
+	patterns     int
+	connKeepFrac float64 // fraction of kernels surviving connectivity pruning
+}
+
+// randomCase derives a layer configuration from a seed, varying every axis
+// the executors branch on: channel counts, spatial dims, stride, padding,
+// pattern-set size, and sparsity.
+func randomCase(seed int64) diffCase {
+	rng := rand.New(rand.NewSource(seed))
+	strides := []int{1, 2}
+	pads := []int{0, 1}
+	patSizes := []int{6, 8, 12}
+	return diffCase{
+		seed:         seed,
+		outC:         2 + rng.Intn(15), // 2..16
+		inC:          1 + rng.Intn(12), // 1..12
+		inH:          5 + rng.Intn(14), // 5..18
+		inW:          5 + rng.Intn(14), // 5..18
+		stride:       strides[rng.Intn(len(strides))],
+		pad:          pads[rng.Intn(len(pads))],
+		patterns:     patSizes[rng.Intn(len(patSizes))],
+		connKeepFrac: 0.2 + 0.7*rng.Float64(), // 20%..90% kernels survive
+	}
+}
+
+// buildCase materializes the pruned layer, input, and bias for a case.
+func buildCase(dc diffCase) (*pruned.Conv, *tensor.Tensor, []float32) {
+	rng := rand.New(rand.NewSource(dc.seed ^ 0x9e3779b9))
+	w := tensor.New(dc.outC, dc.inC, 3, 3)
+	// Scale weights down so float32 accumulation-order differences across
+	// levels stay far inside the 1e-4 gate even for the widest layers.
+	w.Randn(rng, 0.25)
+	geom := pruned.ConvGeom{
+		Stride: dc.stride, Pad: dc.pad, InH: dc.inH, InW: dc.inW,
+		OutH: tensor.ConvOutDim(dc.inH, 3, dc.stride, dc.pad),
+		OutW: tensor.ConvOutDim(dc.inW, 3, dc.stride, dc.pad),
+	}
+	keep := int(float64(dc.outC*dc.inC) * dc.connKeepFrac)
+	if keep < 1 {
+		keep = 1
+	}
+	c := pruned.FromWeights(fmt.Sprintf("diff-%d", dc.seed), w,
+		pattern.Canonical(dc.patterns), keep, geom)
+	input := tensor.New(dc.inC, dc.inH, dc.inW)
+	input.Randn(rng, 0.5)
+	bias := make([]float32, dc.outC)
+	for i := range bias {
+		bias[i] = float32(rng.NormFloat64()) * 0.25
+	}
+	return c, input, bias
+}
+
+// TestDifferentialAllLevels pins all five execution paths to tensor.Conv2D
+// over ≥50 seeded random layers. Table-driven: each case is an independent
+// subtest named by its seed, so a failure names the exact reproducer.
+func TestDifferentialAllLevels(t *testing.T) {
+	const cases = 60
+	for seed := int64(1); seed <= cases; seed++ {
+		dc := randomCase(seed)
+		t.Run(fmt.Sprintf("seed=%d/oc=%d/ic=%d/s=%d/p=%d/pat=%d",
+			dc.seed, dc.outC, dc.inC, dc.stride, dc.pad, dc.patterns), func(t *testing.T) {
+			c, input, bias := buildCase(dc)
+			want := refConv(c, input, bias)
+			for _, level := range AllLevels() {
+				p, err := Compile(c, level, lr.DefaultTuning())
+				if err != nil {
+					t.Fatalf("level %v: %v", level, err)
+				}
+				got := p.Execute(input, bias)
+				if !got.AllClose(want, 1e-4) {
+					t.Errorf("level %v: max diff %g vs dense reference",
+						level, got.MaxAbsDiff(want))
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialDepthwiseAllLevels covers the depthwise branch of every
+// level (input channel = filter index) against the channel-by-channel dense
+// reference — randomized channel counts, spatial dims, and strides.
+func TestDifferentialDepthwiseAllLevels(t *testing.T) {
+	for seed := int64(301); seed <= 312; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ch := 2 + rng.Intn(10)
+		inH, inW := 6+rng.Intn(10), 6+rng.Intn(10)
+		stride := 1 + rng.Intn(2)
+		w := tensor.New(ch, 1, 3, 3)
+		w.Randn(rng, 0.25)
+		geom := pruned.ConvGeom{
+			Stride: stride, Pad: 1, InH: inH, InW: inW,
+			OutH: tensor.ConvOutDim(inH, 3, stride, 1),
+			OutW: tensor.ConvOutDim(inW, 3, stride, 1),
+		}
+		// Depthwise: pattern pruning only — every kernel survives.
+		c := pruned.FromWeights(fmt.Sprintf("dw-%d", seed), w, pattern.Canonical(8), ch, geom)
+		c.Depthwise = true
+		input := tensor.New(c.InChannels(), inH, inW)
+		input.Randn(rng, 0.5)
+		bias := make([]float32, ch)
+		for i := range bias {
+			bias[i] = float32(rng.NormFloat64()) * 0.25
+		}
+		want := refDepthwise(c, input, bias)
+		for _, level := range AllLevels() {
+			p, err := Compile(c, level, lr.DefaultTuning())
+			if err != nil {
+				t.Fatalf("seed %d level %v: %v", seed, level, err)
+			}
+			got := p.Execute(input, bias)
+			if !got.AllClose(want, 1e-4) {
+				t.Errorf("seed %d level %v depthwise: max diff %g", seed, level, got.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+// TestDifferentialFusedMatchesUnfused checks the fused bias+ReLU epilogue
+// path of every level against the unfused compose-it-yourself sequence, over
+// dirty (non-zero) output buffers — the pooled-buffer contract.
+func TestDifferentialFusedMatchesUnfused(t *testing.T) {
+	for seed := int64(101); seed <= 112; seed++ {
+		dc := randomCase(seed)
+		c, input, bias := buildCase(dc)
+		want := refConv(c, input, bias)
+		tensor.ReLU(want)
+		for _, level := range AllLevels() {
+			p, err := Compile(c, level, lr.DefaultTuning())
+			if err != nil {
+				t.Fatalf("seed %d level %v: %v", seed, level, err)
+			}
+			padded := p.PadInput(input)
+			out := tensor.New(c.OutC, c.OutH, c.OutW)
+			for i := range out.Data {
+				out.Data[i] = float32(i%7) - 3 // garbage the kernel must overwrite
+			}
+			p.ExecuteRangeFused(padded, out, 0, c.OutC, bias, true)
+			if !out.AllClose(want, 1e-4) {
+				t.Errorf("seed %d level %v fused: max diff %g", seed, level, out.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+// TestDifferentialPackedRangeComposes splits the packed sweep across range
+// boundaries (the runtime's ParallelFor contract) and checks the parts sum to
+// the whole.
+func TestDifferentialPackedRangeComposes(t *testing.T) {
+	for seed := int64(201); seed <= 208; seed++ {
+		dc := randomCase(seed)
+		c, input, _ := buildCase(dc)
+		p, err := Compile(c, Packed, lr.DefaultTuning())
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := p.Execute(input, nil)
+		padded := p.PadInput(input)
+		split := tensor.New(c.OutC, c.OutH, c.OutW)
+		for cut := 1; cut < c.OutC; cut += 3 {
+			for i := range split.Data {
+				split.Data[i] = 0
+			}
+			p.ExecuteRange(padded, split, 0, cut)
+			p.ExecuteRange(padded, split, cut, c.OutC)
+			if !split.AllClose(full, 1e-5) {
+				t.Fatalf("seed %d cut %d: split differs by %g", seed, cut, split.MaxAbsDiff(full))
+			}
+		}
+	}
+}
+
+// TestDifferentialPackedPadInputInto checks the pooled-buffer padding path
+// against the allocating one, including a dirty oversized buffer.
+func TestDifferentialPackedPadInputInto(t *testing.T) {
+	dc := randomCase(42)
+	dc.pad = 1
+	c, input, _ := buildCase(dc)
+	p, err := Compile(c, Packed, lr.DefaultTuning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.PadInput(input)
+	buf := make([]float32, p.PaddedLen()+13)
+	for i := range buf {
+		buf[i] = -99
+	}
+	got := p.PadInputInto(input, buf)
+	if !got.AllClose(want, 0) {
+		t.Fatalf("PadInputInto differs from PadInput by %g", got.MaxAbsDiff(want))
+	}
+}

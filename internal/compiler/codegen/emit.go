@@ -56,6 +56,21 @@ func (p *Plan) EmitSource() string {
       // share one set of input row loads
       for (oh in tile) { load rows once; accumulate into all filters; }
 `, p.Tune.Unroll[0], p.Tune.Tile[1], p.Tune.Permute, p.Tune.Unroll[0])
+	case Packed:
+		fmt.Fprintf(&b, `w = weights;                                  // FKW-direct: stream the packed array
+for (pos = 0; pos < out_channels; pos++) {    // reordered filter order
+  f = reorder[pos];                           // FKW reorder array
+  plane[f][:] = bias[f];                      // fused epilogue init
+  for (ohb = 0; ohb < out_h; ohb += %d)       // spatial tile (tuner-sized)
+    for (run in stride[pos])                  // pattern runs, shape known
+      for (k = run.start; k < run.end; k++) { // ch = index[k]
+        w0 = *w++; w1 = *w++; w2 = *w++; w3 = *w++;  // linear weight sweep,
+        for (oh in tile)                      // zero per-weight index math
+          out[f][oh][:] += w0*r0 + w1*r1 + w2*r2 + w3*r3;
+      }
+  relu(plane[f]);                             // fused epilogue
+}
+`, p.Tune.Tile[1])
 	}
 	return b.String()
 }

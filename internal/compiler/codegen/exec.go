@@ -5,21 +5,29 @@ package codegen
 // [OutC, OutH, OutW]. Stride 1 and stride 2 are supported (the networks in
 // the evaluation use only these).
 
-import "patdnn/internal/tensor"
+import (
+	"patdnn/internal/pruned"
+	"patdnn/internal/tensor"
+)
 
 func (p *Plan) execNoOpt(padded, out *tensor.Tensor)   { p.rangeNoOpt(padded, out, 0, p.Conv.OutC) }
 func (p *Plan) execReorder(padded, out *tensor.Tensor) { p.rangeReorder(padded, out, 0, p.Conv.OutC) }
 func (p *Plan) execLRE(padded, out *tensor.Tensor)     { p.rangeLRE(padded, out, 0, p.Conv.OutC) }
 func (p *Plan) execTuned(padded, out *tensor.Tensor)   { p.rangeTuned(padded, out, 0, p.Conv.OutC) }
 
+// prologue hoists the lookups every range kernel needs — the conv descriptor
+// and the padded input's spatial dims — so the kernels share one definition
+// instead of each re-deriving them.
+func (p *Plan) prologue(padded *tensor.Tensor) (c *pruned.Conv, ph, pw int) {
+	return p.Conv, padded.Dim(1), padded.Dim(2)
+}
+
 // rangeNoOpt mirrors the paper's "+No-opt" skeleton: for every output
 // position it walks all input channels and switches on the kernel's pattern
 // style — a per-kernel branch inside the hot loop, full index arithmetic per
 // weight.
 func (p *Plan) rangeNoOpt(padded, out *tensor.Tensor, from, to int) {
-	c := p.Conv
-	ph, pw := padded.Dim(1), padded.Dim(2)
-	_ = ph
+	c, ph, pw := p.prologue(padded)
 	for pos := from; pos < to; pos++ {
 		f := p.FKR.FilterPerm[pos] // identity for NoOpt
 		oplane := out.Data[f*c.OutH*c.OutW:]
@@ -52,9 +60,7 @@ func (p *Plan) rangeNoOpt(padded, out *tensor.Tensor, from, to int) {
 // branchless pattern runs; the pattern dispatch is hoisted out of the pixel
 // loops entirely.
 func (p *Plan) rangeReorder(padded, out *tensor.Tensor, from, to int) {
-	c := p.Conv
-	pw := padded.Dim(2)
-	ph := padded.Dim(1)
+	c, ph, pw := p.prologue(padded)
 	for pos := from; pos < to; pos++ {
 		f := p.FKR.FilterPerm[pos]
 		oplane := out.Data[f*c.OutH*c.OutW:]
@@ -88,9 +94,7 @@ func (p *Plan) rangeReorder(padded, out *tensor.Tensor, from, to int) {
 // reused across the row's outputs and across all weights that read them —
 // the kernel-level reuse of Figure 11 (left).
 func (p *Plan) rangeLRE(padded, out *tensor.Tensor, from, to int) {
-	c := p.Conv
-	pw := padded.Dim(2)
-	ph := padded.Dim(1)
+	c, ph, pw := p.prologue(padded)
 	for pos := from; pos < to; pos++ {
 		f := p.FKR.FilterPerm[pos]
 		oplane := out.Data[f*c.OutH*c.OutW:]
@@ -136,9 +140,7 @@ func (p *Plan) rangeLRE(padded, out *tensor.Tensor, from, to int) {
 // Figure 11 (right). The loop order follows Tune.Permute (cohwci_b places the
 // channel loop innermost over a blocked spatial tile).
 func (p *Plan) rangeTuned(padded, out *tensor.Tensor, from, to int) {
-	c := p.Conv
-	pw := padded.Dim(2)
-	ph := padded.Dim(1)
+	c, ph, pw := p.prologue(padded)
 	tileOH := p.Tune.Tile[1]
 	if tileOH < 1 {
 		tileOH = c.OutH

@@ -1,0 +1,141 @@
+package codegen
+
+// The Packed level's execution kernels: FKW-direct tiled execution.
+//
+// Every other level gathers weights from the dense [OutC, InC, KH, KW] layout
+// through wbase + dr*KW + dc index arithmetic, reconstructing per kernel what
+// the FKW format (paper §5.3, Figure 10) already laid out: after Filter
+// Kernel Reorder, a filter's surviving weights sit in one contiguous span of
+// the Weights array, grouped into pattern runs whose shape is known from the
+// Stride table. The packed kernels exploit that directly — one linear sweep
+// of Weights per filter, the 4-entry pattern run unrolled into four fused
+// multiply-adds, zero per-weight index arithmetic. The weight side of the
+// layer becomes a pure stream, which is where PCONV/GRIM-style load
+// redundancy wins come from on mobile-class cores.
+//
+// Output rows are processed in spatial tiles (Tune.Tile[1], sized by
+// compiler/tuner's PackedTuning) so the output tile plus the three input rows
+// a pattern touches stay cache-resident while the filter's weight stream is
+// replayed, and the bias + ReLU epilogue fuses into the same sweep: the
+// kernel initializes each output plane itself, so the serving runtime can
+// hand it dirty pooled buffers without a zeroing pass.
+
+import (
+	"patdnn/internal/sparse"
+	"patdnn/internal/tensor"
+)
+
+// packedRun is one pattern run of a filter in the packed view: the taps are
+// decoded once at compile time, and ch/w alias the FKW Index and Weights
+// arrays — executing a run IS walking the packed storage.
+type packedRun struct {
+	taps [4][2]int // the pattern's (dr, dc) taps
+	ch   []uint16  // input channel per kernel (slice of FKW.Index)
+	w    []float32 // 4 weights per kernel (slice of FKW.Weights)
+}
+
+// packedFilter is one reordered filter position's run list plus its original
+// output channel (the FKW Reorder entry).
+type packedFilter struct {
+	orig int
+	runs []packedRun
+}
+
+// buildPacked precompiles the FKW arrays into per-filter run views. The
+// Channels/Weights slices alias the FKW storage; only the small run headers
+// are allocated here, once, at compile time — the execution path allocates
+// nothing.
+func (p *Plan) buildPacked() {
+	c := p.Conv
+	p.packed = make([]packedFilter, c.OutC)
+	wOff := 0
+	for pos := 0; pos < c.OutC; pos++ {
+		var runs []sparse.Run
+		runs, wOff = p.FKW.Runs(nil, pos, wOff)
+		pf := packedFilter{orig: int(p.FKW.Reorder[pos])}
+		for _, r := range runs {
+			pr := packedRun{ch: r.Channels, w: r.Weights}
+			for i, tap := range r.Pattern.Indices() {
+				pr.taps[i] = [2]int{tap / c.KW, tap % c.KW}
+			}
+			pf.runs = append(pf.runs, pr)
+		}
+		p.packed[pos] = pf
+	}
+}
+
+// rangePacked is the plain ExecuteRange form: accumulate into a
+// caller-initialized output, no epilogue.
+func (p *Plan) rangePacked(padded, out *tensor.Tensor, from, to int) {
+	p.rangePackedFused(padded, out, from, to, nil, false, false)
+}
+
+// rangePackedFused executes reordered filter positions [from, to) by walking
+// the packed runs. When init is set the kernel writes each output plane's
+// initial value (bias, or zero) itself; relu applies the fused ReLU epilogue
+// after the plane's last accumulation.
+func (p *Plan) rangePackedFused(padded, out *tensor.Tensor, from, to int, bias []float32, init, relu bool) {
+	c, _, pw := p.prologue(padded)
+	phpw := padded.Dim(1) * pw
+	oHW := c.OutH * c.OutW
+	tileOH := p.Tune.Tile[1]
+	if tileOH < 1 {
+		tileOH = c.OutH
+	}
+	for pos := from; pos < to; pos++ {
+		pf := &p.packed[pos]
+		oplane := out.Data[pf.orig*oHW : (pf.orig+1)*oHW]
+		if init {
+			v := float32(0)
+			if bias != nil {
+				v = bias[pf.orig]
+			}
+			for i := range oplane {
+				oplane[i] = v
+			}
+		}
+		for ohBase := 0; ohBase < c.OutH; ohBase += tileOH {
+			ohEnd := min(ohBase+tileOH, c.OutH)
+			for ri := range pf.runs {
+				run := &pf.runs[ri]
+				t0, t1, t2, t3 := run.taps[0], run.taps[1], run.taps[2], run.taps[3]
+				w := run.w
+				for ki, ch := range run.ch {
+					// The four weights of this kernel: the next 4 entries of
+					// the filter's weight stream, in tap order.
+					w0, w1, w2, w3 := w[4*ki], w[4*ki+1], w[4*ki+2], w[4*ki+3]
+					inCh := int(ch)
+					if c.Depthwise {
+						inCh = pf.orig
+					}
+					iplane := padded.Data[inCh*phpw:]
+					for oh := ohBase; oh < ohEnd; oh++ {
+						ihBase := oh * c.Stride
+						r0 := iplane[(ihBase+t0[0])*pw+t0[1]:]
+						r1 := iplane[(ihBase+t1[0])*pw+t1[1]:]
+						r2 := iplane[(ihBase+t2[0])*pw+t2[1]:]
+						r3 := iplane[(ihBase+t3[0])*pw+t3[1]:]
+						orow := oplane[oh*c.OutW : oh*c.OutW+c.OutW]
+						if c.Stride == 1 {
+							for ow := range orow {
+								orow[ow] += w0*r0[ow] + w1*r1[ow] + w2*r2[ow] + w3*r3[ow]
+							}
+						} else {
+							for ow := range orow {
+								iw := ow * c.Stride
+								orow[ow] += w0*r0[iw] + w1*r1[iw] + w2*r2[iw] + w3*r3[iw]
+							}
+						}
+					}
+				}
+			}
+		}
+		if relu {
+			for i, v := range oplane {
+				if v < 0 {
+					oplane[i] = 0
+				}
+			}
+		}
+	}
+}

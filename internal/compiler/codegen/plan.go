@@ -21,6 +21,7 @@ package codegen
 
 import (
 	"fmt"
+	"strings"
 
 	"patdnn/internal/compiler/lr"
 	"patdnn/internal/compiler/lre"
@@ -33,20 +34,64 @@ import (
 // Level selects the optimization stage.
 type Level int
 
-// Optimization levels in ascending order.
+// Optimization levels in ascending order. Packed is the FKW-direct backend:
+// instead of gathering weights from the dense layout through per-kernel index
+// arithmetic, its kernels walk the packed FKW Offset/Reorder/Index/Stride/
+// Weights arrays in one sequential sweep per filter (paper §5.3, Fig. 10 —
+// the layout exists precisely so the hot loop can stream weights).
 const (
 	NoOpt Level = iota
 	Reorder
 	ReorderLRE
 	Tuned
+	Packed
 )
 
 var levelNames = map[Level]string{
 	NoOpt: "No-Opt", Reorder: "+Reorder", ReorderLRE: "+Reorder+LRE",
-	Tuned: "+Reorder+LRE+Tune",
+	Tuned: "+Reorder+LRE+Tune", Packed: "+Packed-FKW",
 }
 
 func (l Level) String() string { return levelNames[l] }
+
+// AllLevels lists every optimization level in ascending order.
+func AllLevels() []Level { return []Level{NoOpt, Reorder, ReorderLRE, Tuned, Packed} }
+
+// ParseLevel maps a user-facing level name ("noopt", "reorder", "lre",
+// "tuned", "packed"; case-insensitive) to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "noopt", "no-opt":
+		return NoOpt, nil
+	case "reorder":
+		return Reorder, nil
+	case "lre", "reorderlre":
+		return ReorderLRE, nil
+	case "tuned", "tune":
+		return Tuned, nil
+	case "packed", "fkw":
+		return Packed, nil
+	}
+	return NoOpt, fmt.Errorf("codegen: unknown level %q (want noopt, reorder, lre, tuned, or packed)", s)
+}
+
+// LevelTag returns the canonical short name ParseLevel accepts for l — the
+// form cache keys and stats counters use.
+func LevelTag(l Level) string {
+	switch l {
+	case NoOpt:
+		return "noopt"
+	case Reorder:
+		return "reorder"
+	case ReorderLRE:
+		return "lre"
+	case Tuned:
+		return "tuned"
+	case Packed:
+		return "packed"
+	}
+	return "unknown"
+}
 
 // Plan is a compiled execution plan for one pruned conv layer.
 type Plan struct {
@@ -58,6 +103,9 @@ type Plan struct {
 
 	// offsets[id-1] lists the (dr, dc) taps of pattern id.
 	offsets [][][2]int
+	// packed[pos] is the Packed level's precompiled view over the FKW arrays
+	// for reordered filter position pos; nil for other levels.
+	packed []packedFilter
 }
 
 // Compile builds the plan for the requested level. Layers must carry weights.
@@ -89,6 +137,9 @@ func Compile(c *pruned.Conv, level Level, tune lr.Tuning) (*Plan, error) {
 		for _, pos := range pat.Indices() {
 			p.offsets[i] = append(p.offsets[i], [2]int{pos / c.KW, pos % c.KW})
 		}
+	}
+	if level == Packed {
+		p.buildPacked()
 	}
 	return p, nil
 }
@@ -134,6 +185,8 @@ func (p *Plan) Execute(input *tensor.Tensor, bias []float32) *tensor.Tensor {
 		p.execLRE(padded, out)
 	case Tuned:
 		p.execTuned(padded, out)
+	case Packed:
+		p.rangePacked(padded, out, 0, c.OutC)
 	}
 	return out
 }
@@ -151,12 +204,94 @@ func (p *Plan) ExecuteRange(padded *tensor.Tensor, out *tensor.Tensor, from, to 
 		p.rangeLRE(padded, out, from, to)
 	case Tuned:
 		p.rangeTuned(padded, out, from, to)
+	case Packed:
+		p.rangePacked(padded, out, from, to)
+	}
+}
+
+// SupportsFused reports whether the plan's kernels fuse the bias + ReLU
+// epilogue into the conv sweep. Only the packed FKW-direct backend does: its
+// kernels initialize each output plane themselves, so fused execution also
+// accepts un-zeroed (pooled) output buffers.
+func (p *Plan) SupportsFused() bool { return p.Level == Packed }
+
+// ExecuteRangeFused computes output channels (in plan order) [from, to) like
+// ExecuteRange, but the kernel initializes each output plane itself (to bias,
+// or zero) and, when relu is set, clamps negatives before writing back — the
+// fused epilogue. out therefore needs no pre-initialization: dirty scratch
+// buffers from a pool are fine. Levels without fused kernels fall back to
+// init + plain range + epilogue passes over just [from, to).
+func (p *Plan) ExecuteRangeFused(padded, out *tensor.Tensor, from, to int, bias []float32, relu bool) {
+	if p.Level == Packed {
+		p.rangePackedFused(padded, out, from, to, bias, true, relu)
+		return
+	}
+	c := p.Conv
+	oHW := c.OutH * c.OutW
+	for pos := from; pos < to; pos++ {
+		f := p.FKR.FilterPerm[pos]
+		plane := out.Data[f*oHW : (f+1)*oHW]
+		v := float32(0)
+		if bias != nil {
+			v = bias[f]
+		}
+		for i := range plane {
+			plane[i] = v
+		}
+	}
+	p.ExecuteRange(padded, out, from, to)
+	if relu {
+		for pos := from; pos < to; pos++ {
+			f := p.FKR.FilterPerm[pos]
+			plane := out.Data[f*oHW : (f+1)*oHW]
+			for i, v := range plane {
+				if v < 0 {
+					plane[i] = 0
+				}
+			}
+		}
 	}
 }
 
 // PadInput exposes the padding step for the runtime's layer pipeline.
 func (p *Plan) PadInput(input *tensor.Tensor) *tensor.Tensor {
 	return pad(input, p.Conv.Pad)
+}
+
+// PaddedLen returns the element count PadInputInto needs in its scratch
+// buffer.
+func (p *Plan) PaddedLen() int {
+	c := p.Conv
+	return c.InChannels() * (c.InH + 2*c.Pad) * (c.InW + 2*c.Pad)
+}
+
+// PadInputInto pads input into buf, a reusable scratch slice of at least
+// PaddedLen() elements whose contents may be garbage, and returns a tensor
+// view over it. With zero padding the input is returned directly and buf is
+// untouched. This is the allocation-free path the serving runtime's buffer
+// pool uses.
+func (p *Plan) PadInputInto(input *tensor.Tensor, buf []float32) *tensor.Tensor {
+	pd := p.Conv.Pad
+	if pd == 0 {
+		return input
+	}
+	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
+	ph, pw := h+2*pd, w+2*pd
+	buf = buf[:c*ph*pw]
+	out := tensor.FromSlice(buf, c, ph, pw)
+	// Only the border needs zeroing; the interior is fully overwritten.
+	for ic := 0; ic < c; ic++ {
+		plane := buf[ic*ph*pw : (ic+1)*ph*pw]
+		clear(plane[:pd*pw])
+		clear(plane[(ph-pd)*pw:])
+		for y := 0; y < h; y++ {
+			row := plane[(y+pd)*pw : (y+pd+1)*pw]
+			clear(row[:pd])
+			copy(row[pd:pd+w], input.Data[(ic*h+y)*w:(ic*h+y)*w+w])
+			clear(row[pd+w:])
+		}
+	}
+	return out
 }
 
 // InstrStats aggregates the instruction-level quantities the mobile device
@@ -213,6 +348,14 @@ func (p *Plan) Stats() InstrStats {
 		// permutation (Figure 15): channel-innermost blocked preserves both
 		// input reuse and FKW weight streaming.
 		st.VecEff, st.CacheEff = 1.0, 0.90*permEff(p.Tune.Permute)
+	case Packed:
+		// FKW-direct streaming: kernel-level LRE on the input side, and the
+		// weight side degenerates to one sequential sweep of the packed array
+		// per filter — no gather traffic, so locality beats the tuned dense
+		// layout even before tiling.
+		st.RegLoads = loads.KernelLRE
+		st.Branches = p.FKR.BranchCount(c, 1)
+		st.VecEff, st.CacheEff = 1.0, 0.95
 	}
 	return st
 }

@@ -1,0 +1,77 @@
+package tuner
+
+import "patdnn/internal/compiler/lr"
+
+// Sizing for the packed FKW-direct backend (codegen.Packed). The packed
+// kernels replay a filter's weight stream once per spatial output tile, so
+// the tile wants to be as tall as possible while the tile's working set —
+// the output tile rows plus the input rows a 3×3 pattern touches — stays
+// resident in a mobile-class L1 data cache.
+const packedL1Bytes = 32 * 1024
+
+// PackedTile returns the output-row tile height for an outH×outW output map
+// whose padded input rows are paddedW wide, at the given conv stride. It
+// picks the largest candidate from the standard tuning space whose working
+// set (tile output rows + the tile's input rows + one filter's weight
+// stream) fits packedL1Bytes; the whole map in one tile when it fits.
+func PackedTile(outH, outW, paddedW, weightsPerFilter, stride int) int {
+	if stride < 1 {
+		stride = 1
+	}
+	fits := func(rows int) bool {
+		// rows output rows + the input rows a 3-tap-high pattern touches
+		// across the tile ((rows-1)*stride + 3), 4 bytes per element, plus
+		// the filter's packed weights.
+		inRows := (rows-1)*stride + 3
+		work := 4 * (rows*outW + inRows*paddedW)
+		return work+4*weightsPerFilter <= packedL1Bytes
+	}
+	if fits(outH) {
+		return outH
+	}
+	best := 1
+	for _, rows := range DefaultSpace().TileOH {
+		if rows <= outH && fits(rows) && rows > best {
+			best = rows
+		}
+	}
+	return best
+}
+
+// PackedTuning returns the tuning a packed plan should be compiled with: the
+// default configuration with the spatial tile swapped for the PackedTile
+// choice. The unroll/permutation genes do not apply to the packed kernels
+// (the run structure is fixed by the FKW layout) and are left at defaults.
+func PackedTuning(outH, outW, paddedW, weightsPerFilter, stride int) lr.Tuning {
+	t := lr.DefaultTuning()
+	t.Tile[1] = PackedTile(outH, outW, paddedW, weightsPerFilter, stride)
+	return t
+}
+
+// PreferPacked is the level chooser the serving engine consults when its
+// configuration leaves the optimization level to the tuner: it predicts, from
+// the layer's geometry and sparsity, whether the packed FKW-direct backend
+// beats the tuned dense-layout kernels. The prediction mirrors the measured
+// tradeoff the estimator's features encode: the tuned kernels pay a per-
+// execution grouping pass over all kernels (to find filter-block input
+// sharing), which only amortizes when the spatial map is large AND the layer
+// is dense enough that several kernels of an unrolled filter block actually
+// share a (channel, pattern) input row. Pattern-pruned layers at the paper's
+// 3.6× connectivity rarely reach that density, so the packed stream wins
+// almost everywhere.
+func PreferPacked(outC, inC, kernels, outH, outW int) bool {
+	if outC <= 0 || inC <= 0 || kernels <= 0 {
+		return true
+	}
+	// Expected kernels landing on the same (channel, pattern) slot within a
+	// 4-filter unrolled block, assuming the ~8 canonical patterns: near 1 the
+	// tuned filter-level sharing starts reclaiming enough input loads to
+	// matter.
+	density := float64(kernels) / float64(outC*inC)
+	sharing := density * 4 / 8
+	// Large maps amortize the tuned grouping pass over more output pixels;
+	// a fully dense 8-pattern layer reaches sharing 0.5, the break-even
+	// neighborhood.
+	bigMap := outH*outW >= 96*96
+	return !(bigMap && sharing >= 0.45)
+}

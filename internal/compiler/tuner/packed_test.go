@@ -1,0 +1,62 @@
+package tuner
+
+import "testing"
+
+func TestPackedTileSmallMapSingleTile(t *testing.T) {
+	// A 28×28 map fits L1 whole: no tiling.
+	if got := PackedTile(28, 28, 30, 150, 1); got != 28 {
+		t.Fatalf("PackedTile(28x28) = %d, want 28 (single tile)", got)
+	}
+}
+
+func TestPackedTileLargeMapShrinks(t *testing.T) {
+	got := PackedTile(224, 224, 226, 150, 1)
+	if got >= 224 {
+		t.Fatalf("PackedTile(224x224) = %d, want a real tile < 224", got)
+	}
+	if got < 1 {
+		t.Fatalf("PackedTile(224x224) = %d, want >= 1", got)
+	}
+	// The chosen tile's working set must actually fit.
+	work := 4 * (got*224 + (got+2)*226)
+	if work > packedL1Bytes {
+		t.Fatalf("chosen tile %d has working set %dB > L1 %dB", got, work, packedL1Bytes)
+	}
+}
+
+func TestPackedTileStrideCountsInputRows(t *testing.T) {
+	// At stride 2 a tile of output rows touches ~2x the input rows, so the
+	// chosen tile can only shrink relative to stride 1.
+	s1 := PackedTile(112, 112, 226, 150, 1)
+	s2 := PackedTile(112, 112, 226, 150, 2)
+	if s2 > s1 {
+		t.Fatalf("stride-2 tile %d > stride-1 tile %d", s2, s1)
+	}
+	work := 4 * (s2*112 + ((s2-1)*2+3)*226)
+	if work+4*150 > packedL1Bytes {
+		t.Fatalf("stride-2 tile %d working set %dB exceeds L1 %dB", s2, work, packedL1Bytes)
+	}
+}
+
+func TestPackedTuningCarriesTile(t *testing.T) {
+	tn := PackedTuning(56, 56, 58, 140, 1)
+	if tn.Tile[1] != PackedTile(56, 56, 58, 140, 1) {
+		t.Fatalf("PackedTuning tile %d != PackedTile %d", tn.Tile[1], PackedTile(56, 56, 58, 140, 1))
+	}
+}
+
+func TestPreferPacked(t *testing.T) {
+	// The paper's operating point (3.6× connectivity) on a mid-size map:
+	// packed wins.
+	if !PreferPacked(128, 128, 128*128*10/36, 28, 28) {
+		t.Fatal("PreferPacked should pick packed for a sparse 28x28 layer")
+	}
+	// Dense-ish layer on a huge map: the tuned filter-block sharing amortizes.
+	if PreferPacked(64, 64, 64*64, 224, 224) {
+		t.Fatal("PreferPacked should keep tuned for a dense 224x224 layer")
+	}
+	// Degenerate inputs fall back to packed rather than dividing by zero.
+	if !PreferPacked(0, 0, 0, 0, 0) {
+		t.Fatal("PreferPacked must tolerate degenerate geometry")
+	}
+}

@@ -110,7 +110,10 @@ func TestRelativeErrorBound(t *testing.T) {
 		for i := 0; i < 100; i++ {
 			v := float32(rng.NormFloat64())
 			r := FromFloat32(v).ToFloat32()
-			if v == 0 {
+			if math.Abs(float64(v)) < math.Pow(2, -14) {
+				// Below binary16's minimum normal the format is subnormal
+				// and the ULP bound legitimately does not hold; the property
+				// is stated for normal-range inputs only.
 				continue
 			}
 			rel := math.Abs(float64(r-v)) / math.Abs(float64(v))

@@ -166,6 +166,14 @@ func Read(r io.Reader) (*File, error) {
 		pats := make([]pattern.Pattern, nPat)
 		for i := range pats {
 			pats[i] = pattern.Pattern{Mask: d.u16(), K: geom[2]}
+			// The executable kernels (and SavePruned's canonical sets) are
+			// 4-entry only; a file carrying any other width is corrupt or
+			// hostile, and letting it through would trip the executors'
+			// unrolled-by-4 assumption much later.
+			if d.err == nil && pats[i].Entries() != 4 {
+				return nil, fmt.Errorf("modelfile: layer %s pattern %d has %d entries, want 4",
+					name, i, pats[i].Entries())
+			}
 		}
 		outC := geom[0]
 		fkw := &sparse.FKW{
@@ -202,8 +210,13 @@ func Read(r io.Reader) (*File, error) {
 			break
 		}
 
-		// Rebuild the pruned representation from the FKW arrays.
-		dense := fkw.Decode()
+		// Rebuild the pruned representation from the FKW arrays. The file
+		// bytes are untrusted: DecodeChecked validates the structure so a
+		// corrupted stride/index table errors instead of panicking.
+		dense, err := fkw.DecodeChecked()
+		if err != nil {
+			return nil, fmt.Errorf("modelfile: layer %s: %w", name, err)
+		}
 		conv := &pruned.Conv{
 			Name: name, OutC: outC, InC: geom[1], KH: geom[2], KW: geom[3],
 			Stride: geom[4], Pad: geom[5],

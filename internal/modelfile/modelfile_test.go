@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"patdnn/internal/compiler/lr"
@@ -104,6 +105,36 @@ func TestChecksumDetectsCorruption(t *testing.T) {
 	data[len(data)/2] ^= 0x40
 	if _, err := Read(bytes.NewReader(data)); err == nil {
 		t.Fatal("corruption not detected")
+	}
+}
+
+func TestNon4EntryPatternRejected(t *testing.T) {
+	// A file whose pattern table carries a 3-entry mask (with a valid CRC —
+	// checksums are not a defense against crafted files, anyone can compute
+	// one) must be rejected at read time: the executable kernels unroll
+	// 4-entry runs and would otherwise fail much later, inside inference.
+	set := []pattern.Pattern{pattern.New(3, 0, 1, 2)} // 3 entries
+	w := tensor.New(2, 2, 3, 3)
+	for k := 0; k < 4; k++ {
+		for _, pos := range set[0].Indices() {
+			w.Data[k*9+pos] = 1
+		}
+	}
+	c := &pruned.Conv{
+		Name: "bad", OutC: 2, InC: 2, KH: 3, KW: 3, Stride: 1, Pad: 1,
+		InH: 4, InW: 4, OutH: 4, OutW: 4,
+		Set: set, IDs: []int{1, 1, 1, 1}, Weights: w,
+	}
+	f := &File{
+		LR:     &lr.Representation{Model: "bad", Device: "CPU"},
+		Layers: []Layer{{Conv: c, Bias: []float32{0, 0}}},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), "entries") {
+		t.Fatalf("Read = %v, want non-4-entry pattern rejection", err)
 	}
 }
 

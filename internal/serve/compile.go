@@ -12,6 +12,7 @@ import (
 
 	"patdnn/internal/compiler/codegen"
 	"patdnn/internal/compiler/lr"
+	"patdnn/internal/compiler/tuner"
 	"patdnn/internal/model"
 	"patdnn/internal/pattern"
 	"patdnn/internal/pruned"
@@ -29,15 +30,17 @@ const (
 
 // op is one executable stage of a compiled model.
 type op struct {
-	kind  opKind
-	plan  *codegen.Plan // opConv
-	poolK int           // opMaxPool kernel/stride
+	kind      opKind
+	plan      *codegen.Plan // opConv
+	fusedReLU bool          // opConv: the following ReLU is fused into the sweep
+	poolK     int           // opMaxPool kernel/stride
 }
 
 // compiledModel is a network lowered to an executable op stack: the cached
-// artifact the plan cache holds per (model, dataset, tuning) key.
+// artifact the plan cache holds per (model, dataset, level) key.
 type compiledModel struct {
 	model            *model.Model
+	level            string // the level tag this artifact was compiled at
 	ops              []op
 	convLayers       int
 	inC, inH, inW    int
@@ -45,15 +48,44 @@ type compiledModel struct {
 	totalW, keptW    int64 // dense vs surviving weight counts (compression)
 }
 
-// compileModel lowers m's convolutional trunk. It walks the layer graph in
-// order, compiling every 3×3 conv through the full pattern path and chaining
-// shapes; the walk stops at the classifier head (flatten/FC/global-pool),
-// whose dense layers the pattern compiler does not cover. Networks whose
-// trunk needs operators the sweep cannot execute (1×1 convs, residual adds)
-// are rejected with a descriptive error rather than served wrong.
-func compileModel(cfg Config, m *model.Model) (*compiledModel, error) {
+// layerLevel resolves the optimization level one conv layer compiles at. An
+// explicit tag applies uniformly; "auto" asks the tuner's estimator whether
+// the packed FKW-direct backend beats the tuned dense-layout kernels for this
+// layer's geometry and sparsity.
+func layerLevel(tag string, pc *pruned.Conv) (codegen.Level, error) {
+	if tag == LevelAuto {
+		if tuner.PreferPacked(pc.OutC, pc.InC, pc.NonEmptyKernels(), pc.OutH, pc.OutW) {
+			return codegen.Packed, nil
+		}
+		return codegen.Tuned, nil
+	}
+	return codegen.ParseLevel(tag)
+}
+
+// layerTuning picks the tuning a layer compiles with: packed plans get the
+// tuner-sized spatial tile; everything else keeps the default configuration.
+func layerTuning(level codegen.Level, pc *pruned.Conv) lr.Tuning {
+	if level != codegen.Packed {
+		return lr.DefaultTuning()
+	}
+	perFilter := 0
+	if pc.OutC > 0 {
+		perFilter = pc.NNZ() / pc.OutC
+	}
+	return tuner.PackedTuning(pc.OutH, pc.OutW, pc.InW+2*pc.Pad, perFilter, pc.Stride)
+}
+
+// compileModel lowers m's convolutional trunk at the given level tag. It
+// walks the layer graph in order, compiling every 3×3 conv through the full
+// pattern path and chaining shapes; the walk stops at the classifier head
+// (flatten/FC/global-pool), whose dense layers the pattern compiler does not
+// cover. Networks whose trunk needs operators the sweep cannot execute (1×1
+// convs, residual adds) are rejected with a descriptive error rather than
+// served wrong. A ReLU directly following a conv whose plan supports the
+// fused epilogue is folded into the conv sweep.
+func compileModel(cfg Config, m *model.Model, tag string) (*compiledModel, error) {
 	set := pattern.Canonical(cfg.Patterns)
-	cm := &compiledModel{model: m, inC: m.InC, inH: m.InH, inW: m.InW}
+	cm := &compiledModel{model: m, level: tag, inC: m.InC, inH: m.InH, inW: m.InW}
 	c, h, w := m.InC, m.InH, m.InW
 	for i, l := range m.Layers {
 		switch l.Kind {
@@ -70,7 +102,11 @@ func compileModel(cfg Config, m *model.Model) (*compiledModel, error) {
 					m.Short, m.Dataset, l.Name, l.InC, l.InH, l.InW, c, h, w)
 			}
 			pc := pruned.Generate(l, set, cfg.ConnRate, cfg.Seed+int64(i), true)
-			plan, err := codegen.Compile(pc, cfg.Level, lr.DefaultTuning())
+			level, err := layerLevel(tag, pc)
+			if err != nil {
+				return nil, err
+			}
+			plan, err := codegen.Compile(pc, level, layerTuning(level, pc))
 			if err != nil {
 				return nil, err
 			}
@@ -80,6 +116,13 @@ func compileModel(cfg Config, m *model.Model) (*compiledModel, error) {
 			cm.keptW += int64(pc.NNZ())
 			c, h, w = l.OutC, l.OutH, l.OutW
 		case model.ReLU:
+			// Fuse into the preceding conv's epilogue when its kernels can;
+			// the sweep then skips a whole pass over the feature map.
+			if n := len(cm.ops); n > 0 && cm.ops[n-1].kind == opConv &&
+				!cm.ops[n-1].fusedReLU && cm.ops[n-1].plan.SupportsFused() {
+				cm.ops[n-1].fusedReLU = true
+				continue
+			}
 			cm.ops = append(cm.ops, op{kind: opReLU})
 		case model.MaxPool:
 			// The sweep executes pools with tensor.MaxPool2D, which hard-codes
@@ -121,6 +164,7 @@ func (cm *compiledModel) info() ModelInfo {
 	inf := ModelInfo{
 		Network:     cm.model.Short,
 		Dataset:     cm.model.Dataset,
+		Level:       cm.level,
 		ConvLayers:  cm.convLayers,
 		InputShape:  [3]int{cm.inC, cm.inH, cm.inW},
 		OutputShape: [3]int{cm.outC, cm.outH, cm.outW},
@@ -153,31 +197,29 @@ func (cm *compiledModel) inputTensor(data []float32) (*tensor.Tensor, error) {
 // once for the whole batch, and conv layers parallelize over batch ×
 // output-channels in one ParallelFor, so small per-request layers still fill
 // the pool.
+//
+// Scratch discipline: padded inputs come from the runtime slice pool and go
+// back as soon as the conv consumes them; intermediate feature maps come from
+// the pool too and are recycled once the next op has consumed them. The
+// tensors handed back to callers (the final xs) are never recycled. The
+// fused conv epilogue initializes every output plane itself, so the pooled —
+// dirty — buffers need no zeroing pass.
 func (cm *compiledModel) runBatch(pool *runtime.Pool, xs []*tensor.Tensor) []*tensor.Tensor {
+	pooled := false // whether the current xs tensors came from the slice pool
+	recycle := func(old []*tensor.Tensor, wasPooled bool) {
+		if !wasPooled {
+			return
+		}
+		for _, t := range old {
+			runtime.PutTensor(t)
+		}
+	}
 	for _, o := range cm.ops {
 		switch o.kind {
 		case opConv:
-			conv := o.plan.Conv
-			padded := make([]*tensor.Tensor, len(xs))
-			outs := make([]*tensor.Tensor, len(xs))
-			pool.ParallelFor(len(xs), func(s, e int) {
-				for i := s; i < e; i++ {
-					padded[i] = o.plan.PadInput(xs[i])
-					outs[i] = tensor.New(conv.OutC, conv.OutH, conv.OutW)
-				}
-			})
-			pool.ParallelFor(len(xs)*conv.OutC, func(s, e int) {
-				for i := s; i < e; {
-					item, from := i/conv.OutC, i%conv.OutC
-					to := from + (e - i)
-					if to > conv.OutC {
-						to = conv.OutC
-					}
-					o.plan.ExecuteRange(padded[item], outs[item], from, to)
-					i += to - from
-				}
-			})
-			xs = outs
+			outs := pool.RunLayerBatchFused(o.plan, xs, nil, o.fusedReLU)
+			recycle(xs, pooled)
+			xs, pooled = outs, true
 		case opReLU:
 			pool.ParallelFor(len(xs), func(s, e int) {
 				for i := s; i < e; i++ {
@@ -188,10 +230,13 @@ func (cm *compiledModel) runBatch(pool *runtime.Pool, xs []*tensor.Tensor) []*te
 			outs := make([]*tensor.Tensor, len(xs))
 			pool.ParallelFor(len(xs), func(s, e int) {
 				for i := s; i < e; i++ {
-					outs[i], _ = tensor.MaxPool2D(xs[i], o.poolK)
+					in := xs[i]
+					outs[i] = runtime.GetTensor(in.Dim(0), in.Dim(1)/o.poolK, in.Dim(2)/o.poolK)
+					tensor.MaxPool2DInto(in, o.poolK, outs[i])
 				}
 			})
-			xs = outs
+			recycle(xs, pooled)
+			xs, pooled = outs, true
 		}
 	}
 	return xs

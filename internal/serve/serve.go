@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +34,10 @@ import (
 // ErrClosed is returned by Infer after Close.
 var ErrClosed = errors.New("serve: engine closed")
 
+// LevelAuto is the Config.Level / Request.Level spelling for "let the tuner's
+// estimator pick per layer" — the engine default.
+const LevelAuto = "auto"
+
 // Config parameterizes an Engine. The zero value selects sensible defaults.
 type Config struct {
 	Workers     int           // worker-pool size (<=0 selects GOMAXPROCS)
@@ -40,8 +45,12 @@ type Config struct {
 	BatchWindow time.Duration // how long the first request waits for company (default 2ms)
 	Patterns    int           // pattern-set size (default 8)
 	ConnRate    float64       // connectivity pruning rate (default 3.6)
-	Level       codegen.Level // kernel optimization level; the zero value selects Tuned
-	Seed        int64         // deterministic weight-generation seed (default 42)
+	// Level is the kernel optimization level ("noopt", "reorder", "lre",
+	// "tuned", "packed"). Empty / LevelAuto lets the tuner's estimator pick
+	// per layer between the tuned dense-layout kernels and the packed
+	// FKW-direct backend.
+	Level string
+	Seed  int64 // deterministic weight-generation seed (default 42)
 }
 
 func (c Config) withDefaults() Config {
@@ -57,15 +66,30 @@ func (c Config) withDefaults() Config {
 	if c.ConnRate <= 0 {
 		c.ConnRate = 3.6
 	}
-	if c.Level == codegen.NoOpt {
-		// Serving the branchy "+No-opt" skeleton is never what you want on a
-		// hot path; the zero value means "fully optimized".
-		c.Level = codegen.Tuned
+	if c.Level == "" {
+		c.Level = LevelAuto
 	}
 	if c.Seed == 0 {
 		c.Seed = 42
 	}
 	return c
+}
+
+// resolveLevelTag canonicalizes a level name into the tag plan-cache keys and
+// stats counters use; "" means "engine default".
+func (e *Engine) resolveLevelTag(s string) (string, error) {
+	if s == "" {
+		s = e.cfg.Level
+	}
+	// Accept the same spelling freedom ParseLevel gives the named levels.
+	if strings.EqualFold(strings.TrimSpace(s), LevelAuto) {
+		return LevelAuto, nil
+	}
+	lv, err := codegen.ParseLevel(s)
+	if err != nil {
+		return "", fmt.Errorf("serve: unknown level %q (want noopt, reorder, lre, tuned, packed, or auto)", s)
+	}
+	return codegen.LevelTag(lv), nil
 }
 
 // Request is one inference call.
@@ -78,6 +102,11 @@ type Request struct {
 	// Input is the flattened [InC,InH,InW] image; nil selects a
 	// deterministic synthetic input.
 	Input []float32 `json:"input,omitempty"`
+	// Level optionally overrides the engine's optimization level for this
+	// request ("noopt", "reorder", "lre", "tuned", "packed", "auto"). Each
+	// level compiles and caches its own plan stack — the level is part of the
+	// plan-cache key.
+	Level string `json:"level,omitempty"`
 }
 
 // Response reports one completed inference.
@@ -102,12 +131,17 @@ type Stats struct {
 	PlanHits        uint64  `json:"plan_hits"`        // plan-cache hits
 	Workers         int     `json:"workers"`
 	AvgBatch        float64 `json:"avg_batch"` // Requests-that-ran / Batches
+	// LevelHits counts plan-cache hits per optimization-level tag ("auto",
+	// "tuned", "packed", ...): the level is part of the cache key, so this
+	// shows which kernel generations the request stream is actually riding.
+	LevelHits map[string]uint64 `json:"level_hits,omitempty"`
 }
 
 // ModelInfo describes one compiled (cached) model.
 type ModelInfo struct {
 	Network     string  `json:"network"`
 	Dataset     string  `json:"dataset"`
+	Level       string  `json:"level"` // optimization-level tag of this plan stack
 	ConvLayers  int     `json:"conv_layers"`
 	InputShape  [3]int  `json:"input_shape"`
 	OutputShape [3]int  `json:"output_shape"`
@@ -116,6 +150,10 @@ type ModelInfo struct {
 
 type modelKey struct {
 	short, dataset string
+	// level is the canonical optimization-level tag ("auto", "tuned",
+	// "packed", ...). Two cache entries differing only in level are distinct
+	// compiled artifacts — their plans hold different kernels.
+	level string
 }
 
 type modelEntry struct {
@@ -152,9 +190,14 @@ type Engine struct {
 	cfg  Config
 	pool *runtime.Pool
 
-	mu       sync.Mutex // guards models + batchers maps
-	models   map[modelKey]*modelEntry
-	batchers map[modelKey]*batcher
+	mu     sync.Mutex // guards models/registered/batchers maps + levelHits
+	models map[modelKey]*modelEntry
+	// registered keeps custom descriptors by (short, dataset) so a request
+	// with an explicit level override can compile a registered model at that
+	// level too.
+	registered map[[2]string]*model.Model
+	batchers   map[modelKey]*batcher
+	levelHits  map[string]uint64 // plan-cache hits per level tag
 
 	// lifecycle serializes Close against in-flight enqueues: enqueuers hold
 	// the read side across the channel send, Close takes the write side
@@ -178,58 +221,97 @@ type Engine struct {
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	return &Engine{
-		cfg:      cfg,
-		pool:     runtime.NewPool(cfg.Workers),
-		models:   make(map[modelKey]*modelEntry),
-		batchers: make(map[modelKey]*batcher),
+		cfg:        cfg,
+		pool:       runtime.NewPool(cfg.Workers),
+		models:     make(map[modelKey]*modelEntry),
+		registered: make(map[[2]string]*model.Model),
+		batchers:   make(map[modelKey]*batcher),
+		levelHits:  make(map[string]uint64),
 	}
 }
 
-// Preload compiles a model into the plan cache without running inference, so
-// the first request doesn't pay compilation latency.
+// Preload compiles a model into the plan cache (at the engine's default
+// level) without running inference, so the first request doesn't pay
+// compilation latency.
 func (e *Engine) Preload(network, dataset string) error {
-	_, _, err := e.compiled(network, dataset)
+	_, _, err := e.compiled(network, dataset, "")
 	return err
 }
 
+// newEntry creates a cache entry that compiles m at the level the tag names
+// ("auto" defers the per-layer choice to the tuner's estimator). Callers hold
+// e.mu.
+func (e *Engine) newEntry(m *model.Model, tag string) *modelEntry {
+	return &modelEntry{compile: func() (*compiledModel, error) { return compileModel(e.cfg, m, tag) }}
+}
+
 // RegisterModel compiles a custom network descriptor into the plan cache
-// under its (Short, Dataset) key, so Infer can address networks beyond the
-// three paper models (and tests can use small fixtures). Registering a key
-// that is already cached is an error.
+// under its (Short, Dataset, default level) key, so Infer can address
+// networks beyond the three paper models (and tests can use small fixtures).
+// Registering a key that is already cached is an error. The descriptor is
+// retained so requests with an explicit level override can compile the model
+// at other levels on demand.
 func (e *Engine) RegisterModel(m *model.Model) error {
-	key := modelKey{m.Short, m.Dataset}
+	// Canonicalize the configured level so the eager compile lands on the
+	// same key Infer's lookups resolve to (Config.Level accepts the same
+	// spellings ParseLevel does, e.g. "Tuned" or "fkw").
+	tag, err := e.resolveLevelTag("")
+	if err != nil {
+		return err
+	}
+	key := modelKey{m.Short, m.Dataset, tag}
+	nameKey := [2]string{m.Short, m.Dataset}
 	e.mu.Lock()
 	if _, ok := e.models[key]; ok {
 		e.mu.Unlock()
 		return fmt.Errorf("serve: model %s/%s already registered", m.Short, m.Dataset)
 	}
-	entry := &modelEntry{compile: func() (*compiledModel, error) { return compileModel(e.cfg, m) }}
+	entry := e.newEntry(m, key.level)
 	e.models[key] = entry
+	e.registered[nameKey] = m
 	e.planCompiles.Add(1)
 	e.mu.Unlock()
-	_, err := entry.get()
+	_, err = entry.get()
 	if err != nil {
 		// Evict the failed entry so a corrected descriptor can re-register
 		// under the same key.
 		e.mu.Lock()
 		if e.models[key] == entry {
 			delete(e.models, key)
+			delete(e.registered, nameKey)
 		}
 		e.mu.Unlock()
 	}
 	return err
 }
 
-// compiled resolves the network name and returns the cached compiled model,
-// compiling it exactly once per key. Registered custom models match by exact
-// (network, dataset); the paper networks additionally match every alias
-// model.ByName accepts.
-func (e *Engine) compiled(network, dataset string) (modelKey, *compiledModel, error) {
-	key := modelKey{network, dataset}
+// compiled resolves the network name and level tag and returns the cached
+// compiled model, compiling it exactly once per (network, dataset, level)
+// key. Registered custom models match by exact (network, dataset); the paper
+// networks additionally match every alias model.ByName accepts.
+func (e *Engine) compiled(network, dataset, level string) (modelKey, *compiledModel, error) {
+	tag, err := e.resolveLevelTag(level)
+	if err != nil {
+		return modelKey{}, nil, err
+	}
+	key := modelKey{network, dataset, tag}
 	e.mu.Lock()
 	entry, ok := e.models[key]
+	if !ok {
+		// A registered custom model requested at a not-yet-compiled level:
+		// compile its retained descriptor at that level.
+		if m, reg := e.registered[[2]string{network, dataset}]; reg {
+			entry = e.newEntry(m, tag)
+			e.models[key] = entry
+			e.planCompiles.Add(1)
+			e.mu.Unlock()
+			cm, cerr := entry.get()
+			return key, cm, cerr
+		}
+	}
 	if ok {
 		e.planHits.Add(1)
+		e.levelHits[tag]++
 		e.mu.Unlock()
 		cm, err := entry.get() // waits out a concurrent first compile
 		return key, cm, err
@@ -245,13 +327,14 @@ func (e *Engine) compiled(network, dataset string) (modelKey, *compiledModel, er
 	if err != nil {
 		return modelKey{}, nil, err
 	}
-	key = modelKey{m.Short, m.Dataset}
+	key = modelKey{m.Short, m.Dataset, tag}
 	e.mu.Lock()
 	entry, ok = e.models[key]
 	if ok {
 		e.planHits.Add(1)
+		e.levelHits[tag]++
 	} else {
-		entry = &modelEntry{compile: func() (*compiledModel, error) { return compileModel(e.cfg, m) }}
+		entry = e.newEntry(m, tag)
 		e.models[key] = entry
 		e.planCompiles.Add(1)
 	}
@@ -299,7 +382,7 @@ func (e *Engine) infer(ctx context.Context, req Request) (*Response, error) {
 	if closed {
 		return nil, ErrClosed
 	}
-	key, cm, err := e.compiled(req.Network, req.Dataset)
+	key, cm, err := e.compiled(req.Network, req.Dataset, req.Level)
 	if err != nil {
 		return nil, err
 	}
@@ -379,6 +462,14 @@ func (e *Engine) Stats() Stats {
 	if s.Batches > 0 {
 		s.AvgBatch = float64(e.ranRequests.Load()) / float64(s.Batches)
 	}
+	e.mu.Lock()
+	if len(e.levelHits) > 0 {
+		s.LevelHits = make(map[string]uint64, len(e.levelHits))
+		for tag, n := range e.levelHits {
+			s.LevelHits[tag] = n
+		}
+	}
+	e.mu.Unlock()
 	return s
 }
 
@@ -403,7 +494,10 @@ func (e *Engine) Models() []ModelInfo {
 		if out[i].Network != out[j].Network {
 			return out[i].Network < out[j].Network
 		}
-		return out[i].Dataset < out[j].Dataset
+		if out[i].Dataset != out[j].Dataset {
+			return out[i].Dataset < out[j].Dataset
+		}
+		return out[i].Level < out[j].Level
 	})
 	return out
 }

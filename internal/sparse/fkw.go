@@ -123,6 +123,131 @@ func (f *FKW) KernelsOf(pos, slot int) (start, end int, p pattern.Pattern) {
 	return off + s, off + e, f.Patterns[slot]
 }
 
+// Run is one pattern run of a reordered filter: a contiguous span of kernels
+// sharing the same pattern, viewed directly over the packed arrays. Channels
+// and Weights alias the FKW storage — a run iteration is exactly the linear
+// array walk the format was designed for (one sequential sweep of Weights per
+// filter, zero per-weight index arithmetic).
+type Run struct {
+	Pattern  pattern.Pattern
+	Channels []uint16  // input channel per kernel (slice of Index)
+	Weights  []float32 // Entries() weights per kernel (slice of Weights)
+}
+
+// Runs appends the pattern runs of reordered filter position pos to dst and
+// returns it, reusing dst's backing array across filters so a caller
+// iterating a whole layer allocates nothing after the first filter. wOff is
+// the running weight offset and must start at 0 for pos 0; the returned
+// offset feeds the next position's call.
+func (f *FKW) Runs(dst []Run, pos int, wOff int) ([]Run, int) {
+	dst = dst[:0]
+	for slot, p := range f.Patterns {
+		start, end, _ := f.KernelsOf(pos, slot)
+		if start == end {
+			continue
+		}
+		n := (end - start) * p.Entries()
+		dst = append(dst, Run{
+			Pattern:  p,
+			Channels: f.Index[start:end],
+			Weights:  f.Weights[wOff : wOff+n],
+		})
+		wOff += n
+	}
+	return dst, wOff
+}
+
+// Validate checks the structural invariants of an FKW instance — array
+// lengths, offset/stride monotonicity, index ranges, and the weight count
+// implied by the stride table. Decoding a malformed instance (e.g. one read
+// from a corrupted model file) would index out of range; Validate turns that
+// panic into an error.
+func (f *FKW) Validate() error {
+	if f.OutC <= 0 || f.InC <= 0 || f.KH <= 0 || f.KW <= 0 {
+		return fmt.Errorf("sparse: FKW has non-positive dims [%d,%d,%d,%d]", f.OutC, f.InC, f.KH, f.KW)
+	}
+	if len(f.Offset) != f.OutC+1 {
+		return fmt.Errorf("sparse: FKW Offset len %d, want %d", len(f.Offset), f.OutC+1)
+	}
+	if len(f.Reorder) != f.OutC {
+		return fmt.Errorf("sparse: FKW Reorder len %d, want %d", len(f.Reorder), f.OutC)
+	}
+	if len(f.Stride) != f.OutC*(len(f.Patterns)+1) {
+		return fmt.Errorf("sparse: FKW Stride len %d, want %d", len(f.Stride), f.OutC*(len(f.Patterns)+1))
+	}
+	if f.Offset[0] != 0 {
+		return fmt.Errorf("sparse: FKW Offset[0] = %d, want 0", f.Offset[0])
+	}
+	for i := 1; i < len(f.Offset); i++ {
+		if f.Offset[i] < f.Offset[i-1] {
+			return fmt.Errorf("sparse: FKW Offset not monotone at %d: %d < %d", i, f.Offset[i], f.Offset[i-1])
+		}
+	}
+	if int(f.Offset[f.OutC]) != len(f.Index) {
+		return fmt.Errorf("sparse: FKW Offset[last] = %d, but Index holds %d kernels", f.Offset[f.OutC], len(f.Index))
+	}
+	seen := make(map[uint16]bool, f.OutC)
+	for _, r := range f.Reorder {
+		if int(r) >= f.OutC {
+			return fmt.Errorf("sparse: FKW Reorder entry %d out of range [0,%d)", r, f.OutC)
+		}
+		if seen[r] {
+			return fmt.Errorf("sparse: FKW Reorder entry %d duplicated (not a permutation)", r)
+		}
+		seen[r] = true
+	}
+	for i, p := range f.Patterns {
+		if p.IsEmpty() {
+			return fmt.Errorf("sparse: FKW pattern slot %d is empty", i)
+		}
+		for _, posIdx := range p.Indices() {
+			if posIdx >= f.KH*f.KW {
+				return fmt.Errorf("sparse: FKW pattern slot %d tap %d outside %dx%d kernel", i, posIdx, f.KH, f.KW)
+			}
+		}
+	}
+	nWeights := 0
+	for pos := 0; pos < f.OutC; pos++ {
+		base := pos * (len(f.Patterns) + 1)
+		if f.Stride[base] != 0 {
+			return fmt.Errorf("sparse: FKW Stride row %d does not start at 0", pos)
+		}
+		for s := 1; s <= len(f.Patterns); s++ {
+			if f.Stride[base+s] < f.Stride[base+s-1] {
+				return fmt.Errorf("sparse: FKW Stride row %d not monotone at slot %d", pos, s)
+			}
+		}
+		kernels := int(f.Offset[pos+1]) - int(f.Offset[pos])
+		if int(f.Stride[base+len(f.Patterns)]) != kernels {
+			return fmt.Errorf("sparse: FKW Stride row %d covers %d kernels, Offset says %d",
+				pos, f.Stride[base+len(f.Patterns)], kernels)
+		}
+		for slot := range f.Patterns {
+			start, end, p := f.KernelsOf(pos, slot)
+			for k := start; k < end; k++ {
+				if int(f.Index[k]) >= f.InC {
+					return fmt.Errorf("sparse: FKW Index[%d] = %d out of range [0,%d)", k, f.Index[k], f.InC)
+				}
+			}
+			nWeights += (end - start) * p.Entries()
+		}
+	}
+	if nWeights != len(f.Weights) {
+		return fmt.Errorf("sparse: FKW stride table implies %d weights, Weights holds %d", nWeights, len(f.Weights))
+	}
+	return nil
+}
+
+// DecodeChecked validates the instance and then reconstructs the dense weight
+// tensor; malformed instances (e.g. from a corrupted model file) error rather
+// than panic.
+func (f *FKW) DecodeChecked() (*tensor.Tensor, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f.Decode(), nil
+}
+
 // Decode reconstructs the dense [OutC, InC, KH, KW] weight tensor (in the
 // original, un-reordered filter order).
 func (f *FKW) Decode() *tensor.Tensor {

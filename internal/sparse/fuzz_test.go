@@ -1,0 +1,97 @@
+package sparse
+
+// Go-native fuzzing for the FKW encode/decode pair. Two properties:
+//
+//  1. Round trip: for any pruned layer the fuzzer can derive, the packed form
+//     must reproduce the layer's weights exactly (bit-for-bit — packing is
+//     lossless by construction).
+//  2. Malformed inputs error, never panic: a corrupted FKW instance (as a
+//     hostile or truncated model file would produce) must be rejected by
+//     Validate/DecodeChecked with an error, not an index-out-of-range panic.
+//
+// Run as a smoke test with: go test -fuzz=FuzzFKWRoundTrip -fuzztime=20s ./internal/sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"patdnn/internal/compiler/reorder"
+	"patdnn/internal/pattern"
+	"patdnn/internal/pruned"
+	"patdnn/internal/tensor"
+)
+
+// fuzzLayer derives a small pruned layer from the fuzzer's raw inputs.
+func fuzzLayer(seed int64, patSize, connPct uint8) *pruned.Conv {
+	rng := rand.New(rand.NewSource(seed))
+	outC := 1 + rng.Intn(10)
+	inC := 1 + rng.Intn(8)
+	sizes := []int{6, 8, 12}
+	set := pattern.Canonical(sizes[int(patSize)%len(sizes)])
+	w := tensor.New(outC, inC, 3, 3)
+	w.Randn(rng, 1)
+	keep := 1 + int(connPct)%(outC*inC)
+	geom := pruned.ConvGeom{Stride: 1, Pad: 1, InH: 6, InW: 6, OutH: 6, OutW: 6}
+	return pruned.FromWeights("fuzz", w, set, keep, geom)
+}
+
+func FuzzFKWRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(50), uint8(0), uint16(3))
+	f.Add(int64(42), uint8(1), uint8(10), uint8(1), uint16(0))
+	f.Add(int64(7), uint8(2), uint8(90), uint8(2), uint16(65535))
+	f.Add(int64(-3), uint8(0), uint8(1), uint8(3), uint16(7))
+	f.Add(int64(99), uint8(1), uint8(255), uint8(4), uint16(1))
+	f.Fuzz(func(t *testing.T, seed int64, patSize, connPct, mutSel uint8, mutVal uint16) {
+		c := fuzzLayer(seed, patSize, connPct)
+		fkr := reorder.Build(c)
+		fkw, err := Encode(c, fkr.FilterPerm)
+		if err != nil {
+			t.Fatalf("Encode of a valid layer failed: %v", err)
+		}
+		if err := fkw.Validate(); err != nil {
+			t.Fatalf("Encode produced an invalid FKW: %v", err)
+		}
+		dec, err := fkw.DecodeChecked()
+		if err != nil {
+			t.Fatalf("DecodeChecked of a fresh encode failed: %v", err)
+		}
+		if !dec.AllClose(c.Weights, 0) {
+			t.Fatalf("round trip lost weights: max diff %g", dec.MaxAbsDiff(c.Weights))
+		}
+
+		// Corrupt one structural field; every mutation below violates an FKW
+		// invariant, so DecodeChecked must error (and must not panic).
+		m := *fkw
+		m.Offset = append([]int32(nil), fkw.Offset...)
+		m.Reorder = append([]uint16(nil), fkw.Reorder...)
+		m.Index = append([]uint16(nil), fkw.Index...)
+		m.Stride = append([]uint16(nil), fkw.Stride...)
+		m.Weights = append([]float32(nil), fkw.Weights...)
+		switch mutSel % 6 {
+		case 0: // weight array truncated (a cut-short file)
+			if len(m.Weights) == 0 {
+				return
+			}
+			m.Weights = m.Weights[:len(m.Weights)-1]
+		case 1: // kernel index beyond the layer's channels
+			if len(m.Index) == 0 {
+				return
+			}
+			m.Index[int(mutVal)%len(m.Index)] = uint16(m.InC) + mutVal%7
+		case 2: // offset table no longer matches the kernel count
+			m.Offset[len(m.Offset)-1]++
+		case 3: // reorder array stops being a permutation
+			if m.OutC < 2 {
+				return
+			}
+			m.Reorder[0] = m.Reorder[m.OutC-1]
+		case 4: // stride row inconsistent with the offset table
+			m.Stride[len(m.Stride)-1]++
+		case 5: // negative dimension (corrupted header)
+			m.InC = -1
+		}
+		if _, err := m.DecodeChecked(); err == nil {
+			t.Fatalf("DecodeChecked accepted a corrupted FKW (mutation %d)", mutSel%6)
+		}
+	})
+}

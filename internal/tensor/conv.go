@@ -247,6 +247,30 @@ func MaxPool2D(input *Tensor, k int) (*Tensor, []int) {
 	return out, arg
 }
 
+// MaxPool2DInto is the inference-path variant of MaxPool2D: it writes into a
+// caller-provided [C, H/k, W/k] tensor (which may hold garbage — every
+// element is overwritten) and skips the argmax bookkeeping training needs, so
+// pooled scratch buffers flow through without allocation.
+func MaxPool2DInto(input *Tensor, k int, out *Tensor) {
+	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
+	ho, wo := h/k, w/k
+	for ic := 0; ic < c; ic++ {
+		for oh := 0; oh < ho; oh++ {
+			for ow := 0; ow < wo; ow++ {
+				best := float32(-3.4e38)
+				for r := 0; r < k; r++ {
+					for cc := 0; cc < k; cc++ {
+						if v := input.Data[(ic*h+oh*k+r)*w+ow*k+cc]; v > best {
+							best = v
+						}
+					}
+				}
+				out.Data[(ic*ho+oh)*wo+ow] = best
+			}
+		}
+	}
+}
+
 // AvgPool2DGlobal averages each channel plane to a single value:
 // [C,H,W] -> [C,1,1].
 func AvgPool2DGlobal(input *Tensor) *Tensor {
