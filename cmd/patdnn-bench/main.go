@@ -34,9 +34,18 @@ func main() {
 	list := flag.Bool("list", false, "list experiments")
 	run := flag.String("run", "", "experiment ID to run, or 'all'")
 	sweep := flag.Bool("sweep", false, "run the Tuned-vs-Packed kernel sweep")
+	serveJSON := flag.String("serve-json", "",
+		"measure serving throughput + p50/p99 latency and write the versioned JSON artifact (BENCH_serve.json) to this path")
+	serveRequests := flag.Int("serve-requests", 96, "timed requests per -serve-json case")
 	flag.Parse()
 
 	switch {
+	case *serveJSON != "":
+		if err := writeServeBench(*serveJSON, *serveRequests); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote serve benchmark artifact to %s\n", *serveJSON)
 	case *sweep:
 		runSweep()
 	case *list:

@@ -1,0 +1,164 @@
+package main
+
+// The -serve-json mode measures the serving engine end to end (compile-once
+// plan cache, request batching, batched layer sweeps) and writes the result
+// as a stable, versioned JSON artifact. CI uploads BENCH_serve.json on every
+// run, so the serving-path perf trajectory — throughput and tail latency —
+// is comparable across PRs without digging through test -bench logs.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"patdnn/internal/serve"
+)
+
+// serveBenchSchema versions the BENCH_serve.json format; bump it when the
+// fields change meaning so trajectory tooling can tell runs apart.
+const serveBenchSchema = "patdnn/bench-serve/v1"
+
+type serveBenchCase struct {
+	Name          string  `json:"name"`
+	MaxBatch      int     `json:"max_batch"`
+	Clients       int     `json:"clients"`
+	Requests      int     `json:"requests"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	AvgBatch      float64 `json:"avg_batch"`
+}
+
+type serveBenchReport struct {
+	Schema    string           `json:"schema"`
+	Model     string           `json:"model"`
+	Go        string           `json:"go"`
+	Workers   int              `json:"workers"`
+	Timestamp time.Time        `json:"timestamp"`
+	Cases     []serveBenchCase `json:"cases"`
+}
+
+// writeServeBench runs the serve benchmark sweep (VGG-16/CIFAR-10 through
+// the real engine, batching settings swept, fixed concurrent client count)
+// and writes the JSON artifact to path.
+func writeServeBench(path string, requests int) error {
+	if requests < 8 {
+		requests = 8
+	}
+	const clients = 16
+	report := serveBenchReport{
+		Schema:    serveBenchSchema,
+		Model:     "VGG/cifar10",
+		Go:        runtime.Version(),
+		Workers:   runtime.GOMAXPROCS(0),
+		Timestamp: time.Now().UTC(),
+	}
+	for _, maxBatch := range []int{1, 4, 8} {
+		c, err := runServeBenchCase(maxBatch, clients, requests)
+		if err != nil {
+			return err
+		}
+		report.Cases = append(report.Cases, c)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	// A write-back failure surfaced at close would otherwise leave a
+	// truncated artifact behind a success exit code.
+	return f.Close()
+}
+
+func runServeBenchCase(maxBatch, clients, requests int) (serveBenchCase, error) {
+	eng := serve.New(serve.Config{MaxBatch: maxBatch, BatchWindow: time.Millisecond})
+	defer eng.Close()
+	if err := eng.Preload("VGG", "cifar10"); err != nil {
+		return serveBenchCase{}, err
+	}
+
+	// Warm the batching path before timing.
+	if _, err := eng.Infer(context.Background(), serve.Request{Network: "VGG", Dataset: "cifar10"}); err != nil {
+		return serveBenchCase{}, err
+	}
+
+	latencies := make([]float64, requests)
+	var next int64
+	var mu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	var firstErr error
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := int(next)
+				if i >= requests {
+					mu.Unlock()
+					return
+				}
+				next++
+				mu.Unlock()
+				t0 := time.Now()
+				_, err := eng.Infer(context.Background(), serve.Request{Network: "VGG", Dataset: "cifar10"})
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				latencies[i] = float64(time.Since(t0).Nanoseconds()) / 1e6
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return serveBenchCase{}, firstErr
+	}
+	elapsed := time.Since(start).Seconds()
+	sort.Float64s(latencies)
+	s := eng.Stats()
+	return serveBenchCase{
+		Name:          caseName(maxBatch, clients),
+		MaxBatch:      maxBatch,
+		Clients:       clients,
+		Requests:      requests,
+		ThroughputRPS: float64(requests) / elapsed,
+		P50Ms:         percentile(latencies, 0.50),
+		P99Ms:         percentile(latencies, 0.99),
+		AvgBatch:      s.AvgBatch,
+	}, nil
+}
+
+func caseName(maxBatch, clients int) string {
+	return "vgg_cifar10_batch" + strconv.Itoa(maxBatch) + "_clients" + strconv.Itoa(clients)
+}
+
+// percentile reads the q-quantile from sorted values (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

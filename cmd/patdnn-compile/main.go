@@ -10,45 +10,39 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"patdnn"
-	"patdnn/internal/baseline"
 	"patdnn/internal/compiler/codegen"
 	"patdnn/internal/compiler/lr"
-	"patdnn/internal/compiler/reorder"
 	"patdnn/internal/model"
-	"patdnn/internal/modelfile"
 	"patdnn/internal/pattern"
 	"patdnn/internal/pruned"
+	"patdnn/internal/registry"
 	"patdnn/internal/sparse"
 )
 
-// writeModelFile prunes every 3x3 conv of m and writes the deployable
-// compact model with its layerwise representation.
-func writeModelFile(path string, m *model.Model, patterns int, connRate float64) error {
-	set := pattern.Canonical(patterns)
-	file := &modelfile.File{LR: &lr.Representation{Model: m.Name, Device: "CPU"}}
-	first := true
-	for i, l := range m.ConvLayers() {
-		if l.KH != 3 || l.KW != 3 || l.Kind != model.Conv {
-			continue
-		}
-		rate := connRate
-		if first {
-			rate = baseline.FirstLayerConnRate(connRate)
-			first = false
-		}
-		c := pruned.Generate(l, set, rate, int64(400+i), true)
-		file.Layers = append(file.Layers, modelfile.Layer{Conv: c})
-		file.LR.Layers = append(file.LR.Layers,
-			lr.FromPruned(c, reorder.Build(c), lr.DefaultTuning()))
-	}
-	f, err := os.Create(path)
+// writeModelFile writes the compiled network's deployable compact model to
+// path, via a temp file renamed into place: the target may be a live,
+// polled models directory, and a truncated half-written artifact there
+// would be quarantined by every watching server until the write finished.
+func writeModelFile(path string, c *patdnn.Compiled) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return modelfile.Write(f, file)
+	if err := c.WriteModel(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func main() {
@@ -60,6 +54,10 @@ func main() {
 	emit := flag.Bool("emit", false, "print generated code skeletons for the first 3x3 layer")
 	showLR := flag.Bool("lr", false, "print the full layerwise representation JSON")
 	out := flag.String("o", "", "write the deployable compact model (.patdnn) to this path")
+	regDir := flag.String("registry-dir", "",
+		"write the compact model into this models directory in registry layout (<name>@<version>.patdnn), creating it if needed")
+	regName := flag.String("name", "", "registry artifact name (default: lowercased model short name)")
+	regVersion := flag.String("version", "v1", "registry artifact version")
 	flag.Parse()
 
 	c, err := patdnn.Compile(*network, *ds, *patterns, *connRate)
@@ -91,11 +89,37 @@ func main() {
 	}
 
 	if *out != "" {
-		if err := writeModelFile(*out, m, *patterns, *connRate); err != nil {
+		if err := writeModelFile(*out, c); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote compact model to %s\n", *out)
+	}
+
+	if *regDir != "" {
+		name := *regName
+		if name == "" {
+			name = strings.ToLower(m.Short)
+		}
+		// Reject names/versions the registry scanner would silently skip
+		// (e.g. a name containing '@', or an empty version) — publishing an
+		// artifact no server will ever list is worse than failing here.
+		base := registry.FileName(name, *regVersion)
+		if _, _, err := registry.ParseFileName(base); err != nil {
+			fmt.Fprintf(os.Stderr, "bad -name/-version: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.MkdirAll(*regDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*regDir, base)
+		if err := writeModelFile(path, c); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote registry artifact %s@%s to %s (serve with: patdnn-serve -models-dir %s)\n",
+			name, *regVersion, path, *regDir)
 	}
 
 	if *showLR {

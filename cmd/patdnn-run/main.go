@@ -4,7 +4,15 @@
 // worker-pool runtime, and reports per-layer host wall-clock plus the
 // device-model prediction for the Snapdragon 855.
 //
-// Create a model file with: patdnn-compile -model VGG -dataset cifar10 -o vgg.patdnn
+// Models are addressed either by explicit file path, or — with -models-dir —
+// through the registry layout the serving stack uses: -model then takes a
+// "name" (latest version) or "name@version" spec resolved against the
+// directory's <name>@<version>.patdnn artifacts.
+//
+// Create a model file with:
+//
+//	patdnn-compile -model VGG -dataset cifar10 -o vgg.patdnn
+//	patdnn-compile -model VGG -dataset cifar10 -registry-dir models -name vgg -version v1
 package main
 
 import (
@@ -17,21 +25,34 @@ import (
 	"patdnn/internal/compiler/lr"
 	"patdnn/internal/device"
 	"patdnn/internal/modelfile"
+	"patdnn/internal/registry"
 	"patdnn/internal/runtime"
 	"patdnn/internal/tensor"
 )
 
 func main() {
-	path := flag.String("model", "", "path to a .patdnn model file")
+	spec := flag.String("model", "", "path to a .patdnn model file, or a name[@version] spec with -models-dir")
+	modelsDir := flag.String("models-dir", "", "resolve -model through this registry models directory instead of as a file path")
 	runs := flag.Int("runs", 10, "timed runs per layer")
 	threads := flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 	flag.Parse()
-	if *path == "" {
-		fmt.Fprintln(os.Stderr, "usage: patdnn-run -model file.patdnn [-runs N]")
+	if *spec == "" {
+		fmt.Fprintln(os.Stderr, "usage: patdnn-run -model file.patdnn [-runs N]\n       patdnn-run -models-dir DIR -model name[@version] [-runs N]")
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*path)
+	path := *spec
+	if *modelsDir != "" {
+		loc, err := registry.Locate(*modelsDir, *spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("resolved %s -> %s@%s (%s)\n", *spec, loc.Name, loc.Version, loc.Path)
+		path = loc.Path
+	}
+
+	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -4,27 +4,48 @@
 // pool (the compile-once / execute-many deployment the paper's offline
 // compiler implies, exposed as a server).
 //
+// With -models-dir the server additionally serves the disk-backed model
+// registry: versioned .patdnn artifacts (written by `patdnn-compile
+// -registry-dir`) become addressable as "name" or "name@version", hot-reload
+// when files change, split bare-name traffic across versions by configured
+// weights (canary rollouts), and are bounded by -memory-budget with LRU
+// eviction of compiled plans.
+//
 // Endpoints:
 //
-//	POST /infer   {"network":"VGG","dataset":"cifar10","input":[...]}
-//	              input is the flattened [C,H,W] image and may be omitted
-//	              for a deterministic synthetic input; an optional "level"
-//	              ("noopt".."packed", "auto") overrides the engine's kernel
-//	              optimization level for this request — each level is its own
-//	              plan-cache entry. Responds with the output feature map,
-//	              argmax, and batch/latency detail.
-//	GET  /models  compiled models currently in the plan cache (with level)
-//	GET  /stats   engine counters (requests, batches, plan-cache hits —
-//	              including per-level hit counts)
-//	GET  /healthz liveness probe
+//	POST /infer    {"network":"VGG","dataset":"cifar10","input":[...]}
+//	               input is the flattened [C,H,W] image and may be omitted
+//	               for a deterministic synthetic input; an optional "level"
+//	               ("noopt".."packed", "auto") overrides the engine's kernel
+//	               optimization level for this request — each level is its
+//	               own plan-cache entry. network may also be a registry model
+//	               ("vgg" or "vgg@v2"); the response's "version" reports the
+//	               version that served. Responds with the output feature map,
+//	               argmax, and batch/latency detail.
+//	GET  /models   compiled models: plan-cache entries plus every registry
+//	               version with residency, byte footprint, and last-used time
+//	GET  /stats    engine counters (requests, batches, plan-cache hits,
+//	               per-level hits) plus registry counters (scans, reloads,
+//	               evictions, resident bytes)
+//	GET  /registry registry detail: versions, routes, quarantined files, stats
+//	POST /registry/route  {"model":"vgg","weights":{"v1":90,"v2":10}}
+//	               sets the weighted traffic split for bare-name requests;
+//	               empty/omitted weights clear the route
+//	GET  /healthz  liveness probe (process up)
+//	GET  /readyz   readiness probe: 503 with per-model compile/load states
+//	               while preload compiles or the registry's initial scan are
+//	               in flight, 200 once traffic can be served without paying
+//	               warm-up latency (steady-state work — lazy compiles,
+//	               hot-reload rescans — never flaps it)
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting,
-// drains in-flight requests, then closes the engine.
+// drains in-flight requests, then closes the engine (and its registry).
 //
 // Quickstart:
 //
-//	patdnn-serve -addr :8080 -preload VGG/cifar10
-//	curl -s -X POST localhost:8080/infer -d '{"network":"VGG","dataset":"cifar10"}'
+//	patdnn-compile -model VGG -dataset cifar10 -registry-dir models -name vgg -version v1
+//	patdnn-serve -addr :8080 -models-dir models -memory-budget 512MB -preload ""
+//	curl -s -X POST localhost:8080/infer -d '{"network":"vgg"}'
 package main
 
 import (
@@ -34,13 +55,16 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"patdnn/internal/registry"
 	"patdnn/internal/serve"
 )
 
@@ -55,12 +79,34 @@ func main() {
 		"kernel optimization level: noopt, reorder, lre, tuned, packed, or auto (tuner picks per layer)")
 	preload := flag.String("preload", "VGG/cifar10",
 		"comma-separated network/dataset pairs to compile at startup (empty = compile lazily)")
+	modelsDir := flag.String("models-dir", "",
+		"serve versioned .patdnn artifacts from this directory (enables /registry and name@version resolution)")
+	memBudget := flag.String("memory-budget", "",
+		"memory budget over compiled registry models, e.g. 512MB or 2GB (empty = unlimited); LRU-evicted models recompile lazily")
+	regPoll := flag.Duration("registry-poll", 2*time.Second,
+		"models-dir polling period for hot reload (negative disables)")
 	flag.Parse()
 
 	eng := serve.New(serve.Config{
 		Workers: *workers, MaxBatch: *batch, BatchWindow: *window,
 		Patterns: *patterns, ConnRate: *connRate, Level: *level,
 	})
+	var reg *registry.Registry
+	if *modelsDir != "" {
+		budget, err := parseBytes(*memBudget)
+		if err != nil {
+			log.Fatalf("bad -memory-budget: %v", err)
+		}
+		reg, err = eng.WithRegistry(registry.Config{
+			Dir: *modelsDir, MemoryBudget: budget, Poll: *regPoll, Logf: log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("registry: %v", err)
+		}
+		s := reg.Stats()
+		log.Printf("registry: %d models / %d versions in %s (budget %s)",
+			s.Models, s.Versions, *modelsDir, *memBudget)
+	}
 	for _, spec := range strings.Split(*preload, ",") {
 		spec = strings.TrimSpace(spec)
 		if spec == "" {
@@ -77,42 +123,7 @@ func main() {
 		log.Printf("compiled %s in %v", spec, time.Since(start).Round(time.Millisecond))
 	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /infer", func(w http.ResponseWriter, r *http.Request) {
-		var req serve.Request
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-			return
-		}
-		resp, err := eng.Infer(r.Context(), req)
-		if err != nil {
-			status := http.StatusBadRequest
-			switch {
-			case errors.Is(err, serve.ErrClosed):
-				status = http.StatusServiceUnavailable
-			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-				status = 499 // client closed request
-			}
-			httpError(w, status, err)
-			return
-		}
-		writeJSON(w, resp)
-	})
-	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
-		models := eng.Models()
-		if models == nil {
-			models = []serve.ModelInfo{}
-		}
-		writeJSON(w, models)
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, eng.Stats())
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, map[string]string{"status": "ok"})
-	})
-
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	srv := &http.Server{Addr: *addr, Handler: newMux(eng, reg)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	// ListenAndServe returns as soon as Shutdown closes the listeners, while
@@ -136,11 +147,141 @@ func main() {
 		log.Fatal(err)
 	}
 	<-shutdownDone
-	eng.Close() // drain batchers after the HTTP server has quiesced
+	eng.Close() // drain batchers (and close the registry) after the HTTP server has quiesced
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// newMux builds the server's routing table; reg may be nil (no models dir).
+func newMux(eng *serve.Engine, reg *registry.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /infer", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		resp, err := eng.Infer(r.Context(), req)
+		if err != nil {
+			status := http.StatusBadRequest
+			switch {
+			case errors.Is(err, serve.ErrClosed):
+				status = http.StatusServiceUnavailable
+			case errors.Is(err, registry.ErrNotFound):
+				status = http.StatusNotFound
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				status = 499 // client closed request
+			}
+			httpError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
+		models := eng.Models()
+		if models == nil {
+			models = []serve.ModelInfo{}
+		}
+		writeJSON(w, http.StatusOK, models)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, eng.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Pure liveness: the process is up and the mux is serving. Routability
+		// (compiles done, registry warm) is /readyz's job.
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		rd := eng.Readiness()
+		status := http.StatusOK
+		if !rd.Ready {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, rd)
+	})
+	if reg != nil {
+		mux.HandleFunc("GET /registry", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, registryView{
+				Models: reg.Models(), Routes: reg.Routes(), Stats: reg.Stats(),
+			})
+		})
+		mux.HandleFunc("POST /registry/route", func(w http.ResponseWriter, r *http.Request) {
+			var req routeRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+				return
+			}
+			if req.Model == "" {
+				httpError(w, http.StatusBadRequest, errors.New("missing \"model\""))
+				return
+			}
+			if len(req.Weights) == 0 {
+				reg.ClearRoute(req.Model)
+			} else if err := reg.SetRoute(req.Model, req.Weights); err != nil {
+				status := http.StatusBadRequest
+				if errors.Is(err, registry.ErrNotFound) {
+					status = http.StatusNotFound
+				}
+				httpError(w, status, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"routes": reg.Routes()})
+		})
+	}
+	return mux
+}
+
+// registryView is the GET /registry response body.
+type registryView struct {
+	Models []registry.ModelInfo              `json:"models"`
+	Routes map[string][]registry.RouteWeight `json:"routes"`
+	Stats  registry.Stats                    `json:"stats"`
+}
+
+// routeRequest is the POST /registry/route body: weights map version →
+// weight; empty weights clear the route.
+type routeRequest struct {
+	Model   string         `json:"model"`
+	Weights map[string]int `json:"weights"`
+}
+
+// parseBytes parses a human byte size: a plain integer (bytes) or an
+// integer with a K/M/G suffix (binary multiples; a trailing B/iB is
+// accepted). Empty means 0 (unlimited).
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	upper := strings.ToUpper(s)
+	mult := int64(1)
+	for _, suf := range []struct {
+		tag string
+		m   int64
+	}{{"GIB", 1 << 30}, {"GB", 1 << 30}, {"G", 1 << 30},
+		{"MIB", 1 << 20}, {"MB", 1 << 20}, {"M", 1 << 20},
+		{"KIB", 1 << 10}, {"KB", 1 << 10}, {"K", 1 << 10},
+		{"B", 1}} {
+		if strings.HasSuffix(upper, suf.tag) {
+			mult = suf.m
+			upper = strings.TrimSuffix(upper, suf.tag)
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%q is not a byte size (want e.g. 512MB, 2GB)", s)
+	}
+	// An overflowing product would wrap negative, which the registry treats
+	// as "unlimited" — the opposite of what the operator asked for.
+	if n > math.MaxInt64/mult {
+		return 0, fmt.Errorf("%q overflows the byte-size range", s)
+	}
+	return n * mult, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {

@@ -1,0 +1,649 @@
+// Package registry is the model-lifecycle layer between .patdnn artifacts on
+// disk and the serving engine's hot plan cache: PatDNN's offline compiler
+// (paper Fig. 7) emits a deployable compact model that is executed many times
+// online, and GRIM frames the same stack as a general inference framework
+// serving many models — so models need to be deployed, versioned, swapped,
+// and retired without restarting the server.
+//
+// A Registry watches a models directory of `<name>@<version>.patdnn`
+// artifacts (validated with modelfile's checked reader, so a corrupt or
+// truncated file is quarantined instead of crashing the server), exposes
+// `name@version` resolution plus a `name` → latest-version alias, and routes
+// bare-name traffic through optional weighted version splits (canary
+// rollouts). Loaded artifacts are compiled lazily by a caller-supplied Loader
+// and accounted against a byte budget with LRU eviction; evicted versions
+// recompile transparently on their next hit. Hot reload is an atomic swap:
+// in-flight requests keep the compiled plans they already hold (artifacts are
+// immutable), new requests resolve to the new version, and a bad replacement
+// never evicts the last good one.
+//
+// The registry is deliberately generic over the compiled representation (the
+// Loader/Artifact pair): internal/serve supplies a loader that lowers a
+// modelfile.File into its executable plan stack, but the registry itself only
+// manages names, versions, bytes, and routes.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"patdnn/internal/modelfile"
+)
+
+// ErrNotFound is returned by Resolve for names/versions the registry does not
+// hold (wrapped with detail).
+var ErrNotFound = errors.New("registry: model not found")
+
+// ErrClosed is returned by Resolve and Scan after Close.
+var ErrClosed = errors.New("registry: closed")
+
+// Loader compiles a parsed .patdnn artifact into the consumer's serving
+// representation. Load runs outside the registry lock and may be slow
+// (concurrent Resolves of the same version share one Load call).
+type Loader interface {
+	Load(name, version string, f *modelfile.File) (Artifact, error)
+}
+
+// LoaderFunc adapts a function to the Loader interface.
+type LoaderFunc func(name, version string, f *modelfile.File) (Artifact, error)
+
+// Load implements Loader.
+func (fn LoaderFunc) Load(name, version string, f *modelfile.File) (Artifact, error) {
+	return fn(name, version, f)
+}
+
+// Artifact is a loaded (compiled) model version. MemoryBytes is charged
+// against the registry's memory budget for as long as the artifact stays
+// resident. An Artifact that also implements Releaser is notified when the
+// registry drops its reference (eviction, hot-reload replacement, removal,
+// Close) — in-flight users of the artifact are unaffected; Release only means
+// the registry will never hand it out again.
+type Artifact interface {
+	MemoryBytes() int64
+}
+
+// Releaser is the optional retirement hook on an Artifact.
+type Releaser interface {
+	Release()
+}
+
+// Config parameterizes a Registry.
+type Config struct {
+	// Dir is the models directory to scan for .patdnn artifacts.
+	Dir string
+	// MemoryBudget bounds the summed MemoryBytes of resident artifacts;
+	// exceeding it evicts least-recently-used versions (they reload lazily on
+	// the next hit). <= 0 means unlimited. Adjustable later with
+	// SetMemoryBudget.
+	MemoryBudget int64
+	// Poll is the directory polling period for hot reload. 0 selects the
+	// 2-second default; negative disables background polling (Scan must be
+	// called explicitly).
+	Poll time.Duration
+	// Seed makes the weighted route picker deterministic: the same seed and
+	// request order reproduce the same version sequence.
+	Seed int64
+	// Logf receives lifecycle events (versions added/replaced/removed,
+	// corrupt files quarantined, evictions). Nil disables logging. It must
+	// be safe for concurrent use and must not call back into the Registry
+	// (it may run under internal locks).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Poll == 0 {
+		c.Poll = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// RouteWeight is one leg of a traffic split.
+type RouteWeight struct {
+	Version string `json:"version"`
+	Weight  int    `json:"weight"`
+}
+
+// entry is one on-disk model version and (when resident) its loaded artifact.
+type entry struct {
+	name, version string
+	path          string
+	fileSize      int64
+	modTime       time.Time
+	modelName     string // LR model name from the artifact header
+	convLayers    int
+
+	artifact Artifact // nil when not loaded (cold or evicted)
+	bytes    int64    // MemoryBytes charged while resident
+	lastUsed time.Time
+	loads    uint64
+	evicts   uint64
+	evicted  bool  // evicted at least once: the next load is a lazy reload
+	loadErr  error // last failed load (e.g. file corrupted after scan)
+	loading  *loadOp
+}
+
+// loadOp deduplicates concurrent first loads of one version.
+type loadOp struct {
+	done chan struct{}
+	art  Artifact
+	err  error
+}
+
+// badFile remembers a quarantined path so unchanged corrupt files are not
+// re-parsed every scan.
+type badFile struct {
+	fileSize int64
+	modTime  time.Time
+	err      error
+}
+
+// Registry is the disk-backed versioned model registry. Safe for concurrent
+// use.
+type Registry struct {
+	cfg    Config
+	loader Loader
+
+	mu         sync.Mutex
+	budget     int64
+	models     map[string]map[string]*entry // name -> version -> entry
+	routes     map[string][]RouteWeight
+	quarantine map[string]badFile
+	bytesInUse int64
+	scanned    bool // initial scan completed
+	scansBusy  int  // scans in flight
+	loadsBusy  int  // loads in flight
+	closed     bool
+
+	pick uint64 // route-picker request counter
+
+	scans       uint64
+	reloads     uint64 // versions added/replaced after the initial scan
+	removed     uint64
+	evictions   uint64
+	loads       uint64
+	lazyReloads uint64
+	badFiles    uint64 // quarantine events
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Open creates a registry over cfg.Dir, runs the initial scan, and (unless
+// polling is disabled) starts the background poller. The directory must
+// exist; corrupt artifacts in it are quarantined, not fatal.
+func Open(cfg Config, loader Loader) (*Registry, error) {
+	cfg = cfg.withDefaults()
+	if loader == nil {
+		return nil, fmt.Errorf("registry: nil loader")
+	}
+	r := &Registry{
+		cfg:        cfg,
+		budget:     cfg.MemoryBudget,
+		loader:     loader,
+		models:     make(map[string]map[string]*entry),
+		routes:     make(map[string][]RouteWeight),
+		quarantine: make(map[string]badFile),
+		stop:       make(chan struct{}),
+	}
+	if err := r.Scan(); err != nil {
+		return nil, err
+	}
+	if cfg.Poll > 0 {
+		r.wg.Add(1)
+		go r.poll()
+	}
+	return r, nil
+}
+
+func (r *Registry) poll() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.Poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			_ = r.Scan() // a transient readdir failure resolves on the next tick
+		}
+	}
+}
+
+// Close stops the poller and releases every resident artifact. In-flight
+// users of already-resolved artifacts are unaffected.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	close(r.stop)
+	var released []Artifact
+	for _, vs := range r.models {
+		for _, e := range vs {
+			if e.artifact != nil {
+				released = append(released, e.artifact)
+				r.bytesInUse -= e.bytes
+				e.artifact, e.bytes = nil, 0
+			}
+		}
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+	release(released)
+	return nil
+}
+
+func release(arts []Artifact) {
+	for _, a := range arts {
+		if rel, ok := a.(Releaser); ok {
+			rel.Release()
+		}
+	}
+}
+
+func (r *Registry) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// SetMemoryBudget adjusts the byte budget at runtime (<= 0 = unlimited);
+// shrinking it evicts immediately.
+func (r *Registry) SetMemoryBudget(budget int64) {
+	r.mu.Lock()
+	r.budget = budget
+	released := r.evictOverBudgetLocked(nil)
+	r.mu.Unlock()
+	release(released)
+}
+
+// evictOverBudgetLocked drops least-recently-used resident artifacts until
+// bytesInUse fits the budget, never evicting keep (the version being handed
+// out right now). Callers hold r.mu and must Release the returned artifacts
+// after unlocking.
+func (r *Registry) evictOverBudgetLocked(keep *entry) []Artifact {
+	if r.budget <= 0 {
+		return nil
+	}
+	var released []Artifact
+	for r.bytesInUse > r.budget {
+		var victim *entry
+		for _, vs := range r.models {
+			for _, e := range vs {
+				if e.artifact == nil || e == keep {
+					continue
+				}
+				if victim == nil || e.lastUsed.Before(victim.lastUsed) {
+					victim = e
+				}
+			}
+		}
+		if victim == nil {
+			return released // only keep itself is resident: nothing left to evict
+		}
+		r.logf("registry: evicting %s@%s (%d bytes; %d in use > %d budget)",
+			victim.name, victim.version, victim.bytes, r.bytesInUse, r.budget)
+		released = append(released, victim.artifact)
+		r.bytesInUse -= victim.bytes
+		victim.artifact, victim.bytes = nil, 0
+		victim.evicted = true
+		victim.evicts++
+		r.evictions++
+	}
+	return released
+}
+
+// Has reports whether the registry holds any version of name.
+func (r *Registry) Has(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.models[name]) > 0
+}
+
+// Resolved is the result of a Resolve: the chosen version and its loaded
+// artifact.
+type Resolved struct {
+	Name     string
+	Version  string
+	Artifact Artifact
+}
+
+// Resolve resolves a model spec — "name@version" for an exact version, or
+// bare "name" for the routed/latest version — loading (compiling) the
+// artifact if it is cold or was evicted. Concurrent resolves of the same
+// version share one load.
+func (r *Registry) Resolve(spec string) (*Resolved, error) {
+	name, ver, exact := SplitSpec(spec)
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	vs := r.models[name]
+	if len(vs) == 0 {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	var e *entry
+	if exact {
+		if e = vs[ver]; e == nil {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s@%s", ErrNotFound, name, ver)
+		}
+	} else {
+		e = r.pickLocked(name, vs)
+	}
+
+	now := time.Now()
+	e.lastUsed = now
+	if e.artifact != nil {
+		res := &Resolved{Name: e.name, Version: e.version, Artifact: e.artifact}
+		r.mu.Unlock()
+		return res, nil
+	}
+	if op := e.loading; op != nil {
+		// Another goroutine is compiling this version: wait it out.
+		r.mu.Unlock()
+		<-op.done
+		if op.err != nil {
+			return nil, op.err
+		}
+		return &Resolved{Name: e.name, Version: e.version, Artifact: op.art}, nil
+	}
+	op := &loadOp{done: make(chan struct{})}
+	e.loading = op
+	r.loadsBusy++
+	wasEvicted := e.evicted
+	path := e.path
+	r.mu.Unlock()
+
+	// Slow path, outside the lock: read the artifact from disk through the
+	// checked reader and hand it to the loader.
+	op.art, op.err = r.load(name, e.version, path)
+
+	r.mu.Lock()
+	r.loadsBusy--
+	e.loading = nil
+	if op.err != nil {
+		e.loadErr = op.err
+		r.mu.Unlock()
+		close(op.done)
+		return nil, op.err
+	}
+	// A concurrent Scan may have swapped or removed this entry while the
+	// load ran: the loaded artifact still serves this request (it is the
+	// version the caller resolved), but the registry must not account or
+	// retain a detached entry's bytes.
+	detached := r.models[e.name][e.version] != e || r.closed
+	var released []Artifact
+	if detached {
+		released = append(released, op.art)
+	} else {
+		e.loadErr = nil
+		e.artifact = op.art
+		e.bytes = op.art.MemoryBytes()
+		e.lastUsed = time.Now()
+		r.bytesInUse += e.bytes
+		r.loads++
+		e.loads++
+		if wasEvicted {
+			r.lazyReloads++
+		}
+		released = r.evictOverBudgetLocked(e)
+	}
+	r.mu.Unlock()
+	close(op.done)
+	release(released)
+	return &Resolved{Name: name, Version: e.version, Artifact: op.art}, nil
+}
+
+func (r *Registry) load(name, version, path string) (Artifact, error) {
+	f, err := readArtifact(path)
+	if err != nil {
+		return nil, fmt.Errorf("registry: load %s@%s: %w", name, version, err)
+	}
+	art, err := r.loader.Load(name, version, f)
+	if err != nil {
+		return nil, fmt.Errorf("registry: load %s@%s: %w", name, version, err)
+	}
+	if art == nil {
+		return nil, fmt.Errorf("registry: load %s@%s: loader returned nil artifact", name, version)
+	}
+	return art, nil
+}
+
+// pickLocked chooses the version a bare name resolves to: the configured
+// weighted route when one is set (skipping legs whose version has been
+// removed from disk), the latest version otherwise.
+func (r *Registry) pickLocked(name string, vs map[string]*entry) *entry {
+	if route := r.routes[name]; len(route) > 0 {
+		total := 0
+		live := make([]RouteWeight, 0, len(route))
+		for _, rw := range route {
+			if vs[rw.Version] != nil {
+				live = append(live, rw)
+				total += rw.Weight
+			}
+		}
+		if total > 0 {
+			n := splitmix64(uint64(r.cfg.Seed) + r.pick)
+			r.pick++
+			x := int(n % uint64(total))
+			for _, rw := range live {
+				x -= rw.Weight
+				if x < 0 {
+					return vs[rw.Version]
+				}
+			}
+		}
+	}
+	return vs[latestVersion(vs)]
+}
+
+// splitmix64 is the SplitMix64 mixer: a tiny, seedable, uniform hash that
+// makes the route picker deterministic without a lock-held math/rand.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// latestVersion picks the default alias target: the highest version by
+// numeric "v<N>" ordering, falling back to lexicographic.
+func latestVersion(vs map[string]*entry) string {
+	best := ""
+	for v := range vs {
+		if best == "" || CompareVersions(v, best) > 0 {
+			best = v
+		}
+	}
+	return best
+}
+
+// SetRoute configures a weighted traffic split for bare-name requests of
+// name, e.g. {"v3": 90, "v4": 10}. Every referenced version must exist and
+// weights must be positive. A single-leg route pins the name to one version
+// (the mutable alias). Routes survive rescans; legs whose version disappears
+// from disk are skipped at pick time.
+func (r *Registry) SetRoute(name string, weights map[string]int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(weights) == 0 {
+		return fmt.Errorf("registry: empty route for %q (use ClearRoute to remove)", name)
+	}
+	vs := r.models[name]
+	if len(vs) == 0 {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	route := make([]RouteWeight, 0, len(weights))
+	for v, w := range weights {
+		if w <= 0 {
+			return fmt.Errorf("registry: route %s@%s has non-positive weight %d", name, v, w)
+		}
+		if vs[v] == nil {
+			return fmt.Errorf("%w: %s@%s (cannot route to it)", ErrNotFound, name, v)
+		}
+		route = append(route, RouteWeight{Version: v, Weight: w})
+	}
+	// Deterministic leg order so the picker's cumulative walk is stable.
+	sort.Slice(route, func(i, j int) bool {
+		return CompareVersions(route[i].Version, route[j].Version) < 0
+	})
+	r.routes[name] = route
+	return nil
+}
+
+// ClearRoute removes name's traffic split; bare-name requests fall back to
+// the latest version.
+func (r *Registry) ClearRoute(name string) {
+	r.mu.Lock()
+	delete(r.routes, name)
+	r.mu.Unlock()
+}
+
+// Routes snapshots the configured traffic splits.
+func (r *Registry) Routes() map[string][]RouteWeight {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string][]RouteWeight, len(r.routes))
+	for name, route := range r.routes {
+		out[name] = append([]RouteWeight(nil), route...)
+	}
+	return out
+}
+
+// ModelInfo describes one registered model version.
+type ModelInfo struct {
+	Name       string    `json:"name"`
+	Version    string    `json:"version"`
+	Default    bool      `json:"default"` // bare-name alias target (ignoring routes)
+	Path       string    `json:"path"`
+	FileBytes  int64     `json:"file_bytes"`
+	Model      string    `json:"model"` // LR model name inside the artifact
+	ConvLayers int       `json:"conv_layers"`
+	Loaded     bool      `json:"loaded"`
+	Bytes      int64     `json:"bytes,omitempty"` // resident compiled footprint
+	LastUsed   time.Time `json:"last_used,omitempty"`
+	Loads      uint64    `json:"loads"`
+	Evictions  uint64    `json:"evictions"`
+	Error      string    `json:"error,omitempty"` // last load failure
+}
+
+// Models lists every version, sorted by name then version.
+func (r *Registry) Models() []ModelInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []ModelInfo
+	for name, vs := range r.models {
+		latest := latestVersion(vs)
+		for v, e := range vs {
+			mi := ModelInfo{
+				Name: name, Version: v, Default: v == latest,
+				Path: e.path, FileBytes: e.fileSize,
+				Model: e.modelName, ConvLayers: e.convLayers,
+				Loaded: e.artifact != nil, Bytes: e.bytes,
+				LastUsed: e.lastUsed, Loads: e.loads, Evictions: e.evicts,
+			}
+			if e.loadErr != nil {
+				mi.Error = e.loadErr.Error()
+			}
+			out = append(out, mi)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return CompareVersions(out[i].Version, out[j].Version) < 0
+	})
+	return out
+}
+
+// QuarantinedFile reports one corrupt/unparseable artifact the scanner is
+// skipping.
+type QuarantinedFile struct {
+	Path  string `json:"path"`
+	Error string `json:"error"`
+}
+
+// Stats is a snapshot of the registry counters.
+type Stats struct {
+	Scans        uint64            `json:"scans"`
+	Models       int               `json:"models"`
+	Versions     int               `json:"versions"`
+	Loaded       int               `json:"loaded"`
+	Loads        uint64            `json:"loads"`
+	LazyReloads  uint64            `json:"lazy_reloads"` // recompiles after eviction
+	Reloads      uint64            `json:"reloads"`      // hot adds/replacements after the initial scan
+	Removed      uint64            `json:"removed"`
+	Evictions    uint64            `json:"evictions"`
+	BadFiles     uint64            `json:"bad_files"` // quarantine events
+	BytesInUse   int64             `json:"bytes_in_use"`
+	MemoryBudget int64             `json:"memory_budget"` // 0 = unlimited
+	Quarantined  []QuarantinedFile `json:"quarantined,omitempty"`
+}
+
+// Stats snapshots the registry counters.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Stats{
+		Scans: r.scans, Models: len(r.models),
+		Loads: r.loads, LazyReloads: r.lazyReloads, Reloads: r.reloads,
+		Removed: r.removed, Evictions: r.evictions, BadFiles: r.badFiles,
+		BytesInUse: r.bytesInUse, MemoryBudget: r.budget,
+	}
+	if s.MemoryBudget < 0 {
+		s.MemoryBudget = 0
+	}
+	for _, vs := range r.models {
+		s.Versions += len(vs)
+		for _, e := range vs {
+			if e.artifact != nil {
+				s.Loaded++
+			}
+		}
+	}
+	for path, bf := range r.quarantine {
+		s.Quarantined = append(s.Quarantined, QuarantinedFile{Path: path, Error: bf.err.Error()})
+	}
+	sort.Slice(s.Quarantined, func(i, j int) bool { return s.Quarantined[i].Path < s.Quarantined[j].Path })
+	return s
+}
+
+// Readiness reports whether the registry is safe to route traffic to: the
+// initial scan has completed, so the registry knows which models exist.
+// Everything after that is steady-state operation and must not flap a
+// serving instance unready: cold and quarantined versions, the lazy
+// compiles they trigger (post-eviction recompiles are routine on a
+// budget-bounded server), and routine hot-reload rescans all leave the last
+// good versions serving. Scanning and Loading are reported for
+// observability only.
+type Readiness struct {
+	Ready       bool `json:"ready"`
+	InitialScan bool `json:"initial_scan"`
+	Scanning    bool `json:"scanning"` // a rescan in flight (informational)
+	Loading     int  `json:"loading"`  // artifact compiles in flight (informational)
+}
+
+// Readiness snapshots the registry's readiness state.
+func (r *Registry) Readiness() Readiness {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rd := Readiness{
+		InitialScan: r.scanned,
+		Scanning:    r.scansBusy > 0,
+		Loading:     r.loadsBusy,
+	}
+	rd.Ready = rd.InitialScan
+	return rd
+}

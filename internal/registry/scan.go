@@ -1,0 +1,316 @@
+package registry
+
+// Directory scanning: the on-disk contract is one `.patdnn` artifact per
+// model version, named `<name>@<version>.patdnn` (a bare `<name>.patdnn` is
+// shorthand for version v1). Scan diffs the directory against the known
+// state by (size, modtime), validates new or changed files with modelfile's
+// checked reader, and applies the changes as atomic swaps under the registry
+// lock: a corrupt replacement is quarantined and never displaces the last
+// good version.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"patdnn/internal/modelfile"
+)
+
+// Ext is the artifact file extension the registry scans for.
+const Ext = ".patdnn"
+
+// SplitSpec splits a model spec into name and version: "vgg@v2" → ("vgg",
+// "v2", true); bare "vgg" → ("vgg", "", false).
+func SplitSpec(spec string) (name, version string, exact bool) {
+	if i := strings.LastIndex(spec, "@"); i >= 0 {
+		return spec[:i], spec[i+1:], true
+	}
+	return spec, "", false
+}
+
+// ParseFileName maps an artifact filename to its (name, version): an `@`
+// separates them, a missing version means "v1", and anything not ending in
+// .patdnn is rejected.
+func ParseFileName(base string) (name, version string, err error) {
+	if !strings.HasSuffix(base, Ext) {
+		return "", "", fmt.Errorf("registry: %q is not a %s artifact", base, Ext)
+	}
+	stem := strings.TrimSuffix(base, Ext)
+	name, version, exact := SplitSpec(stem)
+	if !exact {
+		version = "v1"
+	}
+	// Path separators never appear in the base names the scanner reads, but
+	// ParseFileName also validates names/versions about to be published
+	// (patdnn-compile): a separator would land the artifact outside the flat
+	// directory the non-recursive scanner lists.
+	if name == "" || version == "" || strings.Contains(name, "@") ||
+		strings.ContainsAny(stem, `/\`) {
+		return "", "", fmt.Errorf("registry: artifact name %q is not <name>[@<version>]%s", base, Ext)
+	}
+	return name, version, nil
+}
+
+// FileName renders the canonical artifact filename for a model version.
+func FileName(name, version string) string {
+	return name + "@" + version + Ext
+}
+
+// CompareVersions orders version strings: "v<N>" (or bare "<N>") tags compare
+// numerically — v2 < v10 — numeric tags sort above non-numeric ones, and
+// everything else falls back to lexicographic order. Returns -1, 0, or 1.
+func CompareVersions(a, b string) int {
+	an, aok := versionNumber(a)
+	bn, bok := versionNumber(b)
+	switch {
+	case aok && bok:
+		if an != bn {
+			if an < bn {
+				return -1
+			}
+			return 1
+		}
+	case aok:
+		return 1
+	case bok:
+		return -1
+	}
+	return strings.Compare(a, b)
+}
+
+func versionNumber(v string) (int64, bool) {
+	s := strings.TrimPrefix(strings.ToLower(v), "v")
+	if s == "" {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	return n, err == nil
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// readArtifact opens and fully validates one .patdnn file through the
+// checked reader (magic, CRC32 footer, bounds-checked decode, structural
+// validation of every layer).
+func readArtifact(path string) (*modelfile.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return modelfile.Read(f)
+}
+
+// Scan rescans the models directory and applies the diff: new versions
+// appear, changed files are re-validated and atomically swapped in, corrupt
+// files are quarantined (keeping any previously good entry for the same
+// version), and deleted files drop their versions. Artifacts displaced by a
+// swap or removal are Released after the lock is dropped; in-flight users
+// are unaffected.
+func (r *Registry) Scan() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	r.scansBusy++
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.scansBusy--
+		r.scans++
+		r.scanned = true
+		r.mu.Unlock()
+	}()
+
+	ents, err := os.ReadDir(r.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("registry: scan: %w", err)
+	}
+
+	present := make(map[string]bool) // path -> exists this scan
+	var released []Artifact
+
+	for _, de := range ents {
+		if de.IsDir() {
+			continue
+		}
+		name, version, err := ParseFileName(de.Name())
+		if err != nil {
+			continue // not an artifact (README, tmp files, ...)
+		}
+		path := filepath.Join(r.cfg.Dir, de.Name())
+		fi, err := de.Info()
+		if err != nil {
+			continue // raced with a delete; next scan settles it
+		}
+		present[path] = true
+
+		r.mu.Lock()
+		cur := r.models[name][version]
+		// A bare `<name>.patdnn` and an explicit `<name>@v1.patdnn` both map
+		// to (name, v1). Without a deterministic winner every scan would see
+		// one of the two paths as "changed" and perpetually swap the entry,
+		// releasing its compiled artifact each time. The explicit form wins;
+		// the shorthand twin is quarantined (visible in Stats) until its
+		// rival disappears and the file is touched.
+		if cur != nil && cur.path != path && !strings.Contains(de.Name(), "@") {
+			if _, seen := r.quarantine[path]; !seen {
+				r.quarantine[path] = badFile{fileSize: fi.Size(), modTime: fi.ModTime(),
+					err: fmt.Errorf("registry: %s duplicates %s for %s@%s (the explicit @%s file wins)",
+						de.Name(), filepath.Base(cur.path), name, version, version)}
+				r.badFiles++
+				r.logf("registry: quarantined %s: duplicates %s", path, cur.path)
+			}
+			r.mu.Unlock()
+			continue
+		}
+		unchanged := cur != nil && cur.path == path &&
+			cur.fileSize == fi.Size() && cur.modTime.Equal(fi.ModTime())
+		bad, wasBad := r.quarantine[path]
+		badUnchanged := wasBad && bad.fileSize == fi.Size() && bad.modTime.Equal(fi.ModTime())
+		initial := !r.scanned
+		r.mu.Unlock()
+		if unchanged || badUnchanged {
+			continue
+		}
+
+		// New or changed: validate the whole file before touching the
+		// registry state, outside the lock.
+		mf, verr := readArtifact(path)
+		r.mu.Lock()
+		if verr != nil {
+			// Quarantine: log-and-skip, and critically keep any existing good
+			// entry for this version serving (a corrupt replacement must not
+			// evict the last good artifact — its compiled form, if resident,
+			// stays; if it was evicted, lazy reload will surface the error
+			// per request until the file is fixed).
+			r.quarantine[path] = badFile{fileSize: fi.Size(), modTime: fi.ModTime(), err: verr}
+			r.badFiles++
+			r.mu.Unlock()
+			r.logf("registry: quarantined %s: %v", path, verr)
+			continue
+		}
+		delete(r.quarantine, path)
+		e := &entry{
+			name: name, version: version, path: path,
+			fileSize: fi.Size(), modTime: fi.ModTime(),
+			modelName: mf.LR.Model, convLayers: len(mf.Layers),
+		}
+		if r.models[name] == nil {
+			r.models[name] = make(map[string]*entry)
+		}
+		// Re-fetch under this lock hold: a concurrent Scan may have swapped
+		// the entry while we were validating the file.
+		cur = r.models[name][version]
+		if cur != nil {
+			// Atomic swap: the new entry replaces the old under the lock; new
+			// resolves load the new file, in-flight requests keep the old
+			// compiled plans they already hold.
+			if cur.artifact != nil {
+				released = append(released, cur.artifact)
+				r.bytesInUse -= cur.bytes
+			}
+			e.lastUsed = cur.lastUsed
+		}
+		r.models[name][version] = e
+		if !initial {
+			r.reloads++
+		}
+		r.mu.Unlock()
+		if !initial {
+			verb := "added"
+			if cur != nil {
+				verb = "replaced"
+			}
+			r.logf("registry: %s %s@%s (%d layers, %d bytes on disk)",
+				verb, name, version, e.convLayers, e.fileSize)
+		}
+	}
+
+	// Drop versions whose file disappeared, and forget quarantine records for
+	// vanished paths. `present` is this scan's ReadDir snapshot, which a
+	// concurrent Scan may have outrun (its file landed after our listing) —
+	// re-stat before removing so a stale snapshot never deletes a version a
+	// newer scan just registered.
+	r.mu.Lock()
+	for name, vs := range r.models {
+		for version, e := range vs {
+			if present[e.path] || fileExists(e.path) {
+				continue
+			}
+			if e.artifact != nil {
+				released = append(released, e.artifact)
+				r.bytesInUse -= e.bytes
+			}
+			delete(vs, version)
+			r.removed++
+			r.logf("registry: removed %s@%s (file gone)", name, version)
+		}
+		if len(vs) == 0 {
+			delete(r.models, name)
+		}
+	}
+	for path := range r.quarantine {
+		if !present[path] && !fileExists(path) {
+			delete(r.quarantine, path)
+		}
+	}
+	r.mu.Unlock()
+
+	release(released)
+	return nil
+}
+
+// Located is the result of a path-only registry lookup.
+type Located struct {
+	Name    string
+	Version string
+	Path    string
+}
+
+// Locate resolves a model spec ("name" or "name@version") against a models
+// directory by filename only — no artifact is read. Bare names resolve to
+// the latest version. Used by cmd/patdnn-run to address artifacts the same
+// way the serving registry does, without standing up a full Registry.
+func Locate(dir, spec string) (Located, error) {
+	wantName, wantVer, exact := SplitSpec(spec)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return Located{}, fmt.Errorf("registry: %w", err)
+	}
+	var best Located
+	for _, de := range ents {
+		if de.IsDir() {
+			continue
+		}
+		name, version, err := ParseFileName(de.Name())
+		if err != nil || name != wantName {
+			continue
+		}
+		// A bare <name>.patdnn and an explicit <name>@v1.patdnn both mean
+		// v1; the explicit file wins, matching the serving Registry's twin
+		// handling so offline and online resolution pick the same artifact.
+		explicit := strings.Contains(de.Name(), "@")
+		loc := Located{Name: name, Version: version, Path: filepath.Join(dir, de.Name())}
+		if exact {
+			if version == wantVer && (best.Path == "" || explicit) {
+				best = loc
+			}
+			continue
+		}
+		if best.Path == "" || CompareVersions(version, best.Version) > 0 ||
+			(CompareVersions(version, best.Version) == 0 && explicit) {
+			best = loc
+		}
+	}
+	if best.Path == "" {
+		return Located{}, fmt.Errorf("%w: %q in %s", ErrNotFound, spec, dir)
+	}
+	return best, nil
+}

@@ -9,11 +9,13 @@ package serve
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"patdnn/internal/compiler/codegen"
 	"patdnn/internal/compiler/lr"
 	"patdnn/internal/compiler/tuner"
 	"patdnn/internal/model"
+	"patdnn/internal/modelfile"
 	"patdnn/internal/pattern"
 	"patdnn/internal/pruned"
 	"patdnn/internal/runtime"
@@ -32,20 +34,29 @@ const (
 type op struct {
 	kind      opKind
 	plan      *codegen.Plan // opConv
+	bias      []float32     // opConv: per-channel bias (nil for generator models)
 	fusedReLU bool          // opConv: the following ReLU is fused into the sweep
 	poolK     int           // opMaxPool kernel/stride
 }
 
 // compiledModel is a network lowered to an executable op stack: the cached
-// artifact the plan cache holds per (model, dataset, level) key.
+// artifact the plan cache holds per (model, dataset, level) key — or, for
+// registry-backed models, the artifact one .patdnn version compiles to.
 type compiledModel struct {
 	model            *model.Model
 	level            string // the level tag this artifact was compiled at
+	version          string // registry version ("" for generator models)
 	ops              []op
 	convLayers       int
 	inC, inH, inW    int
 	outC, outH, outW int
 	totalW, keptW    int64 // dense vs surviving weight counts (compression)
+	// retired flips once the registry drops this artifact (eviction,
+	// hot-reload replacement, removal). Requests that raced the drop —
+	// resolved this cm but have not enqueued yet — run unbatched instead of
+	// resurrecting a batcher nobody would ever retire (which would pin the
+	// whole plan stack until Close and silently defeat the memory budget).
+	retired atomic.Bool
 }
 
 // layerLevel resolves the optimization level one conv layer compiles at. An
@@ -156,6 +167,86 @@ func compileModel(cfg Config, m *model.Model, tag string) (*compiledModel, error
 	return cm, nil
 }
 
+// compileFromFile lowers a deployed .patdnn artifact (the registry's unit of
+// serving) into an executable op stack. The file carries only the pruned conv
+// layers with their real (FP16-stored) weights and biases; the trunk is
+// reassembled by convention: every conv runs with its bias and a ReLU
+// activation (fused into the sweep when the plan's kernels support it), and a
+// uniform spatial shrink between consecutive convs is realized as the
+// stride==kernel max-pool that produces exactly the next layer's input
+// geometry. Non-chainable layer sequences are rejected at load time rather
+// than served wrong.
+func compileFromFile(cfg Config, name, version string, mf *modelfile.File, tag string) (*compiledModel, error) {
+	if len(mf.Layers) == 0 {
+		return nil, fmt.Errorf("serve: artifact %s@%s holds no conv layers", name, version)
+	}
+	cm := &compiledModel{
+		model:   &model.Model{Name: mf.LR.Model, Short: name},
+		level:   tag,
+		version: version,
+	}
+	first := mf.Layers[0].Conv
+	cm.inC, cm.inH, cm.inW = first.InChannels(), first.InH, first.InW
+	c, h, w := cm.inC, cm.inH, cm.inW
+	for i, layer := range mf.Layers {
+		pc := layer.Conv
+		if pc.InChannels() != c {
+			return nil, fmt.Errorf("serve: artifact %s@%s: layer %s expects %d input channels but the trunk carries %d",
+				name, version, pc.Name, pc.InChannels(), c)
+		}
+		if pc.InH != h || pc.InW != w {
+			// A uniform integer shrink is servable as an inferred max-pool
+			// (the classic conv/pool trunk the artifact's layer geometry
+			// encodes implicitly); anything else cannot be chained.
+			k := 0
+			if pc.InH > 0 && pc.InW > 0 && h%pc.InH == 0 && w%pc.InW == 0 && h/pc.InH == w/pc.InW {
+				k = h / pc.InH
+			}
+			if k < 2 {
+				return nil, fmt.Errorf("serve: artifact %s@%s: layer %s expects %dx%d input but the trunk carries %dx%d (no stride==kernel pool bridges them)",
+					name, version, pc.Name, pc.InH, pc.InW, h, w)
+			}
+			cm.ops = append(cm.ops, op{kind: opMaxPool, poolK: k})
+			h, w = pc.InH, pc.InW
+		}
+		level, err := layerLevel(tag, pc)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := codegen.Compile(pc, level, layerTuning(level, pc))
+		if err != nil {
+			return nil, fmt.Errorf("serve: artifact %s@%s: %w", name, version, err)
+		}
+		fused := plan.SupportsFused()
+		cm.ops = append(cm.ops, op{kind: opConv, plan: plan, bias: mf.Layers[i].Bias, fusedReLU: fused})
+		if !fused {
+			cm.ops = append(cm.ops, op{kind: opReLU})
+		}
+		cm.convLayers++
+		cm.totalW += int64(pc.TotalWeights())
+		cm.keptW += int64(pc.NNZ())
+		c, h, w = pc.OutC, pc.OutH, pc.OutW
+	}
+	cm.setOutput(c, h, w)
+	return cm, nil
+}
+
+// memoryBytes is the resident footprint the registry's memory budget
+// accounts for: the dense pruned weight tensors each plan retains, the
+// packed FKW arrays, and the biases.
+func (cm *compiledModel) memoryBytes() int64 {
+	var b int64
+	for _, o := range cm.ops {
+		if o.kind != opConv {
+			continue
+		}
+		b += 4 * int64(o.plan.Conv.TotalWeights())
+		b += int64(o.plan.FKW.TotalBytes(4))
+		b += 4 * int64(len(o.bias))
+	}
+	return b
+}
+
 func (cm *compiledModel) setOutput(c, h, w int) {
 	cm.outC, cm.outH, cm.outW = c, h, w
 }
@@ -164,10 +255,13 @@ func (cm *compiledModel) info() ModelInfo {
 	inf := ModelInfo{
 		Network:     cm.model.Short,
 		Dataset:     cm.model.Dataset,
+		Version:     cm.version,
+		Source:      "generator",
 		Level:       cm.level,
 		ConvLayers:  cm.convLayers,
 		InputShape:  [3]int{cm.inC, cm.inH, cm.inW},
 		OutputShape: [3]int{cm.outC, cm.outH, cm.outW},
+		Loaded:      true,
 	}
 	if cm.keptW > 0 {
 		inf.Compression = float64(cm.totalW) / float64(cm.keptW)
@@ -217,7 +311,7 @@ func (cm *compiledModel) runBatch(pool *runtime.Pool, xs []*tensor.Tensor) []*te
 	for _, o := range cm.ops {
 		switch o.kind {
 		case opConv:
-			outs := pool.RunLayerBatchFused(o.plan, xs, nil, o.fusedReLU)
+			outs := pool.RunLayerBatchFused(o.plan, xs, o.bias, o.fusedReLU)
 			recycle(xs, pooled)
 			xs, pooled = outs, true
 		case opReLU:

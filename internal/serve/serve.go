@@ -27,6 +27,7 @@ import (
 
 	"patdnn/internal/compiler/codegen"
 	"patdnn/internal/model"
+	"patdnn/internal/registry"
 	"patdnn/internal/runtime"
 	"patdnn/internal/tensor"
 )
@@ -111,8 +112,12 @@ type Request struct {
 
 // Response reports one completed inference.
 type Response struct {
-	Network   string    `json:"network"`
-	Dataset   string    `json:"dataset"`
+	Network string `json:"network"`
+	Dataset string `json:"dataset,omitempty"`
+	// Version is the registry version that served the request ("" for
+	// generator models). Under a weighted route this reveals which canary
+	// leg the request rode.
+	Version   string    `json:"version,omitempty"`
 	Shape     [3]int    `json:"shape"`      // output [C,H,W]
 	Output    []float32 `json:"output"`     // flattened feature map
 	ArgMax    int       `json:"argmax"`     // index of the max output element
@@ -135,17 +140,30 @@ type Stats struct {
 	// "tuned", "packed", ...): the level is part of the cache key, so this
 	// shows which kernel generations the request stream is actually riding.
 	LevelHits map[string]uint64 `json:"level_hits,omitempty"`
+	// Registry snapshots the attached model registry's counters (scans,
+	// hot reloads, evictions, resident bytes); nil when no registry is
+	// attached.
+	Registry *registry.Stats `json:"registry,omitempty"`
 }
 
-// ModelInfo describes one compiled (cached) model.
+// ModelInfo describes one compiled (cached) model — a generator-path plan
+// cache entry, or a registry-backed .patdnn version.
 type ModelInfo struct {
-	Network     string  `json:"network"`
-	Dataset     string  `json:"dataset"`
-	Level       string  `json:"level"` // optimization-level tag of this plan stack
-	ConvLayers  int     `json:"conv_layers"`
-	InputShape  [3]int  `json:"input_shape"`
-	OutputShape [3]int  `json:"output_shape"`
-	Compression float64 `json:"compression"` // total weights / surviving weights
+	Network string `json:"network"`
+	Dataset string `json:"dataset,omitempty"`
+	// Version and the fields after it describe registry-backed models:
+	// version tag, whether its compiled plan stack is currently resident,
+	// its byte footprint, and when it last served a request.
+	Version     string    `json:"version,omitempty"`
+	Source      string    `json:"source"` // "generator" or "registry"
+	Level       string    `json:"level"`  // optimization-level tag of this plan stack
+	ConvLayers  int       `json:"conv_layers"`
+	InputShape  [3]int    `json:"input_shape,omitzero"`
+	OutputShape [3]int    `json:"output_shape,omitzero"`
+	Compression float64   `json:"compression,omitzero"` // total weights / surviving weights
+	Loaded      bool      `json:"loaded"`
+	MemoryBytes int64     `json:"memory_bytes,omitzero"`
+	LastUsed    time.Time `json:"last_used,omitzero"`
 }
 
 type modelKey struct {
@@ -159,6 +177,7 @@ type modelKey struct {
 type modelEntry struct {
 	once    sync.Once
 	ready   atomic.Bool                    // set inside once: cm/err safe to read when true
+	gate    atomic.Bool                    // a Preload/RegisterModel compile: blocks /readyz until done
 	compile func() (*compiledModel, error) // fixed at creation; run by the first get
 	cm      *compiledModel
 	err     error
@@ -190,14 +209,22 @@ type Engine struct {
 	cfg  Config
 	pool *runtime.Pool
 
-	mu     sync.Mutex // guards models/registered/batchers maps + levelHits
+	mu     sync.Mutex // guards models/registered/batchers maps + levelHits + reg
 	models map[modelKey]*modelEntry
 	// registered keeps custom descriptors by (short, dataset) so a request
 	// with an explicit level override can compile a registered model at that
 	// level too.
 	registered map[[2]string]*model.Model
-	batchers   map[modelKey]*batcher
-	levelHits  map[string]uint64 // plan-cache hits per level tag
+	// batchers is keyed by the compiled artifact itself: generator-path
+	// entries hold one stable compiledModel per cache key, while registry
+	// models swap artifacts on hot reload — the new version gets its own
+	// batcher and the retired one drains and exits (see retireBatcher).
+	batchers  map[*compiledModel]*batcher
+	levelHits map[string]uint64 // plan-cache hits per level tag
+	// reg is the attached model registry (nil unless WithRegistry was
+	// called): disk-backed versioned .patdnn artifacts the engine resolves
+	// Request.Network against before falling back to the generator path.
+	reg *registry.Registry
 
 	// lifecycle serializes Close against in-flight enqueues: enqueuers hold
 	// the read side across the channel send, Close takes the write side
@@ -225,16 +252,17 @@ func New(cfg Config) *Engine {
 		pool:       runtime.NewPool(cfg.Workers),
 		models:     make(map[modelKey]*modelEntry),
 		registered: make(map[[2]string]*model.Model),
-		batchers:   make(map[modelKey]*batcher),
+		batchers:   make(map[*compiledModel]*batcher),
 		levelHits:  make(map[string]uint64),
 	}
 }
 
 // Preload compiles a model into the plan cache (at the engine's default
 // level) without running inference, so the first request doesn't pay
-// compilation latency.
+// compilation latency. A preload in flight gates Readiness (lazy
+// request-triggered compiles do not).
 func (e *Engine) Preload(network, dataset string) error {
-	_, _, err := e.compiled(network, dataset, "")
+	_, _, err := e.compiled(network, dataset, "", true)
 	return err
 }
 
@@ -267,6 +295,7 @@ func (e *Engine) RegisterModel(m *model.Model) error {
 		return fmt.Errorf("serve: model %s/%s already registered", m.Short, m.Dataset)
 	}
 	entry := e.newEntry(m, key.level)
+	entry.gate.Store(true) // an explicit registration gates readiness like a preload
 	e.models[key] = entry
 	e.registered[nameKey] = m
 	e.planCompiles.Add(1)
@@ -288,8 +317,11 @@ func (e *Engine) RegisterModel(m *model.Model) error {
 // compiled resolves the network name and level tag and returns the cached
 // compiled model, compiling it exactly once per (network, dataset, level)
 // key. Registered custom models match by exact (network, dataset); the paper
-// networks additionally match every alias model.ByName accepts.
-func (e *Engine) compiled(network, dataset, level string) (modelKey, *compiledModel, error) {
+// networks additionally match every alias model.ByName accepts. gate marks
+// the compile as readiness-gating (Preload): a pending gated compile keeps
+// /readyz at 503, while a lazy request-triggered compile on a serving engine
+// does not.
+func (e *Engine) compiled(network, dataset, level string, gate bool) (modelKey, *compiledModel, error) {
 	tag, err := e.resolveLevelTag(level)
 	if err != nil {
 		return modelKey{}, nil, err
@@ -302,6 +334,7 @@ func (e *Engine) compiled(network, dataset, level string) (modelKey, *compiledMo
 		// compile its retained descriptor at that level.
 		if m, reg := e.registered[[2]string{network, dataset}]; reg {
 			entry = e.newEntry(m, tag)
+			entry.gate.Store(gate)
 			e.models[key] = entry
 			e.planCompiles.Add(1)
 			e.mu.Unlock()
@@ -310,6 +343,9 @@ func (e *Engine) compiled(network, dataset, level string) (modelKey, *compiledMo
 		}
 	}
 	if ok {
+		if gate {
+			entry.gate.Store(true)
+		}
 		e.planHits.Add(1)
 		e.levelHits[tag]++
 		e.mu.Unlock()
@@ -331,10 +367,14 @@ func (e *Engine) compiled(network, dataset, level string) (modelKey, *compiledMo
 	e.mu.Lock()
 	entry, ok = e.models[key]
 	if ok {
+		if gate {
+			entry.gate.Store(true)
+		}
 		e.planHits.Add(1)
 		e.levelHits[tag]++
 	} else {
 		entry = e.newEntry(m, tag)
+		entry.gate.Store(gate)
 		e.models[key] = entry
 		e.planCompiles.Add(1)
 	}
@@ -343,11 +383,11 @@ func (e *Engine) compiled(network, dataset, level string) (modelKey, *compiledMo
 	return key, cm, cerr
 }
 
-// batcherFor returns (creating if needed) the per-model batcher goroutine.
-func (e *Engine) batcherFor(key modelKey, cm *compiledModel) *batcher {
+// batcherFor returns (creating if needed) the per-artifact batcher goroutine.
+func (e *Engine) batcherFor(cm *compiledModel) *batcher {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if bt, ok := e.batchers[key]; ok {
+	if bt, ok := e.batchers[cm]; ok {
 		return bt
 	}
 	bt := &batcher{
@@ -355,7 +395,7 @@ func (e *Engine) batcherFor(key modelKey, cm *compiledModel) *batcher {
 		cm:  cm,
 		ch:  make(chan *call, 4*e.cfg.MaxBatch),
 	}
-	e.batchers[key] = bt
+	e.batchers[cm] = bt
 	e.wg.Add(1)
 	go bt.loop()
 	return bt
@@ -382,7 +422,7 @@ func (e *Engine) infer(ctx context.Context, req Request) (*Response, error) {
 	if closed {
 		return nil, ErrClosed
 	}
-	key, cm, err := e.compiled(req.Network, req.Dataset, req.Level)
+	cm, err := e.resolveModel(req)
 	if err != nil {
 		return nil, err
 	}
@@ -390,18 +430,41 @@ func (e *Engine) infer(ctx context.Context, req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.dispatch(ctx, cm, in)
+}
+
+// dispatch executes one prepared input against a compiled artifact: through
+// the per-artifact batcher normally, or as a direct unbatched sweep when the
+// artifact was retired between resolution and enqueue (a straggler racing a
+// hot swap or eviction — creating a batcher for it would leak, since its
+// Release has already fired).
+func (e *Engine) dispatch(ctx context.Context, cm *compiledModel, in *tensor.Tensor) (*Response, error) {
 	c := &call{input: in, resp: make(chan batchResult, 1), enqueued: time.Now()}
 
-	// The closed check, batcher creation, and channel send all happen under
-	// the lifecycle read lock: Close cannot slip between them, so no batcher
-	// goroutine is ever spawned after Close started and no send hits a closed
-	// channel.
+	// The closed check, retirement check, batcher creation, and channel send
+	// all happen under the lifecycle read lock: neither Close nor
+	// retireBatcher (both take the write side) can slip between them, so no
+	// batcher goroutine is ever spawned after Close started, no send hits a
+	// closed channel, and a batcher created here cannot have missed its
+	// retirement.
 	e.lifecycle.RLock()
 	if e.closed {
 		e.lifecycle.RUnlock()
 		return nil, ErrClosed
 	}
-	bt := e.batcherFor(key, cm)
+	if cm.retired.Load() {
+		e.lifecycle.RUnlock()
+		start := time.Now()
+		outs := cm.runBatch(e.pool, []*tensor.Tensor{in})
+		e.batches.Add(1)
+		e.ranRequests.Add(1)
+		return cm.response(outs[0], batchResult{
+			size:    1,
+			queueMs: float64(start.Sub(c.enqueued).Nanoseconds()) / 1e6,
+			runMs:   float64(time.Since(start).Nanoseconds()) / 1e6,
+		}), nil
+	}
+	bt := e.batcherFor(cm)
 	select {
 	case bt.ch <- c:
 		e.lifecycle.RUnlock()
@@ -412,25 +475,30 @@ func (e *Engine) infer(ctx context.Context, req Request) (*Response, error) {
 
 	select {
 	case r := <-c.resp:
-		out := r.out
-		resp := &Response{
-			Network:   cm.model.Short,
-			Dataset:   cm.model.Dataset,
-			Shape:     [3]int{out.Dim(0), out.Dim(1), out.Dim(2)},
-			Output:    out.Data,
-			ArgMax:    out.ArgMax(),
-			BatchSize: r.size,
-			QueueMs:   r.queueMs,
-			RunMs:     r.runMs,
-		}
-		return resp, nil
+		return cm.response(r.out, r), nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
 }
 
-// Close drains every batcher and stops the engine. In-flight requests
-// complete; later Infer calls return ErrClosed. Close is idempotent.
+// response assembles the Response for one completed inference.
+func (cm *compiledModel) response(out *tensor.Tensor, r batchResult) *Response {
+	return &Response{
+		Network:   cm.model.Short,
+		Dataset:   cm.model.Dataset,
+		Version:   cm.version,
+		Shape:     [3]int{out.Dim(0), out.Dim(1), out.Dim(2)},
+		Output:    out.Data,
+		ArgMax:    out.ArgMax(),
+		BatchSize: r.size,
+		QueueMs:   r.queueMs,
+		RunMs:     r.runMs,
+	}
+}
+
+// Close drains every batcher, closes the attached registry (if any), and
+// stops the engine. In-flight requests complete; later Infer calls return
+// ErrClosed. Close is idempotent.
 func (e *Engine) Close() error {
 	e.lifecycle.Lock()
 	if e.closed {
@@ -442,9 +510,15 @@ func (e *Engine) Close() error {
 	for _, bt := range e.batchers {
 		close(bt.ch)
 	}
+	reg := e.reg
 	e.mu.Unlock()
 	e.lifecycle.Unlock()
 	e.wg.Wait()
+	if reg != nil {
+		// After e.closed is set the registry's Release callbacks are no-ops,
+		// so closing it here cannot race the batcher shutdown above.
+		reg.Close()
+	}
 	return nil
 }
 
@@ -469,18 +543,25 @@ func (e *Engine) Stats() Stats {
 			s.LevelHits[tag] = n
 		}
 	}
+	reg := e.reg
 	e.mu.Unlock()
+	if reg != nil {
+		rs := reg.Stats()
+		s.Registry = &rs
+	}
 	return s
 }
 
-// Models lists the compiled models currently in the plan cache, sorted by
-// name for stable output.
+// Models lists the compiled models currently in the plan cache plus every
+// registered disk version (with version, resident bytes, and last-used time),
+// sorted by name for stable output.
 func (e *Engine) Models() []ModelInfo {
 	e.mu.Lock()
 	entries := make([]*modelEntry, 0, len(e.models))
 	for _, entry := range e.models {
 		entries = append(entries, entry)
 	}
+	reg := e.reg
 	e.mu.Unlock()
 	var out []ModelInfo
 	for _, entry := range entries {
@@ -490,12 +571,25 @@ func (e *Engine) Models() []ModelInfo {
 		}
 		out = append(out, cm.info())
 	}
+	if reg != nil {
+		tag, _ := e.resolveLevelTag("")
+		for _, m := range reg.Models() {
+			out = append(out, ModelInfo{
+				Network: m.Name, Version: m.Version, Source: "registry",
+				Level: tag, ConvLayers: m.ConvLayers,
+				Loaded: m.Loaded, MemoryBytes: m.Bytes, LastUsed: m.LastUsed,
+			})
+		}
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Network != out[j].Network {
 			return out[i].Network < out[j].Network
 		}
 		if out[i].Dataset != out[j].Dataset {
 			return out[i].Dataset < out[j].Dataset
+		}
+		if out[i].Version != out[j].Version {
+			return registry.CompareVersions(out[i].Version, out[j].Version) < 0
 		}
 		return out[i].Level < out[j].Level
 	})

@@ -16,7 +16,12 @@
 //	Engine   — serve inference: compile a model once, cache the plan stack,
 //	           and execute concurrent requests as batched layer sweeps over
 //	           the worker-pool runtime (the compile-once / execute-many
-//	           deployment story of paper Figure 7, as a server).
+//	           deployment story of paper Figure 7, as a server). An Engine
+//	           can additionally attach a Registry (Engine.WithRegistry): a
+//	           disk-backed versioned store of .patdnn artifacts with
+//	           hot-reload, weighted canary routing, and a memory-budgeted
+//	           LRU over compiled plans — the model-lifecycle layer between
+//	           Compile's output on disk and the hot plan cache.
 //
 // Everything deeper (tensor math, the compiler passes, the device models,
 // the serving engine, the benchmark harness) lives under internal/; see
@@ -42,6 +47,7 @@ import (
 	"patdnn/internal/nn"
 	"patdnn/internal/pattern"
 	"patdnn/internal/pruned"
+	"patdnn/internal/registry"
 	"patdnn/internal/serve"
 )
 
@@ -157,6 +163,33 @@ func Compile(network, ds string, patterns int, connRate float64) (*Compiled, err
 // LRJSON renders the model's Layerwise Representation as JSON (Figure 8).
 func (c *Compiled) LRJSON() ([]byte, error) { return c.lrRep.Marshal() }
 
+// WriteModel writes the deployable .patdnn compact model of this compiled
+// network (every 3×3 conv pruned at the operating point, FKW-compressed FP16
+// weights, LR, CRC footer): the artifact cmd/patdnn-run executes and the
+// model registry serves. Deterministic per (network, patterns, connRate), so
+// distinct operating points yield distinct model versions.
+func (c *Compiled) WriteModel(w io.Writer) error {
+	set := pattern.Canonical(c.Patterns)
+	file := &modelfile.File{LR: &lr.Representation{Model: c.Model.Name, Device: "CPU"}}
+	first := true
+	for i, l := range c.Model.ConvLayers() {
+		if l.KH != 3 || l.KW != 3 || l.Kind != model.Conv {
+			continue
+		}
+		rate := c.ConnRate
+		if first {
+			// The paper prunes the first conv more conservatively.
+			rate = baseline.FirstLayerConnRate(c.ConnRate)
+			first = false
+		}
+		pc := pruned.Generate(l, set, rate, int64(400+i), true)
+		file.Layers = append(file.Layers, modelfile.Layer{Conv: pc})
+		file.LR.Layers = append(file.LR.Layers,
+			lr.FromPruned(pc, reorder.Build(pc), lr.DefaultTuning()))
+	}
+	return modelfile.Write(w, file)
+}
+
 // EstimateLatencyMs predicts inference latency on a modeled platform:
 // device is "sd855", "sd845" or "kirin980"; target is "cpu" or "gpu".
 func (c *Compiled) EstimateLatencyMs(dev, target string) (float64, error) {
@@ -267,6 +300,29 @@ var ErrEngineClosed = serve.ErrClosed
 // first use (or eagerly via Engine.Preload) and stay cached until
 // Engine.Close.
 func NewEngine(cfg EngineConfig) *Engine { return serve.New(cfg) }
+
+// Registry is the disk-backed versioned model registry: it watches a models
+// directory of `<name>@<version>.patdnn` artifacts (hot-reloading on change
+// and quarantining corrupt files), resolves "name@version" specs plus a
+// mutable name → version alias, splits bare-name traffic across versions by
+// weight (canary rollouts), and bounds resident compiled plans with a
+// byte-accounted LRU budget. Attach one to an Engine with
+// Engine.WithRegistry; inference requests then address registry models by
+// name or name@version. See internal/registry for the full API.
+type Registry = registry.Registry
+
+// RegistryConfig configures Engine.WithRegistry: the models directory, the
+// memory budget over compiled plan stacks (0 = unlimited), the hot-reload
+// polling period, and the deterministic route-picker seed.
+type RegistryConfig = registry.Config
+
+// RegistryStats snapshots registry counters (scans, hot reloads, evictions,
+// lazy recompiles, resident bytes); also embedded in EngineStats.Registry.
+type RegistryStats = registry.Stats
+
+// EngineReadiness is Engine.Readiness's report: per-model compile/load state
+// and whether the engine should receive traffic yet (the /readyz contract).
+type EngineReadiness = serve.Readiness
 
 // Experiments lists the reproduction experiments (one per paper table and
 // figure); each Run() regenerates the artifact.
