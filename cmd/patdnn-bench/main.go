@@ -37,11 +37,13 @@ func main() {
 	serveJSON := flag.String("serve-json", "",
 		"measure serving throughput + p50/p99 latency and write the versioned JSON artifact (BENCH_serve.json) to this path")
 	serveRequests := flag.Int("serve-requests", 96, "timed requests per -serve-json case")
+	serveNet := flag.String("serve-net", "VGG",
+		"network the -serve-json sweep drives (VGG, RNT, MBNT; CIFAR-10 variants) — CI uploads one artifact per net")
 	flag.Parse()
 
 	switch {
 	case *serveJSON != "":
-		if err := writeServeBench(*serveJSON, *serveRequests); err != nil {
+		if err := writeServeBench(*serveJSON, *serveRequests, *serveNet); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

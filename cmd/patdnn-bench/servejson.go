@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -20,8 +21,10 @@ import (
 )
 
 // serveBenchSchema versions the BENCH_serve.json format; bump it when the
-// fields change meaning so trajectory tooling can tell runs apart.
-const serveBenchSchema = "patdnn/bench-serve/v1"
+// fields change meaning so trajectory tooling can tell runs apart. v2 adds
+// the per-network sweep (-serve-net): CI uploads one artifact per paper
+// network, each self-describing via the "model" field.
+const serveBenchSchema = "patdnn/bench-serve/v2"
 
 type serveBenchCase struct {
 	Name          string  `json:"name"`
@@ -43,23 +46,25 @@ type serveBenchReport struct {
 	Cases     []serveBenchCase `json:"cases"`
 }
 
-// writeServeBench runs the serve benchmark sweep (VGG-16/CIFAR-10 through
-// the real engine, batching settings swept, fixed concurrent client count)
-// and writes the JSON artifact to path.
-func writeServeBench(path string, requests int) error {
+// writeServeBench runs the serve benchmark sweep for one paper network
+// (CIFAR-10 variant through the real engine — graph-compiled end to end —
+// batching settings swept, fixed concurrent client count) and writes the
+// JSON artifact to path. network is any spelling model.ByName accepts
+// ("VGG", "RNT", "MBNT", "resnet50", ...).
+func writeServeBench(path string, requests int, network string) error {
 	if requests < 8 {
 		requests = 8
 	}
 	const clients = 16
 	report := serveBenchReport{
 		Schema:    serveBenchSchema,
-		Model:     "VGG/cifar10",
+		Model:     network + "/cifar10",
 		Go:        runtime.Version(),
 		Workers:   runtime.GOMAXPROCS(0),
 		Timestamp: time.Now().UTC(),
 	}
 	for _, maxBatch := range []int{1, 4, 8} {
-		c, err := runServeBenchCase(maxBatch, clients, requests)
+		c, err := runServeBenchCase(network, maxBatch, clients, requests)
 		if err != nil {
 			return err
 		}
@@ -80,15 +85,15 @@ func writeServeBench(path string, requests int) error {
 	return f.Close()
 }
 
-func runServeBenchCase(maxBatch, clients, requests int) (serveBenchCase, error) {
+func runServeBenchCase(network string, maxBatch, clients, requests int) (serveBenchCase, error) {
 	eng := serve.New(serve.Config{MaxBatch: maxBatch, BatchWindow: time.Millisecond})
 	defer eng.Close()
-	if err := eng.Preload("VGG", "cifar10"); err != nil {
+	if err := eng.Preload(network, "cifar10"); err != nil {
 		return serveBenchCase{}, err
 	}
 
 	// Warm the batching path before timing.
-	if _, err := eng.Infer(context.Background(), serve.Request{Network: "VGG", Dataset: "cifar10"}); err != nil {
+	if _, err := eng.Infer(context.Background(), serve.Request{Network: network, Dataset: "cifar10"}); err != nil {
 		return serveBenchCase{}, err
 	}
 
@@ -112,7 +117,7 @@ func runServeBenchCase(maxBatch, clients, requests int) (serveBenchCase, error) 
 				next++
 				mu.Unlock()
 				t0 := time.Now()
-				_, err := eng.Infer(context.Background(), serve.Request{Network: "VGG", Dataset: "cifar10"})
+				_, err := eng.Infer(context.Background(), serve.Request{Network: network, Dataset: "cifar10"})
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -133,7 +138,7 @@ func runServeBenchCase(maxBatch, clients, requests int) (serveBenchCase, error) 
 	sort.Float64s(latencies)
 	s := eng.Stats()
 	return serveBenchCase{
-		Name:          caseName(maxBatch, clients),
+		Name:          caseName(network, maxBatch, clients),
 		MaxBatch:      maxBatch,
 		Clients:       clients,
 		Requests:      requests,
@@ -144,8 +149,8 @@ func runServeBenchCase(maxBatch, clients, requests int) (serveBenchCase, error) 
 	}, nil
 }
 
-func caseName(maxBatch, clients int) string {
-	return "vgg_cifar10_batch" + strconv.Itoa(maxBatch) + "_clients" + strconv.Itoa(clients)
+func caseName(network string, maxBatch, clients int) string {
+	return strings.ToLower(network) + "_cifar10_batch" + strconv.Itoa(maxBatch) + "_clients" + strconv.Itoa(clients)
 }
 
 // percentile reads the q-quantile from sorted values (nearest-rank).

@@ -27,13 +27,24 @@ import (
 // path, via a temp file renamed into place: the target may be a live,
 // polled models directory, and a truncated half-written artifact there
 // would be quarantined by every watching server until the write finished.
-func writeModelFile(path string, c *patdnn.Compiled) error {
+// format "graph" emits the v2 full-network artifact (topology + conv/dense/BN
+// records — what ResNet-50 and MobileNet-V2 need to serve end to end);
+// "conv" emits the legacy v1 3×3-conv-trunk artifact.
+func writeModelFile(path, format string, c *patdnn.Compiled) error {
+	write := c.WriteModelGraph
+	switch format {
+	case "graph":
+	case "conv":
+		write = c.WriteModel
+	default:
+		return fmt.Errorf("unknown -format %q (want graph or conv)", format)
+	}
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := c.WriteModel(f); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -54,6 +65,8 @@ func main() {
 	emit := flag.Bool("emit", false, "print generated code skeletons for the first 3x3 layer")
 	showLR := flag.Bool("lr", false, "print the full layerwise representation JSON")
 	out := flag.String("o", "", "write the deployable compact model (.patdnn) to this path")
+	format := flag.String("format", "graph",
+		"artifact format: graph (v2 full network — serves ResNet-50/MobileNet-V2 end to end) or conv (legacy v1 3x3-conv trunk)")
 	regDir := flag.String("registry-dir", "",
 		"write the compact model into this models directory in registry layout (<name>@<version>.patdnn), creating it if needed")
 	regName := flag.String("name", "", "registry artifact name (default: lowercased model short name)")
@@ -89,7 +102,7 @@ func main() {
 	}
 
 	if *out != "" {
-		if err := writeModelFile(*out, c); err != nil {
+		if err := writeModelFile(*out, *format, c); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -114,7 +127,7 @@ func main() {
 			os.Exit(1)
 		}
 		path := filepath.Join(*regDir, base)
-		if err := writeModelFile(path, c); err != nil {
+		if err := writeModelFile(path, *format, c); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

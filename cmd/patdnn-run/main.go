@@ -1,8 +1,10 @@
-// Command patdnn-run executes a deployed .patdnn compact model: it loads the
-// file (LR + FKW-compressed FP16 weights), compiles each layer's execution
-// plan at full optimization, runs real inference on synthetic inputs with the
-// worker-pool runtime, and reports per-layer host wall-clock plus the
-// device-model prediction for the Snapdragon 855.
+// Command patdnn-run executes a deployed .patdnn compact model. Format-v2
+// graph artifacts (the patdnn-compile default) run end to end through the
+// graph executor — BN folded, residual adds fused, liveness-planned arena —
+// and report whole-network latency plus fusion/arena stats. Legacy v1
+// conv-trunk files compile each layer's execution plan at full optimization
+// and report per-layer host wall-clock plus the device-model prediction for
+// the Snapdragon 855.
 //
 // Models are addressed either by explicit file path, or — with -models-dir —
 // through the registry layout the serving stack uses: -model then takes a
@@ -22,6 +24,7 @@ import (
 	"os"
 
 	"patdnn/internal/compiler/codegen"
+	"patdnn/internal/compiler/execgraph"
 	"patdnn/internal/compiler/lr"
 	"patdnn/internal/device"
 	"patdnn/internal/modelfile"
@@ -67,6 +70,12 @@ func main() {
 		mf.LR.Model, len(mf.Layers), mf.LR.Device)
 
 	pool := runtime.NewPool(*threads)
+	if mf.Net != nil {
+		// V2 graph artifact: execute the whole network end to end through the
+		// graph executor instead of layer by layer.
+		runGraph(mf, pool, *runs)
+		return
+	}
 	d := device.SD855()
 	rng := rand.New(rand.NewSource(1))
 	var totalHost, totalDev float64
@@ -90,4 +99,36 @@ func main() {
 	}
 	fmt.Printf("total: host %.2f ms, sd855-cpu model %.2f ms over %d layers\n",
 		totalHost, totalDev, len(mf.Layers))
+}
+
+// runGraph compiles a v2 graph artifact through execgraph and measures full
+// end-to-end inference: BN folded, residual adds fused, all intermediates in
+// the liveness-planned arena.
+func runGraph(mf *modelfile.File, pool *runtime.Pool, runs int) {
+	m, params, err := execgraph.FromFile(mf.Net.Short, mf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	plan, err := execgraph.Compile(m, params, execgraph.Config{Level: execgraph.LevelAuto})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	planned, naive := plan.ArenaBytes()
+	fmt.Printf("graph artifact %s: %d nodes, %d conv layers, %.2fx compressed\n",
+		m.Name, len(plan.Nodes), plan.ConvLayers, plan.Compression())
+	fmt.Printf("fused: %d conv+bn, %d conv/fc+relu, %d residual adds; arena %d B (naive %d B, %.1fx reuse)\n",
+		plan.Fused.ConvBN, plan.Fused.ConvReLU, plan.Fused.Residual,
+		planned, naive, float64(naive)/float64(planned))
+
+	rng := rand.New(rand.NewSource(1))
+	in := tensor.New(plan.InC, plan.InH, plan.InW)
+	in.Randn(rng, 1)
+	out := tensor.New(plan.OutC, plan.OutH, plan.OutW)
+	ms := runtime.Measure(runs, func() {
+		plan.Execute(pool, []*tensor.Tensor{in}, []*tensor.Tensor{out})
+	})
+	fmt.Printf("end-to-end: %.3f ms/inference over %d runs, output [%d,%d,%d] argmax %d\n",
+		ms, runs, plan.OutC, plan.OutH, plan.OutW, out.ArgMax())
 }

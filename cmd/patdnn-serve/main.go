@@ -41,11 +41,17 @@
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting,
 // drains in-flight requests, then closes the engine (and its registry).
 //
+// Models lower through the graph executor (internal/compiler/execgraph):
+// BatchNorm folds into conv weights at compile time, residual adds fuse into
+// conv epilogues, and the paper's full CIFAR evaluation suite — VGG-16,
+// ResNet-50, MobileNet-V2 — serves end to end, from generator specs and from
+// format-v2 graph artifacts alike.
+//
 // Quickstart:
 //
-//	patdnn-compile -model VGG -dataset cifar10 -registry-dir models -name vgg -version v1
+//	patdnn-compile -model resnet50 -dataset cifar10 -registry-dir models -name resnet50 -version v1
 //	patdnn-serve -addr :8080 -models-dir models -memory-budget 512MB -preload ""
-//	curl -s -X POST localhost:8080/infer -d '{"network":"vgg"}'
+//	curl -s -X POST localhost:8080/infer -d '{"network":"resnet50"}'
 package main
 
 import (

@@ -323,3 +323,104 @@ func TestReadyzReportsCompileInFlight(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 }
+
+// emitGraphVersion runs the patdnn-compile graph-emission path (Compile +
+// WriteModelGraph, the -format graph default) into the models dir.
+func emitGraphVersion(t *testing.T, dir, model, name, version string) {
+	t.Helper()
+	c, err := patdnn.Compile(model, "cifar10", 8, 3.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, registry.FileName(name, version)+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteModelGraph(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Rename into place like the CLI does, so the poller never sees a
+	// half-written artifact.
+	if err := os.Rename(tmp, filepath.Join(dir, registry.FileName(name, version))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerGraphArtifactResNetEndToEnd is the graph-IR acceptance demo:
+// `patdnn-compile -model resnet50 -registry-dir …` (the API the command
+// wraps) emits a v2 graph artifact, a running patdnn-serve hot-loads it off
+// the polled models dir, /infer returns the [10,1,1] class distribution, and
+// /models reports the plan's fused-op counts (every BN folded, every residual
+// add riding a conv epilogue).
+func TestServerGraphArtifactResNetEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a full ResNet-50/CIFAR-10 graph artifact")
+	}
+	dir := t.TempDir()
+	eng := serve.New(serve.Config{Workers: 4, MaxBatch: 4, BatchWindow: 300 * time.Microsecond})
+	t.Cleanup(func() { eng.Close() })
+	reg, err := eng.WithRegistry(registry.Config{Dir: dir, Poll: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newMux(eng, reg))
+	t.Cleanup(ts.Close)
+
+	// The server is up and empty; the artifact lands afterwards — serving it
+	// requires a hot reload, not a startup scan.
+	emitGraphVersion(t, dir, "resnet50", "resnet50", "v1")
+	deadline := time.Now().Add(30 * time.Second)
+	for !reg.Has("resnet50") {
+		if time.Now().After(deadline) {
+			t.Fatal("poller never picked up the resnet50 graph artifact")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	var out serve.Response
+	if st := postJSON(t, ts.URL+"/infer", map[string]string{"network": "resnet50"}, &out); st != http.StatusOK {
+		t.Fatalf("POST /infer = %d", st)
+	}
+	if out.Version != "v1" || out.Shape != [3]int{10, 1, 1} {
+		t.Fatalf("infer response: %+v", out)
+	}
+	// Softmax output: a probability distribution.
+	var sum float64
+	for _, v := range out.Output {
+		if v < 0 || v > 1 {
+			t.Fatalf("output %g outside [0,1]", v)
+		}
+		sum += float64(v)
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("softmax outputs sum to %g", sum)
+	}
+
+	// /models reports the fused-op counts for the loaded version: ResNet-50
+	// has 49 BatchNorms (one per non-projection conv, all folded) and 16
+	// residual adds (all fused into bottleneck-tail conv epilogues).
+	var models []serve.ModelInfo
+	if st := getJSON(t, ts.URL+"/models", &models); st != http.StatusOK {
+		t.Fatalf("/models = %d", st)
+	}
+	var found bool
+	for _, m := range models {
+		if m.Network != "resnet50" || m.Source != "registry" {
+			continue
+		}
+		found = true
+		if m.FusedOps.ConvBN != 49 || m.FusedOps.Residual != 16 || m.FusedOps.ConvReLU == 0 {
+			t.Fatalf("fused ops: %+v", m.FusedOps)
+		}
+		if m.ArenaBytes <= 0 {
+			t.Fatalf("missing arena accounting: %+v", m)
+		}
+	}
+	if !found {
+		t.Fatalf("resnet50 missing from /models: %+v", models)
+	}
+}

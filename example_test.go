@@ -76,11 +76,11 @@ func ExampleEngine_Infer() {
 		log.Fatal(err)
 	}
 
-	fmt.Println("feature map:", resp.Shape)
+	fmt.Println("output:", resp.Shape)
 	fmt.Println("served in batch:", resp.BatchSize >= 1)
 	fmt.Println("compiled once:", eng.Stats().PlanCompiles == 1)
 	// Output:
-	// feature map: [512 1 1]
+	// output: [10 1 1]
 	// served in batch: true
 	// compiled once: true
 }

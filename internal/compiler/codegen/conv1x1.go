@@ -109,12 +109,33 @@ func (p *Plan1x1) NNZ() int {
 // Execute runs the pruned 1×1 conv on [InC, InH, InW] input.
 func (p *Plan1x1) Execute(input *tensor.Tensor, bias []float32) *tensor.Tensor {
 	out := tensor.New(p.OutC, p.OutH, p.OutW)
+	p.ExecuteRangeFused(input, out, 0, p.OutC, bias, nil, false)
+	return out
+}
+
+// ExecuteRangeFused computes output channels [from, to) with the fused
+// epilogue the graph executor uses: each output plane is initialized by the
+// kernel itself — to bias, or to the matching shortcut plane plus bias when
+// shortcut is non-nil (fused residual add) — the sparse channel combination
+// accumulates on top, and relu optionally clamps before write-back. out may
+// hold garbage (pooled arena buffers need no zeroing pass); 1×1 convs take
+// the raw, unpadded input.
+func (p *Plan1x1) ExecuteRangeFused(input, out *tensor.Tensor, from, to int, bias []float32, shortcut *tensor.Tensor, relu bool) {
 	n := p.OutH * p.OutW
-	for f := 0; f < p.OutC; f++ {
+	for f := from; f < to; f++ {
 		orow := out.Data[f*n : (f+1)*n]
+		var b float32
 		if bias != nil {
+			b = bias[f]
+		}
+		if shortcut != nil {
+			sc := shortcut.Data[f*n : (f+1)*n]
+			for i, v := range sc {
+				orow[i] = v + b
+			}
+		} else {
 			for i := range orow {
-				orow[i] = bias[f]
+				orow[i] = b
 			}
 		}
 		for ki, ch := range p.keepCh[f] {
@@ -135,8 +156,46 @@ func (p *Plan1x1) Execute(input *tensor.Tensor, bias []float32) *tensor.Tensor {
 				}
 			}
 		}
+		if relu {
+			for i, v := range orow {
+				if v < 0 {
+					orow[i] = 0
+				}
+			}
+		}
 	}
-	return out
+}
+
+// MemoryBytes reports the resident footprint of the compiled plan: 4-byte
+// weights plus 4-byte channel indices per retained kernel.
+func (p *Plan1x1) MemoryBytes() int64 {
+	nnz := int64(p.NNZ())
+	return 8 * nnz
+}
+
+// Compile1x1Pruned builds the execution plan from an already-pruned dense
+// [Co,Ci,1,1] weight tensor, keeping exactly the nonzero weights (the form
+// the graph compiler uses: pruning happened when the parameters were
+// generated or loaded, so executor and reference share one weight set).
+func Compile1x1Pruned(name string, w *tensor.Tensor, geom struct{ Stride, InH, InW, OutH, OutW int }) (*Plan1x1, error) {
+	if w.Rank() != 4 || w.Dim(2) != 1 || w.Dim(3) != 1 {
+		return nil, fmt.Errorf("codegen: Compile1x1Pruned requires [Co,Ci,1,1] weights")
+	}
+	outC, inC := w.Dim(0), w.Dim(1)
+	p := &Plan1x1{
+		Name: name, OutC: outC, InC: inC, Stride: geom.Stride,
+		InH: geom.InH, InW: geom.InW, OutH: geom.OutH, OutW: geom.OutW,
+		keepCh: make([][]int32, outC), keepW: make([][]float32, outC),
+	}
+	for f := 0; f < outC; f++ {
+		for ch := 0; ch < inC; ch++ {
+			if v := w.Data[f*inC+ch]; v != 0 {
+				p.keepCh[f] = append(p.keepCh[f], int32(ch))
+				p.keepW[f] = append(p.keepW[f], v)
+			}
+		}
+	}
+	return p, nil
 }
 
 // Stats reports the instruction statistics for the device model: branchless,

@@ -253,6 +253,42 @@ func (p *Plan) ExecuteRangeFused(padded, out *tensor.Tensor, from, to int, bias 
 	}
 }
 
+// ExecuteRangeResidual computes output channels (in plan order) [from, to)
+// with the fused residual epilogue: each output plane is initialized to the
+// matching plane of shortcut (plus bias), the convolution accumulates on top,
+// and relu optionally clamps — so a bottleneck tail (conv+bn → add → relu)
+// runs as one sweep without materializing a separate elementwise add pass.
+// shortcut must be [OutC, OutH, OutW]; out may hold garbage.
+func (p *Plan) ExecuteRangeResidual(padded, out *tensor.Tensor, from, to int, bias []float32, shortcut *tensor.Tensor, relu bool) {
+	c := p.Conv
+	oHW := c.OutH * c.OutW
+	for pos := from; pos < to; pos++ {
+		f := p.FKR.FilterPerm[pos]
+		plane := out.Data[f*oHW : (f+1)*oHW]
+		sc := shortcut.Data[f*oHW : (f+1)*oHW]
+		if bias != nil {
+			b := bias[f]
+			for i, v := range sc {
+				plane[i] = v + b
+			}
+		} else {
+			copy(plane, sc)
+		}
+	}
+	p.ExecuteRange(padded, out, from, to) // every level accumulates
+	if relu {
+		for pos := from; pos < to; pos++ {
+			f := p.FKR.FilterPerm[pos]
+			plane := out.Data[f*oHW : (f+1)*oHW]
+			for i, v := range plane {
+				if v < 0 {
+					plane[i] = 0
+				}
+			}
+		}
+	}
+}
+
 // PadInput exposes the padding step for the runtime's layer pipeline.
 func (p *Plan) PadInput(input *tensor.Tensor) *tensor.Tensor {
 	return pad(input, p.Conv.Pad)
@@ -276,12 +312,21 @@ func (p *Plan) PadInputInto(input *tensor.Tensor, buf []float32) *tensor.Tensor 
 		return input
 	}
 	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
+	out := tensor.FromSlice(buf[:c*(h+2*pd)*(w+2*pd)], c, h+2*pd, w+2*pd)
+	PadInto(input, out, pd)
+	return out
+}
+
+// PadInto copies input into the zero-padded view out ([C, H+2p, W+2p] over
+// scratch whose contents may be garbage): only the border is zeroed, the
+// interior is fully overwritten. The graph executor uses it directly with
+// prebuilt arena views (tensor construction would allocate in its hot path);
+// PadInputInto wraps it for callers holding a raw slice.
+func PadInto(input, out *tensor.Tensor, pd int) {
+	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
 	ph, pw := h+2*pd, w+2*pd
-	buf = buf[:c*ph*pw]
-	out := tensor.FromSlice(buf, c, ph, pw)
-	// Only the border needs zeroing; the interior is fully overwritten.
 	for ic := 0; ic < c; ic++ {
-		plane := buf[ic*ph*pw : (ic+1)*ph*pw]
+		plane := out.Data[ic*ph*pw : (ic+1)*ph*pw]
 		clear(plane[:pd*pw])
 		clear(plane[(ph-pd)*pw:])
 		for y := 0; y < h; y++ {
@@ -291,7 +336,6 @@ func (p *Plan) PadInputInto(input *tensor.Tensor, buf []float32) *tensor.Tensor 
 			clear(row[pd+w:])
 		}
 	}
-	return out
 }
 
 // InstrStats aggregates the instruction-level quantities the mobile device

@@ -1,0 +1,518 @@
+package execgraph
+
+import (
+	"fmt"
+
+	"patdnn/internal/compiler/codegen"
+	"patdnn/internal/compiler/graphopt"
+	"patdnn/internal/compiler/lr"
+	"patdnn/internal/compiler/tuner"
+	"patdnn/internal/model"
+	"patdnn/internal/pruned"
+	"patdnn/internal/tensor"
+)
+
+// LevelAuto is the Config.Level spelling for "let the tuner's estimator pick
+// the kernel backend per layer".
+const LevelAuto = "auto"
+
+// Config parameterizes Compile.
+type Config struct {
+	// Level is the kernel optimization level for pattern-pruned convs
+	// ("noopt", "reorder", "lre", "tuned", "packed"); empty or "auto" lets
+	// the tuner's estimator choose per layer.
+	Level string
+}
+
+// Kind enumerates the executable node types. BatchNorm is deliberately
+// absent: it folds into conv weights at compile time, and a model whose BN
+// cannot fold is rejected.
+type Kind int
+
+// Node kinds.
+const (
+	KindInput   Kind = iota
+	KindConv         // pattern-pruned 3×3 (standard or depthwise), codegen.Plan
+	KindConv1x1      // connectivity-pruned 1×1, codegen.Plan1x1
+	KindFC
+	KindMaxPool
+	KindGAP
+	KindAdd  // unfused residual add (fallback; paper nets fuse these away)
+	KindReLU // unfused activation (fallback)
+	KindFlatten
+	KindSoftmax
+)
+
+var kindNames = map[Kind]string{
+	KindInput: "input", KindConv: "conv", KindConv1x1: "conv1x1",
+	KindFC: "fc", KindMaxPool: "maxpool", KindGAP: "avgpool",
+	KindAdd: "add", KindReLU: "relu", KindFlatten: "flatten",
+	KindSoftmax: "softmax",
+}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Node is one executable operator of a compiled graph plan.
+type Node struct {
+	Kind   Kind
+	Name   string
+	Op     string // fused display form from the graph passes ("conv+bn+relu", ...)
+	Inputs []int  // producing node IDs; Inputs[0] is the data input
+	// Shortcut is the node whose output initializes this conv's output planes
+	// (fused residual add), or -1.
+	Shortcut int
+	// ReLU marks a fused ReLU epilogue (convs, 1×1s, FCs).
+	ReLU bool
+	// BNFolded marks a conv whose weights/bias absorbed a BatchNorm.
+	BNFolded bool
+
+	Plan    *codegen.Plan    // KindConv
+	Plan1x1 *codegen.Plan1x1 // KindConv1x1
+	W       *tensor.Tensor   // KindFC weight matrix [Out, In]
+	Bias    []float32        // conv/fc bias after folding (nil = zero)
+	PoolK   int              // KindMaxPool kernel == stride
+
+	OutC, OutH, OutW int
+
+	// Static memory plan: arena buffer IDs for the node output and, for
+	// padded convs, the padding scratch (-1 when unused).
+	slot    int
+	padSlot int
+}
+
+// FusedOps counts what the graph passes fused away — the numbers /models
+// reports so operators can verify a deployed plan really runs fused.
+type FusedOps struct {
+	ConvBN   int `json:"conv_bn"`   // BatchNorms folded into conv weights
+	ConvReLU int `json:"conv_relu"` // ReLUs fused into conv/fc epilogues
+	Residual int `json:"residual"`  // residual adds fused into conv epilogues
+}
+
+// Plan is an executable DAG lowered through the graph optimizer, plus its
+// static memory plan. Safe for concurrent use: execution state lives in
+// per-call Executors (see Execute / GetExecutor).
+type Plan struct {
+	Model *model.Model
+	Level string
+	Nodes []*Node
+	Fused FusedOps
+
+	ConvLayers   int   // pattern + 1×1 conv nodes
+	TotalWeights int64 // dense weight count across conv nodes
+	KeptWeights  int64 // surviving weight count (compression)
+
+	InC, InH, InW    int
+	OutC, OutH, OutW int
+
+	output int // sink node ID
+
+	arenaLen   int   // floats per inference
+	bufOffsets []int // arena offset per buffer ID
+	naiveLen   int   // sum of all node outputs (what no reuse would cost)
+
+	execs execPool
+}
+
+// ArenaBytes returns the per-inference activation arena size in bytes, and
+// the bytes a plan without liveness reuse would need.
+func (p *Plan) ArenaBytes() (planned, naive int64) {
+	return 4 * int64(p.arenaLen), 4 * int64(p.naiveLen)
+}
+
+// MemoryBytes is the resident parameter footprint the registry's memory
+// budget accounts for: dense pruned weights + packed FKW arrays for pattern
+// convs, kept weights + indices for 1×1s, dense FC matrices, and biases.
+func (p *Plan) MemoryBytes() int64 {
+	var b int64
+	for _, n := range p.Nodes {
+		switch n.Kind {
+		case KindConv:
+			b += 4 * int64(n.Plan.Conv.TotalWeights())
+			b += int64(n.Plan.FKW.TotalBytes(4))
+		case KindConv1x1:
+			b += n.Plan1x1.MemoryBytes()
+		case KindFC:
+			b += 4 * int64(n.W.Len())
+		default:
+			continue
+		}
+		b += 4 * int64(len(n.Bias))
+	}
+	return b
+}
+
+// Compression returns dense/kept weight ratio across all conv nodes.
+func (p *Plan) Compression() float64 {
+	if p.KeptWeights == 0 {
+		return 0
+	}
+	return float64(p.TotalWeights) / float64(p.KeptWeights)
+}
+
+// layerLevel resolves the optimization level one pattern conv compiles at: an
+// explicit tag applies uniformly; "auto" asks the tuner's estimator whether
+// the packed FKW-direct backend beats the tuned dense-layout kernels for this
+// layer's geometry and sparsity.
+func layerLevel(tag string, pc *pruned.Conv) (codegen.Level, error) {
+	if tag == LevelAuto {
+		if tuner.PreferPacked(pc.OutC, pc.InC, pc.NonEmptyKernels(), pc.OutH, pc.OutW) {
+			return codegen.Packed, nil
+		}
+		return codegen.Tuned, nil
+	}
+	return codegen.ParseLevel(tag)
+}
+
+// layerTuning picks the tuning a layer compiles with: packed plans get the
+// tuner-sized spatial tile; everything else keeps the default configuration.
+func layerTuning(level codegen.Level, pc *pruned.Conv) lr.Tuning {
+	if level != codegen.Packed {
+		return lr.DefaultTuning()
+	}
+	perFilter := 0
+	if pc.OutC > 0 {
+		perFilter = pc.NNZ() / pc.OutC
+	}
+	return tuner.PackedTuning(pc.OutH, pc.OutW, pc.InW+2*pc.Pad, perFilter, pc.Stride)
+}
+
+// Compile lowers m through the graph optimizer into an executable plan: BN
+// folds into conv weights, residual adds and ReLUs fuse into conv epilogues,
+// every conv compiles through the pattern (3×3) or connectivity (1×1) path at
+// the configured level, and the liveness pass assigns every intermediate
+// tensor an arena slot with buffers reused across non-overlapping live
+// ranges.
+func Compile(m *model.Model, params *Params, cfg Config) (*Plan, error) {
+	if err := ValidateModel(m); err != nil {
+		return nil, err
+	}
+	tag := cfg.Level
+	if tag == "" {
+		tag = LevelAuto
+	}
+	if tag != LevelAuto {
+		lv, err := codegen.ParseLevel(tag)
+		if err != nil {
+			return nil, err
+		}
+		tag = codegen.LevelTag(lv)
+	}
+
+	g := graphopt.FromModel(m)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	g.FuseConvBNReLU()
+	g.FoldConstants()
+	g.FuseResidual()
+	g.FuseFCReLU()
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("execgraph: %s/%s: graph invalid after fusion: %w", m.Short, m.Dataset, err)
+	}
+
+	p := &Plan{
+		Model: m, Level: tag,
+		InC: m.InC, InH: m.InH, InW: m.InW,
+	}
+	dims := make([][3]int, len(g.Nodes))
+	for _, gn := range g.Nodes {
+		n, err := p.lower(m, g, gn, params, tag, dims)
+		if err != nil {
+			return nil, err
+		}
+		dims[gn.ID] = [3]int{n.OutC, n.OutH, n.OutW}
+		p.Nodes = append(p.Nodes, n)
+	}
+	if err := p.finish(m); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// lower translates one fused graph node into an executable node.
+func (p *Plan) lower(m *model.Model, g *graphopt.Graph, gn *graphopt.Node, params *Params, tag string, dims [][3]int) (*Node, error) {
+	l := gn.Layer
+	n := &Node{
+		Kind: KindInput, Name: l.Name, Op: gn.Op,
+		Inputs: append([]int(nil), gn.Inputs...), Shortcut: -1,
+		ReLU: gn.FusedReLU, BNFolded: gn.BN != nil,
+		slot: -1, padSlot: -1,
+	}
+	var in [3]int
+	if len(n.Inputs) > 0 {
+		in = dims[n.Inputs[0]]
+	}
+	badInput := func(wantC, wantH, wantW int) error {
+		return fmt.Errorf("execgraph: %s/%s: node %s expects input [%d,%d,%d] but the graph carries [%d,%d,%d]",
+			m.Short, m.Dataset, l.Name, wantC, wantH, wantW, in[0], in[1], in[2])
+	}
+	bn, err := p.bnFor(m, gn, params)
+	if err != nil {
+		return nil, err
+	}
+
+	switch l.Kind {
+	case model.Input:
+		n.Kind = KindInput
+		n.OutC, n.OutH, n.OutW = l.OutC, l.OutH, l.OutW
+
+	case model.Conv, model.DWConv:
+		if l.KH == 3 {
+			cp, ok := params.Convs[l.Name]
+			if !ok {
+				return nil, fmt.Errorf("execgraph: %s/%s: no parameters for conv %s", m.Short, m.Dataset, l.Name)
+			}
+			pc, bias := cp.Conv, cp.Bias
+			if in != [3]int{pc.InChannels(), pc.InH, pc.InW} {
+				return nil, badInput(pc.InChannels(), pc.InH, pc.InW)
+			}
+			if bn != nil {
+				if len(bn.Gamma) != pc.OutC {
+					return nil, fmt.Errorf("execgraph: %s/%s: batchnorm %s has %d channels; conv %s produces %d",
+						m.Short, m.Dataset, gn.BN.Name, len(bn.Gamma), l.Name, pc.OutC)
+				}
+				pc, bias = foldBNConv(pc, bias, bn)
+				p.Fused.ConvBN++
+			}
+			level, err := layerLevel(tag, pc)
+			if err != nil {
+				return nil, err
+			}
+			plan, err := codegen.Compile(pc, level, layerTuning(level, pc))
+			if err != nil {
+				return nil, fmt.Errorf("execgraph: %s/%s: %w", m.Short, m.Dataset, err)
+			}
+			n.Kind, n.Plan, n.Bias = KindConv, plan, bias
+			n.OutC, n.OutH, n.OutW = pc.OutC, pc.OutH, pc.OutW
+			p.TotalWeights += int64(pc.TotalWeights())
+			p.KeptWeights += int64(pc.NNZ())
+		} else {
+			dp, ok := params.Dense[l.Name]
+			if !ok {
+				return nil, fmt.Errorf("execgraph: %s/%s: no parameters for 1x1 conv %s", m.Short, m.Dataset, l.Name)
+			}
+			w, bias := dp.W, dp.Bias
+			if in != [3]int{l.InC, l.InH, l.InW} {
+				return nil, badInput(l.InC, l.InH, l.InW)
+			}
+			if bn != nil {
+				if len(bn.Gamma) != l.OutC {
+					return nil, fmt.Errorf("execgraph: %s/%s: batchnorm %s has %d channels; conv %s produces %d",
+						m.Short, m.Dataset, gn.BN.Name, len(bn.Gamma), l.Name, l.OutC)
+				}
+				w, bias = foldBNDense(w, bias, bn)
+				p.Fused.ConvBN++
+			}
+			plan, err := codegen.Compile1x1Pruned(l.Name, w, struct{ Stride, InH, InW, OutH, OutW int }{
+				l.Stride, l.InH, l.InW, l.OutH, l.OutW,
+			})
+			if err != nil {
+				return nil, err
+			}
+			n.Kind, n.Plan1x1, n.Bias = KindConv1x1, plan, bias
+			n.OutC, n.OutH, n.OutW = l.OutC, l.OutH, l.OutW
+			p.TotalWeights += int64(l.OutC) * int64(l.InC)
+			p.KeptWeights += int64(plan.NNZ())
+		}
+		p.ConvLayers++
+		if gn.Residual {
+			n.Shortcut = n.Inputs[len(n.Inputs)-1]
+			sc := dims[n.Shortcut]
+			if sc != [3]int{n.OutC, n.OutH, n.OutW} {
+				return nil, fmt.Errorf("execgraph: %s/%s: residual shortcut into %s is [%d,%d,%d], want [%d,%d,%d]",
+					m.Short, m.Dataset, l.Name, sc[0], sc[1], sc[2], n.OutC, n.OutH, n.OutW)
+			}
+			p.Fused.Residual++
+		}
+		if n.ReLU {
+			p.Fused.ConvReLU++
+		}
+
+	case model.FC:
+		dp, ok := params.Dense[l.Name]
+		if !ok {
+			return nil, fmt.Errorf("execgraph: %s/%s: no parameters for fc %s", m.Short, m.Dataset, l.Name)
+		}
+		if in[0]*max(in[1], 1)*max(in[2], 1) != l.InC {
+			return nil, fmt.Errorf("execgraph: %s/%s: fc %s expects %d features but the graph carries [%d,%d,%d]",
+				m.Short, m.Dataset, l.Name, l.InC, in[0], in[1], in[2])
+		}
+		n.Kind, n.W, n.Bias = KindFC, dp.W, dp.Bias
+		n.OutC, n.OutH, n.OutW = l.OutC, 1, 1
+		if n.ReLU {
+			p.Fused.ConvReLU++
+		}
+
+	case model.MaxPool:
+		if l.KW != l.KH || l.Stride != l.KH || l.KH < 1 {
+			return nil, fmt.Errorf("execgraph: %s/%s: pool %s is %dx%d stride %d; only square stride==kernel pools are servable",
+				m.Short, m.Dataset, l.Name, l.KH, l.KW, l.Stride)
+		}
+		if l.OutH != in[1]/l.KH || l.OutW != in[2]/l.KH {
+			return nil, fmt.Errorf("execgraph: %s/%s: pool %s declares output %dx%d but %dx%d/%d pooling yields %dx%d",
+				m.Short, m.Dataset, l.Name, l.OutH, l.OutW, in[1], in[2], l.KH, in[1]/l.KH, in[2]/l.KH)
+		}
+		n.Kind, n.PoolK = KindMaxPool, l.KH
+		n.OutC, n.OutH, n.OutW = in[0], in[1]/l.KH, in[2]/l.KH
+
+	case model.AvgPoolGlobal:
+		n.Kind = KindGAP
+		n.OutC, n.OutH, n.OutW = in[0], 1, 1
+
+	case model.Add:
+		if len(n.Inputs) != 2 {
+			return nil, fmt.Errorf("execgraph: %s/%s: add %s has %d inputs, want 2",
+				m.Short, m.Dataset, l.Name, len(n.Inputs))
+		}
+		if dims[n.Inputs[1]] != in {
+			return nil, fmt.Errorf("execgraph: %s/%s: add %s input shapes differ", m.Short, m.Dataset, l.Name)
+		}
+		n.Kind = KindAdd
+		n.OutC, n.OutH, n.OutW = in[0], in[1], in[2]
+
+	case model.ReLU:
+		n.Kind = KindReLU
+		n.OutC, n.OutH, n.OutW = in[0], in[1], in[2]
+
+	case model.Flatten:
+		n.Kind = KindFlatten
+		n.OutC, n.OutH, n.OutW = in[0]*max(in[1], 1)*max(in[2], 1), 1, 1
+
+	case model.SoftmaxOp:
+		n.Kind = KindSoftmax
+		n.OutC, n.OutH, n.OutW = in[0], max(in[1], 1), max(in[2], 1)
+
+	case model.BatchNorm:
+		// A BN the fusion pass could not absorb (no producing conv, or a
+		// multi-consumer intermediate) cannot run: the executable IR has no
+		// BatchNorm node by design.
+		return nil, fmt.Errorf("execgraph: %s/%s: batchnorm %s did not fold into a conv; the executed plan must hold zero BatchNorm nodes",
+			m.Short, m.Dataset, l.Name)
+
+	default:
+		return nil, fmt.Errorf("execgraph: %s/%s: unsupported operator %s (%s)",
+			m.Short, m.Dataset, l.Kind, l.Name)
+	}
+	return n, nil
+}
+
+// bnFor resolves the BNParams a fused graph node folds, if any.
+func (p *Plan) bnFor(m *model.Model, gn *graphopt.Node, params *Params) (*BNParams, error) {
+	if gn.BN == nil {
+		return nil, nil
+	}
+	bn, ok := params.BNs[gn.BN.Name]
+	if !ok {
+		return nil, fmt.Errorf("execgraph: %s/%s: no parameters for batchnorm %s", m.Short, m.Dataset, gn.BN.Name)
+	}
+	return bn, nil
+}
+
+// finish validates the DAG has a single sink, records the plan output shape,
+// and runs the liveness pass that assigns arena slots.
+func (p *Plan) finish(m *model.Model) error {
+	uses := make([]int, len(p.Nodes))
+	for _, n := range p.Nodes {
+		for _, in := range n.Inputs {
+			uses[in]++
+		}
+		if n.Shortcut >= 0 && n.Shortcut != n.Inputs[len(n.Inputs)-1] {
+			uses[n.Shortcut]++
+		}
+	}
+	sink := -1
+	for i, u := range uses {
+		if u == 0 {
+			if sink >= 0 {
+				return fmt.Errorf("execgraph: %s/%s: graph has multiple outputs (%s and %s)",
+					m.Short, m.Dataset, p.Nodes[sink].Name, p.Nodes[i].Name)
+			}
+			sink = i
+		}
+	}
+	if sink != len(p.Nodes)-1 {
+		return fmt.Errorf("execgraph: %s/%s: output node is not last in topological order", m.Short, m.Dataset)
+	}
+	p.output = sink
+	out := p.Nodes[sink]
+	p.OutC, p.OutH, p.OutW = out.OutC, out.OutH, out.OutW
+	p.planArena()
+	return nil
+}
+
+// planArena runs the liveness analysis: every node output (and every padded
+// conv's padding scratch) is assigned a buffer, and a buffer is reused for a
+// later tensor as soon as its previous occupant's live range [def, lastUse]
+// has closed. Greedy first-fit on size, the same discipline TVM's static
+// memory planner uses; offsets are the prefix sums of the final buffer sizes,
+// so one arena allocation serves a whole inference with zero steady-state
+// allocation.
+func (p *Plan) planArena() {
+	nN := len(p.Nodes)
+	lastUse := make([]int, nN)
+	for i := range lastUse {
+		lastUse[i] = i
+	}
+	for id, n := range p.Nodes {
+		for _, in := range n.Inputs {
+			if id > lastUse[in] {
+				lastUse[in] = id
+			}
+		}
+	}
+	// The sink's buffer is copied out after execution; keep it live to the end.
+	lastUse[p.output] = nN
+
+	type buffer struct {
+		size int
+		free bool
+	}
+	var bufs []buffer
+	alloc := func(sz int) int {
+		for i := range bufs {
+			if bufs[i].free && bufs[i].size >= sz {
+				bufs[i].free = false
+				return i
+			}
+		}
+		bufs = append(bufs, buffer{size: sz})
+		return len(bufs) - 1
+	}
+	released := make([]bool, nN)
+	padReleased := make([]bool, nN)
+	for i, n := range p.Nodes {
+		// Close live ranges that ended strictly before this node; padding
+		// scratch lives only during its own node.
+		for j := 0; j < i; j++ {
+			if !released[j] && lastUse[j] < i {
+				bufs[p.Nodes[j].slot].free = true
+				released[j] = true
+			}
+			if ps := p.Nodes[j].padSlot; ps >= 0 && !padReleased[j] {
+				bufs[ps].free = true
+				padReleased[j] = true
+			}
+		}
+		if n.Kind == KindConv && n.Plan.Conv.Pad > 0 {
+			n.padSlot = alloc(n.Plan.PaddedLen())
+			p.naiveLen += n.Plan.PaddedLen()
+		}
+		sz := n.OutC * n.OutH * n.OutW
+		n.slot = alloc(sz)
+		p.naiveLen += sz
+	}
+	p.bufOffsets = make([]int, len(bufs))
+	off := 0
+	for i, b := range bufs {
+		p.bufOffsets[i] = off
+		off += b.size
+	}
+	p.arenaLen = off
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

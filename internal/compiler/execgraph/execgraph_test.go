@@ -1,0 +1,317 @@
+package execgraph
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"patdnn/internal/compiler/lr"
+	"patdnn/internal/model"
+	"patdnn/internal/modelfile"
+	"patdnn/internal/runtime"
+	"patdnn/internal/tensor"
+)
+
+// bottleneckModel hand-builds one ResNet-style bottleneck block on a small
+// feature map: conv1x1 → bn → relu → conv3x3 → bn → relu → conv1x1 → bn →
+// add(identity) → relu. Every fusion the graph passes implement fires on it.
+func bottleneckModel() *model.Model {
+	const c, w, h = 16, 8, 8
+	m := &model.Model{Name: "Bottleneck", Short: "BTL", Dataset: "synthetic",
+		Classes: 4, InC: c, InH: h, InW: w}
+	conv := func(name string, inC, outC, k, pad int) *model.Layer {
+		return &model.Layer{Name: name, Kind: model.Conv, InC: inC, OutC: outC,
+			KH: k, KW: k, Stride: 1, Pad: pad, Groups: 1,
+			InH: h, InW: w, OutH: h, OutW: w, HasBias: true}
+	}
+	bn := func(name string, ch int) *model.Layer {
+		return &model.Layer{Name: name, Kind: model.BatchNorm, InC: ch, OutC: ch,
+			InH: h, InW: w, OutH: h, OutW: w}
+	}
+	relu := func(name string, ch int) *model.Layer {
+		return &model.Layer{Name: name, Kind: model.ReLU, InC: ch, OutC: ch,
+			InH: h, InW: w, OutH: h, OutW: w}
+	}
+	m.Layers = []*model.Layer{
+		{Name: "input", Kind: model.Input, OutC: c, OutH: h, OutW: w},
+		conv("a", c, 8, 1, 0), bn("bn_a", 8), relu("relu_a", 8),
+		conv("b", 8, 8, 3, 1), bn("bn_b", 8), relu("relu_b", 8),
+		conv("c", 8, c, 1, 0), bn("bn_c", c),
+		{Name: "add1", Kind: model.Add, InC: c, OutC: c, InH: h, InW: w,
+			OutH: h, OutW: w, ShortcutOf: "input"},
+		relu("relu_out", c),
+	}
+	return m
+}
+
+func genInput(m *model.Model, seed int64) *tensor.Tensor {
+	x := tensor.New(m.InC, m.InH, m.InW)
+	x.Randn(rand.New(rand.NewSource(seed)), 1)
+	return x
+}
+
+func compileAt(t testing.TB, m *model.Model, level string) (*Plan, *Params) {
+	t.Helper()
+	params, err := Generate(m, 8, 3.6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(m, params, Config{Level: level})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, params
+}
+
+func TestBottleneckFusesEverything(t *testing.T) {
+	plan, _ := compileAt(t, bottleneckModel(), "auto")
+	// conv+bn ×3, residual add fused into the tail conv, relus fused: the
+	// executed plan holds input + 3 convs only.
+	if len(plan.Nodes) != 4 {
+		for _, n := range plan.Nodes {
+			t.Logf("node %s kind=%s op=%s", n.Name, n.Kind, n.Op)
+		}
+		t.Fatalf("plan has %d nodes, want 4 (input + 3 fully-fused convs)", len(plan.Nodes))
+	}
+	if plan.Fused.ConvBN != 3 || plan.Fused.Residual != 1 || plan.Fused.ConvReLU != 3 {
+		t.Fatalf("fused ops = %+v, want 3 BN / 1 residual / 3 ReLU", plan.Fused)
+	}
+	tail := plan.Nodes[len(plan.Nodes)-1]
+	if tail.Shortcut < 0 || !tail.ReLU {
+		t.Fatalf("tail conv did not absorb add+relu: %+v", tail)
+	}
+	for _, n := range plan.Nodes {
+		if strings.Contains(n.Op, "batchnorm") || n.Kind == KindAdd || n.Kind == KindReLU {
+			t.Fatalf("unfused node survived: %s (%s)", n.Name, n.Op)
+		}
+	}
+}
+
+func TestBottleneckMatchesReference(t *testing.T) {
+	m := bottleneckModel()
+	for _, level := range []string{"tuned", "packed", "auto"} {
+		plan, params := compileAt(t, m, level)
+		x := genInput(m, 7)
+		want, err := Reference(m, params, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := runtime.NewPool(2)
+		out := tensor.New(plan.OutC, plan.OutH, plan.OutW)
+		plan.Execute(pool, []*tensor.Tensor{x}, []*tensor.Tensor{out})
+		if d := out.MaxAbsDiff(want); d > 1e-4 {
+			t.Fatalf("level %s: executor diverged from dense reference by %g", level, d)
+		}
+	}
+}
+
+func TestArenaReusesBuffers(t *testing.T) {
+	// Deep feed-forward nets must reuse heavily; a 4-node fully-fused
+	// bottleneck has nothing reusable (everything stays live for the
+	// shortcut), so the reuse assertion applies to the real nets.
+	for _, m := range []*model.Model{model.VGG16("cifar10"), model.ResNet50("cifar10")} {
+		plan, _ := compileAt(t, m, "tuned")
+		planned, naive := plan.ArenaBytes()
+		if planned <= 0 || naive <= 0 {
+			t.Fatalf("%s: empty arena plan", m.Name)
+		}
+		if float64(planned) > 0.5*float64(naive) {
+			t.Fatalf("%s: weak liveness reuse: planned %d vs naive %d", m.Name, planned, naive)
+		}
+	}
+}
+
+// TestArenaSlotsNeverAliasLiveTensors checks the memory plan structurally: no
+// node's output buffer may coincide with a buffer still holding a live input
+// (a tensor consumed by this or a later node), and padding scratch must not
+// alias anything live during its node.
+func TestArenaSlotsNeverAliasLiveTensors(t *testing.T) {
+	for _, m := range []*model.Model{bottleneckModel(), model.ResNet50("cifar10")} {
+		plan, _ := compileAt(t, m, "tuned")
+		last := make([]int, len(plan.Nodes))
+		for i := range last {
+			last[i] = i
+		}
+		for id, n := range plan.Nodes {
+			for _, in := range n.Inputs {
+				if id > last[in] {
+					last[in] = id
+				}
+			}
+		}
+		last[len(plan.Nodes)-1] = len(plan.Nodes)
+		for i, n := range plan.Nodes {
+			for j := 0; j < i; j++ {
+				if last[j] >= i && plan.Nodes[j].slot == n.slot {
+					t.Fatalf("%s: node %s reuses the buffer of still-live %s",
+						m.Name, n.Name, plan.Nodes[j].Name)
+				}
+				if last[j] >= i && n.padSlot >= 0 && plan.Nodes[j].slot == n.padSlot {
+					t.Fatalf("%s: pad scratch of %s aliases live %s",
+						m.Name, n.Name, plan.Nodes[j].Name)
+				}
+			}
+			if n.padSlot >= 0 && n.padSlot == n.slot {
+				t.Fatalf("%s: node %s pad scratch aliases its own output", m.Name, n.Name)
+			}
+		}
+	}
+}
+
+// TestExecutorBatchedZeroAllocs is the arena-reuse acceptance check: a warm
+// executor sweeping a batch over a ResNet bottleneck block performs zero
+// steady-state allocations. Workers=1 keeps ParallelFor on the calling
+// goroutine so goroutine spawns don't count against the kernel path.
+func TestExecutorBatchedZeroAllocs(t *testing.T) {
+	m := bottleneckModel()
+	plan, _ := compileAt(t, m, "packed")
+	pool := runtime.NewPool(1)
+	const batch = 4
+	xs := make([]*tensor.Tensor, batch)
+	outs := make([]*tensor.Tensor, batch)
+	for i := range xs {
+		xs[i] = genInput(m, int64(i))
+		outs[i] = tensor.New(plan.OutC, plan.OutH, plan.OutW)
+	}
+	ex := plan.NewExecutor()
+	ex.Run(pool, xs, outs) // warm the per-item states
+	if allocs := testing.AllocsPerRun(10, func() {
+		ex.Run(pool, xs, outs)
+	}); allocs != 0 {
+		t.Fatalf("batched sweep allocates %.1f objects/run in steady state, want 0", allocs)
+	}
+}
+
+// TestConcurrentGraphCompileHammer compiles plans and executes batches from
+// many goroutines simultaneously — the -race check over concurrent graph-plan
+// compiles sharing the worker pool and the per-plan executor pools.
+func TestConcurrentGraphCompileHammer(t *testing.T) {
+	m := bottleneckModel()
+	params, err := Generate(m, 8, 3.6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := runtime.NewPool(4)
+	shared, err := Compile(m, params, Config{Level: "auto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			levels := []string{"tuned", "packed", "auto"}
+			for i := 0; i < 6; i++ {
+				// Fresh compile per iteration: concurrent codegen over shared
+				// params must be race-free.
+				plan, err := Compile(m, params, Config{Level: levels[(g+i)%len(levels)]})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, pl := range []*Plan{plan, shared} {
+					xs := []*tensor.Tensor{genInput(m, int64(g*100+i))}
+					outs := []*tensor.Tensor{tensor.New(pl.OutC, pl.OutH, pl.OutW)}
+					pl.Execute(pool, xs, outs)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestUnsupportedStemRejectedFast(t *testing.T) {
+	// ResNet-50/ImageNet starts with a 7×7 conv the pattern compiler cannot
+	// express; both Generate and Compile must reject it descriptively.
+	m := model.ResNet50("imagenet")
+	if _, err := Generate(m, 8, 3.6, 1); err == nil || !strings.Contains(err.Error(), "7x7") {
+		t.Fatalf("Generate err = %v, want 7x7 rejection", err)
+	}
+	if err := ValidateModel(m); err == nil {
+		t.Fatal("ValidateModel accepted a 7x7 stem")
+	}
+}
+
+// TestFromFileRejectsMismatchedRecords pins the artifact cross-validation: a
+// v2 file whose records are individually well-formed but disagree with the
+// topology must fail the load (a quarantinable error), not panic inside BN
+// folding or a kernel at serve time.
+func TestFromFileRejectsMismatchedRecords(t *testing.T) {
+	m := bottleneckModel()
+	params, err := Generate(m, 8, 3.6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := func() *modelfile.File {
+		f := &modelfile.File{LR: &lr.Representation{Model: m.Name, Device: "CPU"}, Net: m}
+		for _, name := range []string{"b"} {
+			cp := params.Convs[name]
+			f.Layers = append(f.Layers, modelfile.Layer{Conv: cp.Conv, Bias: cp.Bias})
+		}
+		for _, name := range []string{"a", "c"} {
+			dp := params.Dense[name]
+			l := m.Layer(name)
+			f.Dense = append(f.Dense, modelfile.DenseLayer{
+				Name: name, Kind: modelfile.DenseConv1x1,
+				OutC: l.OutC, InC: l.InC, Stride: l.Stride,
+				InH: l.InH, InW: l.InW, OutH: l.OutH, OutW: l.OutW,
+				Weights: dp.W.Data, Bias: dp.Bias,
+			})
+		}
+		for _, name := range []string{"bn_a", "bn_b", "bn_c"} {
+			bp := params.BNs[name]
+			f.BNs = append(f.BNs, modelfile.BNLayer{
+				Name: name, Gamma: bp.Gamma, Beta: bp.Beta,
+				Mean: bp.Mean, Var: bp.Var, Eps: bp.Eps,
+			})
+		}
+		return f
+	}
+
+	// The well-formed artifact loads and compiles.
+	good := base()
+	gm, gp, err := FromFile("btl", good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(gm, gp, Config{Level: "tuned"}); err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := []struct {
+		name string
+		mod  func(f *modelfile.File)
+	}{
+		{"bn-wrong-channels", func(f *modelfile.File) {
+			f.BNs[0].Gamma = f.BNs[0].Gamma[:1]
+			f.BNs[0].Beta = f.BNs[0].Beta[:1]
+			f.BNs[0].Mean = f.BNs[0].Mean[:1]
+			f.BNs[0].Var = f.BNs[0].Var[:1]
+		}},
+		{"dense-wrong-outc", func(f *modelfile.File) { f.Dense[0].OutC = 4 }},
+		{"dense-wrong-kind", func(f *modelfile.File) { f.Dense[0].Kind = modelfile.DenseFC }},
+		{"dense-unknown-layer", func(f *modelfile.File) { f.Dense[0].Name = "ghost" }},
+		{"bn-unknown-layer", func(f *modelfile.File) { f.BNs[0].Name = "ghost" }},
+		{"conv-wrong-geometry", func(f *modelfile.File) { f.Layers[0].Conv.OutH = 99 }},
+	}
+	for _, mu := range mutate {
+		f := base()
+		mu.mod(f)
+		fm, fp, err := FromFile("btl", f)
+		if err != nil {
+			continue // rejected at load: the desired outcome
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("%s: compile panicked instead of erroring: %v", mu.name, r)
+				}
+			}()
+			if _, err := Compile(fm, fp, Config{Level: "tuned"}); err == nil {
+				t.Fatalf("%s: inconsistent artifact compiled cleanly", mu.name)
+			}
+		}()
+	}
+}

@@ -1,0 +1,234 @@
+// Package execgraph is the executable graph-IR layer of the compiler: it
+// lowers a model description through graphopt's computational-graph passes
+// (conv+BN+ReLU folding, residual-add fusion, FC-ReLU fusion) into a DAG of
+// compiled kernel plans — pattern-pruned 3×3 convolutions via codegen.Plan,
+// connectivity-pruned 1×1 convolutions via codegen.Plan1x1, dense FC, pooling,
+// and classifier ops — with a liveness-based static memory plan that assigns
+// every intermediate tensor a slot in a per-inference arena. BatchNorm is
+// folded into the preceding conv's weights and bias at compile time, so the
+// executed plan contains zero BatchNorm nodes; residual adds run as conv
+// epilogues, so bottleneck tails never materialize a separate elementwise
+// pass. This is the layer that turns "compiles VGG-style chains" into "serves
+// ResNet-50 and MobileNet-V2 end-to-end" (paper §5.1, Table 1: the graph
+// optimizations PatDNN shares with TVM/MNN).
+package execgraph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"patdnn/internal/model"
+	"patdnn/internal/pattern"
+	"patdnn/internal/pruned"
+	"patdnn/internal/tensor"
+)
+
+// ConvParams holds one pattern-pruned 3×3 (or depthwise 3×3) conv layer's
+// parameters before BN folding.
+type ConvParams struct {
+	Conv *pruned.Conv
+	Bias []float32 // nil means zero
+}
+
+// DenseParams holds a connectivity-pruned 1×1 conv ([Co,Ci,1,1], zeros
+// outside the kept kernels) or a dense FC layer ([Out,In]).
+type DenseParams struct {
+	W    *tensor.Tensor
+	Bias []float32 // nil means zero
+}
+
+// BNParams holds inference-time BatchNorm statistics and affine parameters.
+type BNParams struct {
+	Gamma, Beta, Mean, Var []float32
+	Eps                    float32
+}
+
+// Params supplies every layer's parameters for Compile, keyed by layer name.
+// Both the graph compiler and the dense Reference walk consume the same
+// Params, which is what makes the differential tests meaningful: the executor
+// folds BN and fuses residuals at compile time, the reference applies them as
+// separate ops, and the outputs must still agree.
+type Params struct {
+	Convs map[string]*ConvParams
+	Dense map[string]*DenseParams
+	BNs   map[string]*BNParams
+}
+
+// ValidateModel reports whether every layer of m is expressible in the
+// executable graph IR, without generating any weights — so unsupported
+// networks (e.g. a 7×7 ImageNet stem) fail fast and descriptively.
+func ValidateModel(m *model.Model) error {
+	for _, l := range m.Layers {
+		switch l.Kind {
+		case model.Conv, model.DWConv:
+			if !(l.KH == 3 && l.KW == 3) && !(l.KH == 1 && l.KW == 1) {
+				return fmt.Errorf("execgraph: %s/%s: layer %s is a %dx%d conv; only 3x3 pattern kernels and 1x1 connectivity-pruned kernels are servable",
+					m.Short, m.Dataset, l.Name, l.KH, l.KW)
+			}
+			if l.Kind == model.DWConv && l.KH != 3 {
+				return fmt.Errorf("execgraph: %s/%s: depthwise layer %s must be 3x3", m.Short, m.Dataset, l.Name)
+			}
+		case model.MaxPool:
+			if l.KW != l.KH || l.Stride != l.KH || l.KH < 1 {
+				return fmt.Errorf("execgraph: %s/%s: pool %s is %dx%d stride %d; only square stride==kernel pools are servable",
+					m.Short, m.Dataset, l.Name, l.KH, l.KW, l.Stride)
+			}
+		case model.Input, model.ReLU, model.BatchNorm, model.Add,
+			model.AvgPoolGlobal, model.Flatten, model.FC, model.SoftmaxOp:
+		default:
+			return fmt.Errorf("execgraph: %s/%s: unsupported operator %s (%s)",
+				m.Short, m.Dataset, l.Kind, l.Name)
+		}
+	}
+	return nil
+}
+
+// Generate synthesizes deterministic parameters for every parametric layer of
+// m at the given operating point: 3×3 convs get the full pattern +
+// connectivity pruning path (pruned.Generate), 1×1 convs get uniform
+// connectivity pruning by weight magnitude (the paper's treatment of
+// bottleneck/expand/project layers), FC layers stay dense, and BatchNorm
+// layers get plausible inference statistics. Deterministic in seed: the same
+// (model, patterns, connRate, seed) always yields byte-identical parameters,
+// which is what lets the dense reference reconstruct the executor's weights
+// independently.
+func Generate(m *model.Model, patterns int, connRate float64, seed int64) (*Params, error) {
+	if err := ValidateModel(m); err != nil {
+		return nil, err
+	}
+	set := pattern.Canonical(patterns)
+	p := &Params{
+		Convs: make(map[string]*ConvParams),
+		Dense: make(map[string]*DenseParams),
+		BNs:   make(map[string]*BNParams),
+	}
+	for i, l := range m.Layers {
+		switch l.Kind {
+		case model.Conv, model.DWConv:
+			if l.KH == 3 {
+				pc := pruned.Generate(l, set, connRate, seed+int64(i), true)
+				p.Convs[l.Name] = &ConvParams{Conv: pc}
+				continue
+			}
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			w := l.AllocWeights(rng)
+			prune1x1(w, connRate)
+			p.Dense[l.Name] = &DenseParams{W: w}
+		case model.FC:
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			p.Dense[l.Name] = &DenseParams{W: l.AllocWeights(rng)}
+		case model.BatchNorm:
+			p.BNs[l.Name] = genBN(l.OutC, seed+10000+int64(i))
+		}
+	}
+	return p, nil
+}
+
+// prune1x1 applies uniform connectivity pruning to a [Co,Ci,1,1] weight
+// tensor in place: the keep = Co·Ci/connRate largest-magnitude weights
+// survive, everything else is zeroed (a 1×1 kernel is a single weight, so
+// kernel pruning and weight pruning coincide — paper §4.1).
+func prune1x1(w *tensor.Tensor, connRate float64) {
+	if connRate <= 1 {
+		return
+	}
+	total := len(w.Data)
+	keep := int(float64(total)/connRate + 0.5)
+	if keep < 1 {
+		keep = 1
+	}
+	if keep >= total {
+		return
+	}
+	// Find the magnitude threshold with a copy-and-select; ties resolved by
+	// keeping lower indices (stable, deterministic).
+	type kw struct {
+		idx int
+		mag float32
+	}
+	all := make([]kw, total)
+	for i, v := range w.Data {
+		m := v
+		if m < 0 {
+			m = -m
+		}
+		all[i] = kw{i, m}
+	}
+	// Full sort keeps the code obvious; layer sizes are bounded (≤ 1280·320
+	// for the paper nets). Descending magnitude, ascending index on ties.
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].mag != all[b].mag {
+			return all[a].mag > all[b].mag
+		}
+		return all[a].idx < all[b].idx
+	})
+	for _, victim := range all[keep:] {
+		w.Data[victim.idx] = 0
+	}
+}
+
+// genBN generates deterministic, numerically tame BatchNorm inference
+// parameters: gamma around 1, variance bounded away from zero, small beta and
+// mean — the regime trained networks land in after normalization.
+func genBN(c int, seed int64) *BNParams {
+	rng := rand.New(rand.NewSource(seed))
+	bn := &BNParams{
+		Gamma: make([]float32, c), Beta: make([]float32, c),
+		Mean: make([]float32, c), Var: make([]float32, c),
+		Eps: 1e-5,
+	}
+	for i := 0; i < c; i++ {
+		bn.Gamma[i] = 0.8 + 0.4*rng.Float32()
+		bn.Beta[i] = float32(rng.NormFloat64()) * 0.1
+		bn.Mean[i] = float32(rng.NormFloat64()) * 0.1
+		bn.Var[i] = 0.5 + rng.Float32()
+	}
+	return bn
+}
+
+// foldBNConv returns a copy of pc with bn's scale and shift folded into the
+// weights and bias: w'[oc,·] = w[oc,·]·γ/√(σ²+ε), b' = (b-μ)·γ/√(σ²+ε)+β.
+// Scaling a filter uniformly preserves its zero pattern, so the folded layer
+// keeps the original pattern IDs and set.
+func foldBNConv(pc *pruned.Conv, bias []float32, bn *BNParams) (*pruned.Conv, []float32) {
+	folded := *pc
+	folded.Weights = pc.Weights.Clone()
+	outBias := make([]float32, pc.OutC)
+	per := len(folded.Weights.Data) / pc.OutC
+	for oc := 0; oc < pc.OutC; oc++ {
+		scale := float32(1 / math.Sqrt(float64(bn.Var[oc]+bn.Eps)) * float64(bn.Gamma[oc]))
+		row := folded.Weights.Data[oc*per : (oc+1)*per]
+		for i := range row {
+			row[i] *= scale
+		}
+		var b float32
+		if bias != nil {
+			b = bias[oc]
+		}
+		outBias[oc] = (b-bn.Mean[oc])*scale + bn.Beta[oc]
+	}
+	return &folded, outBias
+}
+
+// foldBNDense is foldBNConv for a dense [Co,...] weight tensor (1×1 convs).
+func foldBNDense(w *tensor.Tensor, bias []float32, bn *BNParams) (*tensor.Tensor, []float32) {
+	outC := w.Dim(0)
+	folded := w.Clone()
+	outBias := make([]float32, outC)
+	per := len(folded.Data) / outC
+	for oc := 0; oc < outC; oc++ {
+		scale := float32(1 / math.Sqrt(float64(bn.Var[oc]+bn.Eps)) * float64(bn.Gamma[oc]))
+		row := folded.Data[oc*per : (oc+1)*per]
+		for i := range row {
+			row[i] *= scale
+		}
+		var b float32
+		if bias != nil {
+			b = bias[oc]
+		}
+		outBias[oc] = (b-bn.Mean[oc])*scale + bn.Beta[oc]
+	}
+	return folded, outBias
+}

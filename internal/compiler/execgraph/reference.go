@@ -1,0 +1,148 @@
+package execgraph
+
+// Reference is the dense, unfused forward pass over the same Params a plan
+// compiles from: convolutions run through tensor.Conv2D on the pruned dense
+// weights, BatchNorm applies as a separate inference op (not folded),
+// residual adds materialize, and activations run standalone. Differential
+// tests compare the fused graph executor against this walk — any BN-folding
+// scale bug, residual sign error, or shape mix-up shows up as a mismatch.
+
+import (
+	"fmt"
+
+	"patdnn/internal/model"
+	"patdnn/internal/tensor"
+)
+
+// Reference computes the dense reference forward pass of m on x using params.
+func Reference(m *model.Model, params *Params, x *tensor.Tensor) (*tensor.Tensor, error) {
+	outs := make([]*tensor.Tensor, len(m.Layers))
+	byName := make(map[string]int, len(m.Layers))
+	for i, l := range m.Layers {
+		var in *tensor.Tensor
+		switch {
+		case l.Projection:
+			src, ok := byName[l.ShortcutOf]
+			if !ok {
+				return nil, fmt.Errorf("execgraph: reference: projection %s has unknown source %q", l.Name, l.ShortcutOf)
+			}
+			in = outs[src]
+		case i > 0:
+			in = outs[i-1]
+		}
+		var out *tensor.Tensor
+		switch l.Kind {
+		case model.Input:
+			out = x
+		case model.Conv, model.DWConv:
+			var err error
+			out, err = refConv(l, params, in)
+			if err != nil {
+				return nil, err
+			}
+		case model.BatchNorm:
+			bn, ok := params.BNs[l.Name]
+			if !ok {
+				return nil, fmt.Errorf("execgraph: reference: no parameters for batchnorm %s", l.Name)
+			}
+			out = tensor.BatchNormInference(in.Clone(),
+				tensor.FromSlice(bn.Gamma, len(bn.Gamma)),
+				tensor.FromSlice(bn.Beta, len(bn.Beta)),
+				tensor.FromSlice(bn.Mean, len(bn.Mean)),
+				tensor.FromSlice(bn.Var, len(bn.Var)), bn.Eps)
+		case model.ReLU:
+			out = tensor.ReLU(in.Clone())
+		case model.MaxPool:
+			out, _ = tensor.MaxPool2D(in, l.KH)
+		case model.AvgPoolGlobal:
+			out = tensor.AvgPool2DGlobal(in)
+		case model.Add:
+			main, shortcut := in, (*tensor.Tensor)(nil)
+			if i > 0 && m.Layers[i-1].Projection {
+				// The projection conv sits between the main path and the add:
+				// main is the layer before the projection, shortcut the
+				// projection output.
+				main, shortcut = outs[i-2], outs[i-1]
+			} else {
+				src, ok := byName[l.ShortcutOf]
+				if !ok {
+					return nil, fmt.Errorf("execgraph: reference: add %s has unknown shortcut %q", l.Name, l.ShortcutOf)
+				}
+				shortcut = outs[src]
+			}
+			out = tensor.New(main.Dim(0), main.Dim(1), main.Dim(2))
+			tensor.AddInto(main, shortcut, out)
+		case model.Flatten:
+			out = tensor.FromSlice(in.Data, in.Len(), 1, 1)
+		case model.FC:
+			dp, ok := params.Dense[l.Name]
+			if !ok {
+				return nil, fmt.Errorf("execgraph: reference: no parameters for fc %s", l.Name)
+			}
+			out = tensor.New(l.OutC, 1, 1)
+			tensor.FCIntoRange(out, dp.W, in, dp.Bias, false, 0, l.OutC)
+		case model.SoftmaxOp:
+			out = tensor.New(in.Dim(0), 1, 1)
+			tensor.SoftmaxInto(in, out)
+		default:
+			return nil, fmt.Errorf("execgraph: reference: unsupported operator %s (%s)", l.Kind, l.Name)
+		}
+		outs[i] = out
+		byName[l.Name] = i
+	}
+	if len(outs) == 0 {
+		return nil, fmt.Errorf("execgraph: reference: empty model")
+	}
+	return outs[len(outs)-1], nil
+}
+
+// refConv runs one conv layer densely: standard convs via tensor.Conv2D on
+// the pruned dense weights, depthwise channel by channel.
+func refConv(l *model.Layer, params *Params, in *tensor.Tensor) (*tensor.Tensor, error) {
+	spec := tensor.ConvSpec{Stride: l.Stride, Pad: l.Pad}
+	if l.KH == 3 {
+		cp, ok := params.Convs[l.Name]
+		if !ok {
+			return nil, fmt.Errorf("execgraph: reference: no parameters for conv %s", l.Name)
+		}
+		var bias *tensor.Tensor
+		if cp.Bias != nil {
+			bias = tensor.FromSlice(cp.Bias, len(cp.Bias))
+		}
+		if l.Kind == model.DWConv {
+			return refDepthwise(cp.Conv.Weights, in, bias, spec), nil
+		}
+		return tensor.Conv2D(in, cp.Conv.Weights, bias, spec), nil
+	}
+	dp, ok := params.Dense[l.Name]
+	if !ok {
+		return nil, fmt.Errorf("execgraph: reference: no parameters for 1x1 conv %s", l.Name)
+	}
+	var bias *tensor.Tensor
+	if dp.Bias != nil {
+		bias = tensor.FromSlice(dp.Bias, len(dp.Bias))
+	}
+	return tensor.Conv2D(in, dp.W, bias, spec), nil
+}
+
+// refDepthwise computes a depthwise conv channel by channel with the dense
+// reference kernel: weights are [C,1,Kh,Kw], channel c's kernel convolves
+// input plane c only.
+func refDepthwise(w, in, bias *tensor.Tensor, spec tensor.ConvSpec) *tensor.Tensor {
+	c, h, wd := in.Dim(0), in.Dim(1), in.Dim(2)
+	kh, kw := w.Dim(2), w.Dim(3)
+	ho := tensor.ConvOutDim(h, kh, spec.Stride, spec.Pad)
+	wo := tensor.ConvOutDim(wd, kw, spec.Stride, spec.Pad)
+	out := tensor.New(c, ho, wo)
+	for ch := 0; ch < c; ch++ {
+		plane := tensor.FromSlice(in.Data[ch*h*wd:(ch+1)*h*wd], 1, h, wd)
+		kernel := tensor.FromSlice(w.Data[ch*kh*kw:(ch+1)*kh*kw], 1, 1, kh, kw)
+		var b *tensor.Tensor
+		if bias != nil {
+			b = tensor.FromSlice(bias.Data[ch:ch+1], 1)
+		}
+		res := tensor.Conv2D(plane, kernel, b, spec)
+		copy(out.Data[ch*ho*wo:(ch+1)*ho*wo], res.Data)
+	}
+	return out
+}

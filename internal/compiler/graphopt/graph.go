@@ -22,6 +22,17 @@ type Node struct {
 	Layout string
 	// Folded marks operators whose parameters were constant-folded away.
 	Folded bool
+	// BN is the BatchNorm layer absorbed into this conv by operator fusion;
+	// the executable lowering folds its scale/shift into the conv weights and
+	// bias at compile time (nil when no BN was fused).
+	BN *model.Layer
+	// FusedReLU marks a conv/fc whose following ReLU runs as a fused epilogue.
+	FusedReLU bool
+	// Residual marks a conv that absorbed the residual Add feeding on its
+	// output: Inputs[len(Inputs)-1] is the shortcut edge, and the executable
+	// epilogue initializes the output with the shortcut instead of running a
+	// separate elementwise pass.
+	Residual bool
 }
 
 // Graph is a DAG of nodes in topological order (Inputs always reference
@@ -41,9 +52,22 @@ func FromModel(m *model.Model) *Graph {
 		if prev >= 0 {
 			n.Inputs = append(n.Inputs, prev)
 		}
-		if l.Kind == model.Add && l.ShortcutOf != "" {
-			if src, ok := g.byName[l.ShortcutOf]; ok {
-				n.Inputs = append(n.Inputs, src)
+		if l.Kind == model.Add {
+			// Inputs[0] is the main (conv) path, Inputs[1] the shortcut. When
+			// a projection conv sits between the main path and the add (the
+			// first block of a ResNet stage), prev IS the projection: the add
+			// combines the node before the projection with the projection's
+			// output, not the raw block input.
+			if prev >= 0 && g.Nodes[prev].Layer != nil && g.Nodes[prev].Layer.Projection {
+				n.Inputs = nil
+				if prev-1 >= 0 {
+					n.Inputs = append(n.Inputs, prev-1)
+				}
+				n.Inputs = append(n.Inputs, prev)
+			} else if l.ShortcutOf != "" {
+				if src, ok := g.byName[l.ShortcutOf]; ok {
+					n.Inputs = append(n.Inputs, src)
+				}
 			}
 		}
 		if l.Projection {
@@ -113,6 +137,7 @@ func (g *Graph) FuseConvBNReLU() PassStats {
 			if next.Op == "batchnorm" && !remove[next.ID] {
 				n.Op += "+bn"
 				n.Folded = true // BN scale/shift folded into conv weights
+				n.BN = next.Layer
 				remove[next.ID] = true
 				cur = next
 				st.Applied++
@@ -120,6 +145,7 @@ func (g *Graph) FuseConvBNReLU() PassStats {
 			}
 			if next.Op == "relu" && !remove[next.ID] {
 				n.Op += "+relu"
+				n.FusedReLU = true
 				remove[next.ID] = true
 				cur = next
 				st.Applied++
@@ -129,6 +155,130 @@ func (g *Graph) FuseConvBNReLU() PassStats {
 	}
 	g.contract(remove)
 	return st
+}
+
+// FuseResidual merges each residual Add (and a ReLU immediately following it)
+// into the conv producing the add's main input, so bottleneck tails never
+// materialize a separate elementwise pass: the conv's epilogue initializes the
+// output planes with the shortcut instead. The shortcut edge is appended to
+// the conv's Inputs, which may break topological order (ResNet projection
+// shortcuts are emitted after the main-path conv), so the pass finishes with a
+// topological re-sort. Run after FuseConvBNReLU.
+func (g *Graph) FuseResidual() PassStats {
+	st := PassStats{Name: "residual-fusion"}
+	uses := g.consumers()
+	remove := make(map[int]bool)
+	for _, n := range g.Nodes {
+		if n.Layer == nil || n.Layer.Kind != model.Add || len(n.Inputs) != 2 {
+			continue
+		}
+		main := g.Nodes[n.Inputs[0]]
+		// The epilogue initializes the output before the conv accumulates, so
+		// fusion requires the main input to be a conv whose only consumer is
+		// this add, with no ReLU already fused (ReLU must run after the add).
+		if main.Layer == nil || !main.Layer.IsConv() ||
+			uses[main.ID] != 1 || main.FusedReLU || main.Residual {
+			continue
+		}
+		main.Residual = true
+		main.Inputs = append(main.Inputs, n.Inputs[1])
+		main.Op += "+add"
+		remove[n.ID] = true
+		st.Applied++
+		if next := g.soleConsumer(n.ID, uses); next != nil &&
+			next.Op == "relu" && !remove[next.ID] {
+			main.Op += "+relu"
+			main.FusedReLU = true
+			remove[next.ID] = true
+			st.Applied++
+		}
+	}
+	g.contract(remove)
+	g.Sort()
+	return st
+}
+
+// FuseFCReLU folds a ReLU whose sole producer is an FC layer into the FC's
+// epilogue (the classifier-head analogue of conv+relu fusion). Kept separate
+// from FuseConvBNReLU so the conv-fusion statistics stay comparable with the
+// paper's.
+func (g *Graph) FuseFCReLU() PassStats {
+	st := PassStats{Name: "fc-relu-fusion"}
+	uses := g.consumers()
+	remove := make(map[int]bool)
+	for _, n := range g.Nodes {
+		if n.Op != "fc" {
+			continue
+		}
+		if next := g.soleConsumer(n.ID, uses); next != nil &&
+			next.Op == "relu" && !remove[next.ID] {
+			n.Op += "+relu"
+			n.FusedReLU = true
+			remove[next.ID] = true
+			st.Applied++
+		}
+	}
+	g.contract(remove)
+	return st
+}
+
+// Sort re-establishes topological order (Kahn's algorithm, stable on the
+// current order) and renumbers IDs; fusion passes that introduce back-edges
+// structurally (residual shortcuts pointing at later-emitted projections)
+// call it to restore the Inputs-reference-lower-IDs invariant.
+func (g *Graph) Sort() {
+	n := len(g.Nodes)
+	indeg := make([]int, n)
+	out := make([][]int, n)
+	for _, nd := range g.Nodes {
+		for _, in := range nd.Inputs {
+			indeg[nd.ID]++
+			out[in] = append(out[in], nd.ID)
+		}
+	}
+	var order []int
+	var ready []int
+	for _, nd := range g.Nodes {
+		if indeg[nd.ID] == 0 {
+			ready = append(ready, nd.ID)
+		}
+	}
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		for _, c := range out[id] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				ready = append(ready, c)
+			}
+		}
+	}
+	if len(order) != n {
+		return // cyclic (corrupt) graph: leave as-is for Validate to report
+	}
+	newID := make([]int, n)
+	kept := make([]*Node, n)
+	for pos, id := range order {
+		newID[id] = pos
+	}
+	for _, nd := range g.Nodes {
+		for i, in := range nd.Inputs {
+			nd.Inputs[i] = newID[in]
+		}
+	}
+	for _, nd := range g.Nodes {
+		pos := newID[nd.ID]
+		nd.ID = pos
+		kept[pos] = nd
+	}
+	g.Nodes = kept
+	g.byName = make(map[string]int)
+	for _, nd := range g.Nodes {
+		if nd.Layer != nil {
+			g.byName[nd.Layer.Name] = nd.ID
+		}
+	}
 }
 
 // soleConsumer returns the unique consumer of node id, or nil.

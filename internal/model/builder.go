@@ -202,7 +202,7 @@ func ResNet50(dataset string) *Model {
 					Name: fmt.Sprintf("proj%d", ci), Kind: Conv,
 					InC: widthIn(b.m, inName), OutC: st.width * 4,
 					KH: 1, KW: 1, Stride: stride, Pad: 0, Groups: 1,
-					HasBias: false, Projection: true,
+					HasBias: false, Projection: true, ShortcutOf: inName,
 					InH: b.h * stride, InW: b.w * stride, OutH: b.h, OutW: b.w,
 				}
 				b.m.Layers = append(b.m.Layers, proj)

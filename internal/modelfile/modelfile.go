@@ -24,23 +24,54 @@
 //	  nWeights uint32, weights [nWeights]uint16 (binary16)
 //	  bias [outC]uint16 (binary16)
 //	crc32   uint32 (IEEE, over everything before it)
+//
+// Format v2 (magic "PATDNN\x00\x02") extends v1 with the records a full
+// network graph needs — it is what lets one .patdnn artifact carry ResNet-50
+// or MobileNet-V2 end to end instead of a bare 3×3-conv trunk. After the v1
+// conv-layer section:
+//
+//	nDense  uint32                       connectivity-pruned 1×1 convs + FC layers
+//	per dense layer:
+//	  nameLen uint16, name []byte
+//	  kind    uint8   (0 = conv1x1, 1 = fc)
+//	  outC    uint32, inC uint32
+//	  stride, inH, inW, outH, outW uint16
+//	  weights [outC*inC]uint16 (binary16; zeros outside kept kernels)
+//	  hasBias uint8, bias [outC]uint16 (binary16, if hasBias)
+//	nBN     uint32                       BatchNorm inference parameters (FP32)
+//	per bn:
+//	  nameLen uint16, name []byte
+//	  c       uint32, eps float32
+//	  gamma, beta, mean, var [c]float32 each
+//	topoLen uint32, topo []byte          network topology JSON (layer list with
+//	                                     kinds, shapes, shortcut edges)
+//	crc32   uint32
+//
+// Write emits v1 when the File carries no v2 content, so existing artifacts
+// and their byte-exact round trips are untouched; Read accepts both.
 package modelfile
 
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 
 	"patdnn/internal/compiler/lr"
 	"patdnn/internal/fp16"
+	"patdnn/internal/model"
 	"patdnn/internal/pattern"
 	"patdnn/internal/pruned"
 	"patdnn/internal/sparse"
 )
 
-var magic = [8]byte{'P', 'A', 'T', 'D', 'N', 'N', 0, 1}
+var (
+	magic   = [8]byte{'P', 'A', 'T', 'D', 'N', 'N', 0, 1}
+	magicV2 = [8]byte{'P', 'A', 'T', 'D', 'N', 'N', 0, 2}
+)
 
 // Layer couples a pruned conv with its bias for serialization.
 type Layer struct {
@@ -48,16 +79,61 @@ type Layer struct {
 	Bias []float32 // len OutC; nil means all-zero
 }
 
-// File is an in-memory deployable model.
+// Dense layer kinds in v2 records.
+const (
+	DenseConv1x1 = 0
+	DenseFC      = 1
+)
+
+// DenseLayer is a v2 record: a connectivity-pruned 1×1 conv (weights
+// [Co,Ci,1,1], zeros outside kept kernels) or a dense FC matrix ([Out,In]).
+type DenseLayer struct {
+	Name                 string
+	Kind                 int // DenseConv1x1 or DenseFC
+	OutC, InC            int
+	Stride               int
+	InH, InW, OutH, OutW int
+	Weights              []float32 // len OutC*InC
+	Bias                 []float32 // len OutC; nil means all-zero
+}
+
+// BNLayer is a v2 record holding BatchNorm inference parameters (FP32 — they
+// are tiny and they fold into conv weights, where FP16 rounding would
+// compound).
+type BNLayer struct {
+	Name                   string
+	Gamma, Beta, Mean, Var []float32
+	Eps                    float32
+}
+
+// File is an in-memory deployable model. V1 files carry only LR + Layers; v2
+// files additionally carry the dense/BN records and the full network
+// topology, which is what the graph executor lowers end to end.
 type File struct {
 	LR     *lr.Representation
 	Layers []Layer
+	Dense  []DenseLayer
+	BNs    []BNLayer
+	// Net is the network topology (layer kinds, shapes, shortcut edges).
+	// Non-nil marks a v2 graph artifact.
+	Net *model.Model
 }
 
-// Write serializes the model to w.
+// isV2 reports whether the file needs the v2 format.
+func (f *File) isV2() bool {
+	return f.Net != nil || len(f.Dense) > 0 || len(f.BNs) > 0
+}
+
+// Write serializes the model to w: format v1 when the file holds only
+// pruned-conv records (byte-identical to what previous releases wrote), v2
+// when dense/BN/topology records are present.
 func Write(w io.Writer, f *File) error {
 	var buf bytes.Buffer
-	buf.Write(magic[:])
+	if f.isV2() {
+		buf.Write(magicV2[:])
+	} else {
+		buf.Write(magic[:])
+	}
 
 	lrJSON, err := f.LR.Marshal()
 	if err != nil {
@@ -119,10 +195,87 @@ func Write(w io.Writer, f *File) error {
 		}
 	}
 
+	if f.isV2() {
+		if err := writeV2(&buf, f); err != nil {
+			return err
+		}
+	}
+
 	sum := crc32.ChecksumIEEE(buf.Bytes())
 	put32(&buf, sum)
 	_, err = w.Write(buf.Bytes())
 	return err
+}
+
+// writeV2 appends the v2 sections: dense layers, BN parameters, topology.
+func writeV2(buf *bytes.Buffer, f *File) error {
+	put32(buf, uint32(len(f.Dense)))
+	for _, d := range f.Dense {
+		if len(d.Name) > 0xffff {
+			return fmt.Errorf("modelfile: dense layer name too long")
+		}
+		if d.Kind != DenseConv1x1 && d.Kind != DenseFC {
+			return fmt.Errorf("modelfile: dense layer %s has unknown kind %d", d.Name, d.Kind)
+		}
+		if len(d.Weights) != d.OutC*d.InC {
+			return fmt.Errorf("modelfile: dense layer %s has %d weights, want %d",
+				d.Name, len(d.Weights), d.OutC*d.InC)
+		}
+		if d.Bias != nil && len(d.Bias) != d.OutC {
+			return fmt.Errorf("modelfile: dense layer %s has %d bias values, want %d",
+				d.Name, len(d.Bias), d.OutC)
+		}
+		put16(buf, uint16(len(d.Name)))
+		buf.WriteString(d.Name)
+		buf.WriteByte(byte(d.Kind))
+		put32(buf, uint32(d.OutC))
+		put32(buf, uint32(d.InC))
+		for _, v := range []int{d.Stride, d.InH, d.InW, d.OutH, d.OutW} {
+			if v < 0 || v > 0xffff {
+				return fmt.Errorf("modelfile: dense layer %s: field %d out of uint16 range", d.Name, v)
+			}
+			put16(buf, uint16(v))
+		}
+		for _, wv := range d.Weights {
+			put16(buf, uint16(fp16.FromFloat32(wv)))
+		}
+		if d.Bias != nil {
+			buf.WriteByte(1)
+			for _, b := range d.Bias {
+				put16(buf, uint16(fp16.FromFloat32(b)))
+			}
+		} else {
+			buf.WriteByte(0)
+		}
+	}
+
+	put32(buf, uint32(len(f.BNs)))
+	for _, bn := range f.BNs {
+		c := len(bn.Gamma)
+		if len(bn.Beta) != c || len(bn.Mean) != c || len(bn.Var) != c {
+			return fmt.Errorf("modelfile: bn %s has mismatched parameter lengths", bn.Name)
+		}
+		if len(bn.Name) > 0xffff {
+			return fmt.Errorf("modelfile: bn name too long")
+		}
+		put16(buf, uint16(len(bn.Name)))
+		buf.WriteString(bn.Name)
+		put32(buf, uint32(c))
+		put32(buf, math.Float32bits(bn.Eps))
+		for _, arr := range [][]float32{bn.Gamma, bn.Beta, bn.Mean, bn.Var} {
+			for _, v := range arr {
+				put32(buf, math.Float32bits(v))
+			}
+		}
+	}
+
+	topo, err := marshalNet(f.Net)
+	if err != nil {
+		return err
+	}
+	put32(buf, uint32(len(topo)))
+	buf.Write(topo)
+	return nil
 }
 
 // Read deserializes and validates a model file, reconstructing each layer's
@@ -135,7 +288,8 @@ func Read(r io.Reader) (*File, error) {
 	if len(data) < len(magic)+8 {
 		return nil, fmt.Errorf("modelfile: truncated file (%d bytes)", len(data))
 	}
-	if !bytes.Equal(data[:8], magic[:]) {
+	v2 := bytes.Equal(data[:8], magicV2[:])
+	if !v2 && !bytes.Equal(data[:8], magic[:]) {
 		return nil, fmt.Errorf("modelfile: bad magic or unsupported version")
 	}
 	body, footer := data[:len(data)-4], data[len(data)-4:]
@@ -241,7 +395,119 @@ func Read(r io.Reader) (*File, error) {
 	if d.err != nil {
 		return nil, d.err
 	}
+	if v2 {
+		if err := readV2(d, out); err != nil {
+			return nil, err
+		}
+		if d.off != len(d.data) {
+			return nil, fmt.Errorf("modelfile: %d trailing bytes after v2 sections", len(d.data)-d.off)
+		}
+	}
 	return out, nil
+}
+
+// readV2 parses the dense, BN, and topology sections of a v2 file. Every
+// length and geometry field is validated so a corrupt or crafted record
+// errors instead of panicking (or allocating absurd buffers) later.
+func readV2(d *decoder, out *File) error {
+	const maxDense = 1 << 28 // 256M weights ≈ 512 MB encoded; beyond is corrupt
+	nDense := int(d.u32())
+	for i := 0; i < nDense && d.err == nil; i++ {
+		name := string(d.bytes(int(d.u16())))
+		kind := int(d.u8())
+		outC := int(d.u32())
+		inC := int(d.u32())
+		dl := DenseLayer{Name: name, Kind: kind, OutC: outC, InC: inC}
+		dl.Stride = int(d.u16())
+		dl.InH, dl.InW = int(d.u16()), int(d.u16())
+		dl.OutH, dl.OutW = int(d.u16()), int(d.u16())
+		if d.err != nil {
+			break
+		}
+		if kind != DenseConv1x1 && kind != DenseFC {
+			return fmt.Errorf("modelfile: dense layer %s has unknown kind %d", name, kind)
+		}
+		// Bound each factor before multiplying: outC and inC each come from a
+		// uint32, so a crafted pair can overflow int in the product and slip
+		// past a product-only bound into make().
+		if outC < 1 || inC < 1 || outC > maxDense || inC > maxDense || outC*inC > maxDense {
+			return fmt.Errorf("modelfile: dense layer %s has implausible shape %dx%d", name, outC, inC)
+		}
+		if kind == DenseConv1x1 && (dl.Stride < 1 || dl.InH < 1 || dl.InW < 1 ||
+			dl.OutH != (dl.InH-1)/dl.Stride+1 || dl.OutW != (dl.InW-1)/dl.Stride+1) {
+			return fmt.Errorf("modelfile: dense layer %s geometry is inconsistent", name)
+		}
+		if !d.need(2*outC*inC + 1) {
+			break
+		}
+		dl.Weights = make([]float32, outC*inC)
+		for j := range dl.Weights {
+			dl.Weights[j] = fp16.Bits(d.u16()).ToFloat32()
+		}
+		if d.u8() == 1 {
+			dl.Bias = make([]float32, outC)
+			for j := range dl.Bias {
+				dl.Bias[j] = fp16.Bits(d.u16()).ToFloat32()
+			}
+		}
+		if d.err != nil {
+			break
+		}
+		out.Dense = append(out.Dense, dl)
+	}
+
+	const maxChannels = 1 << 20
+	nBN := int(d.u32())
+	for i := 0; i < nBN && d.err == nil; i++ {
+		name := string(d.bytes(int(d.u16())))
+		c := int(d.u32())
+		eps := math.Float32frombits(d.u32())
+		if d.err != nil {
+			break
+		}
+		if c < 1 || c > maxChannels {
+			return fmt.Errorf("modelfile: bn %s has implausible channel count %d", name, c)
+		}
+		if !(eps > 0) || eps > 1 {
+			return fmt.Errorf("modelfile: bn %s has implausible epsilon %g", name, eps)
+		}
+		bn := BNLayer{Name: name, Eps: eps}
+		arrs := []*[]float32{&bn.Gamma, &bn.Beta, &bn.Mean, &bn.Var}
+		if !d.need(16 * c) {
+			break
+		}
+		for _, arr := range arrs {
+			*arr = make([]float32, c)
+			for j := range *arr {
+				(*arr)[j] = math.Float32frombits(d.u32())
+			}
+		}
+		out.BNs = append(out.BNs, bn)
+	}
+
+	topo := d.bytes(int(d.u32()))
+	if d.err != nil {
+		return d.err
+	}
+	if len(topo) > 0 {
+		net, err := unmarshalNet(topo)
+		if err != nil {
+			return err
+		}
+		out.Net = net
+		// A v1 conv record has no depthwise flag; the topology carries the
+		// layer kind, so restore it (the executor's channel mapping needs it).
+		kinds := make(map[string]model.OpKind, len(net.Layers))
+		for _, l := range net.Layers {
+			kinds[l.Name] = l.Kind
+		}
+		for _, layer := range out.Layers {
+			if kinds[layer.Conv.Name] == model.DWConv {
+				layer.Conv.Depthwise = true
+			}
+		}
+	}
+	return nil
 }
 
 // decoder is a bounds-checked little-endian reader.
@@ -255,11 +521,22 @@ func (d *decoder) need(n int) bool {
 	if d.err != nil {
 		return false
 	}
-	if d.off+n > len(d.data) {
+	// n < 0 guards callers whose length arithmetic overflowed on crafted
+	// inputs: a negative need would otherwise pass the bounds check.
+	if n < 0 || d.off+n > len(d.data) {
 		d.err = fmt.Errorf("modelfile: truncated at offset %d", d.off)
 		return false
 	}
 	return true
+}
+
+func (d *decoder) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.data[d.off]
+	d.off++
+	return v
 }
 
 func (d *decoder) u16() uint16 {
@@ -292,6 +569,94 @@ func (d *decoder) bytes(n int) []byte {
 	b := d.data[d.off : d.off+n]
 	d.off += n
 	return b
+}
+
+// netJSON is the topology wire form: model.Model with layer kinds spelled as
+// strings, so the record stays readable and stable if OpKind values ever
+// renumber.
+type netJSON struct {
+	Name    string      `json:"name"`
+	Short   string      `json:"short"`
+	Dataset string      `json:"dataset"`
+	Classes int         `json:"classes"`
+	InC     int         `json:"in_c"`
+	InH     int         `json:"in_h"`
+	InW     int         `json:"in_w"`
+	Layers  []layerJSON `json:"layers"`
+}
+
+type layerJSON struct {
+	Name       string `json:"name"`
+	Kind       string `json:"kind"`
+	InC        int    `json:"in_c,omitempty"`
+	OutC       int    `json:"out_c,omitempty"`
+	KH         int    `json:"kh,omitempty"`
+	KW         int    `json:"kw,omitempty"`
+	Stride     int    `json:"stride,omitempty"`
+	Pad        int    `json:"pad,omitempty"`
+	Groups     int    `json:"groups,omitempty"`
+	InH        int    `json:"in_h,omitempty"`
+	InW        int    `json:"in_w,omitempty"`
+	OutH       int    `json:"out_h,omitempty"`
+	OutW       int    `json:"out_w,omitempty"`
+	HasBias    bool   `json:"has_bias,omitempty"`
+	Projection bool   `json:"projection,omitempty"`
+	ShortcutOf string `json:"shortcut_of,omitempty"`
+}
+
+var kindByName = map[string]model.OpKind{
+	"input": model.Input, "conv": model.Conv, "dwconv": model.DWConv,
+	"fc": model.FC, "maxpool": model.MaxPool, "avgpool": model.AvgPoolGlobal,
+	"relu": model.ReLU, "batchnorm": model.BatchNorm, "add": model.Add,
+	"flatten": model.Flatten, "softmax": model.SoftmaxOp,
+}
+
+func marshalNet(m *model.Model) ([]byte, error) {
+	if m == nil {
+		return nil, nil
+	}
+	nj := netJSON{
+		Name: m.Name, Short: m.Short, Dataset: m.Dataset, Classes: m.Classes,
+		InC: m.InC, InH: m.InH, InW: m.InW,
+	}
+	for _, l := range m.Layers {
+		nj.Layers = append(nj.Layers, layerJSON{
+			Name: l.Name, Kind: l.Kind.String(),
+			InC: l.InC, OutC: l.OutC, KH: l.KH, KW: l.KW,
+			Stride: l.Stride, Pad: l.Pad, Groups: l.Groups,
+			InH: l.InH, InW: l.InW, OutH: l.OutH, OutW: l.OutW,
+			HasBias: l.HasBias, Projection: l.Projection, ShortcutOf: l.ShortcutOf,
+		})
+	}
+	return json.Marshal(nj)
+}
+
+func unmarshalNet(data []byte) (*model.Model, error) {
+	var nj netJSON
+	if err := json.Unmarshal(data, &nj); err != nil {
+		return nil, fmt.Errorf("modelfile: topology record: %w", err)
+	}
+	if len(nj.Layers) == 0 {
+		return nil, fmt.Errorf("modelfile: topology record holds no layers")
+	}
+	m := &model.Model{
+		Name: nj.Name, Short: nj.Short, Dataset: nj.Dataset, Classes: nj.Classes,
+		InC: nj.InC, InH: nj.InH, InW: nj.InW,
+	}
+	for _, lj := range nj.Layers {
+		kind, ok := kindByName[lj.Kind]
+		if !ok {
+			return nil, fmt.Errorf("modelfile: topology layer %s has unknown kind %q", lj.Name, lj.Kind)
+		}
+		m.Layers = append(m.Layers, &model.Layer{
+			Name: lj.Name, Kind: kind,
+			InC: lj.InC, OutC: lj.OutC, KH: lj.KH, KW: lj.KW,
+			Stride: lj.Stride, Pad: lj.Pad, Groups: lj.Groups,
+			InH: lj.InH, InW: lj.InW, OutH: lj.OutH, OutW: lj.OutW,
+			HasBias: lj.HasBias, Projection: lj.Projection, ShortcutOf: lj.ShortcutOf,
+		})
+	}
+	return m, nil
 }
 
 func put16(b *bytes.Buffer, v uint16) {

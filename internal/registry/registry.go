@@ -536,6 +536,16 @@ type ModelInfo struct {
 	Loads      uint64    `json:"loads"`
 	Evictions  uint64    `json:"evictions"`
 	Error      string    `json:"error,omitempty"` // last load failure
+	// Detail is whatever a resident artifact's Describe() returned (see
+	// Describer) — compiled-plan facts the loader wants surfaced per version,
+	// e.g. fused-op counts. Nil for cold versions or plain artifacts.
+	Detail any `json:"detail,omitempty"`
+}
+
+// Describer is an optional Artifact extension: artifacts that implement it
+// have their Describe() value attached to ModelInfo.Detail while resident.
+type Describer interface {
+	Describe() any
 }
 
 // Models lists every version, sorted by name then version.
@@ -555,6 +565,9 @@ func (r *Registry) Models() []ModelInfo {
 			}
 			if e.loadErr != nil {
 				mi.Error = e.loadErr.Error()
+			}
+			if d, ok := e.artifact.(Describer); ok {
+				mi.Detail = d.Describe()
 			}
 			out = append(out, mi)
 		}

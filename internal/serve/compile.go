@@ -1,56 +1,34 @@
 package serve
 
-// Offline half of the engine: lower a network descriptor into an executable
-// stack of compiled conv plans (pattern pruning → FKR → FKW → codegen, the
-// same path patdnn.Compile uses for latency estimation, but keeping the
-// weights so the plans actually run), and the batched sweep that executes a
-// gathered request batch over the worker pool.
+// Offline half of the engine: lower a network into an executable graph plan
+// (graph IR → BN folding + residual/ReLU fusion → pattern/connectivity kernel
+// compilation → liveness-planned arena), and the batched sweep that executes
+// a gathered request batch over the worker pool. Generator models synthesize
+// deterministic parameters at the engine's operating point; registry models
+// take theirs from the .patdnn artifact (v2 graph artifacts carry the full
+// topology; v1 conv-trunk artifacts are reassembled by the same chain
+// convention previous releases served).
 
 import (
 	"fmt"
 	"math/rand"
 	"sync/atomic"
 
-	"patdnn/internal/compiler/codegen"
-	"patdnn/internal/compiler/lr"
-	"patdnn/internal/compiler/tuner"
+	"patdnn/internal/compiler/execgraph"
 	"patdnn/internal/model"
 	"patdnn/internal/modelfile"
-	"patdnn/internal/pattern"
-	"patdnn/internal/pruned"
 	"patdnn/internal/runtime"
 	"patdnn/internal/tensor"
 )
 
-type opKind int
-
-const (
-	opConv opKind = iota
-	opReLU
-	opMaxPool
-)
-
-// op is one executable stage of a compiled model.
-type op struct {
-	kind      opKind
-	plan      *codegen.Plan // opConv
-	bias      []float32     // opConv: per-channel bias (nil for generator models)
-	fusedReLU bool          // opConv: the following ReLU is fused into the sweep
-	poolK     int           // opMaxPool kernel/stride
-}
-
-// compiledModel is a network lowered to an executable op stack: the cached
+// compiledModel is a network lowered to an executable graph plan: the cached
 // artifact the plan cache holds per (model, dataset, level) key — or, for
 // registry-backed models, the artifact one .patdnn version compiles to.
 type compiledModel struct {
-	model            *model.Model
-	level            string // the level tag this artifact was compiled at
-	version          string // registry version ("" for generator models)
-	ops              []op
-	convLayers       int
-	inC, inH, inW    int
-	outC, outH, outW int
-	totalW, keptW    int64 // dense vs surviving weight counts (compression)
+	model   *model.Model
+	plan    *execgraph.Plan
+	level   string // the level tag this artifact was compiled at
+	version string // registry version ("" for generator models)
 	// retired flips once the registry drops this artifact (eviction,
 	// hot-reload replacement, removal). Requests that raced the drop —
 	// resolved this cm but have not enqueued yet — run unbatched instead of
@@ -59,197 +37,49 @@ type compiledModel struct {
 	retired atomic.Bool
 }
 
-// layerLevel resolves the optimization level one conv layer compiles at. An
-// explicit tag applies uniformly; "auto" asks the tuner's estimator whether
-// the packed FKW-direct backend beats the tuned dense-layout kernels for this
-// layer's geometry and sparsity.
-func layerLevel(tag string, pc *pruned.Conv) (codegen.Level, error) {
-	if tag == LevelAuto {
-		if tuner.PreferPacked(pc.OutC, pc.InC, pc.NonEmptyKernels(), pc.OutH, pc.OutW) {
-			return codegen.Packed, nil
-		}
-		return codegen.Tuned, nil
-	}
-	return codegen.ParseLevel(tag)
-}
-
-// layerTuning picks the tuning a layer compiles with: packed plans get the
-// tuner-sized spatial tile; everything else keeps the default configuration.
-func layerTuning(level codegen.Level, pc *pruned.Conv) lr.Tuning {
-	if level != codegen.Packed {
-		return lr.DefaultTuning()
-	}
-	perFilter := 0
-	if pc.OutC > 0 {
-		perFilter = pc.NNZ() / pc.OutC
-	}
-	return tuner.PackedTuning(pc.OutH, pc.OutW, pc.InW+2*pc.Pad, perFilter, pc.Stride)
-}
-
-// compileModel lowers m's convolutional trunk at the given level tag. It
-// walks the layer graph in order, compiling every 3×3 conv through the full
-// pattern path and chaining shapes; the walk stops at the classifier head
-// (flatten/FC/global-pool), whose dense layers the pattern compiler does not
-// cover. Networks whose trunk needs operators the sweep cannot execute (1×1
-// convs, residual adds) are rejected with a descriptive error rather than
-// served wrong. A ReLU directly following a conv whose plan supports the
-// fused epilogue is folded into the conv sweep.
+// compileModel lowers m at the given level tag through the graph executor:
+// deterministic parameters are generated at the engine's operating point
+// (pattern + connectivity pruning for 3×3 convs, magnitude pruning for 1×1s,
+// dense FC, synthetic BN statistics), then the graph passes fold BN into conv
+// weights, fuse residual adds and ReLUs into conv epilogues, and the liveness
+// pass lays out the activation arena.
 func compileModel(cfg Config, m *model.Model, tag string) (*compiledModel, error) {
-	set := pattern.Canonical(cfg.Patterns)
-	cm := &compiledModel{model: m, level: tag, inC: m.InC, inH: m.InH, inW: m.InW}
-	c, h, w := m.InC, m.InH, m.InW
-	for i, l := range m.Layers {
-		switch l.Kind {
-		case model.Input, model.BatchNorm:
-			// BatchNorm folds into conv weights at deploy time; identity here.
-			continue
-		case model.Conv, model.DWConv:
-			if l.KH != 3 || l.KW != 3 {
-				return nil, fmt.Errorf("serve: %s/%s: layer %s is a %dx%d conv; only 3x3 pattern kernels are servable yet",
-					m.Short, m.Dataset, l.Name, l.KH, l.KW)
-			}
-			if l.InC != c || l.InH != h || l.InW != w {
-				return nil, fmt.Errorf("serve: %s/%s: layer %s expects input [%d,%d,%d] but the trunk carries [%d,%d,%d]",
-					m.Short, m.Dataset, l.Name, l.InC, l.InH, l.InW, c, h, w)
-			}
-			pc := pruned.Generate(l, set, cfg.ConnRate, cfg.Seed+int64(i), true)
-			level, err := layerLevel(tag, pc)
-			if err != nil {
-				return nil, err
-			}
-			plan, err := codegen.Compile(pc, level, layerTuning(level, pc))
-			if err != nil {
-				return nil, err
-			}
-			cm.ops = append(cm.ops, op{kind: opConv, plan: plan})
-			cm.convLayers++
-			cm.totalW += int64(pc.TotalWeights())
-			cm.keptW += int64(pc.NNZ())
-			c, h, w = l.OutC, l.OutH, l.OutW
-		case model.ReLU:
-			// Fuse into the preceding conv's epilogue when its kernels can;
-			// the sweep then skips a whole pass over the feature map.
-			if n := len(cm.ops); n > 0 && cm.ops[n-1].kind == opConv &&
-				!cm.ops[n-1].fusedReLU && cm.ops[n-1].plan.SupportsFused() {
-				cm.ops[n-1].fusedReLU = true
-				continue
-			}
-			cm.ops = append(cm.ops, op{kind: opReLU})
-		case model.MaxPool:
-			// The sweep executes pools with tensor.MaxPool2D, which hard-codes
-			// stride == kernel; reject descriptors it cannot honor, and chain
-			// the shape from what MaxPool2D will actually produce rather than
-			// trusting the declared output.
-			if l.KW != l.KH || l.Stride != l.KH || l.KH < 1 {
-				return nil, fmt.Errorf("serve: %s/%s: pool %s is %dx%d stride %d; only square stride==kernel pools are servable",
-					m.Short, m.Dataset, l.Name, l.KH, l.KW, l.Stride)
-			}
-			if l.OutH != h/l.KH || l.OutW != w/l.KH {
-				return nil, fmt.Errorf("serve: %s/%s: pool %s declares output %dx%d but %dx%d/%d pooling yields %dx%d",
-					m.Short, m.Dataset, l.Name, l.OutH, l.OutW, h, w, l.KH, h/l.KH, w/l.KH)
-			}
-			cm.ops = append(cm.ops, op{kind: opMaxPool, poolK: l.KH})
-			h, w = l.OutH, l.OutW
-		case model.Flatten, model.FC, model.AvgPoolGlobal, model.SoftmaxOp:
-			// Classifier head: the convolutional trunk ends here; the engine
-			// returns the final feature map.
-			cm.setOutput(c, h, w)
-			return cm, nil
-		case model.Add:
-			return nil, fmt.Errorf("serve: %s/%s: residual add (%s) is not servable yet",
-				m.Short, m.Dataset, l.Name)
-		default:
-			return nil, fmt.Errorf("serve: %s/%s: unsupported operator %s (%s)",
-				m.Short, m.Dataset, l.Kind, l.Name)
-		}
+	params, err := execgraph.Generate(m, cfg.Patterns, cfg.ConnRate, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
 	}
-	cm.setOutput(c, h, w)
-	return cm, nil
+	plan, err := execgraph.Compile(m, params, execgraph.Config{Level: tag})
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	return &compiledModel{model: m, plan: plan, level: tag}, nil
 }
 
 // compileFromFile lowers a deployed .patdnn artifact (the registry's unit of
-// serving) into an executable op stack. The file carries only the pruned conv
-// layers with their real (FP16-stored) weights and biases; the trunk is
-// reassembled by convention: every conv runs with its bias and a ReLU
-// activation (fused into the sweep when the plan's kernels support it), and a
-// uniform spatial shrink between consecutive convs is realized as the
-// stride==kernel max-pool that produces exactly the next layer's input
-// geometry. Non-chainable layer sequences are rejected at load time rather
-// than served wrong.
+// serving) into an executable graph plan. V2 artifacts carry the full network
+// topology plus conv/dense/BN records, so the whole graph — residual nets
+// included — serves end to end. V1 artifacts carry only the pruned 3×3 conv
+// trunk; it is reassembled by convention: every conv runs with its bias and a
+// ReLU activation, and a uniform spatial shrink between consecutive convs is
+// realized as the stride==kernel max-pool that produces exactly the next
+// layer's input geometry. Non-chainable layer sequences are rejected at load
+// time rather than served wrong.
 func compileFromFile(cfg Config, name, version string, mf *modelfile.File, tag string) (*compiledModel, error) {
-	if len(mf.Layers) == 0 {
-		return nil, fmt.Errorf("serve: artifact %s@%s holds no conv layers", name, version)
+	m, params, err := execgraph.FromFile(name, mf)
+	if err != nil {
+		return nil, fmt.Errorf("serve: artifact %s@%s: %w", name, version, err)
 	}
-	cm := &compiledModel{
-		model:   &model.Model{Name: mf.LR.Model, Short: name},
-		level:   tag,
-		version: version,
+	plan, err := execgraph.Compile(m, params, execgraph.Config{Level: tag})
+	if err != nil {
+		return nil, fmt.Errorf("serve: artifact %s@%s: %w", name, version, err)
 	}
-	first := mf.Layers[0].Conv
-	cm.inC, cm.inH, cm.inW = first.InChannels(), first.InH, first.InW
-	c, h, w := cm.inC, cm.inH, cm.inW
-	for i, layer := range mf.Layers {
-		pc := layer.Conv
-		if pc.InChannels() != c {
-			return nil, fmt.Errorf("serve: artifact %s@%s: layer %s expects %d input channels but the trunk carries %d",
-				name, version, pc.Name, pc.InChannels(), c)
-		}
-		if pc.InH != h || pc.InW != w {
-			// A uniform integer shrink is servable as an inferred max-pool
-			// (the classic conv/pool trunk the artifact's layer geometry
-			// encodes implicitly); anything else cannot be chained.
-			k := 0
-			if pc.InH > 0 && pc.InW > 0 && h%pc.InH == 0 && w%pc.InW == 0 && h/pc.InH == w/pc.InW {
-				k = h / pc.InH
-			}
-			if k < 2 {
-				return nil, fmt.Errorf("serve: artifact %s@%s: layer %s expects %dx%d input but the trunk carries %dx%d (no stride==kernel pool bridges them)",
-					name, version, pc.Name, pc.InH, pc.InW, h, w)
-			}
-			cm.ops = append(cm.ops, op{kind: opMaxPool, poolK: k})
-			h, w = pc.InH, pc.InW
-		}
-		level, err := layerLevel(tag, pc)
-		if err != nil {
-			return nil, err
-		}
-		plan, err := codegen.Compile(pc, level, layerTuning(level, pc))
-		if err != nil {
-			return nil, fmt.Errorf("serve: artifact %s@%s: %w", name, version, err)
-		}
-		fused := plan.SupportsFused()
-		cm.ops = append(cm.ops, op{kind: opConv, plan: plan, bias: mf.Layers[i].Bias, fusedReLU: fused})
-		if !fused {
-			cm.ops = append(cm.ops, op{kind: opReLU})
-		}
-		cm.convLayers++
-		cm.totalW += int64(pc.TotalWeights())
-		cm.keptW += int64(pc.NNZ())
-		c, h, w = pc.OutC, pc.OutH, pc.OutW
-	}
-	cm.setOutput(c, h, w)
-	return cm, nil
+	return &compiledModel{model: m, plan: plan, level: tag, version: version}, nil
 }
 
 // memoryBytes is the resident footprint the registry's memory budget
-// accounts for: the dense pruned weight tensors each plan retains, the
-// packed FKW arrays, and the biases.
-func (cm *compiledModel) memoryBytes() int64 {
-	var b int64
-	for _, o := range cm.ops {
-		if o.kind != opConv {
-			continue
-		}
-		b += 4 * int64(o.plan.Conv.TotalWeights())
-		b += int64(o.plan.FKW.TotalBytes(4))
-		b += 4 * int64(len(o.bias))
-	}
-	return b
-}
-
-func (cm *compiledModel) setOutput(c, h, w int) {
-	cm.outC, cm.outH, cm.outW = c, h, w
-}
+// accounts for: dense pruned weight tensors, packed FKW arrays, 1×1 keep
+// lists, FC matrices, and biases.
+func (cm *compiledModel) memoryBytes() int64 { return cm.plan.MemoryBytes() }
 
 func (cm *compiledModel) info() ModelInfo {
 	inf := ModelInfo{
@@ -258,14 +88,14 @@ func (cm *compiledModel) info() ModelInfo {
 		Version:     cm.version,
 		Source:      "generator",
 		Level:       cm.level,
-		ConvLayers:  cm.convLayers,
-		InputShape:  [3]int{cm.inC, cm.inH, cm.inW},
-		OutputShape: [3]int{cm.outC, cm.outH, cm.outW},
+		ConvLayers:  cm.plan.ConvLayers,
+		InputShape:  [3]int{cm.plan.InC, cm.plan.InH, cm.plan.InW},
+		OutputShape: [3]int{cm.plan.OutC, cm.plan.OutH, cm.plan.OutW},
+		Compression: cm.plan.Compression(),
+		FusedOps:    cm.plan.Fused,
 		Loaded:      true,
 	}
-	if cm.keptW > 0 {
-		inf.Compression = float64(cm.totalW) / float64(cm.keptW)
-	}
+	inf.ArenaBytes, _ = cm.plan.ArenaBytes()
 	return inf
 }
 
@@ -274,64 +104,31 @@ func (cm *compiledModel) info() ModelInfo {
 // nil input synthesizes a deterministic pseudo-image, which keeps the curl
 // quickstart to one line.
 func (cm *compiledModel) inputTensor(data []float32) (*tensor.Tensor, error) {
-	t := tensor.New(cm.inC, cm.inH, cm.inW)
+	t := tensor.New(cm.plan.InC, cm.plan.InH, cm.plan.InW)
 	if data == nil {
 		t.Randn(rand.New(rand.NewSource(1)), 1)
 		return t, nil
 	}
 	if len(data) != len(t.Data) {
 		return nil, fmt.Errorf("serve: %s/%s input has %d values, want %d ([%d,%d,%d])",
-			cm.model.Short, cm.model.Dataset, len(data), len(t.Data), cm.inC, cm.inH, cm.inW)
+			cm.model.Short, cm.model.Dataset, len(data), len(t.Data),
+			cm.plan.InC, cm.plan.InH, cm.plan.InW)
 	}
 	copy(t.Data, data)
 	return t, nil
 }
 
-// runBatch executes one gathered batch as a single layer sweep: every op runs
-// once for the whole batch, and conv layers parallelize over batch ×
-// output-channels in one ParallelFor, so small per-request layers still fill
-// the pool.
-//
-// Scratch discipline: padded inputs come from the runtime slice pool and go
-// back as soon as the conv consumes them; intermediate feature maps come from
-// the pool too and are recycled once the next op has consumed them. The
-// tensors handed back to callers (the final xs) are never recycled. The
-// fused conv epilogue initializes every output plane itself, so the pooled —
-// dirty — buffers need no zeroing pass.
+// runBatch executes one gathered batch over the graph plan with a pooled
+// executor: every node runs once for the whole batch, conv-like nodes
+// parallelize over batch × output-channels in one ParallelFor, and all
+// intermediates live in the executor's liveness-planned arenas — no
+// steady-state allocation, no scratch-pool churn per layer. The returned
+// output tensors are handed to callers and never recycled.
 func (cm *compiledModel) runBatch(pool *runtime.Pool, xs []*tensor.Tensor) []*tensor.Tensor {
-	pooled := false // whether the current xs tensors came from the slice pool
-	recycle := func(old []*tensor.Tensor, wasPooled bool) {
-		if !wasPooled {
-			return
-		}
-		for _, t := range old {
-			runtime.PutTensor(t)
-		}
+	outs := make([]*tensor.Tensor, len(xs))
+	for i := range outs {
+		outs[i] = tensor.New(cm.plan.OutC, cm.plan.OutH, cm.plan.OutW)
 	}
-	for _, o := range cm.ops {
-		switch o.kind {
-		case opConv:
-			outs := pool.RunLayerBatchFused(o.plan, xs, o.bias, o.fusedReLU)
-			recycle(xs, pooled)
-			xs, pooled = outs, true
-		case opReLU:
-			pool.ParallelFor(len(xs), func(s, e int) {
-				for i := s; i < e; i++ {
-					tensor.ReLU(xs[i])
-				}
-			})
-		case opMaxPool:
-			outs := make([]*tensor.Tensor, len(xs))
-			pool.ParallelFor(len(xs), func(s, e int) {
-				for i := s; i < e; i++ {
-					in := xs[i]
-					outs[i] = runtime.GetTensor(in.Dim(0), in.Dim(1)/o.poolK, in.Dim(2)/o.poolK)
-					tensor.MaxPool2DInto(in, o.poolK, outs[i])
-				}
-			})
-			recycle(xs, pooled)
-			xs, pooled = outs, true
-		}
-	}
-	return xs
+	cm.plan.Execute(pool, xs, outs)
+	return outs
 }

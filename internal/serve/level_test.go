@@ -158,7 +158,7 @@ func TestInferHammerWhileCloseDrains(t *testing.T) {
 					rejected.Add(1)
 					return
 				}
-				if r.Shape != [3]int{8, 6, 6} {
+				if r.Shape != [3]int{4, 1, 1} {
 					t.Errorf("client %d: shape %v", i, r.Shape)
 					return
 				}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"patdnn/internal/compiler/execgraph"
 	"patdnn/internal/modelfile"
 	"patdnn/internal/registry"
 )
@@ -30,6 +31,20 @@ type diskArtifact struct {
 // MemoryBytes reports the resident footprint charged against the registry's
 // memory budget.
 func (a *diskArtifact) MemoryBytes() int64 { return a.cm.memoryBytes() }
+
+// artifactDetail is what a resident registry artifact publishes through the
+// registry's ModelInfo.Detail channel: the compiled plan's fused-op counts
+// and arena size, so /models can report them per version.
+type artifactDetail struct {
+	Fused      execgraph.FusedOps `json:"fused_ops"`
+	ArenaBytes int64              `json:"arena_bytes"`
+}
+
+// Describe implements registry.Describer.
+func (a *diskArtifact) Describe() any {
+	arena, _ := a.cm.plan.ArenaBytes()
+	return artifactDetail{Fused: a.cm.plan.Fused, ArenaBytes: arena}
+}
 
 // Release retires the artifact's batcher when the registry drops the
 // artifact (eviction, hot-reload replacement, removal).

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"patdnn/internal/compiler/codegen"
+	"patdnn/internal/compiler/execgraph"
 	"patdnn/internal/model"
 	"patdnn/internal/registry"
 	"patdnn/internal/runtime"
@@ -154,13 +155,19 @@ type ModelInfo struct {
 	// Version and the fields after it describe registry-backed models:
 	// version tag, whether its compiled plan stack is currently resident,
 	// its byte footprint, and when it last served a request.
-	Version     string    `json:"version,omitempty"`
-	Source      string    `json:"source"` // "generator" or "registry"
-	Level       string    `json:"level"`  // optimization-level tag of this plan stack
-	ConvLayers  int       `json:"conv_layers"`
-	InputShape  [3]int    `json:"input_shape,omitzero"`
-	OutputShape [3]int    `json:"output_shape,omitzero"`
-	Compression float64   `json:"compression,omitzero"` // total weights / surviving weights
+	Version     string  `json:"version,omitempty"`
+	Source      string  `json:"source"` // "generator" or "registry"
+	Level       string  `json:"level"`  // optimization-level tag of this plan stack
+	ConvLayers  int     `json:"conv_layers"`
+	InputShape  [3]int  `json:"input_shape,omitzero"`
+	OutputShape [3]int  `json:"output_shape,omitzero"`
+	Compression float64 `json:"compression,omitzero"` // total weights / surviving weights
+	// FusedOps counts what the graph compiler fused away in this plan: BNs
+	// folded into conv weights, ReLUs riding conv/fc epilogues, residual
+	// adds absorbed into bottleneck-tail convs.
+	FusedOps execgraph.FusedOps `json:"fused_ops,omitzero"`
+	// ArenaBytes is the liveness-planned per-inference activation arena.
+	ArenaBytes  int64     `json:"arena_bytes,omitzero"`
 	Loaded      bool      `json:"loaded"`
 	MemoryBytes int64     `json:"memory_bytes,omitzero"`
 	LastUsed    time.Time `json:"last_used,omitzero"`
@@ -574,11 +581,17 @@ func (e *Engine) Models() []ModelInfo {
 	if reg != nil {
 		tag, _ := e.resolveLevelTag("")
 		for _, m := range reg.Models() {
-			out = append(out, ModelInfo{
+			mi := ModelInfo{
 				Network: m.Name, Version: m.Version, Source: "registry",
 				Level: tag, ConvLayers: m.ConvLayers,
 				Loaded: m.Loaded, MemoryBytes: m.Bytes, LastUsed: m.LastUsed,
-			})
+			}
+			// Resident artifacts describe their compiled plan (fused-op
+			// counts, arena size) through the registry's detail channel.
+			if d, ok := m.Detail.(artifactDetail); ok {
+				mi.FusedOps, mi.ArenaBytes = d.Fused, d.ArenaBytes
+			}
+			out = append(out, mi)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -10,9 +10,9 @@ import (
 	"patdnn/internal/model"
 )
 
-// tinyModel builds a small chainable conv trunk so engine tests stay fast
-// even under the race detector: conv(4→8) → relu → pool2 → conv(8→8) → relu,
-// then a classifier head the trunk walk stops at.
+// tinyModel builds a small network so engine tests stay fast even under the
+// race detector: conv(4→8) → relu → pool2 → conv(8→8) → relu → flatten → fc,
+// served end to end by the graph executor (output [4,1,1] class scores).
 func tinyModel(short, dataset string) *model.Model {
 	m := &model.Model{Name: "Tiny-CNN", Short: short, Dataset: dataset,
 		Classes: 4, InC: 4, InH: 12, InW: 12}
@@ -102,7 +102,7 @@ func TestEngineConcurrentRequestsDeterministic(t *testing.T) {
 				errs <- err
 				return
 			}
-			if r.Shape != [3]int{8, 6, 6} {
+			if r.Shape != [3]int{4, 1, 1} {
 				t.Errorf("request %d: shape %v", i, r.Shape)
 				return
 			}
@@ -170,10 +170,11 @@ func TestEngineErrors(t *testing.T) {
 		Input: make([]float32, 7)}); err == nil || !strings.Contains(err.Error(), "want 576") {
 		t.Fatalf("expected input-length error, got %v", err)
 	}
-	// ResNet's trunk needs 1x1 convs and residual adds: a descriptive
-	// rejection, not a wrong answer.
-	if _, err := eng.Infer(ctx, Request{Network: "RNT", Dataset: "cifar10"}); err == nil {
-		t.Fatal("expected unsupported-topology error for ResNet")
+	// ResNet-50/ImageNet opens with a 7×7 stem the pattern compiler cannot
+	// express: a descriptive rejection, not a wrong answer. (The CIFAR
+	// variants of all three paper nets serve end to end now.)
+	if _, err := eng.Infer(ctx, Request{Network: "RNT", Dataset: "imagenet"}); err == nil {
+		t.Fatal("expected unsupported-topology error for the ImageNet ResNet stem")
 	}
 	if err := eng.RegisterModel(tinyModel("tiny", "synthetic")); err == nil {
 		t.Fatal("expected duplicate-register error")
@@ -188,8 +189,8 @@ func TestEngineUnsupportedModelErrorIsCached(t *testing.T) {
 	defer eng.Close()
 	for i := 0; i < 3; i++ {
 		if _, err := eng.Infer(context.Background(),
-			Request{Network: "MBNT", Dataset: "cifar10"}); err == nil {
-			t.Fatal("expected unsupported-topology error for MobileNet")
+			Request{Network: "RNT", Dataset: "imagenet"}); err == nil {
+			t.Fatal("expected unsupported-topology error for the 7x7 stem")
 		}
 	}
 	// The failed compile is cached too: one compile, two hits on the error.
@@ -263,7 +264,7 @@ func TestEngineModelsListing(t *testing.T) {
 		t.Fatalf("Models() not sorted: %v", ms)
 	}
 	m := ms[1]
-	if m.ConvLayers != 2 || m.InputShape != [3]int{4, 12, 12} || m.OutputShape != [3]int{8, 6, 6} {
+	if m.ConvLayers != 2 || m.InputShape != [3]int{4, 12, 12} || m.OutputShape != [3]int{4, 1, 1} {
 		t.Fatalf("ModelInfo = %+v", m)
 	}
 	if m.Compression < 2 {
@@ -388,8 +389,8 @@ func TestEngineServesVGG(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			if r.Shape != [3]int{512, 1, 1} {
-				t.Errorf("VGG/cifar10 trunk shape %v, want [512,1,1]", r.Shape)
+			if r.Shape != [3]int{10, 1, 1} {
+				t.Errorf("VGG/cifar10 output shape %v, want [10,1,1] class probabilities", r.Shape)
 			}
 		}()
 	}

@@ -274,8 +274,17 @@ func MaxPool2DInto(input *Tensor, k int, out *Tensor) {
 // AvgPool2DGlobal averages each channel plane to a single value:
 // [C,H,W] -> [C,1,1].
 func AvgPool2DGlobal(input *Tensor) *Tensor {
+	out := New(input.Dim(0), 1, 1)
+	AvgPool2DGlobalInto(input, out)
+	return out
+}
+
+// AvgPool2DGlobalInto is the allocation-free form of AvgPool2DGlobal: it
+// writes the per-channel means into a caller-provided [C,1,1] tensor whose
+// contents may be garbage (every element is overwritten), so pooled arena
+// buffers flow through the inference path without allocation.
+func AvgPool2DGlobalInto(input, out *Tensor) {
 	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
-	out := New(c, 1, 1)
 	inv := 1 / float32(h*w)
 	for ic := 0; ic < c; ic++ {
 		var s float32
@@ -285,7 +294,62 @@ func AvgPool2DGlobal(input *Tensor) *Tensor {
 		}
 		out.Data[ic] = s * inv
 	}
-	return out
+}
+
+// AddInto writes the elementwise sum a+b into out (which may hold garbage;
+// every element is overwritten). The three tensors must have equal length;
+// out may alias a or b.
+func AddInto(a, b, out *Tensor) {
+	bd, od := b.Data, out.Data
+	for i, v := range a.Data {
+		od[i] = v + bd[i]
+	}
+}
+
+// FCIntoRange computes out[o] = bias[o] + Σ_i w[o,i]·x[i] for output features
+// o in [from, to), with an optional fused ReLU epilogue — the ranged form the
+// worker pool parallelizes a fully-connected layer with. w is [Out, In]; x
+// and out are flat feature vectors ([C,1,1] views work). out needs no
+// pre-initialization. bias may be nil.
+func FCIntoRange(out, w, x *Tensor, bias []float32, relu bool, from, to int) {
+	in := w.Dim(1)
+	xd := x.Data
+	for o := from; o < to; o++ {
+		row := w.Data[o*in : (o+1)*in]
+		var acc float32
+		if bias != nil {
+			acc = bias[o]
+		}
+		for i, wv := range row {
+			acc += wv * xd[i]
+		}
+		if relu && acc < 0 {
+			acc = 0
+		}
+		out.Data[o] = acc
+	}
+}
+
+// SoftmaxInto is the allocation-free form of Softmax: it writes the
+// numerically-stabilized softmax of the flat logits in `in` into out (equal
+// length, may alias).
+func SoftmaxInto(in, out *Tensor) {
+	maxv := in.Data[0]
+	for _, v := range in.Data {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range in.Data {
+		e := exp32(v - maxv)
+		out.Data[i] = e
+		sum += float64(e)
+	}
+	inv := float32(1 / sum)
+	for i := range out.Data {
+		out.Data[i] *= inv
+	}
 }
 
 // ReLU applies max(0,x) in place and returns its argument.
@@ -301,22 +365,7 @@ func ReLU(t *Tensor) *Tensor {
 // Softmax returns softmax over a 1-D logits tensor, numerically stabilized.
 func Softmax(logits *Tensor) *Tensor {
 	out := New(logits.shape...)
-	maxv := logits.Data[0]
-	for _, v := range logits.Data {
-		if v > maxv {
-			maxv = v
-		}
-	}
-	var sum float64
-	for i, v := range logits.Data {
-		e := exp32(v - maxv)
-		out.Data[i] = e
-		sum += float64(e)
-	}
-	inv := float32(1 / sum)
-	for i := range out.Data {
-		out.Data[i] *= inv
-	}
+	SoftmaxInto(logits, out)
 	return out
 }
 

@@ -38,6 +38,7 @@ import (
 	"patdnn/internal/baseline"
 	"patdnn/internal/bench"
 	"patdnn/internal/compiler/codegen"
+	"patdnn/internal/compiler/execgraph"
 	"patdnn/internal/compiler/lr"
 	"patdnn/internal/compiler/reorder"
 	"patdnn/internal/dataset"
@@ -186,6 +187,61 @@ func (c *Compiled) WriteModel(w io.Writer) error {
 		file.Layers = append(file.Layers, modelfile.Layer{Conv: pc})
 		file.LR.Layers = append(file.LR.Layers,
 			lr.FromPruned(pc, reorder.Build(pc), lr.DefaultTuning()))
+	}
+	return modelfile.Write(w, file)
+}
+
+// WriteModelGraph writes the format-v2 deployable artifact of this compiled
+// network: the full topology (layer kinds, shapes, residual shortcut edges)
+// plus pattern-pruned 3×3 conv records, connectivity-pruned 1×1 and FC dense
+// records, and BatchNorm parameters. Unlike WriteModel's conv-trunk form,
+// a graph artifact serves end to end — ResNet-50 and MobileNet-V2 included —
+// through the graph executor (BN folded at compile time, residual adds fused
+// into conv epilogues). Deterministic per (network, patterns, connRate).
+// Networks with operators outside the executable IR (e.g. the 7×7 ImageNet
+// ResNet stem) are rejected with a descriptive error.
+func (c *Compiled) WriteModelGraph(w io.Writer) error {
+	params, err := execgraph.Generate(c.Model, c.Patterns, c.ConnRate, 42)
+	if err != nil {
+		return err
+	}
+	file := &modelfile.File{
+		LR:  &lr.Representation{Model: c.Model.Name, Device: "CPU"},
+		Net: c.Model,
+	}
+	for _, l := range c.Model.Layers {
+		switch l.Kind {
+		case model.Conv, model.DWConv:
+			if l.KH == 3 {
+				cp := params.Convs[l.Name]
+				file.Layers = append(file.Layers, modelfile.Layer{Conv: cp.Conv, Bias: cp.Bias})
+				if l.Kind == model.Conv {
+					file.LR.Layers = append(file.LR.Layers,
+						lr.FromPruned(cp.Conv, reorder.Build(cp.Conv), lr.DefaultTuning()))
+				}
+				continue
+			}
+			dp := params.Dense[l.Name]
+			file.Dense = append(file.Dense, modelfile.DenseLayer{
+				Name: l.Name, Kind: modelfile.DenseConv1x1,
+				OutC: l.OutC, InC: l.InC, Stride: l.Stride,
+				InH: l.InH, InW: l.InW, OutH: l.OutH, OutW: l.OutW,
+				Weights: dp.W.Data, Bias: dp.Bias,
+			})
+		case model.FC:
+			dp := params.Dense[l.Name]
+			file.Dense = append(file.Dense, modelfile.DenseLayer{
+				Name: l.Name, Kind: modelfile.DenseFC,
+				OutC: l.OutC, InC: l.InC,
+				Weights: dp.W.Data, Bias: dp.Bias,
+			})
+		case model.BatchNorm:
+			bp := params.BNs[l.Name]
+			file.BNs = append(file.BNs, modelfile.BNLayer{
+				Name: l.Name, Gamma: bp.Gamma, Beta: bp.Beta,
+				Mean: bp.Mean, Var: bp.Var, Eps: bp.Eps,
+			})
+		}
 	}
 	return modelfile.Write(w, file)
 }
