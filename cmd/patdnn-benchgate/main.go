@@ -1,0 +1,83 @@
+// Command patdnn-benchgate gates serving-benchmark regressions: it pairs
+// every BENCH_serve JSON in the committed baseline directory with the
+// same-named freshly generated report and exits non-zero when any case's
+// throughput drops — or p99 latency rises — beyond the tolerance.
+//
+//	# CI: fail the build on >15% regression against the committed baselines
+//	patdnn-benchgate -baseline bench/baseline -fresh . -tolerance 0.15
+//
+//	# refresh the baselines after an intentional perf change (or new runner)
+//	patdnn-benchgate -baseline bench/baseline -fresh . -update
+//
+// Exit status: 0 clean, 1 regressions found, 2 usage/IO errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"patdnn/internal/benchgate"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	baselineDir := flag.String("baseline", "bench/baseline", "directory of committed BENCH_serve baselines")
+	freshDir := flag.String("fresh", ".", "directory holding the freshly generated reports (matched by filename)")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed relative regression (0.15 = 15%)")
+	update := flag.Bool("update", false, "copy the fresh reports over the baselines instead of gating")
+	flag.Parse()
+
+	paths, err := filepath.Glob(filepath.Join(*baselineDir, "*.json"))
+	if err != nil || len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "patdnn-benchgate: no baselines in %s\n", *baselineDir)
+		return 2
+	}
+	sort.Strings(paths)
+	failed := false
+	for _, basePath := range paths {
+		name := filepath.Base(basePath)
+		freshPath := filepath.Join(*freshDir, name)
+		if *update {
+			raw, err := os.ReadFile(freshPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "patdnn-benchgate: update %s: %v\n", name, err)
+				return 2
+			}
+			if _, err := benchgate.Load(freshPath); err != nil {
+				fmt.Fprintf(os.Stderr, "patdnn-benchgate: refusing to install invalid baseline: %v\n", err)
+				return 2
+			}
+			if err := os.WriteFile(basePath, raw, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "patdnn-benchgate: update %s: %v\n", name, err)
+				return 2
+			}
+			fmt.Printf("%-28s baseline updated\n", name)
+			continue
+		}
+		regs, err := benchgate.CompareFiles(basePath, freshPath, *tolerance)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "patdnn-benchgate: %s: %v\n", name, err)
+			return 2
+		}
+		if len(regs) == 0 {
+			fmt.Printf("%-28s ok (within %.0f%%)\n", name, *tolerance*100)
+			continue
+		}
+		failed = true
+		for _, r := range regs {
+			fmt.Printf("%-28s REGRESSION %s\n", name, r)
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "patdnn-benchgate: regressions found (see above); "+
+			"if intentional, refresh baselines with -update")
+		return 1
+	}
+	return 0
+}

@@ -22,11 +22,20 @@
 //	               ("vgg" or "vgg@v2"); the response's "version" reports the
 //	               version that served. Responds with the output feature map,
 //	               argmax, and batch/latency detail.
+//	               Scheduling: "class" ("interactive" default, or "batch")
+//	               picks the bounded per-model lane the request queues on —
+//	               batch-class sweeps run on a width-limited worker slice so
+//	               background traffic can't starve interactive requests. A
+//	               full lane sheds immediately with 429. "timeout_ms" sets a
+//	               server-side deadline: if it expires while the request is
+//	               queued the batcher drops it before compute (504).
 //	GET  /models   compiled models: plan-cache entries plus every registry
 //	               version with residency, byte footprint, and last-used time
 //	GET  /stats    engine counters (requests, batches, plan-cache hits,
-//	               per-level hits) plus registry counters (scans, reloads,
-//	               evictions, resident bytes)
+//	               per-level hits, sheds by class, deadline sheds, the
+//	               executed-expired tripwire, and per-lane bounded queue
+//	               depth/capacity/peak) plus registry counters (scans,
+//	               reloads, evictions, resident bytes)
 //	GET  /registry registry detail: versions, routes, quarantined files, stats
 //	POST /registry/route  {"model":"vgg","weights":{"v1":90,"v2":10}}
 //	               sets the weighted traffic split for bare-name requests;
@@ -83,6 +92,10 @@ func main() {
 	connRate := flag.Float64("connrate", 3.6, "connectivity pruning rate")
 	level := flag.String("level", serve.LevelAuto,
 		"kernel optimization level: noopt, reorder, lre, tuned, packed, or auto (tuner picks per layer)")
+	queueDepth := flag.Int("queue-depth", 0,
+		"per-model, per-class request queue bound; a full queue sheds with 429 (0 = default max(64, 8*batch))")
+	batchWorkers := flag.Int("batch-workers", 0,
+		"worker-pool width granted to batch-class sweeps so background traffic can't crowd out interactive (0 = workers/4)")
 	preload := flag.String("preload", "VGG/cifar10",
 		"comma-separated network/dataset pairs to compile at startup (empty = compile lazily)")
 	modelsDir := flag.String("models-dir", "",
@@ -96,6 +109,7 @@ func main() {
 	eng := serve.New(serve.Config{
 		Workers: *workers, MaxBatch: *batch, BatchWindow: *window,
 		Patterns: *patterns, ConnRate: *connRate, Level: *level,
+		QueueDepth: *queueDepth, BatchWorkers: *batchWorkers,
 	})
 	var reg *registry.Registry
 	if *modelsDir != "" {
@@ -169,11 +183,19 @@ func newMux(eng *serve.Engine, reg *registry.Registry) *http.ServeMux {
 		if err != nil {
 			status := http.StatusBadRequest
 			switch {
+			case errors.Is(err, serve.ErrOverloaded):
+				// Load shed: the class queue is full. 429 tells well-behaved
+				// clients to back off; nothing was computed for this request.
+				status = http.StatusTooManyRequests
 			case errors.Is(err, serve.ErrClosed):
 				status = http.StatusServiceUnavailable
 			case errors.Is(err, registry.ErrNotFound):
 				status = http.StatusNotFound
-			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			case errors.Is(err, context.DeadlineExceeded):
+				// The request's deadline (ctx or timeout_ms) passed before a
+				// sweep could serve it; the batcher shed it without compute.
+				status = http.StatusGatewayTimeout
+			case errors.Is(err, context.Canceled):
 				status = 499 // client closed request
 			}
 			httpError(w, status, err)

@@ -1,0 +1,207 @@
+package main
+
+// The scheduler's acceptance harness: patdnn-loadgen's generator (the exact
+// Run/RunAll calls the binary wraps) drives a live patdnn-serve HTTP stack at
+// a rate that forces shedding, and the run must show — asserted, not printed:
+//
+//   1. zero expired-deadline requests executed (Stats.ExpiredExecuted == 0
+//      while Stats.DeadlineSheds > 0 proves the deadline path actually ran),
+//   2. bounded queue depth in /stats (every lane's depth and peak within the
+//      configured capacity, with shedding proving the bound was reached),
+//   3. interactive-class p99 unaffected (within +10%) by saturating
+//      batch-class traffic.
+//
+// The latency assertion compares two measured runs on the same process and
+// is inherently timing-sensitive; the baseline is dominated by the batch
+// window (a deliberately long sloWindow, 20ms) so scheduler jitter sits well
+// inside the 10% budget, and the whole scenario retries up to three times
+// before declaring failure. Structural violations (an executed expired request, a
+// queue above its bound) fail immediately — no retry forgives those.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"patdnn/internal/loadgen"
+	"patdnn/internal/model"
+	"patdnn/internal/serve"
+)
+
+// sloTinyModel is a small end-to-end-servable network, so the scheduler —
+// not kernel execution — dominates what the harness measures.
+func sloTinyModel() *model.Model {
+	m := &model.Model{Name: "Tiny-CNN", Short: "tiny", Dataset: "synthetic",
+		Classes: 4, InC: 4, InH: 12, InW: 12}
+	m.Layers = []*model.Layer{
+		{Name: "input", Kind: model.Input, OutC: 4, OutH: 12, OutW: 12},
+		{Name: "conv1", Kind: model.Conv, InC: 4, OutC: 8, KH: 3, KW: 3,
+			Stride: 1, Pad: 1, Groups: 1, InH: 12, InW: 12, OutH: 12, OutW: 12},
+		{Name: "relu1", Kind: model.ReLU, InC: 8, OutC: 8},
+		{Name: "pool1", Kind: model.MaxPool, InC: 8, OutC: 8, KH: 2, KW: 2,
+			Stride: 2, InH: 12, InW: 12, OutH: 6, OutW: 6},
+		{Name: "conv2", Kind: model.Conv, InC: 8, OutC: 8, KH: 3, KW: 3,
+			Stride: 1, Pad: 1, Groups: 1, InH: 6, InW: 6, OutH: 6, OutW: 6},
+		{Name: "relu2", Kind: model.ReLU, InC: 8, OutC: 8},
+		{Name: "flatten", Kind: model.Flatten, InC: 8, InH: 6, InW: 6,
+			OutC: 288, OutH: 1, OutW: 1},
+		{Name: "fc", Kind: model.FC, InC: 288, OutC: 4, HasBias: true},
+	}
+	return m
+}
+
+// The scenario is tuned for the worst supported machine, a single-CPU
+// runner: the interactive baseline is dominated by the 20ms batch window, so
+// the 10% budget (~2ms) comfortably covers the scheduling jitter a saturated
+// batch lane adds, while a depth-2 queue against 6 hammering clients still
+// guarantees admission-control sheds.
+const (
+	sloWindow     = 20 * time.Millisecond
+	sloQueueDepth = 2
+)
+
+func TestSchedulerSLOEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second load-generation scenario")
+	}
+	var last string
+	for attempt := 1; attempt <= 3; attempt++ {
+		msg := runSLOScenario(t)
+		if msg == "" {
+			return
+		}
+		last = fmt.Sprintf("attempt %d: %s", attempt, msg)
+		t.Log(last)
+	}
+	t.Fatal("all attempts failed; " + last)
+}
+
+// runSLOScenario runs one full baseline-vs-saturated comparison on a fresh
+// engine. It returns "" on success, a description for retryable (purely
+// timing-dependent) violations, and fails the test outright for structural
+// ones.
+func runSLOScenario(t *testing.T) string {
+	t.Helper()
+	eng := serve.New(serve.Config{
+		MaxBatch:    4,
+		BatchWindow: sloWindow,
+		QueueDepth:  sloQueueDepth,
+		// On a single-core runner this still leaves batch sweeps one worker;
+		// on real machines it pins them to a quarter of the pool.
+		BatchWorkers: 1,
+	})
+	defer eng.Close()
+	if err := eng.RegisterModel(sloTinyModel()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newMux(eng, nil))
+	defer ts.Close()
+
+	interactive := loadgen.Spec{
+		Name: "interactive", URL: ts.URL,
+		Network: "tiny", Dataset: "synthetic",
+		Mode: "closed", Clients: 2, Requests: 200,
+	}
+
+	// Unmeasured warmup: connection setup, scratch pools, scheduler state —
+	// the baseline must measure steady state, not first-contact costs.
+	warm := interactive
+	warm.Requests = 30
+	if _, err := loadgen.Run(context.Background(), warm); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase A: interactive traffic alone. Latency ≈ batch window + sweep.
+	baseline, err := loadgen.Run(context.Background(), interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.OK != baseline.Sent || baseline.Failed > 0 {
+		t.Fatalf("baseline stream unhealthy: %+v", baseline)
+	}
+
+	// Phase B: the same interactive stream while 6 closed-loop batch-class
+	// clients hammer a depth-2 queue — far more offered load than the batch
+	// lane's bounded queue admits, so admission control must shed — with a
+	// 2ms deadline so some admitted requests die while queued (expiry or the
+	// abandoning client's disconnect) and the batcher must drop them before
+	// compute. The batch stream is duration-bound past the interactive
+	// stream's length, so every measured interactive request rides under
+	// saturation.
+	stop := make(chan struct{})
+	monitorDone := make(chan struct{})
+	go func() {
+		defer close(monitorDone)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			for _, q := range eng.Stats().Queues {
+				if q.Depth > q.Capacity || q.Peak > q.Capacity || q.Capacity != sloQueueDepth {
+					t.Errorf("queue bound violated mid-run: %+v", q)
+					return
+				}
+			}
+		}
+	}()
+	results, err := loadgen.RunAll(context.Background(), []loadgen.Spec{
+		interactive,
+		{
+			Name: "background_batch", URL: ts.URL,
+			Network: "tiny", Dataset: "synthetic", Class: "batch",
+			Mode: "closed", Clients: 6,
+			Duration: 4 * time.Second,
+			Timeout:  2 * time.Millisecond,
+		},
+	})
+	close(stop)
+	<-monitorDone
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, batch := results[0], results[1]
+	if loaded.OK != loaded.Sent || loaded.Failed > 0 {
+		t.Fatalf("interactive stream degraded to errors under batch load: %+v", loaded)
+	}
+
+	s := eng.Stats()
+	// Structural assertions — never retried.
+	if s.ExpiredExecuted != 0 {
+		t.Fatalf("%d expired-deadline requests executed, want 0 (stats: %+v)", s.ExpiredExecuted, s)
+	}
+	for _, q := range s.Queues {
+		if q.Depth > q.Capacity || q.Peak > q.Capacity {
+			t.Fatalf("queue depth above bound: %+v", q)
+		}
+	}
+
+	// Load-dependent assertions — retry the scenario if the machine didn't
+	// produce the intended pressure.
+	if batch.Shed == 0 || s.Shed == 0 {
+		return fmt.Sprintf("offered batch load never forced shedding (client 429s=%d, server sheds=%d)",
+			batch.Shed, s.Shed)
+	}
+	if s.ShedByClass["batch"] == 0 {
+		return fmt.Sprintf("sheds not attributed to the batch class: %v", s.ShedByClass)
+	}
+	if s.DeadlineSheds == 0 {
+		return "no queued request expired: the deadline-shed path went unexercised"
+	}
+	// The ±10% proportionality clause assumes production-shaped execution;
+	// the race detector multiplies every synchronization by 5-20x and turns
+	// the saturating batch load into a CPU tax the contract never promised
+	// to absorb. Functional assertions above still ran; CI checks this
+	// clause in a non-race pass.
+	if !raceEnabled && loaded.P99Ms > baseline.P99Ms*1.10 {
+		return fmt.Sprintf("interactive p99 %.2fms under batch saturation vs %.2fms alone (>+10%%)",
+			loaded.P99Ms, baseline.P99Ms)
+	}
+	t.Logf("baseline p99 %.2fms; under saturation p99 %.2fms; batch: %d ok, %d shed (429), %d expired; server: shed=%d deadline_sheds=%d expired_executed=%d",
+		baseline.P99Ms, loaded.P99Ms, batch.OK, batch.Shed, batch.Expired,
+		s.Shed, s.DeadlineSheds, s.ExpiredExecuted)
+	return ""
+}

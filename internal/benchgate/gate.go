@@ -1,0 +1,131 @@
+// Package benchgate is the serving-benchmark regression gate: it compares a
+// freshly generated BENCH_serve report (cmd/patdnn-bench -serve-json, or a
+// cmd/patdnn-loadgen artifact — both write the same schema) against a
+// committed baseline and reports every case whose throughput or p99 latency
+// regressed beyond the tolerance. CI runs it on every push, turning the
+// repo's perf trajectory from an artifact someone might eyeball into a
+// check that fails the build.
+//
+// Baselines are machine-specific: regenerate them (cmd/patdnn-benchgate
+// -update) when the runner class changes, not to paper over a regression.
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Case is the schema subset the gate compares: higher throughput is better,
+// lower p99 is better.
+type Case struct {
+	Name          string  `json:"name"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P99Ms         float64 `json:"p99_ms"`
+}
+
+// Report is one BENCH_serve artifact.
+type Report struct {
+	Schema string `json:"schema"`
+	Model  string `json:"model"`
+	Cases  []Case `json:"cases"`
+}
+
+// Load reads and validates one report file.
+func Load(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	if r.Schema == "" || len(r.Cases) == 0 {
+		return nil, fmt.Errorf("benchgate: %s: not a BENCH_serve report (schema %q, %d cases)",
+			path, r.Schema, len(r.Cases))
+	}
+	return &r, nil
+}
+
+// Regression is one gate violation.
+type Regression struct {
+	Case     string  `json:"case"`
+	Metric   string  `json:"metric"` // "throughput_rps", "p99_ms", or "missing"
+	Baseline float64 `json:"baseline"`
+	Fresh    float64 `json:"fresh"`
+	// Ratio is fresh/baseline: < 1-tolerance for throughput regressions,
+	// > 1+tolerance for p99 regressions.
+	Ratio float64 `json:"ratio"`
+}
+
+func (r Regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: case present in baseline but missing from fresh report", r.Case)
+	}
+	return fmt.Sprintf("%s: %s %.2f -> %.2f (%.0f%% of baseline)",
+		r.Case, r.Metric, r.Baseline, r.Fresh, r.Ratio*100)
+}
+
+// Compare gates fresh against baseline: for every baseline case, throughput
+// must not drop below (1-tolerance)x and p99 must not rise above
+// (1+tolerance)x; a case that vanished from the fresh report is itself a
+// regression (deleting the slow case must not green the gate). Extra fresh
+// cases pass freely — new coverage is not a regression. Schema mismatch is
+// an error, not a regression: the comparison would be meaningless.
+func Compare(baseline, fresh *Report, tolerance float64) ([]Regression, error) {
+	if tolerance <= 0 {
+		return nil, fmt.Errorf("benchgate: tolerance %g must be positive", tolerance)
+	}
+	if baseline.Schema != fresh.Schema {
+		return nil, fmt.Errorf("benchgate: schema mismatch: baseline %q vs fresh %q",
+			baseline.Schema, fresh.Schema)
+	}
+	freshBy := make(map[string]Case, len(fresh.Cases))
+	for _, c := range fresh.Cases {
+		freshBy[c.Name] = c
+	}
+	var regs []Regression
+	for _, b := range baseline.Cases {
+		f, ok := freshBy[b.Name]
+		if !ok {
+			regs = append(regs, Regression{Case: b.Name, Metric: "missing"})
+			continue
+		}
+		if b.ThroughputRPS > 0 {
+			ratio := f.ThroughputRPS / b.ThroughputRPS
+			if ratio < 1-tolerance {
+				regs = append(regs, Regression{Case: b.Name, Metric: "throughput_rps",
+					Baseline: b.ThroughputRPS, Fresh: f.ThroughputRPS, Ratio: ratio})
+			}
+		}
+		if b.P99Ms > 0 {
+			ratio := f.P99Ms / b.P99Ms
+			if ratio > 1+tolerance {
+				regs = append(regs, Regression{Case: b.Name, Metric: "p99_ms",
+					Baseline: b.P99Ms, Fresh: f.P99Ms, Ratio: ratio})
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Case != regs[j].Case {
+			return regs[i].Case < regs[j].Case
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs, nil
+}
+
+// CompareFiles loads both reports and gates fresh against baseline.
+func CompareFiles(baselinePath, freshPath string, tolerance float64) ([]Regression, error) {
+	baseline, err := Load(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	fresh, err := Load(freshPath)
+	if err != nil {
+		return nil, err
+	}
+	return Compare(baseline, fresh, tolerance)
+}

@@ -1,0 +1,109 @@
+package benchgate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(schema string, cases ...Case) *Report {
+	return &Report{Schema: schema, Model: "VGG/cifar10", Cases: cases}
+}
+
+func TestCompareGatesBothMetrics(t *testing.T) {
+	base := report("v2",
+		Case{Name: "a", ThroughputRPS: 100, P99Ms: 50},
+		Case{Name: "b", ThroughputRPS: 200, P99Ms: 20},
+	)
+
+	// Within tolerance (±15%): no regressions, including mild improvements.
+	fresh := report("v2",
+		Case{Name: "a", ThroughputRPS: 90, P99Ms: 55},
+		Case{Name: "b", ThroughputRPS: 230, P99Ms: 15},
+	)
+	regs, err := Compare(base, fresh, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+
+	// Throughput collapse on a, p99 blow-up on b: both flagged, sorted.
+	bad := report("v2",
+		Case{Name: "a", ThroughputRPS: 80, P99Ms: 50},
+		Case{Name: "b", ThroughputRPS: 200, P99Ms: 24},
+	)
+	regs, err = Compare(base, bad, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 || regs[0].Case != "a" || regs[0].Metric != "throughput_rps" ||
+		regs[1].Case != "b" || regs[1].Metric != "p99_ms" {
+		t.Fatalf("regressions: %v", regs)
+	}
+	if regs[0].Ratio >= 0.85 || regs[1].Ratio <= 1.15 {
+		t.Fatalf("ratios wrong: %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "throughput_rps 100.00 -> 80.00") {
+		t.Fatalf("message: %s", regs[0])
+	}
+}
+
+func TestCompareMissingCaseIsRegression(t *testing.T) {
+	base := report("v2", Case{Name: "a", ThroughputRPS: 100, P99Ms: 50},
+		Case{Name: "b", ThroughputRPS: 10, P99Ms: 500})
+	fresh := report("v2", Case{Name: "a", ThroughputRPS: 100, P99Ms: 50},
+		Case{Name: "c", ThroughputRPS: 1, P99Ms: 1})
+	regs, err := Compare(base, fresh, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Case != "b" || regs[0].Metric != "missing" {
+		t.Fatalf("dropping the slow case must not green the gate: %v", regs)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	base := report("v2", Case{Name: "a", ThroughputRPS: 1, P99Ms: 1})
+	if _, err := Compare(base, report("v3", base.Cases[0]), 0.15); err == nil {
+		t.Fatal("schema mismatch must error")
+	}
+	if _, err := Compare(base, base, 0); err == nil {
+		t.Fatal("zero tolerance must error")
+	}
+}
+
+func TestLoadAndCompareFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	basePath := write("base.json",
+		`{"schema":"v2","model":"m","cases":[{"name":"a","throughput_rps":100,"p99_ms":10}]}`)
+	freshPath := write("fresh.json",
+		`{"schema":"v2","model":"m","cases":[{"name":"a","throughput_rps":50,"p99_ms":10}]}`)
+	regs, err := CompareFiles(basePath, freshPath, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "throughput_rps" {
+		t.Fatalf("regs: %v", regs)
+	}
+
+	if _, err := Load(write("empty.json", `{"schema":"v2","cases":[]}`)); err == nil {
+		t.Fatal("empty report must not load")
+	}
+	if _, err := Load(write("garbage.json", `{{`)); err == nil {
+		t.Fatal("garbage must not load")
+	}
+	if _, err := Load(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -1,0 +1,80 @@
+package execgraph
+
+// Differential soak: every paper network (CIFAR variants) × every codegen
+// level — the five named kernel generations plus the tuner's auto chooser —
+// executed through the graph plan and pinned to the dense unfused reference
+// at 1e-4. The narrower differential test covers tuned+packed; this sweep is
+// the exhaustive cross-product, wired into CI as its own -race job so a
+// kernel regression in any generation (not just the fast ones the benchmarks
+// favor) is caught batch-wide before it ships. Short mode skips it: the
+// sweep compiles 18 full plan stacks.
+
+import (
+	"testing"
+
+	"patdnn/internal/compiler/codegen"
+	"patdnn/internal/model"
+	"patdnn/internal/runtime"
+	"patdnn/internal/tensor"
+)
+
+func TestDifferentialSoakAllNetsAllLevels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles all three paper networks at all six levels")
+	}
+	levels := []string{"auto"}
+	for _, lv := range codegen.AllLevels() {
+		levels = append(levels, codegen.LevelTag(lv))
+	}
+	nets := []*model.Model{
+		model.VGG16("cifar10"),
+		model.ResNet50("cifar10"),
+		model.MobileNetV2("cifar10"),
+	}
+	pool := runtime.NewPool(0)
+	for _, m := range nets {
+		m := m
+		t.Run(m.Short, func(t *testing.T) {
+			params, err := Generate(m, 8, 3.6, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Two references: the batch sweep below runs two distinct lanes,
+			// and each must match its own input's dense forward pass.
+			xs := []*tensor.Tensor{genInput(m, 21), genInput(m, 22)}
+			wants := make([]*tensor.Tensor, len(xs))
+			for i, x := range xs {
+				if wants[i], err = Reference(m, params, x); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, level := range levels {
+				level := level
+				t.Run(level, func(t *testing.T) {
+					plan, err := Compile(m, params, Config{Level: level})
+					if err != nil {
+						t.Fatal(err)
+					}
+					outs := make([]*tensor.Tensor, len(xs))
+					for i := range outs {
+						outs[i] = tensor.New(plan.OutC, plan.OutH, plan.OutW)
+					}
+					plan.Execute(pool, xs, outs)
+					for i := range outs {
+						if d := outs[i].MaxAbsDiff(wants[i]); d > 1e-4 {
+							t.Fatalf("%s @ %s: lane %d diverged from dense reference by %g",
+								m.Short, level, i, d)
+						}
+					}
+					// The executed plan must carry no unfused elementwise
+					// nodes at any level — fusion is level-independent.
+					for _, n := range plan.Nodes {
+						if n.Kind == KindAdd || n.Kind == KindReLU {
+							t.Fatalf("%s @ %s: unfused %s node %s", m.Short, level, n.Kind, n.Name)
+						}
+					}
+				})
+			}
+		})
+	}
+}

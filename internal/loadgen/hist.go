@@ -1,0 +1,173 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a log-bucketed latency histogram: bucket upper bounds grow
+// geometrically from 1µs to beyond 5 minutes, so quantile error is bounded at
+// a constant relative factor (~9% per bucket) across six orders of magnitude
+// — the property an SLO gate needs (a p99 of 50ms must not be reported as
+// 80ms just because the buckets were linear and coarse at the tail).
+//
+// The zero value is not usable; call NewHistogram. Histogram is not
+// goroutine-safe: the generators serialize Add through their recorder's
+// mutex. Merge combines finished histograms (e.g. aggregating runs).
+type Histogram struct {
+	bounds []float64 // bucket upper bounds in ms, ascending
+	counts []uint64  // counts[i]: observations <= bounds[i] (and > bounds[i-1])
+	n      uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// histGrowth is the geometric bucket growth factor: 2^(1/8) ≈ 1.0905, i.e.
+// 8 buckets per doubling, ~230 buckets for the full 1µs..300s range.
+const histGrowth = 1.0905077326652577
+
+// NewHistogram creates an empty latency histogram.
+func NewHistogram() *Histogram {
+	var bounds []float64
+	for b := 1e-3; b < 300_000; b *= histGrowth { // 0.001ms .. 300s
+		bounds = append(bounds, b)
+	}
+	bounds = append(bounds, math.Inf(1))
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]uint64, len(bounds)),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// Add records one latency observation in milliseconds.
+func (h *Histogram) Add(ms float64) {
+	if ms < 0 || math.IsNaN(ms) {
+		ms = 0
+	}
+	i := sort.SearchFloat64s(h.bounds, ms)
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.n++
+	h.sum += ms
+	if ms < h.min {
+		h.min = ms
+	}
+	if ms > h.max {
+		h.max = ms
+	}
+}
+
+// Merge folds other into h. Both must come from NewHistogram (same bounds).
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean returns the mean latency in ms (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile returns the q-quantile (q in [0,1]) in ms, interpolated linearly
+// inside the containing bucket and clamped to the observed min/max so a
+// single-sample histogram reports the sample, not a bucket edge.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.n)
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			if math.IsInf(hi, 1) {
+				hi = h.max
+			}
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - cum) / float64(c)
+			}
+			v := lo + frac*(hi-lo)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// Bucket is one non-empty histogram bucket in a JSON report: the inclusive
+// upper bound in ms and the count of observations at or below it (and above
+// the previous bucket's bound).
+type Bucket struct {
+	LeMs  float64 `json:"le_ms"`
+	Count uint64  `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in ascending bound order. The last
+// (overflow) bucket reports the observed max as its bound.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		b := h.bounds[i]
+		if math.IsInf(b, 1) {
+			b = h.max
+		}
+		out = append(out, Bucket{LeMs: round3(b), Count: c})
+	}
+	return out
+}
+
+// String summarizes the distribution for log lines.
+func (h *Histogram) String() string {
+	if h.n == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms",
+		h.n, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.max)
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }

@@ -1,0 +1,386 @@
+// Package loadgen is the serving engine's load-generation and SLO harness:
+// open-loop (Poisson-arrival) and closed-loop request generators against a
+// running patdnn-serve, per-class latency histograms with p50/p95/p99, and
+// SLO assertions — the tooling that turns "real-time execution" (the paper's
+// headline) from a claim into a continuously checked contract. The
+// cmd/patdnn-loadgen binary is a thin flag front-end over Run/RunAll.
+//
+// Open loop models independent users: arrivals fire on a Poisson process at
+// Rate regardless of how the server is doing, so queueing delay and shedding
+// under overload are actually observable (a closed loop self-throttles and
+// hides them — the coordinated-omission trap). Closed loop models a fixed
+// worker fleet and is the right shape for throughput sweeps.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Spec describes one generated request stream.
+type Spec struct {
+	Name    string // case label; defaulted from class/mode when empty
+	URL     string // serve base URL, e.g. http://localhost:8080
+	Network string // model name ("VGG", "resnet50", "vgg@v2", ...)
+	Dataset string // dataset ("cifar10"); empty for registry models
+	Level   string // optional per-request optimization level
+	Class   string // scheduling class: "interactive" (default) or "batch"
+	// Mode selects the arrival process: "open" (Poisson arrivals at Rate,
+	// independent of completions) or "closed" (Clients workers, each sending
+	// the next request when the previous completes). Default "closed".
+	Mode string
+	// Rate is the open-loop mean arrival rate in requests/second.
+	Rate float64
+	// Clients is the closed-loop concurrency, and the open-loop in-flight
+	// cap (arrivals beyond it are dropped and counted as failures — the
+	// client ran out of capacity, which is itself a measurement).
+	// Defaults: 4 closed, 1024 open.
+	Clients int
+	// Requests stops the stream after this many arrivals (0 = unlimited,
+	// Duration must bound the run instead).
+	Requests int
+	// Duration stops the stream after this wall-clock time (0 = unlimited,
+	// Requests must bound the run instead).
+	Duration time.Duration
+	// Timeout is the per-request deadline, enforced client-side through the
+	// request context and server-side via the request's timeout_ms field.
+	Timeout time.Duration
+	Seed    int64 // arrival-process RNG seed (default 1)
+}
+
+func (s Spec) withDefaults() (Spec, error) {
+	if s.URL == "" {
+		return s, errors.New("loadgen: missing URL")
+	}
+	if s.Network == "" {
+		return s, errors.New("loadgen: missing network")
+	}
+	if s.Mode == "" {
+		s.Mode = "closed"
+	}
+	if s.Mode != "open" && s.Mode != "closed" {
+		return s, fmt.Errorf("loadgen: unknown mode %q (want open or closed)", s.Mode)
+	}
+	if s.Mode == "open" && s.Rate <= 0 {
+		return s, errors.New("loadgen: open-loop mode needs Rate > 0")
+	}
+	if s.Class == "" {
+		s.Class = "interactive"
+	}
+	if s.Clients <= 0 {
+		if s.Mode == "open" {
+			s.Clients = 1024
+		} else {
+			s.Clients = 4
+		}
+	}
+	if s.Requests <= 0 && s.Duration <= 0 {
+		return s, errors.New("loadgen: need Requests or Duration to bound the run")
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Name == "" {
+		s.Name = s.Class + "_" + s.Mode
+		if s.Mode == "open" {
+			s.Name += fmt.Sprintf("_%grps", s.Rate)
+		} else {
+			s.Name += fmt.Sprintf("_%dclients", s.Clients)
+		}
+	}
+	return s, nil
+}
+
+// Result is the measured outcome of one request stream.
+type Result struct {
+	Name       string  `json:"name"`
+	Class      string  `json:"class"`
+	Mode       string  `json:"mode"`
+	OfferedRPS float64 `json:"offered_rps,omitempty"` // open-loop configured arrival rate
+	Clients    int     `json:"clients"`
+	// Outcome counts: Sent = OK + Shed + Expired + Failed.
+	Sent    int `json:"sent"`
+	OK      int `json:"ok"`
+	Shed    int `json:"shed"`    // 429s: the server's admission control said no
+	Expired int `json:"expired"` // deadline exceeded (client- or server-side)
+	Failed  int `json:"failed"`  // transport errors, non-latency HTTP errors, in-flight overflow
+	// FirstError preserves the first failure's message for diagnosis.
+	FirstError    string        `json:"first_error,omitempty"`
+	Elapsed       time.Duration `json:"-"`
+	ElapsedMs     float64       `json:"elapsed_ms"`
+	ThroughputRPS float64       `json:"throughput_rps"` // completed OK / elapsed
+	// Latency distribution over OK requests only (sheds fail in microseconds
+	// and would flatter every percentile they pollute).
+	Hist   *Histogram `json:"-"`
+	MeanMs float64    `json:"mean_ms"`
+	P50Ms  float64    `json:"p50_ms"`
+	P95Ms  float64    `json:"p95_ms"`
+	P99Ms  float64    `json:"p99_ms"`
+}
+
+// CheckP99 returns an error when the stream's p99 latency violates the
+// target, or when the stream completed nothing (an SLO met by serving zero
+// requests is not met).
+func (r *Result) CheckP99(target time.Duration) error {
+	if r.OK == 0 {
+		return fmt.Errorf("loadgen: %s: SLO unverifiable, 0 requests completed (%d sent, first error: %s)",
+			r.Name, r.Sent, r.FirstError)
+	}
+	targetMs := float64(target) / 1e6
+	if r.P99Ms > targetMs {
+		return fmt.Errorf("loadgen: %s: p99 %.2fms exceeds SLO %.2fms (n=%d ok=%d shed=%d expired=%d)",
+			r.Name, r.P99Ms, targetMs, r.Sent, r.OK, r.Shed, r.Expired)
+	}
+	return nil
+}
+
+// outcome classifies one request's fate.
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeShed
+	outcomeExpired
+	outcomeFailed
+)
+
+// recorder aggregates outcomes across generator workers.
+type recorder struct {
+	mu       sync.Mutex
+	hist     *Histogram
+	sent     int
+	counts   [4]int
+	firstErr string
+}
+
+func (rec *recorder) record(o outcome, latMs float64, err error) {
+	rec.mu.Lock()
+	rec.sent++
+	rec.counts[o]++
+	if o == outcomeOK {
+		rec.hist.Add(latMs)
+	}
+	if err != nil && rec.firstErr == "" {
+		rec.firstErr = err.Error()
+	}
+	rec.mu.Unlock()
+}
+
+// client is the shared HTTP transport: keep-alive sized for the generator's
+// concurrency so connection churn doesn't pollute the latency measurement.
+var client = &http.Client{Transport: &http.Transport{
+	MaxIdleConns:        2048,
+	MaxIdleConnsPerHost: 2048,
+	IdleConnTimeout:     30 * time.Second,
+}}
+
+// inferBody is the POST /infer request payload.
+type inferBody struct {
+	Network   string  `json:"network"`
+	Dataset   string  `json:"dataset,omitempty"`
+	Level     string  `json:"level,omitempty"`
+	Class     string  `json:"class,omitempty"`
+	TimeoutMs float64 `json:"timeout_ms,omitempty"`
+}
+
+// doRequest issues one inference and classifies the outcome. Latency is
+// measured around the full HTTP round trip — what a client experiences.
+func doRequest(ctx context.Context, spec *Spec, body []byte) (float64, outcome, error) {
+	if spec.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, spec.Timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(spec.URL, "/")+"/infer", bytes.NewReader(body))
+	if err != nil {
+		return 0, outcomeFailed, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	latMs := float64(time.Since(start).Nanoseconds()) / 1e6
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return latMs, outcomeExpired, nil
+		}
+		return latMs, outcomeFailed, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return latMs, outcomeOK, nil
+	case http.StatusTooManyRequests:
+		return latMs, outcomeShed, nil
+	case 499, http.StatusGatewayTimeout:
+		return latMs, outcomeExpired, nil
+	default:
+		return latMs, outcomeFailed, fmt.Errorf("loadgen: HTTP %d from /infer", resp.StatusCode)
+	}
+}
+
+// Run executes one request stream to completion and returns its measurements.
+// ctx cancellation stops the stream early (the partial result is returned).
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	spec, err := spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(inferBody{
+		Network: spec.Network, Dataset: spec.Dataset, Level: spec.Level,
+		Class: spec.Class, TimeoutMs: float64(spec.Timeout) / 1e6,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec := &recorder{hist: NewHistogram()}
+	if spec.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, spec.Duration)
+		defer cancel()
+	}
+	start := time.Now()
+	if spec.Mode == "open" {
+		runOpen(ctx, &spec, body, rec)
+	} else {
+		runClosed(ctx, &spec, body, rec)
+	}
+	elapsed := time.Since(start)
+
+	r := &Result{
+		Name: spec.Name, Class: spec.Class, Mode: spec.Mode,
+		Clients: spec.Clients,
+		Sent:    rec.sent,
+		OK:      rec.counts[outcomeOK],
+		Shed:    rec.counts[outcomeShed],
+		Expired: rec.counts[outcomeExpired],
+		Failed:  rec.counts[outcomeFailed],
+		Elapsed: elapsed, ElapsedMs: float64(elapsed.Nanoseconds()) / 1e6,
+		FirstError: rec.firstErr,
+		Hist:       rec.hist,
+	}
+	if spec.Mode == "open" {
+		r.OfferedRPS = spec.Rate
+	}
+	if elapsed > 0 {
+		r.ThroughputRPS = float64(r.OK) / elapsed.Seconds()
+	}
+	r.MeanMs = rec.hist.Mean()
+	r.P50Ms = rec.hist.Quantile(0.50)
+	r.P95Ms = rec.hist.Quantile(0.95)
+	r.P99Ms = rec.hist.Quantile(0.99)
+	return r, nil
+}
+
+// runClosed: Clients workers, each issuing the next request as soon as the
+// previous one completes, until the request budget or deadline runs out.
+func runClosed(ctx context.Context, spec *Spec, body []byte, rec *recorder) {
+	var next int64
+	var mu sync.Mutex
+	take := func() bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if spec.Requests > 0 && int(next) >= spec.Requests {
+			return false
+		}
+		next++
+		return true
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < spec.Clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for take() {
+				lat, o, err := doRequest(ctx, spec, body)
+				if truncated(ctx, o) {
+					return
+				}
+				rec.record(o, lat, err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// truncated reports whether a non-OK outcome was caused by the run's own
+// bounding context (Duration elapsed / caller cancelled) rather than by the
+// request: such in-flight casualties are end-of-run truncation, not
+// measurements, and recording them would inflate the expired/failed columns
+// with events the server never saw.
+func truncated(runCtx context.Context, o outcome) bool {
+	return runCtx.Err() != nil && (o == outcomeExpired || o == outcomeFailed)
+}
+
+// runOpen: Poisson arrivals at spec.Rate — exponential inter-arrival gaps,
+// each arrival fired in its own goroutine regardless of completions, bounded
+// only by the in-flight cap (overflow counts as client-side failure, never
+// silently absorbed into the arrival process).
+func runOpen(ctx context.Context, spec *Spec, body []byte, rec *recorder) {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	sem := make(chan struct{}, spec.Clients)
+	var wg sync.WaitGroup
+	sent := 0
+	for spec.Requests <= 0 || sent < spec.Requests {
+		gap := time.Duration(rng.ExpFloat64() / spec.Rate * float64(time.Second))
+		select {
+		case <-ctx.Done():
+			goto done
+		case <-time.After(gap):
+		}
+		sent++
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				lat, o, err := doRequest(ctx, spec, body)
+				if truncated(ctx, o) {
+					return
+				}
+				rec.record(o, lat, err)
+			}()
+		default:
+			rec.record(outcomeFailed, 0, errors.New("loadgen: in-flight cap reached, arrival dropped client-side"))
+		}
+	}
+done:
+	wg.Wait()
+}
+
+// RunAll executes the specs concurrently (one stream each) and returns the
+// results in spec order. This is how an SLO scenario drives foreground
+// interactive traffic and saturating background batch traffic at once.
+func RunAll(ctx context.Context, specs []Spec) ([]*Result, error) {
+	results := make([]*Result, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Run(ctx, specs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

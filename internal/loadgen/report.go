@@ -1,0 +1,99 @@
+package loadgen
+
+// JSON artifact output: loadgen writes its per-class results in the same
+// BENCH_serve schema cmd/patdnn-bench emits, so the trajectory tooling (and
+// the benchgate regression gate) consume histograms from either producer.
+// The loadgen-specific fields — class, mode, offered rate, p95, outcome
+// counts, histogram buckets — are additive; the shared core (name, clients,
+// requests, throughput_rps, p50_ms, p99_ms) keeps its v2 meaning.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Schema identifies the report format; it matches cmd/patdnn-bench's
+// BENCH_serve schema so one toolchain reads both.
+const Schema = "patdnn/bench-serve/v2"
+
+// Case is one stream's row in the report.
+type Case struct {
+	Name          string  `json:"name"`
+	Clients       int     `json:"clients"`
+	Requests      int     `json:"requests"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	// Loadgen-specific (additive over the bench sweep's cases):
+	Class      string   `json:"class,omitempty"`
+	Mode       string   `json:"mode,omitempty"`
+	OfferedRPS float64  `json:"offered_rps,omitempty"`
+	MeanMs     float64  `json:"mean_ms,omitempty"`
+	P95Ms      float64  `json:"p95_ms,omitempty"`
+	OK         int      `json:"ok"`
+	Shed       int      `json:"shed,omitempty"`
+	Expired    int      `json:"expired,omitempty"`
+	Failed     int      `json:"failed,omitempty"`
+	Hist       []Bucket `json:"hist,omitempty"`
+}
+
+// Report is the artifact written by WriteReport.
+type Report struct {
+	Schema    string    `json:"schema"`
+	Model     string    `json:"model"`
+	Go        string    `json:"go"`
+	Workers   int       `json:"workers"`
+	Timestamp time.Time `json:"timestamp"`
+	Cases     []Case    `json:"cases"`
+}
+
+// NewReport assembles the report for a finished run; model names the target
+// ("VGG/cifar10").
+func NewReport(model string, results []*Result) *Report {
+	rep := &Report{
+		Schema:    Schema,
+		Model:     model,
+		Go:        runtime.Version(),
+		Workers:   runtime.GOMAXPROCS(0),
+		Timestamp: time.Now().UTC(),
+	}
+	for _, r := range results {
+		rep.Cases = append(rep.Cases, Case{
+			Name:          r.Name,
+			Clients:       r.Clients,
+			Requests:      r.Sent,
+			ThroughputRPS: r.ThroughputRPS,
+			P50Ms:         r.P50Ms,
+			P99Ms:         r.P99Ms,
+			Class:         r.Class,
+			Mode:          r.Mode,
+			OfferedRPS:    r.OfferedRPS,
+			MeanMs:        r.MeanMs,
+			P95Ms:         r.P95Ms,
+			OK:            r.OK,
+			Shed:          r.Shed,
+			Expired:       r.Expired,
+			Failed:        r.Failed,
+			Hist:          r.Hist.Buckets(),
+		})
+	}
+	return rep
+}
+
+// WriteReport writes the report as indented JSON to path.
+func WriteReport(path, model string, results []*Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(NewReport(model, results)); err != nil {
+		f.Close()
+		return err
+	}
+	// A close error means a truncated artifact; surface it, don't mask it.
+	return f.Close()
+}

@@ -30,6 +30,24 @@ func NewPool(n int) *Pool {
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
 
+// Limit returns a width-limited view of the pool: ParallelFor on the returned
+// pool splits work across at most n workers (floored at 1, capped at the
+// parent's width). The serving engine uses it to run batch-class sweeps on a
+// slice of the machine while interactive sweeps keep the full width — sizing
+// compute per scheduling class without a second pool's worth of bookkeeping.
+func (p *Pool) Limit(n int) *Pool {
+	if n > p.workers {
+		n = p.workers
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n == p.workers {
+		return p
+	}
+	return &Pool{workers: n}
+}
+
 // ParallelFor runs fn(chunk) for chunks [start,end) covering [0,n) split as
 // evenly as possible across the workers. A panic inside fn is captured on the
 // worker goroutine and re-raised on the calling goroutine after every worker

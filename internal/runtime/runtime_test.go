@@ -171,3 +171,33 @@ func TestMeasureReturnsNonNegative(t *testing.T) {
 		t.Fatalf("negative time %f", ms)
 	}
 }
+
+func TestPoolLimit(t *testing.T) {
+	p := NewPool(8)
+	cases := []struct{ n, want int }{
+		{4, 4}, {8, 8}, {12, 8}, {0, 1}, {-3, 1}, {1, 1},
+	}
+	for _, c := range cases {
+		if got := p.Limit(c.n).Workers(); got != c.want {
+			t.Fatalf("NewPool(8).Limit(%d).Workers() = %d, want %d", c.n, got, c.want)
+		}
+	}
+	// Full-width limit returns the pool itself (no pointless copy).
+	if p.Limit(8) != p {
+		t.Fatal("Limit(width) should return the same pool")
+	}
+	// A limited pool still covers the whole range, with at most n chunks
+	// in flight: ParallelFor correctness is width-independent.
+	lp := p.Limit(2)
+	var covered [64]int32
+	lp.ParallelFor(64, func(start, end int) {
+		for i := start; i < end; i++ {
+			atomic.AddInt32(&covered[i], 1)
+		}
+	})
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("limited pool: index %d covered %d times", i, c)
+		}
+	}
+}

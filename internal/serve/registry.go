@@ -171,7 +171,7 @@ func (e *Engine) retireBatcher(cm *compiledModel) {
 	e.mu.Unlock()
 	e.lifecycle.Unlock()
 	if bt != nil {
-		close(bt.ch)
+		bt.closeLanes()
 	}
 }
 

@@ -457,7 +457,7 @@ func TestRetiredArtifactServesStragglersUnbatched(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := eng.dispatch(ctx, cm, in)
+	resp, err := eng.dispatch(ctx, cm, in, ClassInteractive)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,264 @@
+package serve
+
+// The scheduling layer: every compiled artifact gets one batcher with two
+// class lanes — interactive (the default, latency-sensitive) and batch
+// (canary/bench/backfill traffic that must never starve interactive work).
+// Each lane is a bounded queue: admission is a non-blocking send, so when a
+// lane is full the engine sheds the request immediately with ErrOverloaded
+// (the 429 fast-fail) instead of growing an unbounded backlog whose tail
+// latency nobody can meet anyway.
+//
+// Batching is deadline-aware. Requests carry their deadline through ctx
+// (Request.TimeoutMs attaches one server-side); at the moment a gathered
+// batch is swept, calls whose context is already done — cancelled client,
+// expired deadline — are dropped from the sweep and answered with the
+// context error, counted as deadline sheds rather than completions. A
+// tripwire counter (Stats.ExpiredExecuted) audits the invariant from the
+// other side: any call that executes even though its deadline had passed
+// before the sweep started is counted, and the E2E harness asserts the
+// counter stays zero.
+//
+// Priority is by resource partitioning rather than preemption: the two lanes
+// run concurrently (so a full batch queue never blocks interactive dequeue),
+// but batch-class sweeps execute on a width-limited view of the worker pool
+// (Config.BatchWorkers, default a quarter of the pool) while interactive
+// sweeps keep the full width. Saturating batch traffic therefore costs
+// interactive requests at most the narrow slice of compute the operator
+// granted the batch class, and the batch class still makes progress — capped,
+// not starved, in either direction.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"patdnn/internal/runtime"
+	"patdnn/internal/tensor"
+)
+
+// ErrOverloaded is returned by Infer when the target model's queue for the
+// request's class is full: the request was shed at admission without doing
+// any work. HTTP front-ends should map it to 429 Too Many Requests.
+var ErrOverloaded = errors.New("serve: overloaded, request shed")
+
+// Class is the scheduling class of a request.
+type Class uint8
+
+const (
+	// ClassInteractive is the default class: user-facing, latency-sensitive
+	// traffic. Interactive sweeps run at the worker pool's full width.
+	ClassInteractive Class = iota
+	// ClassBatch is background traffic — canary comparisons, benchmarking,
+	// backfill — executed on a width-limited pool slice so it can never
+	// starve interactive work.
+	ClassBatch
+	numClasses
+)
+
+// String returns the wire spelling of the class.
+func (c Class) String() string {
+	if c == ClassBatch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// ParseClass parses a Request.Class value; empty selects interactive.
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "", "interactive":
+		return ClassInteractive, nil
+	case "batch":
+		return ClassBatch, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown class %q (want interactive or batch)", s)
+	}
+}
+
+// QueueStat is one lane's queue depth snapshot in Stats: the current depth,
+// the configured bound, and the admission-time high-water mark. Depth can
+// never exceed Capacity — the bound is the lane channel's capacity.
+type QueueStat struct {
+	Network  string `json:"network"`
+	Dataset  string `json:"dataset,omitempty"`
+	Version  string `json:"version,omitempty"`
+	Class    string `json:"class"`
+	Depth    int    `json:"depth"`
+	Capacity int    `json:"capacity"`
+	Peak     int    `json:"peak"`
+}
+
+// call is one enqueued request inside a lane.
+type call struct {
+	ctx      ctxDone // request context: deadline + cancellation
+	input    *tensor.Tensor
+	resp     chan batchResult // buffered(1): abandoned callers never block the lane
+	enqueued time.Time
+}
+
+// ctxDone is the slice of context.Context the scheduler needs; a named
+// interface keeps the call struct honest about what it consults (Err for the
+// sweep filter, Deadline for the executed-expired tripwire).
+type ctxDone interface {
+	Err() error
+	Deadline() (time.Time, bool)
+}
+
+type batchResult struct {
+	out     *tensor.Tensor
+	err     error // non-nil when the call was shed from the sweep (ctx done)
+	size    int
+	queueMs float64
+	runMs   float64
+}
+
+// batcher owns one compiled model's request stream: two class lanes, each a
+// bounded queue drained by its own gather loop.
+type batcher struct {
+	eng   *Engine
+	cm    *compiledModel
+	lanes [numClasses]*lane
+}
+
+// lane is one class's bounded queue and gather/sweep loop for one artifact.
+type lane struct {
+	eng   *Engine
+	cm    *compiledModel
+	class Class
+	ch    chan *call
+	peak  atomic.Int64 // admission-time high-water mark of len(ch)
+}
+
+// newBatcher creates the batcher and starts both lane goroutines. Callers
+// hold e.mu and have already accounted e.wg.Add(numClasses).
+func newBatcher(e *Engine, cm *compiledModel) *batcher {
+	bt := &batcher{eng: e, cm: cm}
+	for cl := Class(0); cl < numClasses; cl++ {
+		ln := &lane{eng: e, cm: cm, class: cl,
+			ch: make(chan *call, e.cfg.QueueDepth)}
+		bt.lanes[cl] = ln
+		go ln.loop()
+	}
+	return bt
+}
+
+// closeLanes closes both lane channels; each loop drains its queue (shedding
+// dead calls, completing live ones) and exits.
+func (bt *batcher) closeLanes() {
+	for _, ln := range bt.lanes {
+		close(ln.ch)
+	}
+}
+
+// enqueue admits c into the class lane, or sheds it: non-blocking, so a full
+// queue fails fast with ErrOverloaded instead of building an unbounded
+// backlog. Callers hold the engine lifecycle read lock across the send.
+func (bt *batcher) enqueue(c *call, class Class) error {
+	ln := bt.lanes[class]
+	select {
+	case ln.ch <- c:
+		// High-water mark: approximate under concurrency (len can lag), but
+		// the hard bound is the channel capacity itself.
+		if d := int64(len(ln.ch)); d > ln.peak.Load() {
+			ln.peak.Store(d)
+		}
+		return nil
+	default:
+		bt.eng.sheds.Add(1)
+		bt.eng.shedByClass[class].Add(1)
+		return ErrOverloaded
+	}
+}
+
+// pool returns the worker pool this lane sweeps on: full width for
+// interactive, the width-limited slice for batch.
+func (ln *lane) pool() *runtime.Pool {
+	if ln.class == ClassBatch {
+		return ln.eng.batchPool
+	}
+	return ln.eng.pool
+}
+
+func (ln *lane) loop() {
+	defer ln.eng.wg.Done()
+	for {
+		first, ok := <-ln.ch
+		if !ok {
+			return
+		}
+		calls := []*call{first}
+		timer := time.NewTimer(ln.eng.cfg.BatchWindow)
+	gather:
+		for len(calls) < ln.eng.cfg.MaxBatch {
+			select {
+			case c, ok := <-ln.ch:
+				if !ok {
+					break gather // closed: run what we have; next recv exits
+				}
+				calls = append(calls, c)
+			case <-timer.C:
+				break gather
+			}
+		}
+		timer.Stop()
+		ln.run(calls)
+	}
+}
+
+// run sweeps one gathered batch. The deadline filter runs first: calls whose
+// context is already done are answered with the context error and counted as
+// deadline sheds — their inputs never reach the compute sweep. The deadline
+// is additionally checked against the clock directly: a context's Err() only
+// flips when its timer fires, and on a loaded machine the timer can lag the
+// wall-clock deadline — the contract is "expired at sweep start", not
+// "expired and the runtime noticed". start is taken before the filter, so
+// the executed-expired tripwire below can never fire unless the filter
+// itself is broken.
+func (ln *lane) run(calls []*call) {
+	start := time.Now()
+	alive := calls[:0]
+	for _, c := range calls {
+		err := c.ctx.Err()
+		if err == nil {
+			if dl, ok := c.ctx.Deadline(); ok && !dl.After(start) {
+				err = context.DeadlineExceeded
+			}
+		}
+		if err != nil {
+			ln.eng.deadlineSheds.Add(1)
+			c.resp <- batchResult{err: err}
+			continue
+		}
+		alive = append(alive, c)
+	}
+	if len(alive) == 0 {
+		return // the whole batch died in the queue: skip the sweep entirely
+	}
+	inputs := make([]*tensor.Tensor, len(alive))
+	for i, c := range alive {
+		inputs[i] = c.input
+	}
+	outs := ln.cm.runBatch(ln.pool(), inputs)
+	runMs := float64(time.Since(start).Nanoseconds()) / 1e6
+	ln.eng.batches.Add(1)
+	ln.eng.ranRequests.Add(uint64(len(alive)))
+	if len(alive) > 1 {
+		ln.eng.batchedRequests.Add(uint64(len(alive)))
+	}
+	for i, c := range alive {
+		// Tripwire for the deadline contract: a delivered result whose
+		// deadline predates the sweep start means an expired request burned
+		// compute — the filter above exists to keep this at zero.
+		if dl, ok := c.ctx.Deadline(); ok && dl.Before(start) {
+			ln.eng.expiredExecuted.Add(1)
+		}
+		c.resp <- batchResult{
+			out:     outs[i],
+			size:    len(alive),
+			queueMs: float64(start.Sub(c.enqueued).Nanoseconds()) / 1e6,
+			runMs:   runMs,
+		}
+	}
+}

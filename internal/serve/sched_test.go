@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCancelledCallShedNotCompleted is the regression test for the
+// cancelled-call leak: a request whose context is done while it sits in the
+// queue must be dropped from the batch sweep (a deadline shed), not executed.
+// MaxBatch==2 makes the sequencing deterministic: the first call is gathered
+// and the batcher waits for a second; we cancel the first, then send the
+// second, which completes the gather and fires the sweep immediately.
+func TestCancelledCallShedNotCompleted(t *testing.T) {
+	eng := tinyEngine(t, Config{Workers: 1, MaxBatch: 2, BatchWindow: time.Minute})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	firstErr := make(chan error, 1)
+	go func() {
+		_, err := eng.Infer(ctx, Request{Network: "tiny", Dataset: "synthetic"})
+		firstErr <- err
+	}()
+	// Wait until the batcher holds the first call (queue drained, gather in
+	// progress), then cancel it while it waits for company.
+	waitForGather(t, eng)
+	cancel()
+	if err := <-firstErr; err != context.Canceled {
+		t.Fatalf("cancelled call returned %v, want context.Canceled", err)
+	}
+
+	// The second call completes the gather; the sweep must run without the
+	// cancelled call: batch size 1, one deadline shed, zero executed-expired.
+	r, err := eng.Infer(context.Background(),
+		Request{Network: "tiny", Dataset: "synthetic", Input: tinyInput(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BatchSize != 1 {
+		t.Fatalf("surviving call rode batch of %d, want 1 (cancelled call must not be swept)", r.BatchSize)
+	}
+	s := eng.Stats()
+	if s.DeadlineSheds != 1 {
+		t.Fatalf("DeadlineSheds = %d, want 1 (a shed, not a completion)", s.DeadlineSheds)
+	}
+	if s.Batches != 1 || s.AvgBatch != 1 {
+		t.Fatalf("Batches=%d AvgBatch=%g, want 1/1 (cancelled call never ran)", s.Batches, s.AvgBatch)
+	}
+	if s.ExpiredExecuted != 0 {
+		t.Fatalf("ExpiredExecuted = %d, want 0", s.ExpiredExecuted)
+	}
+}
+
+// TestQueuedDeadlineExpiryShedsBeforeSweep: same shape as the cancel test but
+// the context dies through Request.TimeoutMs — the server-side deadline — so
+// the whole deadline plumbing (TimeoutMs → ctx → sweep filter) is covered.
+func TestQueuedDeadlineExpiryShedsBeforeSweep(t *testing.T) {
+	eng := tinyEngine(t, Config{Workers: 1, MaxBatch: 2, BatchWindow: time.Minute})
+
+	firstErr := make(chan error, 1)
+	go func() {
+		_, err := eng.Infer(context.Background(),
+			Request{Network: "tiny", Dataset: "synthetic", TimeoutMs: 25})
+		firstErr <- err
+	}()
+	waitForGather(t, eng)
+	if err := <-firstErr; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired call returned %v, want DeadlineExceeded", err)
+	}
+
+	r, err := eng.Infer(context.Background(),
+		Request{Network: "tiny", Dataset: "synthetic", Input: tinyInput(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BatchSize != 1 {
+		t.Fatalf("batch size %d, want 1", r.BatchSize)
+	}
+	s := eng.Stats()
+	if s.DeadlineSheds != 1 || s.ExpiredExecuted != 0 {
+		t.Fatalf("DeadlineSheds=%d ExpiredExecuted=%d, want 1/0", s.DeadlineSheds, s.ExpiredExecuted)
+	}
+}
+
+// waitForGather polls until the engine's single batcher has dequeued
+// everything and sits in a gather (both lane queues empty, one batch pending).
+func waitForGather(t *testing.T, eng *Engine) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		eng.mu.Lock()
+		drained := len(eng.batchers) == 1
+		for _, bt := range eng.batchers {
+			for _, ln := range bt.lanes {
+				if len(ln.ch) != 0 {
+					drained = false
+				}
+			}
+		}
+		eng.mu.Unlock()
+		if drained {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("batcher never dequeued the first call")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDeadRequestNeverEnqueued: a request that is already cancelled at
+// admission is shed without touching a queue.
+func TestDeadRequestNeverEnqueued(t *testing.T) {
+	eng := tinyEngine(t, Config{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Infer(ctx, Request{Network: "tiny", Dataset: "synthetic"}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	s := eng.Stats()
+	if s.DeadlineSheds != 1 || s.Batches != 0 {
+		t.Fatalf("DeadlineSheds=%d Batches=%d, want 1/0", s.DeadlineSheds, s.Batches)
+	}
+}
+
+// stallLane parks a lane inside a sweep: the planted call's unbuffered resp
+// channel blocks result delivery until the returned release func runs, giving
+// tests a deterministic window in which the lane consumes nothing.
+func stallLane(t *testing.T, eng *Engine, class Class) (release func()) {
+	t.Helper()
+	_, cm, err := eng.compiled("tiny", "synthetic", "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := eng.batcherFor(cm)
+	in, err := cm.inputTensor(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall := &call{ctx: context.Background(), input: in,
+		resp: make(chan batchResult), enqueued: time.Now()}
+	bt.lanes[class].ch <- stall
+	// Wait until the lane has dequeued the stall call and is blocked
+	// delivering its result (queue observably empty, nothing else queued).
+	deadline := time.Now().Add(5 * time.Second)
+	for len(bt.lanes[class].ch) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("lane never dequeued the stall call")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond) // let the sweep reach the resp send
+	return func() { <-stall.resp }
+}
+
+// TestOverloadShedsFastWithBoundedQueue pins the load-shedding contract:
+// with the batch lane stalled and its bounded queue full, the next request is
+// rejected immediately with ErrOverloaded — no blocking, no unbounded growth
+// — and the shed shows up in Stats with its class, while the queue snapshot
+// proves the depth never exceeded the configured bound.
+func TestOverloadShedsFastWithBoundedQueue(t *testing.T) {
+	const depth = 2
+	eng := tinyEngine(t, Config{Workers: 1, MaxBatch: 1, QueueDepth: depth,
+		BatchWindow: time.Millisecond})
+	release := stallLane(t, eng, ClassBatch)
+
+	// Fill the bounded queue to capacity behind the stalled sweep.
+	results := make(chan error, depth)
+	for i := 0; i < depth; i++ {
+		go func(i int) {
+			_, err := eng.Infer(context.Background(), Request{
+				Network: "tiny", Dataset: "synthetic", Class: "batch", Input: tinyInput(i)})
+			results <- err
+		}(i)
+	}
+	waitForQueueDepth(t, eng, "batch", depth)
+
+	// The queue is full: the next batch-class request must shed fast.
+	start := time.Now()
+	_, err := eng.Infer(context.Background(),
+		Request{Network: "tiny", Dataset: "synthetic", Class: "batch"})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("shed took %v, want fast-fail", d)
+	}
+	s := eng.Stats()
+	if s.Shed != 1 || s.ShedByClass["batch"] != 1 {
+		t.Fatalf("Shed=%d ShedByClass=%v, want 1/batch:1", s.Shed, s.ShedByClass)
+	}
+	var found bool
+	for _, q := range s.Queues {
+		if q.Class != "batch" {
+			continue
+		}
+		found = true
+		if q.Capacity != depth || q.Depth > q.Capacity || q.Peak > q.Capacity {
+			t.Fatalf("queue stat out of bounds: %+v", q)
+		}
+		if q.Depth != depth {
+			t.Fatalf("queue depth %d, want %d (full behind the stalled sweep)", q.Depth, depth)
+		}
+	}
+	if !found {
+		t.Fatalf("no batch-class queue stat: %+v", s.Queues)
+	}
+
+	// Interactive traffic is unaffected by the saturated batch lane: the
+	// classes are separate lanes, so batch backlog cannot starve it.
+	if _, err := eng.Infer(context.Background(),
+		Request{Network: "tiny", Dataset: "synthetic"}); err != nil {
+		t.Fatalf("interactive request behind saturated batch lane: %v", err)
+	}
+
+	release()
+	for i := 0; i < depth; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("queued request after release: %v", err)
+		}
+	}
+}
+
+func waitForQueueDepth(t *testing.T, eng *Engine, class string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, q := range eng.Stats().Queues {
+			if q.Class == class && q.Depth == want {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s queue never reached depth %d: %+v", class, want, eng.Stats().Queues)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Class
+		ok   bool
+	}{{"", ClassInteractive, true}, {"interactive", ClassInteractive, true},
+		{"batch", ClassBatch, true}, {"bulk", 0, false}} {
+		got, err := ParseClass(c.in)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Fatalf("ParseClass(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	eng := tinyEngine(t, Config{Workers: 1})
+	if _, err := eng.Infer(context.Background(),
+		Request{Network: "tiny", Dataset: "synthetic", Class: "bulk"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown class") {
+		t.Fatalf("err = %v, want unknown-class error", err)
+	}
+}
+
+// TestClassLanesShareThePlanCache: both classes serve the same compiled
+// artifact (one compile), and per-class batching works concurrently.
+func TestClassLanesShareThePlanCache(t *testing.T) {
+	eng := tinyEngine(t, Config{Workers: 2, MaxBatch: 4, BatchWindow: time.Millisecond})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			class := "interactive"
+			if i%2 == 1 {
+				class = "batch"
+			}
+			if _, err := eng.Infer(context.Background(), Request{
+				Network: "tiny", Dataset: "synthetic", Class: class, Input: tinyInput(i)}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := eng.Stats()
+	if s.PlanCompiles != 1 {
+		t.Fatalf("PlanCompiles = %d, want 1 (classes share the artifact)", s.PlanCompiles)
+	}
+	if s.Errors != 0 || s.Requests != 16 {
+		t.Fatalf("stats %+v", s)
+	}
+	if len(s.Queues) != 2 {
+		t.Fatalf("queue stats %+v, want one per class", s.Queues)
+	}
+}
+
+// TestShedsAndDeadlinesAreNotErrors: intentional scheduler outcomes — load
+// sheds, deadline expiry, cancellation — must not pollute Stats.Errors,
+// which pages operators on hard failures only.
+func TestShedsAndDeadlinesAreNotErrors(t *testing.T) {
+	const depth = 2
+	eng := tinyEngine(t, Config{Workers: 1, MaxBatch: 1, QueueDepth: depth,
+		BatchWindow: time.Millisecond})
+	release := stallLane(t, eng, ClassBatch)
+
+	results := make(chan error, depth)
+	for i := 0; i < depth; i++ {
+		go func(i int) {
+			_, err := eng.Infer(context.Background(), Request{
+				Network: "tiny", Dataset: "synthetic", Class: "batch", Input: tinyInput(i)})
+			results <- err
+		}(i)
+	}
+	waitForQueueDepth(t, eng, "batch", depth)
+	// One shed (full queue), one cancellation, then a hard failure.
+	if _, err := eng.Infer(context.Background(),
+		Request{Network: "tiny", Dataset: "synthetic", Class: "batch"}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Infer(ctx, Request{Network: "tiny", Dataset: "synthetic"}); err != context.Canceled {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if _, err := eng.Infer(context.Background(), Request{Network: "nope", Dataset: "cifar10"}); err == nil {
+		t.Fatal("want unknown-network error")
+	}
+	s := eng.Stats()
+	if s.Errors != 1 {
+		t.Fatalf("Errors = %d, want 1 (only the unknown network; shed=%d deadline_sheds=%d are not errors)",
+			s.Errors, s.Shed, s.DeadlineSheds)
+	}
+	release()
+	for i := 0; i < depth; i++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTimeoutMsValidation: client-supplied garbage deadlines are rejected as
+// errors at admission, not converted into already-expired contexts that
+// masquerade as deadline sheds.
+func TestTimeoutMsValidation(t *testing.T) {
+	eng := tinyEngine(t, Config{Workers: 1})
+	for _, ms := range []float64{-1, 1e308, math.Inf(1), math.NaN(), maxTimeoutMs + 1} {
+		_, err := eng.Infer(context.Background(),
+			Request{Network: "tiny", Dataset: "synthetic", TimeoutMs: ms})
+		if err == nil || !strings.Contains(err.Error(), "timeout_ms") {
+			t.Fatalf("TimeoutMs=%g: err = %v, want timeout_ms validation error", ms, err)
+		}
+	}
+	if s := eng.Stats(); s.DeadlineSheds != 0 {
+		t.Fatalf("validation rejections counted as deadline sheds: %d", s.DeadlineSheds)
+	}
+	// A sane value still works.
+	if _, err := eng.Infer(context.Background(),
+		Request{Network: "tiny", Dataset: "synthetic", TimeoutMs: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -40,6 +40,11 @@ var ErrClosed = errors.New("serve: engine closed")
 // estimator pick per layer" — the engine default.
 const LevelAuto = "auto"
 
+// maxTimeoutMs bounds Request.TimeoutMs (~1 day in ms): far beyond any sane
+// inference deadline, far inside the range where the float→Duration
+// conversion stays exact and positive.
+const maxTimeoutMs = 86_400_000
+
 // Config parameterizes an Engine. The zero value selects sensible defaults.
 type Config struct {
 	Workers     int           // worker-pool size (<=0 selects GOMAXPROCS)
@@ -53,6 +58,14 @@ type Config struct {
 	// FKW-direct backend.
 	Level string
 	Seed  int64 // deterministic weight-generation seed (default 42)
+	// QueueDepth bounds each per-model, per-class request queue. A request
+	// arriving at a full queue is shed immediately with ErrOverloaded rather
+	// than queued behind work it can't wait out. Default max(64, 8*MaxBatch).
+	QueueDepth int
+	// BatchWorkers caps the worker-pool width batch-class sweeps may use, so
+	// canary/bench traffic cannot monopolize the compute interactive traffic
+	// needs. Default max(1, Workers/4); values above Workers are clamped.
+	BatchWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +86,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 42
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 8 * c.MaxBatch
+		if c.QueueDepth < 64 {
+			c.QueueDepth = 64
+		}
 	}
 	return c
 }
@@ -109,6 +128,16 @@ type Request struct {
 	// level compiles and caches its own plan stack — the level is part of the
 	// plan-cache key.
 	Level string `json:"level,omitempty"`
+	// Class is the scheduling class: "interactive" (default) for
+	// latency-sensitive traffic, "batch" for background traffic that rides
+	// the width-limited batch lane and can never starve interactive work.
+	Class string `json:"class,omitempty"`
+	// TimeoutMs attaches a server-side deadline to this request (in
+	// milliseconds): if the deadline passes while the request is queued, the
+	// batcher sheds it before the sweep instead of burning compute on an
+	// answer nobody is waiting for. 0 means no server-side deadline beyond
+	// whatever the caller's ctx carries.
+	TimeoutMs float64 `json:"timeout_ms,omitempty"`
 }
 
 // Response reports one completed inference.
@@ -129,14 +158,35 @@ type Response struct {
 
 // Stats is a snapshot of the engine counters.
 type Stats struct {
-	Requests        uint64  `json:"requests"`
+	Requests uint64 `json:"requests"`
+	// Errors counts hard failures only — unknown models, bad inputs, compile
+	// errors, requests rejected by a closed engine. Intentional scheduler
+	// outcomes (load sheds, deadline expiry, caller cancellation) are by
+	// design, normal under overload, and counted in their own fields below;
+	// folding them in here would page operators on healthy admission control.
 	Errors          uint64  `json:"errors"`
 	Batches         uint64  `json:"batches"`
 	BatchedRequests uint64  `json:"batched_requests"` // requests that shared a batch with >=1 other
 	PlanCompiles    uint64  `json:"plan_compiles"`    // plan-cache misses (models compiled)
 	PlanHits        uint64  `json:"plan_hits"`        // plan-cache hits
 	Workers         int     `json:"workers"`
-	AvgBatch        float64 `json:"avg_batch"` // Requests-that-ran / Batches
+	BatchWorkers    int     `json:"batch_workers"` // pool width granted to batch-class sweeps
+	AvgBatch        float64 `json:"avg_batch"`     // Requests-that-ran / Batches
+	// Shed counts requests rejected at admission because their class lane was
+	// full (ErrOverloaded — the 429 fast-fail), split by class below.
+	Shed        uint64            `json:"shed"`
+	ShedByClass map[string]uint64 `json:"shed_by_class,omitempty"`
+	// DeadlineSheds counts queued calls dropped at sweep time because their
+	// context was already done (deadline expired or caller cancelled): they
+	// are answered with the context error and never reach compute.
+	DeadlineSheds uint64 `json:"deadline_sheds"`
+	// ExpiredExecuted is the deadline contract's tripwire: requests that
+	// executed even though their deadline had passed before the sweep
+	// started. It must stay zero; the loadgen E2E harness asserts it.
+	ExpiredExecuted uint64 `json:"expired_executed"`
+	// Queues snapshots every live lane's bounded queue: current depth (never
+	// above capacity), the configured capacity, and the high-water mark.
+	Queues []QueueStat `json:"queues,omitempty"`
 	// LevelHits counts plan-cache hits per optimization-level tag ("auto",
 	// "tuned", "packed", ...): the level is part of the cache key, so this
 	// shows which kernel generations the request stream is actually riding.
@@ -215,6 +265,10 @@ func (en *modelEntry) snapshot() (cm *compiledModel, err error, ok bool) {
 type Engine struct {
 	cfg  Config
 	pool *runtime.Pool
+	// batchPool is the width-limited view of pool that batch-class sweeps
+	// run on (Config.BatchWorkers), so background traffic is capped rather
+	// than competing at full width with interactive sweeps.
+	batchPool *runtime.Pool
 
 	mu     sync.Mutex // guards models/registered/batchers maps + levelHits + reg
 	models map[modelKey]*modelEntry
@@ -248,15 +302,28 @@ type Engine struct {
 	batchedRequests atomic.Uint64
 	planCompiles    atomic.Uint64
 	planHits        atomic.Uint64
+	sheds           atomic.Uint64
+	shedByClass     [numClasses]atomic.Uint64
+	deadlineSheds   atomic.Uint64
+	expiredExecuted atomic.Uint64
 }
 
 // New creates an Engine and its worker pool. Models compile lazily on first
 // use (or eagerly via Preload) and stay cached until Close.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	pool := runtime.NewPool(cfg.Workers)
+	bw := cfg.BatchWorkers
+	if bw < 1 {
+		bw = pool.Workers() / 4
+		if bw < 1 {
+			bw = 1
+		}
+	}
 	return &Engine{
 		cfg:        cfg,
-		pool:       runtime.NewPool(cfg.Workers),
+		pool:       pool,
+		batchPool:  pool.Limit(bw),
 		models:     make(map[modelKey]*modelEntry),
 		registered: make(map[[2]string]*model.Model),
 		batchers:   make(map[*compiledModel]*batcher),
@@ -390,31 +457,30 @@ func (e *Engine) compiled(network, dataset, level string, gate bool) (modelKey, 
 	return key, cm, cerr
 }
 
-// batcherFor returns (creating if needed) the per-artifact batcher goroutine.
+// batcherFor returns (creating if needed) the per-artifact batcher and its
+// two lane goroutines.
 func (e *Engine) batcherFor(cm *compiledModel) *batcher {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if bt, ok := e.batchers[cm]; ok {
 		return bt
 	}
-	bt := &batcher{
-		eng: e,
-		cm:  cm,
-		ch:  make(chan *call, 4*e.cfg.MaxBatch),
-	}
+	e.wg.Add(int(numClasses))
+	bt := newBatcher(e, cm)
 	e.batchers[cm] = bt
-	e.wg.Add(1)
-	go bt.loop()
 	return bt
 }
 
-// Infer runs one inference. Requests for the same model arriving within the
-// batch window execute together as a single batched layer sweep; ctx
-// cancellation abandons the wait (the batch still completes server-side).
+// Infer runs one inference. Requests for the same model and class arriving
+// within the batch window execute together as a single batched layer sweep;
+// ctx cancellation abandons the wait, and a deadline that expires while the
+// request is queued sheds it before it reaches compute. A full class queue
+// sheds immediately with ErrOverloaded.
 func (e *Engine) Infer(ctx context.Context, req Request) (*Response, error) {
 	e.requests.Add(1)
 	resp, err := e.infer(ctx, req)
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrOverloaded) &&
+		!errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
 		e.errs.Add(1)
 	}
 	return resp, err
@@ -429,6 +495,22 @@ func (e *Engine) infer(ctx context.Context, req Request) (*Response, error) {
 	if closed {
 		return nil, ErrClosed
 	}
+	class, err := ParseClass(req.Class)
+	if err != nil {
+		return nil, err
+	}
+	// Reject malformed deadlines up front (negative, NaN, or beyond the
+	// duration range): converting them would yield an already-expired or
+	// wrapped context and misreport client garbage as a deadline shed. The
+	// negated comparison catches NaN too.
+	if !(req.TimeoutMs >= 0 && req.TimeoutMs <= maxTimeoutMs) {
+		return nil, fmt.Errorf("serve: timeout_ms %g outside [0, %g]", req.TimeoutMs, float64(maxTimeoutMs))
+	}
+	if req.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs*float64(time.Millisecond)))
+		defer cancel()
+	}
 	cm, err := e.resolveModel(req)
 	if err != nil {
 		return nil, err
@@ -437,23 +519,27 @@ func (e *Engine) infer(ctx context.Context, req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.dispatch(ctx, cm, in)
+	return e.dispatch(ctx, cm, in, class)
 }
 
 // dispatch executes one prepared input against a compiled artifact: through
-// the per-artifact batcher normally, or as a direct unbatched sweep when the
+// the artifact's class lane normally, or as a direct unbatched sweep when the
 // artifact was retired between resolution and enqueue (a straggler racing a
 // hot swap or eviction — creating a batcher for it would leak, since its
 // Release has already fired).
-func (e *Engine) dispatch(ctx context.Context, cm *compiledModel, in *tensor.Tensor) (*Response, error) {
-	c := &call{input: in, resp: make(chan batchResult, 1), enqueued: time.Now()}
+func (e *Engine) dispatch(ctx context.Context, cm *compiledModel, in *tensor.Tensor, class Class) (*Response, error) {
+	// A request that is already dead never enters a queue.
+	if err := ctx.Err(); err != nil {
+		e.deadlineSheds.Add(1)
+		return nil, err
+	}
+	c := &call{ctx: ctx, input: in, resp: make(chan batchResult, 1), enqueued: time.Now()}
 
-	// The closed check, retirement check, batcher creation, and channel send
-	// all happen under the lifecycle read lock: neither Close nor
-	// retireBatcher (both take the write side) can slip between them, so no
-	// batcher goroutine is ever spawned after Close started, no send hits a
-	// closed channel, and a batcher created here cannot have missed its
-	// retirement.
+	// The closed check, retirement check, batcher creation, and lane send all
+	// happen under the lifecycle read lock: neither Close nor retireBatcher
+	// (both take the write side) can slip between them, so no lane goroutine
+	// is ever spawned after Close started, no send hits a closed channel, and
+	// a batcher created here cannot have missed its retirement.
 	e.lifecycle.RLock()
 	if e.closed {
 		e.lifecycle.RUnlock()
@@ -462,7 +548,11 @@ func (e *Engine) dispatch(ctx context.Context, cm *compiledModel, in *tensor.Ten
 	if cm.retired.Load() {
 		e.lifecycle.RUnlock()
 		start := time.Now()
-		outs := cm.runBatch(e.pool, []*tensor.Tensor{in})
+		pool := e.pool
+		if class == ClassBatch {
+			pool = e.batchPool
+		}
+		outs := cm.runBatch(pool, []*tensor.Tensor{in})
 		e.batches.Add(1)
 		e.ranRequests.Add(1)
 		return cm.response(outs[0], batchResult{
@@ -472,16 +562,17 @@ func (e *Engine) dispatch(ctx context.Context, cm *compiledModel, in *tensor.Ten
 		}), nil
 	}
 	bt := e.batcherFor(cm)
-	select {
-	case bt.ch <- c:
-		e.lifecycle.RUnlock()
-	case <-ctx.Done():
-		e.lifecycle.RUnlock()
-		return nil, ctx.Err()
+	err := bt.enqueue(c, class)
+	e.lifecycle.RUnlock()
+	if err != nil {
+		return nil, err
 	}
 
 	select {
 	case r := <-c.resp:
+		if r.err != nil {
+			return nil, r.err
+		}
 		return cm.response(r.out, r), nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
@@ -515,7 +606,7 @@ func (e *Engine) Close() error {
 	e.closed = true
 	e.mu.Lock()
 	for _, bt := range e.batchers {
-		close(bt.ch)
+		bt.closeLanes()
 	}
 	reg := e.reg
 	e.mu.Unlock()
@@ -539,6 +630,18 @@ func (e *Engine) Stats() Stats {
 		PlanCompiles:    e.planCompiles.Load(),
 		PlanHits:        e.planHits.Load(),
 		Workers:         e.pool.Workers(),
+		BatchWorkers:    e.batchPool.Workers(),
+		Shed:            e.sheds.Load(),
+		DeadlineSheds:   e.deadlineSheds.Load(),
+		ExpiredExecuted: e.expiredExecuted.Load(),
+	}
+	if s.Shed > 0 {
+		s.ShedByClass = make(map[string]uint64, int(numClasses))
+		for cl := Class(0); cl < numClasses; cl++ {
+			if n := e.shedByClass[cl].Load(); n > 0 {
+				s.ShedByClass[cl.String()] = n
+			}
+		}
 	}
 	if s.Batches > 0 {
 		s.AvgBatch = float64(e.ranRequests.Load()) / float64(s.Batches)
@@ -550,6 +653,25 @@ func (e *Engine) Stats() Stats {
 			s.LevelHits[tag] = n
 		}
 	}
+	for cm, bt := range e.batchers {
+		for _, ln := range bt.lanes {
+			s.Queues = append(s.Queues, QueueStat{
+				Network: cm.model.Short, Dataset: cm.model.Dataset,
+				Version: cm.version, Class: ln.class.String(),
+				Depth: len(ln.ch), Capacity: cap(ln.ch), Peak: int(ln.peak.Load()),
+			})
+		}
+	}
+	sort.Slice(s.Queues, func(i, j int) bool {
+		a, b := s.Queues[i], s.Queues[j]
+		if a.Network != b.Network {
+			return a.Network < b.Network
+		}
+		if a.Version != b.Version {
+			return a.Version < b.Version
+		}
+		return a.Class < b.Class
+	})
 	reg := e.reg
 	e.mu.Unlock()
 	if reg != nil {
@@ -607,75 +729,4 @@ func (e *Engine) Models() []ModelInfo {
 		return out[i].Level < out[j].Level
 	})
 	return out
-}
-
-// call is one enqueued request inside a batcher.
-type call struct {
-	input    *tensor.Tensor
-	resp     chan batchResult // buffered(1): abandoned callers never block the batcher
-	enqueued time.Time
-}
-
-type batchResult struct {
-	out     *tensor.Tensor
-	size    int
-	queueMs float64
-	runMs   float64
-}
-
-// batcher owns one compiled model's request stream: it gathers up to MaxBatch
-// calls within BatchWindow and executes them as one batched layer sweep.
-type batcher struct {
-	eng *Engine
-	cm  *compiledModel
-	ch  chan *call
-}
-
-func (bt *batcher) loop() {
-	defer bt.eng.wg.Done()
-	for {
-		first, ok := <-bt.ch
-		if !ok {
-			return
-		}
-		calls := []*call{first}
-		timer := time.NewTimer(bt.eng.cfg.BatchWindow)
-	gather:
-		for len(calls) < bt.eng.cfg.MaxBatch {
-			select {
-			case c, ok := <-bt.ch:
-				if !ok {
-					break gather // closed: run what we have; next recv exits
-				}
-				calls = append(calls, c)
-			case <-timer.C:
-				break gather
-			}
-		}
-		timer.Stop()
-		bt.run(calls)
-	}
-}
-
-func (bt *batcher) run(calls []*call) {
-	inputs := make([]*tensor.Tensor, len(calls))
-	for i, c := range calls {
-		inputs[i] = c.input
-	}
-	start := time.Now()
-	outs := bt.cm.runBatch(bt.eng.pool, inputs)
-	runMs := float64(time.Since(start).Nanoseconds()) / 1e6
-	bt.eng.batches.Add(1)
-	bt.eng.ranRequests.Add(uint64(len(calls)))
-	if len(calls) > 1 {
-		bt.eng.batchedRequests.Add(uint64(len(calls)))
-	}
-	for i, c := range calls {
-		c.resp <- batchResult{
-			out:     outs[i],
-			size:    len(calls),
-			queueMs: float64(start.Sub(c.enqueued).Nanoseconds()) / 1e6,
-			runMs:   runMs,
-		}
-	}
 }
