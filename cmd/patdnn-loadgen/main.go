@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,6 +38,8 @@ func main() {
 
 func run() int {
 	url := flag.String("url", "http://localhost:8080", "patdnn-serve base URL")
+	urls := flag.String("urls", "",
+		"comma-separated list of target base URLs (replicas hit round-robin, or router front doors); overrides -url and enables the per-target outcome breakdown")
 	network := flag.String("network", "VGG", "model to request (generator name or registry name[@version])")
 	dataset := flag.String("dataset", "cifar10", "dataset for generator models (empty for registry models)")
 	level := flag.String("level", "", "optional per-request optimization level")
@@ -67,15 +71,22 @@ func run() int {
 		primaryDuration = 0
 	}
 
+	var targets []string
+	for _, u := range strings.Split(*urls, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			targets = append(targets, u)
+		}
+	}
+
 	specs := []loadgen.Spec{{
-		Name: "primary_" + *class, URL: *url,
+		Name: "primary_" + *class, URL: *url, URLs: targets,
 		Network: *network, Dataset: *dataset, Level: *level, Class: *class,
 		Mode: *mode, Rate: *rate, Clients: *clients,
 		Requests: *requests, Duration: primaryDuration, Timeout: *timeout, Seed: *seed,
 	}}
 	if *bgClients > 0 {
 		specs = append(specs, loadgen.Spec{
-			Name: "background_batch", URL: *url,
+			Name: "background_batch", URL: *url, URLs: targets,
 			Network: *network, Dataset: *dataset, Level: *level, Class: "batch",
 			Mode: "closed", Clients: *bgClients,
 			Duration: *duration, Timeout: *bgTimeout, Seed: *seed + 1,
@@ -95,6 +106,18 @@ func run() int {
 			r.ThroughputRPS, r.P50Ms, r.P95Ms, r.P99Ms)
 		if r.FirstError != "" {
 			fmt.Printf("%-20s first error: %s\n", r.Name, r.FirstError)
+		}
+		// Fleet breakdown: who actually served (replica header when routed,
+		// else the target URL), so per-replica shedding is visible.
+		byTarget := make([]string, 0, len(r.PerTarget))
+		for target := range r.PerTarget {
+			byTarget = append(byTarget, target)
+		}
+		sort.Strings(byTarget)
+		for _, target := range byTarget {
+			o := r.PerTarget[target]
+			fmt.Printf("%-20s   @ %-28s sent=%-6d ok=%-6d shed=%-5d expired=%-5d failed=%d\n",
+				r.Name, target, o.Sent, o.OK, o.Shed, o.Expired, o.Failed)
 		}
 	}
 	if *jsonPath != "" {

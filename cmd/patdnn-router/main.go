@@ -1,0 +1,113 @@
+// Command patdnn-router is the serving fleet's front door: it
+// consistent-hashes each /infer request's (network, dataset) key onto a set
+// of patdnn-serve replicas, health-checks every replica's /readyz with an
+// ejection / half-open-recovery circuit breaker, and — because /infer is
+// idempotent — retries a shed (429), a closing engine (503), or a dead
+// connection exactly once on the key's ring sibling when the request's
+// deadline budget still allows it.
+//
+// Consistent hashing (FNV-1a over 128 virtual nodes per replica) pins each
+// model to one replica, keeping its compiled-plan cache and batch lanes
+// warm; adding or removing a replica moves only ~1/N of the keys.
+//
+// Endpoints:
+//
+//	POST /infer          proxied to the key's owner (spill: one hop to the
+//	                     sibling on 429/503/connection failure); the
+//	                     X-Patdnn-Replica response header names the replica
+//	                     that actually served
+//	GET  /stats          fleet-wide aggregation of every replica's /stats
+//	                     (sums are monotonic: replicas carry admission
+//	                     counters across hot-reload swaps) plus the
+//	                     router's own spill/ejection counters
+//	GET  /models         fleet-wide model view: each model with the list of
+//	                     replicas reporting it
+//	GET  /fleet          per-replica routing state: health, drain flag,
+//	                     routed/spilled counts, probe and ejection counters
+//	POST /fleet/drain    {"replica":"http://host:port"} takes a replica out
+//	POST /fleet/undrain  of rotation (and back) without marking it unhealthy
+//	POST /fleet/rollout  {"model":"vgg","weights":{"v2":100}} rolls a
+//	                     registry canary-weight change across the fleet:
+//	                     drain replica, wait for its in-flight requests,
+//	                     shift its /registry/route, undrain, next replica
+//	GET  /healthz        router process liveness
+//	GET  /readyz         200 while at least one replica is routable
+//
+// Quickstart (3-replica fleet):
+//
+//	patdnn-serve -addr :8081 & patdnn-serve -addr :8082 & patdnn-serve -addr :8083 &
+//	patdnn-router -addr :8080 -replicas http://localhost:8081,http://localhost:8082,http://localhost:8083
+//	curl -s -X POST localhost:8080/infer -d '{"network":"VGG","dataset":"cifar10"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"patdnn/internal/router"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	replicas := flag.String("replicas", "",
+		"comma-separated patdnn-serve base URLs (e.g. http://host:8081,http://host:8082); required")
+	vnodes := flag.Int("vnodes", 128, "virtual nodes per replica on the hash ring")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "/readyz health-check period")
+	probeTimeout := flag.Duration("probe-timeout", 250*time.Millisecond, "per-probe deadline; a hung /readyz counts as a failure")
+	ejectAfter := flag.Int("eject-after", 3, "consecutive failures (probe or forward) before a replica is ejected")
+	recoverAfter := flag.Duration("recover-after", 2*time.Second, "cool-off before an ejected replica gets a half-open probe")
+	retryBudget := flag.Duration("retry-budget", 5*time.Millisecond,
+		"minimum remaining request deadline required to attempt the one spill retry")
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	rt, err := router.New(router.Config{
+		Replicas:      urls,
+		VNodes:        *vnodes,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		EjectAfter:    *ejectAfter,
+		RecoverAfter:  *recoverAfter,
+		RetryBudget:   *retryBudget,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		log.Print("shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("routing on %s over %d replicas (vnodes=%d eject-after=%d probe=%v)",
+		*addr, len(urls), *vnodes, *ejectAfter, *probeInterval)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-shutdownDone
+	rt.Close() // stop the prober after in-flight proxying has drained
+}

@@ -65,7 +65,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -143,7 +142,9 @@ func main() {
 		log.Printf("compiled %s in %v", spec, time.Since(start).Round(time.Millisecond))
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newMux(eng, reg)}
+	// Responses carry the replica's identity (serve.ReplicaHeader) so fleet
+	// tooling behind cmd/patdnn-router can attribute them to this instance.
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(eng, reg, *addr)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	// ListenAndServe returns as soon as Shutdown closes the listeners, while
@@ -170,106 +171,10 @@ func main() {
 	eng.Close() // drain batchers (and close the registry) after the HTTP server has quiesced
 }
 
-// newMux builds the server's routing table; reg may be nil (no models dir).
-func newMux(eng *serve.Engine, reg *registry.Registry) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /infer", func(w http.ResponseWriter, r *http.Request) {
-		var req serve.Request
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-			return
-		}
-		resp, err := eng.Infer(r.Context(), req)
-		if err != nil {
-			status := http.StatusBadRequest
-			switch {
-			case errors.Is(err, serve.ErrOverloaded):
-				// Load shed: the class queue is full. 429 tells well-behaved
-				// clients to back off; nothing was computed for this request.
-				status = http.StatusTooManyRequests
-			case errors.Is(err, serve.ErrClosed):
-				status = http.StatusServiceUnavailable
-			case errors.Is(err, registry.ErrNotFound):
-				status = http.StatusNotFound
-			case errors.Is(err, context.DeadlineExceeded):
-				// The request's deadline (ctx or timeout_ms) passed before a
-				// sweep could serve it; the batcher shed it without compute.
-				status = http.StatusGatewayTimeout
-			case errors.Is(err, context.Canceled):
-				status = 499 // client closed request
-			}
-			httpError(w, status, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, resp)
-	})
-	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
-		models := eng.Models()
-		if models == nil {
-			models = []serve.ModelInfo{}
-		}
-		writeJSON(w, http.StatusOK, models)
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, eng.Stats())
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		// Pure liveness: the process is up and the mux is serving. Routability
-		// (compiles done, registry warm) is /readyz's job.
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
-		rd := eng.Readiness()
-		status := http.StatusOK
-		if !rd.Ready {
-			status = http.StatusServiceUnavailable
-		}
-		writeJSON(w, status, rd)
-	})
-	if reg != nil {
-		mux.HandleFunc("GET /registry", func(w http.ResponseWriter, r *http.Request) {
-			writeJSON(w, http.StatusOK, registryView{
-				Models: reg.Models(), Routes: reg.Routes(), Stats: reg.Stats(),
-			})
-		})
-		mux.HandleFunc("POST /registry/route", func(w http.ResponseWriter, r *http.Request) {
-			var req routeRequest
-			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-				return
-			}
-			if req.Model == "" {
-				httpError(w, http.StatusBadRequest, errors.New("missing \"model\""))
-				return
-			}
-			if len(req.Weights) == 0 {
-				reg.ClearRoute(req.Model)
-			} else if err := reg.SetRoute(req.Model, req.Weights); err != nil {
-				status := http.StatusBadRequest
-				if errors.Is(err, registry.ErrNotFound) {
-					status = http.StatusNotFound
-				}
-				httpError(w, status, err)
-				return
-			}
-			writeJSON(w, http.StatusOK, map[string]any{"routes": reg.Routes()})
-		})
-	}
-	return mux
-}
-
-// registryView is the GET /registry response body.
-type registryView struct {
-	Models []registry.ModelInfo              `json:"models"`
-	Routes map[string][]registry.RouteWeight `json:"routes"`
-	Stats  registry.Stats                    `json:"stats"`
-}
-
-// routeRequest is the POST /registry/route body: weights map version →
-// weight; empty weights clear the route.
-type routeRequest struct {
-	Model   string         `json:"model"`
-	Weights map[string]int `json:"weights"`
+// newMux builds the server's routing table (the serve package's canonical
+// handler); reg may be nil (no models dir).
+func newMux(eng *serve.Engine, reg *registry.Registry) http.Handler {
+	return serve.NewHandler(eng, reg, "")
 }
 
 // parseBytes parses a human byte size: a plain integer (bytes) or an
@@ -305,20 +210,4 @@ func parseBytes(s string) (int64, error) {
 		return 0, fmt.Errorf("%q overflows the byte-size range", s)
 	}
 	return n * mult, nil
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		log.Printf("encode response: %v", err)
-	}
-}
-
-func httpError(w http.ResponseWriter, status int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }

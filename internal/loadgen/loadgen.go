@@ -23,13 +23,20 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Spec describes one generated request stream.
 type Spec struct {
-	Name    string // case label; defaulted from class/mode when empty
-	URL     string // serve base URL, e.g. http://localhost:8080
+	Name string // case label; defaulted from class/mode when empty
+	URL  string // serve base URL, e.g. http://localhost:8080
+	// URLs lists multiple target base URLs — serve replicas hit directly, or
+	// several front doors. Requests rotate round-robin across them, and the
+	// result's PerTarget breakdown classifies outcomes per endpoint. When
+	// empty, URL is the single target. Fleet runs use this to tell "replica 3
+	// is shedding" apart from "the fleet is shedding".
+	URLs    []string
 	Network string // model name ("VGG", "resnet50", "vgg@v2", ...)
 	Dataset string // dataset ("cifar10"); empty for registry models
 	Level   string // optional per-request optimization level
@@ -58,8 +65,17 @@ type Spec struct {
 }
 
 func (s Spec) withDefaults() (Spec, error) {
-	if s.URL == "" {
-		return s, errors.New("loadgen: missing URL")
+	if len(s.URLs) == 0 {
+		if s.URL == "" {
+			return s, errors.New("loadgen: missing URL")
+		}
+		s.URLs = []string{s.URL}
+	}
+	for i, u := range s.URLs {
+		if u == "" {
+			return s, fmt.Errorf("loadgen: empty target URL at index %d", i)
+		}
+		s.URLs[i] = strings.TrimSuffix(u, "/")
 	}
 	if s.Network == "" {
 		return s, errors.New("loadgen: missing network")
@@ -125,6 +141,22 @@ type Result struct {
 	P50Ms  float64    `json:"p50_ms"`
 	P95Ms  float64    `json:"p95_ms"`
 	P99Ms  float64    `json:"p99_ms"`
+	// PerTarget breaks the outcome counts down by serving endpoint: the
+	// replica named in the response's X-Patdnn-Replica header when present
+	// (router passthrough — attribution by who actually served), else the
+	// target URL the request was sent to. Only populated when it would say
+	// more than the totals (multiple targets, or replica-attributed
+	// responses).
+	PerTarget map[string]Outcomes `json:"per_target,omitempty"`
+}
+
+// Outcomes is one target's share of a stream's outcome counts.
+type Outcomes struct {
+	Sent    int `json:"sent"`
+	OK      int `json:"ok"`
+	Shed    int `json:"shed,omitempty"`
+	Expired int `json:"expired,omitempty"`
+	Failed  int `json:"failed,omitempty"`
 }
 
 // CheckP99 returns an error when the stream's p99 latency violates the
@@ -155,17 +187,27 @@ const (
 
 // recorder aggregates outcomes across generator workers.
 type recorder struct {
-	mu       sync.Mutex
-	hist     *Histogram
-	sent     int
-	counts   [4]int
-	firstErr string
+	mu        sync.Mutex
+	hist      *Histogram
+	sent      int
+	counts    [4]int
+	perTarget map[string]*[4]int // serving endpoint → outcome counts
+	firstErr  string
 }
 
-func (rec *recorder) record(o outcome, latMs float64, err error) {
+func (rec *recorder) record(target string, o outcome, latMs float64, err error) {
 	rec.mu.Lock()
 	rec.sent++
 	rec.counts[o]++
+	if rec.perTarget == nil {
+		rec.perTarget = make(map[string]*[4]int)
+	}
+	tc := rec.perTarget[target]
+	if tc == nil {
+		tc = new([4]int)
+		rec.perTarget[target] = tc
+	}
+	tc[o]++
 	if o == outcomeOK {
 		rec.hist.Add(latMs)
 	}
@@ -192,9 +234,16 @@ type inferBody struct {
 	TimeoutMs float64 `json:"timeout_ms,omitempty"`
 }
 
-// doRequest issues one inference and classifies the outcome. Latency is
-// measured around the full HTTP round trip — what a client experiences.
-func doRequest(ctx context.Context, spec *Spec, body []byte) (float64, outcome, error) {
+// replicaHeader matches serve.ReplicaHeader: the serving replica's identity,
+// preserved across the router's proxy hop. (A string literal keeps loadgen
+// free of an engine dependency.)
+const replicaHeader = "X-Patdnn-Replica"
+
+// doRequest issues one inference against target and classifies the outcome.
+// Latency is measured around the full HTTP round trip — what a client
+// experiences. servedBy names the endpoint the outcome is attributed to: the
+// replica the response's header identifies when present, else the target.
+func doRequest(ctx context.Context, spec *Spec, target string, body []byte) (latMs float64, o outcome, servedBy string, err error) {
 	if spec.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, spec.Timeout)
@@ -202,30 +251,34 @@ func doRequest(ctx context.Context, spec *Spec, body []byte) (float64, outcome, 
 	}
 	start := time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		strings.TrimSuffix(spec.URL, "/")+"/infer", bytes.NewReader(body))
+		target+"/infer", bytes.NewReader(body))
 	if err != nil {
-		return 0, outcomeFailed, err
+		return 0, outcomeFailed, target, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
-	latMs := float64(time.Since(start).Nanoseconds()) / 1e6
+	latMs = float64(time.Since(start).Nanoseconds()) / 1e6
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			return latMs, outcomeExpired, nil
+			return latMs, outcomeExpired, target, nil
 		}
-		return latMs, outcomeFailed, err
+		return latMs, outcomeFailed, target, err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	servedBy = resp.Header.Get(replicaHeader)
+	if servedBy == "" {
+		servedBy = target
+	}
 	switch resp.StatusCode {
 	case http.StatusOK:
-		return latMs, outcomeOK, nil
+		return latMs, outcomeOK, servedBy, nil
 	case http.StatusTooManyRequests:
-		return latMs, outcomeShed, nil
+		return latMs, outcomeShed, servedBy, nil
 	case 499, http.StatusGatewayTimeout:
-		return latMs, outcomeExpired, nil
+		return latMs, outcomeExpired, servedBy, nil
 	default:
-		return latMs, outcomeFailed, fmt.Errorf("loadgen: HTTP %d from /infer", resp.StatusCode)
+		return latMs, outcomeFailed, servedBy, fmt.Errorf("loadgen: HTTP %d from /infer", resp.StatusCode)
 	}
 }
 
@@ -272,6 +325,19 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if spec.Mode == "open" {
 		r.OfferedRPS = spec.Rate
 	}
+	// Per-target attribution is only informative beyond the totals when the
+	// stream had several targets or responses named their serving replica.
+	if len(rec.perTarget) > 1 || len(spec.URLs) > 1 ||
+		(len(rec.perTarget) == 1 && rec.perTarget[spec.URLs[0]] == nil) {
+		r.PerTarget = make(map[string]Outcomes, len(rec.perTarget))
+		for target, tc := range rec.perTarget {
+			r.PerTarget[target] = Outcomes{
+				Sent: tc[0] + tc[1] + tc[2] + tc[3],
+				OK:   tc[outcomeOK], Shed: tc[outcomeShed],
+				Expired: tc[outcomeExpired], Failed: tc[outcomeFailed],
+			}
+		}
+	}
 	if elapsed > 0 {
 		r.ThroughputRPS = float64(r.OK) / elapsed.Seconds()
 	}
@@ -299,17 +365,19 @@ func runClosed(ctx context.Context, spec *Spec, body []byte, rec *recorder) {
 		next++
 		return true
 	}
+	var rr atomic.Uint64 // round-robin cursor over spec.URLs
 	var wg sync.WaitGroup
 	for w := 0; w < spec.Clients; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for take() {
-				lat, o, err := doRequest(ctx, spec, body)
+				target := spec.URLs[int((rr.Add(1)-1)%uint64(len(spec.URLs)))]
+				lat, o, servedBy, err := doRequest(ctx, spec, target, body)
 				if truncated(ctx, o) {
 					return
 				}
-				rec.record(o, lat, err)
+				rec.record(servedBy, o, lat, err)
 			}
 		}()
 	}
@@ -342,20 +410,21 @@ func runOpen(ctx context.Context, spec *Spec, body []byte, rec *recorder) {
 		case <-time.After(gap):
 		}
 		sent++
+		target := spec.URLs[(sent-1)%len(spec.URLs)]
 		select {
 		case sem <- struct{}{}:
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				lat, o, err := doRequest(ctx, spec, body)
+				lat, o, servedBy, err := doRequest(ctx, spec, target, body)
 				if truncated(ctx, o) {
 					return
 				}
-				rec.record(o, lat, err)
+				rec.record(servedBy, o, lat, err)
 			}()
 		default:
-			rec.record(outcomeFailed, 0, errors.New("loadgen: in-flight cap reached, arrival dropped client-side"))
+			rec.record(target, outcomeFailed, 0, errors.New("loadgen: in-flight cap reached, arrival dropped client-side"))
 		}
 	}
 done:

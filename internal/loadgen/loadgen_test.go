@@ -3,6 +3,7 @@ package loadgen
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"math"
 	"math/rand"
 	"net/http"
@@ -260,5 +261,75 @@ func TestSpecValidation(t *testing.T) {
 		if _, err := Run(context.Background(), s); err == nil {
 			t.Fatalf("spec %d accepted: %+v", i, s)
 		}
+	}
+}
+
+func TestMultiTargetRoundRobinPerTarget(t *testing.T) {
+	a := stubServe(t, func(string) (int, time.Duration) { return http.StatusOK, 0 })
+	b := stubServe(t, func(string) (int, time.Duration) { return http.StatusTooManyRequests, 0 })
+	r, err := Run(context.Background(), Spec{
+		URLs: []string{a.URL, b.URL}, Network: "tiny",
+		Mode: "closed", Clients: 4, Requests: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sent != 40 || r.OK != 20 || r.Shed != 20 {
+		t.Fatalf("totals off: %+v", r)
+	}
+	// Round-robin over two targets splits an even budget exactly in half,
+	// and outcomes attribute to the target that produced them.
+	if len(r.PerTarget) != 2 {
+		t.Fatalf("PerTarget has %d entries, want 2: %+v", len(r.PerTarget), r.PerTarget)
+	}
+	if o := r.PerTarget[a.URL]; o.Sent != 20 || o.OK != 20 || o.Shed != 0 {
+		t.Fatalf("target a: %+v", o)
+	}
+	if o := r.PerTarget[b.URL]; o.Sent != 20 || o.Shed != 20 || o.OK != 0 {
+		t.Fatalf("target b: %+v", o)
+	}
+}
+
+func TestReplicaHeaderAttribution(t *testing.T) {
+	// A router-fronted run has one target URL but many serving replicas: the
+	// response header, not the URL, is the attribution key.
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		if n.Add(1)%2 == 0 {
+			w.Header().Set("X-Patdnn-Replica", "replica-even")
+		} else {
+			w.Header().Set("X-Patdnn-Replica", "replica-odd")
+		}
+		w.Write([]byte(`{"argmax":0}`))
+	}))
+	t.Cleanup(ts.Close)
+	r, err := Run(context.Background(), Spec{
+		URL: ts.URL, Network: "tiny", Mode: "closed", Clients: 2, Requests: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK != 30 {
+		t.Fatalf("totals off: %+v", r)
+	}
+	if len(r.PerTarget) != 2 {
+		t.Fatalf("PerTarget has %d entries, want 2 replicas: %+v", len(r.PerTarget), r.PerTarget)
+	}
+	if got := r.PerTarget["replica-even"].OK + r.PerTarget["replica-odd"].OK; got != 30 {
+		t.Fatalf("replica attribution lost requests: %+v", r.PerTarget)
+	}
+}
+
+func TestSingleTargetOmitsPerTarget(t *testing.T) {
+	ts := stubServe(t, func(string) (int, time.Duration) { return http.StatusOK, 0 })
+	r, err := Run(context.Background(), Spec{
+		URL: ts.URL, Network: "tiny", Mode: "closed", Clients: 2, Requests: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerTarget != nil {
+		t.Fatalf("plain single-target run should omit PerTarget, got %+v", r.PerTarget)
 	}
 }

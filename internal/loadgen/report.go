@@ -37,6 +37,9 @@ type Case struct {
 	Expired    int      `json:"expired,omitempty"`
 	Failed     int      `json:"failed,omitempty"`
 	Hist       []Bucket `json:"hist,omitempty"`
+	// PerTarget carries the fleet breakdown (outcomes per replica/endpoint)
+	// for multi-target or router-fronted runs.
+	PerTarget map[string]Outcomes `json:"per_target,omitempty"`
 }
 
 // Report is the artifact written by WriteReport.
@@ -77,6 +80,7 @@ func NewReport(model string, results []*Result) *Report {
 			Expired:       r.Expired,
 			Failed:        r.Failed,
 			Hist:          r.Hist.Buckets(),
+			PerTarget:     r.PerTarget,
 		})
 	}
 	return rep

@@ -1,0 +1,235 @@
+package router_test
+
+// Table-driven fault injection against a real in-process fleet: for each
+// failure mode (hang, TCP reset, 503, slow /readyz) the router must (1)
+// eject the faulted replica, (2) route zero live requests to it while
+// ejected, (3) probe it half-open after the recovery window, and (4) close
+// the breaker and resume routing once the fault clears. Runs under -race in
+// CI with every other test.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"patdnn/internal/router"
+	"patdnn/internal/router/routertest"
+)
+
+// pickOwnedModel returns a registry-legal model name whose ring key lands
+// on the replica at ownerURL, so a test can steer traffic at a chosen
+// replica deterministically.
+func pickOwnedModel(t *testing.T, urls []string, vnodes int, ownerURL string) string {
+	t.Helper()
+	ring := router.NewRing(urls, vnodes)
+	for i := 0; i < 4096; i++ {
+		name := fmt.Sprintf("m%04d", i)
+		// The router's ring key for a registry model is network + NUL +
+		// empty dataset.
+		if ring.Pick(name+"\x00") == ownerURL {
+			return name
+		}
+	}
+	t.Fatal("no model name hashed to the target replica in 4096 tries")
+	return ""
+}
+
+// inferVia posts one inference for model through the router and returns
+// (status, serving replica name).
+func inferVia(t *testing.T, routerURL, model string, timeoutMs float64) (int, string) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{
+		"network": model, "input": routertest.TinyInput(1), "timeout_ms": timeoutMs,
+	})
+	resp, err := http.Post(routerURL+"/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("infer via router: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, resp.Header.Get("X-Patdnn-Replica")
+}
+
+// waitFleet polls the router's fleet view until cond holds for the replica
+// at url, or fails the test.
+func waitFleet(t *testing.T, rt *router.Router, url string, timeout time.Duration,
+	what string, cond func(router.ReplicaView) bool) router.ReplicaView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		for _, rv := range rt.Fleet().Replicas {
+			if rv.URL == url && cond(rv) {
+				return rv
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica %s never reached %q; fleet: %+v", url, what, rt.Fleet())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFaultInjectionEjectionAndRecovery(t *testing.T) {
+	cases := []struct {
+		name  string
+		fault routertest.Fault
+	}{
+		{"hang", routertest.FaultHang},
+		{"tcp_reset", routertest.FaultReset},
+		{"http_503", routertest.Fault503},
+		{"slow_readyz", routertest.FaultSlowReadyz},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fleet := routertest.NewFleet(t, routertest.Options{
+				Replicas:     3,
+				WithRegistry: true,
+				SlowDelay:    300 * time.Millisecond, // >> ProbeTimeout
+			})
+			target := fleet.Replicas[0]
+			model := pickOwnedModel(t, fleet.URLs(), 64, target.URL())
+			fleet.RegisterTiny("v1", model)
+			fleet.WaitReady(10 * time.Second)
+
+			rt, err := router.New(router.Config{
+				Replicas:      fleet.URLs(),
+				VNodes:        64,
+				ProbeInterval: 20 * time.Millisecond,
+				ProbeTimeout:  50 * time.Millisecond,
+				EjectAfter:    2,
+				RecoverAfter:  150 * time.Millisecond,
+				Logf:          t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Close()
+			front := httptest.NewServer(rt.Handler())
+			defer front.Close()
+
+			// Healthy baseline: the model's owner serves it.
+			if status, by := inferVia(t, front.URL, model, 2000); status != 200 || by != target.Name {
+				t.Fatalf("warm request: status=%d served-by=%q, want 200 from %s", status, by, target.Name)
+			}
+
+			target.SetFault(tc.fault)
+			waitFleet(t, rt, target.URL(), 5*time.Second, "ejected",
+				func(rv router.ReplicaView) bool { return rv.State == "ejected" && rv.Ejections >= 1 })
+
+			// While ejected: zero live requests reach the replica; traffic
+			// lands on the ring sibling instead. (FaultHang/Reset/503 stop
+			// requests at the gate, but the Served() counter is the proof
+			// for slow_readyz, whose data path still works.)
+			before := target.Served()
+			for i := 0; i < 15; i++ {
+				status, by := inferVia(t, front.URL, model, 2000)
+				if status != 200 {
+					t.Fatalf("request %d during ejection: status %d", i, status)
+				}
+				if by == target.Name {
+					t.Fatalf("request %d served by ejected replica %s", i, target.Name)
+				}
+			}
+			if got := target.Served(); got != before {
+				t.Fatalf("ejected replica received %d requests", got-before)
+			}
+
+			// Heal. The breaker must walk ejected -> half-open (probe) ->
+			// healthy, and traffic must return.
+			target.SetFault(routertest.FaultNone)
+			rv := waitFleet(t, rt, target.URL(), 5*time.Second, "recovered",
+				func(rv router.ReplicaView) bool { return rv.State == "healthy" && rv.Recoveries >= 1 })
+			if rv.HalfOpenProbes < 1 {
+				t.Fatalf("recovery without a half-open probe: %+v", rv)
+			}
+
+			back := false
+			for i := 0; i < 20 && !back; i++ {
+				_, by := inferVia(t, front.URL, model, 2000)
+				back = by == target.Name
+			}
+			if !back {
+				t.Fatalf("recovered replica %s never served again", target.Name)
+			}
+		})
+	}
+}
+
+func TestSpillBoundedToOneHop(t *testing.T) {
+	// With every replica refusing (503), a request burns its single spill
+	// hop and relays the sibling's refusal — never a retry storm across
+	// the whole ring.
+	fleet := routertest.NewFleet(t, routertest.Options{Replicas: 3, WithRegistry: true})
+	model := pickOwnedModel(t, fleet.URLs(), 64, fleet.Replicas[0].URL())
+	fleet.RegisterTiny("v1", model)
+	fleet.WaitReady(10 * time.Second)
+
+	rt, err := router.New(router.Config{
+		Replicas:      fleet.URLs(),
+		VNodes:        64,
+		ProbeInterval: time.Hour, // passive signals only: ejection must not hide the spill accounting
+		EjectAfter:    1000,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	for _, rp := range fleet.Replicas {
+		rp.SetFault(routertest.Fault503)
+	}
+	spillsBefore := rt.Fleet().Spills
+	status, _ := inferVia(t, front.URL, model, 2000)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("all-503 fleet returned %d, want the spill target's 503 relayed", status)
+	}
+	if got := rt.Fleet().Spills - spillsBefore; got != 1 {
+		t.Fatalf("request used %d spill hops, want exactly 1", got)
+	}
+}
+
+func TestSpillOnShedServesFromSibling(t *testing.T) {
+	// The primary answering 503 (closing) while its sibling is healthy: the
+	// request must spill exactly one hop and come back 200 from the
+	// sibling, with the spill visible in the router's counters.
+	fleet := routertest.NewFleet(t, routertest.Options{Replicas: 2, WithRegistry: true})
+	primary := fleet.Replicas[0]
+	model := pickOwnedModel(t, fleet.URLs(), 64, primary.URL())
+	fleet.RegisterTiny("v1", model)
+	fleet.WaitReady(10 * time.Second)
+
+	rt, err := router.New(router.Config{
+		Replicas:      fleet.URLs(),
+		VNodes:        64,
+		ProbeInterval: time.Hour,
+		EjectAfter:    1000,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	primary.SetFault(routertest.Fault503)
+	status, by := inferVia(t, front.URL, model, 2000)
+	if status != 200 {
+		t.Fatalf("spilled request: status %d", status)
+	}
+	if by == primary.Name || by == "" {
+		t.Fatalf("spilled request served by %q, want the sibling", by)
+	}
+	fv := rt.Fleet()
+	if fv.Spills < 1 || fv.SpillServed < 1 {
+		t.Fatalf("spill not accounted: %+v", fv)
+	}
+}

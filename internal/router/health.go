@@ -1,0 +1,196 @@
+package router
+
+// Replica health: a per-replica circuit breaker fed by two signals — the
+// active /readyz prober and passive forward failures. The state machine is
+//
+//	Healthy --(EjectAfter consecutive failures)--> Ejected
+//	Ejected --(RecoverAfter elapsed)--> HalfOpen
+//	HalfOpen --(probe ok)--> Healthy
+//	HalfOpen --(probe fails)--> Ejected      (recovery clock restarts)
+//
+// An ejected replica receives no routed traffic at all; a half-open one
+// receives only the prober's /readyz probe, never live inferences, so one
+// cheap request — not a client's — pays to discover whether the replica is
+// back. 429 responses are deliberately NOT failures: they are the engine's
+// healthy admission control doing its job, and ejecting a replica for
+// shedding would turn backpressure into an outage.
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a replica's circuit-breaker state.
+type State int32
+
+const (
+	StateHealthy State = iota
+	StateEjected
+	StateHalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateEjected:
+		return "ejected"
+	case StateHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// replica is one backend's routing state and counters.
+type replica struct {
+	url string
+
+	mu        sync.Mutex
+	state     State
+	failures  int       // consecutive failures (probe or forward)
+	ejectedAt time.Time // when the breaker last opened
+	drained   bool      // operator intent: no new traffic (rollouts)
+
+	inflight       atomic.Int64
+	routed         atomic.Uint64 // inferences forwarded as primary
+	spilled        atomic.Uint64 // inferences that spilled TO this replica
+	probes         atomic.Uint64
+	halfOpenProbes atomic.Uint64
+	ejections      atomic.Uint64
+	recoveries     atomic.Uint64
+}
+
+// eligible reports whether the replica may receive live traffic.
+func (rp *replica) eligible() bool {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.state == StateHealthy && !rp.drained
+}
+
+// snapshot returns the mutex-guarded fields without racing the prober.
+func (rp *replica) snapshot() (State, bool, int) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.state, rp.drained, rp.failures
+}
+
+// recordFailure counts one failure (probe or forward) and opens the breaker
+// at the threshold. Returns true when this call ejected the replica.
+func (rp *replica) recordFailure(threshold int, now time.Time) bool {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	switch rp.state {
+	case StateEjected:
+		return false
+	case StateHalfOpen:
+		// The probe that was supposed to prove recovery failed: reopen and
+		// restart the recovery clock.
+		rp.state = StateEjected
+		rp.ejectedAt = now
+		rp.ejections.Add(1)
+		return true
+	}
+	rp.failures++
+	if rp.failures >= threshold {
+		rp.state = StateEjected
+		rp.ejectedAt = now
+		rp.ejections.Add(1)
+		return true
+	}
+	return false
+}
+
+// recordSuccess resets the failure streak; a half-open success closes the
+// breaker. Returns true when this call recovered the replica.
+func (rp *replica) recordSuccess() bool {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	rp.failures = 0
+	if rp.state == StateHalfOpen {
+		rp.state = StateHealthy
+		rp.recoveries.Add(1)
+		return true
+	}
+	return false
+}
+
+// maybeHalfOpen moves an ejected replica to half-open once the recovery
+// window has elapsed. Returns true when the replica is now half-open (and
+// so due a probe).
+func (rp *replica) maybeHalfOpen(recoverAfter time.Duration, now time.Time) bool {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if rp.state == StateEjected && now.Sub(rp.ejectedAt) >= recoverAfter {
+		rp.state = StateHalfOpen
+		return true
+	}
+	return rp.state == StateHalfOpen
+}
+
+// setDrained flips operator drain intent.
+func (rp *replica) setDrained(d bool) {
+	rp.mu.Lock()
+	rp.drained = d
+	rp.mu.Unlock()
+}
+
+// probeLoop is the router's active health checker: every ProbeInterval it
+// GETs each replica's /readyz with ProbeTimeout. Probe outcomes feed the
+// same failure/success accounting as forwards.
+func (rt *Router) probeLoop() {
+	defer rt.wg.Done()
+	ticker := time.NewTicker(rt.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		for _, rp := range rt.replicaList {
+			state, _, _ := rp.snapshot()
+			if state == StateEjected && !rp.maybeHalfOpen(rt.cfg.RecoverAfter, now) {
+				continue // still cooling off — no probe, no traffic
+			}
+			rt.probe(rp)
+		}
+	}
+}
+
+// probe issues one /readyz check and applies its outcome.
+func (rt *Router) probe(rp *replica) {
+	state, _, _ := rp.snapshot()
+	rp.probes.Add(1)
+	if state == StateHalfOpen {
+		rp.halfOpenProbes.Add(1)
+	}
+	ok := rt.probeOnce(rp.url)
+	if ok {
+		if rp.recordSuccess() {
+			rt.logf("router: replica %s recovered", rp.url)
+		}
+		return
+	}
+	if rp.recordFailure(rt.cfg.EjectAfter, time.Now()) {
+		rt.logf("router: replica %s ejected (readyz failing)", rp.url)
+	}
+}
+
+// probeOnce reports whether one /readyz round trip succeeded within the
+// probe timeout. A 503 (engine not ready) is a failure like a transport
+// error or a hang: the replica must not receive traffic either way.
+func (rt *Router) probeOnce(url string) bool {
+	req, err := http.NewRequest(http.MethodGet, url+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.probeClient.Do(req)
+	if err != nil {
+		return false
+	}
+	drainBody(resp)
+	return resp.StatusCode == http.StatusOK
+}

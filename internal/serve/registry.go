@@ -168,6 +168,21 @@ func (e *Engine) retireBatcher(cm *compiledModel) {
 	e.mu.Lock()
 	bt := e.batchers[cm]
 	delete(e.batchers, cm)
+	if bt != nil {
+		// Fold the retired lanes' cumulative counters into the per-model
+		// carry: Stats.Admitted must not dip when a hot-reload swap or
+		// eviction replaces the artifact (fleet aggregation sums these
+		// snapshots and expects monotonic counters).
+		for _, ln := range bt.lanes {
+			k := laneKey{cm.model.Short, cm.model.Dataset, ln.class}
+			c := e.laneCarry[k]
+			c.admitted += ln.admitted.Load()
+			if p := ln.peak.Load(); p > c.peak {
+				c.peak = p
+			}
+			e.laneCarry[k] = c
+		}
+	}
 	e.mu.Unlock()
 	e.lifecycle.Unlock()
 	if bt != nil {

@@ -88,6 +88,11 @@ type QueueStat struct {
 	Depth    int    `json:"depth"`
 	Capacity int    `json:"capacity"`
 	Peak     int    `json:"peak"`
+	// Admitted counts requests ever admitted to this lane. It is scoped to
+	// the lane's artifact (a hot-reload swap starts the replacement's lane at
+	// zero); Stats.Admitted carries the cumulative per-model total across
+	// swaps — that is the counter fleet aggregation should sum.
+	Admitted uint64 `json:"admitted"`
 }
 
 // call is one enqueued request inside a lane.
@@ -124,11 +129,12 @@ type batcher struct {
 
 // lane is one class's bounded queue and gather/sweep loop for one artifact.
 type lane struct {
-	eng   *Engine
-	cm    *compiledModel
-	class Class
-	ch    chan *call
-	peak  atomic.Int64 // admission-time high-water mark of len(ch)
+	eng      *Engine
+	cm       *compiledModel
+	class    Class
+	ch       chan *call
+	peak     atomic.Int64  // admission-time high-water mark of len(ch)
+	admitted atomic.Uint64 // requests ever admitted to this lane
 }
 
 // newBatcher creates the batcher and starts both lane goroutines. Callers
@@ -159,6 +165,7 @@ func (bt *batcher) enqueue(c *call, class Class) error {
 	ln := bt.lanes[class]
 	select {
 	case ln.ch <- c:
+		ln.admitted.Add(1)
 		// High-water mark: approximate under concurrency (len can lag), but
 		// the hard bound is the channel capacity itself.
 		if d := int64(len(ln.ch)); d > ln.peak.Load() {

@@ -187,6 +187,13 @@ type Stats struct {
 	// Queues snapshots every live lane's bounded queue: current depth (never
 	// above capacity), the configured capacity, and the high-water mark.
 	Queues []QueueStat `json:"queues,omitempty"`
+	// Admitted is the cumulative per-model, per-class admission count, keyed
+	// "network[/dataset]/class". Unlike Queues (whose rows are scoped to one
+	// artifact's lanes and vanish when a registry hot-reload swap or eviction
+	// retires the batcher), these totals fold in every retired lane's count:
+	// they are monotonic across swaps, which is what makes a fleet-wide sum
+	// of replica /stats snapshots monotonic too.
+	Admitted map[string]uint64 `json:"admitted,omitempty"`
 	// LevelHits counts plan-cache hits per optimization-level tag ("auto",
 	// "tuned", "packed", ...): the level is part of the cache key, so this
 	// shows which kernel generations the request stream is actually riding.
@@ -229,6 +236,29 @@ type modelKey struct {
 	// "packed", ...). Two cache entries differing only in level are distinct
 	// compiled artifacts — their plans hold different kernels.
 	level string
+}
+
+// laneKey identifies a model's scheduling lane independent of artifact
+// version: the granularity at which cumulative admission counts survive
+// registry hot-reload swaps.
+type laneKey struct {
+	network, dataset string
+	class            Class
+}
+
+// laneCarry is the folded residue of retired lanes under one laneKey.
+type laneCarry struct {
+	admitted uint64
+	peak     int64
+}
+
+// admittedKey is the Stats.Admitted map spelling of a laneKey.
+func (k laneKey) admittedKey() string {
+	s := k.network
+	if k.dataset != "" {
+		s += "/" + k.dataset
+	}
+	return s + "/" + k.class.String()
 }
 
 type modelEntry struct {
@@ -282,6 +312,11 @@ type Engine struct {
 	// batcher and the retired one drains and exits (see retireBatcher).
 	batchers  map[*compiledModel]*batcher
 	levelHits map[string]uint64 // plan-cache hits per level tag
+	// laneCarry accumulates the admission counts (and queue peaks) of lanes
+	// whose batcher has been retired — hot-reload swaps, evictions, removals —
+	// keyed by (network, dataset, class) so the per-model cumulative totals in
+	// Stats.Admitted survive any number of version swaps.
+	laneCarry map[laneKey]laneCarry
 	// reg is the attached model registry (nil unless WithRegistry was
 	// called): disk-backed versioned .patdnn artifacts the engine resolves
 	// Request.Network against before falling back to the generator path.
@@ -328,6 +363,7 @@ func New(cfg Config) *Engine {
 		registered: make(map[[2]string]*model.Model),
 		batchers:   make(map[*compiledModel]*batcher),
 		levelHits:  make(map[string]uint64),
+		laneCarry:  make(map[laneKey]laneCarry),
 	}
 }
 
@@ -547,6 +583,14 @@ func (e *Engine) dispatch(ctx context.Context, cm *compiledModel, in *tensor.Ten
 	}
 	if cm.retired.Load() {
 		e.lifecycle.RUnlock()
+		// The straggler's lane is already gone; fold its admission straight
+		// into the carry so the model's cumulative count stays exact.
+		e.mu.Lock()
+		k := laneKey{cm.model.Short, cm.model.Dataset, class}
+		lc := e.laneCarry[k]
+		lc.admitted++
+		e.laneCarry[k] = lc
+		e.mu.Unlock()
 		start := time.Now()
 		pool := e.pool
 		if class == ClassBatch {
@@ -653,14 +697,28 @@ func (e *Engine) Stats() Stats {
 			s.LevelHits[tag] = n
 		}
 	}
+	admitted := make(map[string]uint64, len(e.laneCarry)+len(e.batchers)*int(numClasses))
+	for k, c := range e.laneCarry {
+		if c.admitted > 0 {
+			admitted[k.admittedKey()] += c.admitted
+		}
+	}
 	for cm, bt := range e.batchers {
 		for _, ln := range bt.lanes {
 			s.Queues = append(s.Queues, QueueStat{
 				Network: cm.model.Short, Dataset: cm.model.Dataset,
 				Version: cm.version, Class: ln.class.String(),
 				Depth: len(ln.ch), Capacity: cap(ln.ch), Peak: int(ln.peak.Load()),
+				Admitted: ln.admitted.Load(),
 			})
+			if n := ln.admitted.Load(); n > 0 {
+				k := laneKey{cm.model.Short, cm.model.Dataset, ln.class}
+				admitted[k.admittedKey()] += n
+			}
 		}
+	}
+	if len(admitted) > 0 {
+		s.Admitted = admitted
 	}
 	sort.Slice(s.Queues, func(i, j int) bool {
 		a, b := s.Queues[i], s.Queues[j]

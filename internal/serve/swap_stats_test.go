@@ -1,0 +1,95 @@
+package serve
+
+// Regression coverage for cumulative-counter preservation across registry
+// hot-reload swaps: a fleet aggregator sums replica /stats snapshots, so a
+// swap that silently zeroed per-model admission counts would make the fleet
+// view non-monotonic (and page someone about traffic that never dropped).
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// admittedFor sums the Stats.Admitted entries for one model/class pair.
+func admittedFor(s Stats, network, class string) uint64 {
+	var total uint64
+	for k, n := range s.Admitted {
+		if strings.HasPrefix(k, network+"/") && strings.HasSuffix(k, "/"+class) {
+			total += n
+		}
+	}
+	return total
+}
+
+func TestHotReloadSwapPreservesCumulativeAdmissions(t *testing.T) {
+	dir := t.TempDir()
+	writeTinyArtifact(t, dir, "tiny", "v1", 100)
+	eng, reg := registryEngine(t, dir, 0, Config{Workers: 2})
+	ctx := context.Background()
+
+	const n1, n2 = 5, 3
+	for i := 0; i < n1; i++ {
+		if _, err := eng.Infer(ctx, Request{Network: "tiny", Input: tinyInput(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1 := eng.Stats()
+	if got := admittedFor(s1, "tiny", "interactive"); got != n1 {
+		t.Fatalf("admitted before swap = %d, want %d (stats: %+v)", got, n1, s1.Admitted)
+	}
+
+	// Replace the artifact in place: the scan retires the old batcher (its
+	// lanes, and their lane-scoped counters, are gone) and the next request
+	// compiles fresh plans with a fresh lane.
+	writeTinyArtifact(t, dir, "tiny", "v1", 999)
+	if err := reg.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	sSwap := eng.Stats()
+	if got := admittedFor(sSwap, "tiny", "interactive"); got != n1 {
+		t.Fatalf("admitted dropped to %d right after swap, want still %d", got, n1)
+	}
+
+	for i := 0; i < n2; i++ {
+		if _, err := eng.Infer(ctx, Request{Network: "tiny", Input: tinyInput(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := eng.Stats()
+	if got := admittedFor(s2, "tiny", "interactive"); got != n1+n2 {
+		t.Fatalf("admitted after swap = %d, want %d", got, n1+n2)
+	}
+
+	// The live lane's own counter is version-scoped (fresh after the swap) —
+	// the cumulative map is the monotonic view, not the queue rows.
+	for _, q := range s2.Queues {
+		if q.Network == "tiny" && q.Class == "interactive" && q.Admitted != n2 {
+			t.Fatalf("post-swap lane admitted = %d, want %d (lane counters are per-artifact)", q.Admitted, n2)
+		}
+	}
+}
+
+func TestEvictionPreservesCumulativeAdmissions(t *testing.T) {
+	dir := t.TempDir()
+	writeTinyArtifact(t, dir, "tiny", "v1", 100)
+	eng, reg := registryEngine(t, dir, 0, Config{Workers: 2})
+	ctx := context.Background()
+
+	if _, err := eng.Infer(ctx, Request{Network: "tiny", Input: tinyInput(1)}); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the budget to force the resident artifact out; its batcher
+	// retires, then the next request lazily recompiles into a fresh one.
+	reg.SetMemoryBudget(1)
+	if got := admittedFor(eng.Stats(), "tiny", "interactive"); got != 1 {
+		t.Fatalf("admitted after eviction = %d, want 1", got)
+	}
+	reg.SetMemoryBudget(0)
+	if _, err := eng.Infer(ctx, Request{Network: "tiny", Input: tinyInput(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := admittedFor(eng.Stats(), "tiny", "interactive"); got != 2 {
+		t.Fatalf("admitted after recompile = %d, want 2", got)
+	}
+}
