@@ -95,7 +95,9 @@ func runSweep() {
 	for _, lv := range levels {
 		tune := lr.DefaultTuning()
 		if lv == codegen.Packed {
-			tune = tuner.PackedTuning(conv.OutH, conv.OutW, conv.InW+2*conv.Pad, conv.NNZ()/conv.OutC, conv.Stride)
+			// Budget the tile for the heaviest filter's weight stream, not the
+			// layer mean — skewed sparsity otherwise overruns L1.
+			tune = tuner.PackedTuning(conv.OutH, conv.OutW, conv.InW+2*conv.Pad, conv.MaxFilterNNZ(), conv.Stride)
 		}
 		p, err := codegen.Compile(conv, lv, tune)
 		if err != nil {

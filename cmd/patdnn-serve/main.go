@@ -11,6 +11,15 @@
 // weights (canary rollouts), and are bounded by -memory-budget with LRU
 // eviction of compiled plans.
 //
+// With -tuning-db (defaulting to <models-dir>/tuning.json when -models-dir
+// is set; "off" disables) every plan compile consults the persistent tuning
+// sidecar before running tuning heuristics and records its decisions, so
+// recompiles of known layers — warm restarts, lazy reloads after eviction —
+// do zero search work. -background-tune additionally starts the background
+// tuning worker: once per -tune-interval it re-measures packed layers off
+// the hot path, records winners as measured verdicts, and hot-swaps
+// improved plans with no failed in-flight requests.
+//
 // Endpoints:
 //
 //	POST /infer    {"network":"VGG","dataset":"cifar10","input":[...]}
@@ -35,7 +44,9 @@
 //	               per-level hits, sheds by class, deadline sheds, the
 //	               executed-expired tripwire, and per-lane bounded queue
 //	               depth/capacity/peak) plus registry counters (scans,
-//	               reloads, evictions, resident bytes)
+//	               reloads, evictions, resident bytes) and tuning counters
+//	               (DB hits/misses/records/quarantined, background searches,
+//	               hot swaps)
 //	GET  /registry registry detail: versions, routes, quarantined files, stats
 //	POST /registry/route  {"model":"vgg","weights":{"v1":90,"v2":10}}
 //	               sets the weighted traffic split for bare-name requests;
@@ -73,6 +84,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -103,12 +115,36 @@ func main() {
 		"memory budget over compiled registry models, e.g. 512MB or 2GB (empty = unlimited); LRU-evicted models recompile lazily")
 	regPoll := flag.Duration("registry-poll", 2*time.Second,
 		"models-dir polling period for hot reload (negative disables)")
+	tuningDB := flag.String("tuning-db", "",
+		"persistent auto-tuning sidecar consulted by every plan compile, e.g. models/tuning.json "+
+			"(empty with -models-dir set defaults to <models-dir>/tuning.json; 'off' disables)")
+	bgTune := flag.Bool("background-tune", false,
+		"run the background tuning worker: measure packed-layer configurations off the hot path, "+
+			"record winners in the tuning DB, and hot-swap improved plans")
+	tuneInterval := flag.Duration("tune-interval", 15*time.Second,
+		"background tuning round period")
 	flag.Parse()
+
+	db := *tuningDB
+	switch {
+	case db == "off":
+		db = ""
+		if *bgTune {
+			log.Fatal("-background-tune requires a tuning DB; drop -tuning-db=off")
+		}
+	case db == "" && *modelsDir != "":
+		// The registry's sidecar convention: tuning decisions live next to
+		// the .patdnn artifacts they accelerate (the scanner ignores
+		// non-.patdnn files, so the sidecar is safe in the models dir).
+		db = filepath.Join(*modelsDir, "tuning.json")
+		log.Printf("tuning: using %s (set -tuning-db=off to disable)", db)
+	}
 
 	eng := serve.New(serve.Config{
 		Workers: *workers, MaxBatch: *batch, BatchWindow: *window,
 		Patterns: *patterns, ConnRate: *connRate, Level: *level,
 		QueueDepth: *queueDepth, BatchWorkers: *batchWorkers,
+		TuningDB: db, BackgroundTune: *bgTune, TuneInterval: *tuneInterval,
 	})
 	var reg *registry.Registry
 	if *modelsDir != "" {

@@ -37,7 +37,10 @@ func main() {
 	}
 
 	start := time.Now()
-	best, history := tuner.Search(tuner.DefaultSpace(), eval, tuner.DefaultOptions())
+	best, history, err := tuner.Search(tuner.DefaultSpace(), eval, tuner.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
 	elapsed := time.Since(start)
 	worst := history[0].CostMs
 	for _, r := range history {
@@ -52,9 +55,9 @@ func main() {
 	fmt.Printf("default config: %.2f ms; tuned: %.2f ms (%.2fx)\n",
 		eval(lr.DefaultTuning()), best.CostMs, eval(lr.DefaultTuning())/best.CostMs)
 
-	cfg, err := json.Marshal(best.Config)
-	if err != nil {
-		log.Fatal(err)
+	cfg, merr := json.Marshal(best.Config)
+	if merr != nil {
+		log.Fatal(merr)
 	}
 	fmt.Printf("best tuning block: %s\n", cfg)
 

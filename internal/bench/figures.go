@@ -405,8 +405,16 @@ func AblationTuner() *Table {
 	defaultMs := evalCfg(lr.DefaultTuning())
 	opts := tuner.DefaultOptions()
 	opts.WarmStart = []lr.Tuning{lr.DefaultTuning()}
-	ga, gaHist := tuner.Search(tuner.DefaultSpace(), evalCfg, opts)
-	rnd, _ := tuner.RandomSearch(tuner.DefaultSpace(), evalCfg, len(gaHist), 3)
+	// The default space and options are statically valid; a search error here
+	// is a programming bug, not an input condition.
+	ga, gaHist, err := tuner.Search(tuner.DefaultSpace(), evalCfg, opts)
+	if err != nil {
+		panic(err)
+	}
+	rnd, _, err := tuner.RandomSearch(tuner.DefaultSpace(), evalCfg, len(gaHist), 3)
+	if err != nil {
+		panic(err)
+	}
 	t.AddRow("default config", 1, fmt.Sprintf("%.2f", defaultMs), "1.00x")
 	t.AddRow("random search", len(gaHist), fmt.Sprintf("%.2f", rnd.CostMs),
 		fmt.Sprintf("%.2fx", defaultMs/rnd.CostMs))

@@ -7,6 +7,7 @@ import (
 	"patdnn/internal/compiler/graphopt"
 	"patdnn/internal/compiler/lr"
 	"patdnn/internal/compiler/tuner"
+	"patdnn/internal/compiler/tuner/tunedb"
 	"patdnn/internal/model"
 	"patdnn/internal/pruned"
 	"patdnn/internal/tensor"
@@ -22,6 +23,17 @@ type Config struct {
 	// ("noopt", "reorder", "lre", "tuned", "packed"); empty or "auto" lets
 	// the tuner's estimator choose per layer.
 	Level string
+	// TuneDB, when non-nil, is consulted for every pattern conv's execution
+	// configuration before the analytic heuristics run, and records whichever
+	// decision the compile made on a miss — so recompiling a layer already in
+	// the DB (a registry lazy recompile after eviction, a warm restart) does
+	// zero search work. The Plan's Tuning counters prove it.
+	TuneDB *tunedb.DB
+	// TuneSearch runs a compile-time GA search (tuner.Search over the packed
+	// space, analytic cost model) for packed-level layers the DB misses on,
+	// instead of the single-shot PackedTuning heuristic. Requires TuneDB to
+	// be worthwhile — without a DB the search result is forgotten.
+	TuneSearch bool
 }
 
 // Kind enumerates the executable node types. BatchNorm is deliberately
@@ -91,11 +103,25 @@ type FusedOps struct {
 // Plan is an executable DAG lowered through the graph optimizer, plus its
 // static memory plan. Safe for concurrent use: execution state lives in
 // per-call Executors (see Execute / GetExecutor).
+// TuneStats counts one compile's tuning-DB interactions: how many pattern
+// convs took their configuration from the DB, how many missed, and how many
+// GA candidate evaluations ran at compile time. A warm compile — every layer
+// already in the DB — shows Misses == 0 and Evals == 0.
+type TuneStats struct {
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+	Evals  int `json:"evals"`
+}
+
 type Plan struct {
 	Model *model.Model
 	Level string
 	Nodes []*Node
 	Fused FusedOps
+
+	// Tuning reports the tuning-DB traffic of this plan's compile (all zero
+	// when no DB was attached).
+	Tuning TuneStats
 
 	ConvLayers   int   // pattern + 1×1 conv nodes
 	TotalWeights int64 // dense weight count across conv nodes
@@ -163,17 +189,54 @@ func layerLevel(tag string, pc *pruned.Conv) (codegen.Level, error) {
 	return codegen.ParseLevel(tag)
 }
 
-// layerTuning picks the tuning a layer compiles with: packed plans get the
-// tuner-sized spatial tile; everything else keeps the default configuration.
+// layerTuning picks the heuristic tuning a layer compiles with: packed plans
+// get the tuner-sized spatial tile; everything else keeps the default
+// configuration. The tile budget uses the *maximum* per-filter weight count,
+// not the layer mean: the packed kernels stream one filter at a time, so
+// under skewed filter sparsity the heaviest filter is what must share L1 with
+// the activation tile.
 func layerTuning(level codegen.Level, pc *pruned.Conv) lr.Tuning {
 	if level != codegen.Packed {
 		return lr.DefaultTuning()
 	}
-	perFilter := 0
-	if pc.OutC > 0 {
-		perFilter = pc.NNZ() / pc.OutC
+	return tuner.PackedTuning(pc.OutH, pc.OutW, pc.InW+2*pc.Pad, pc.MaxFilterNNZ(), pc.Stride)
+}
+
+// resolveTuning picks the tuning a pattern conv compiles with, consulting the
+// tuning DB first: a hit returns the stored decision with zero search work; a
+// miss falls back to the heuristic — or, with TuneSearch, a GA search over
+// the packed space under the analytic cost model — and records the choice so
+// every later compile of this key hits.
+func (p *Plan) resolveTuning(cfg Config, level codegen.Level, pc *pruned.Conv) lr.Tuning {
+	var key tunedb.Key
+	if cfg.TuneDB != nil {
+		key = tunedb.ConvKey(pc, codegen.LevelTag(level))
+		if e, ok := cfg.TuneDB.Lookup(key); ok {
+			p.Tuning.Hits++
+			return e.Config
+		}
+		p.Tuning.Misses++
 	}
-	return tuner.PackedTuning(pc.OutH, pc.OutW, pc.InW+2*pc.Pad, perFilter, pc.Stride)
+	t := layerTuning(level, pc)
+	source, cost := tunedb.SourceHeuristic, 0.0
+	if cfg.TuneSearch && level == codegen.Packed {
+		wpf := pc.MaxFilterNNZ()
+		eval := func(c lr.Tuning) float64 {
+			return tuner.PackedCost(pc.OutH, pc.OutW, pc.InW+2*pc.Pad, wpf, pc.Stride, c)
+		}
+		// A small deterministic budget, warm-started at the heuristic so the
+		// search can never do worse than the fallback it replaces.
+		opt := tuner.Options{Population: 8, Generations: 4, MutationP: 0.2, Elite: 2, Seed: 1,
+			WarmStart: []lr.Tuning{t}}
+		if best, hist, err := tuner.Search(tuner.PackedSpace(), eval, opt); err == nil {
+			p.Tuning.Evals += len(hist)
+			t, source, cost = best.Config, tunedb.SourceSearch, best.CostMs
+		}
+	}
+	if cfg.TuneDB != nil {
+		cfg.TuneDB.Record(key, tunedb.Entry{Config: t, CostMs: cost, Source: source})
+	}
+	return t
 }
 
 // Compile lowers m through the graph optimizer into an executable plan: BN
@@ -198,6 +261,8 @@ func Compile(m *model.Model, params *Params, cfg Config) (*Plan, error) {
 		tag = codegen.LevelTag(lv)
 	}
 
+	cfg.Level = tag
+
 	g := graphopt.FromModel(m)
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -216,7 +281,7 @@ func Compile(m *model.Model, params *Params, cfg Config) (*Plan, error) {
 	}
 	dims := make([][3]int, len(g.Nodes))
 	for _, gn := range g.Nodes {
-		n, err := p.lower(m, g, gn, params, tag, dims)
+		n, err := p.lower(m, g, gn, params, cfg, dims)
 		if err != nil {
 			return nil, err
 		}
@@ -230,7 +295,7 @@ func Compile(m *model.Model, params *Params, cfg Config) (*Plan, error) {
 }
 
 // lower translates one fused graph node into an executable node.
-func (p *Plan) lower(m *model.Model, g *graphopt.Graph, gn *graphopt.Node, params *Params, tag string, dims [][3]int) (*Node, error) {
+func (p *Plan) lower(m *model.Model, g *graphopt.Graph, gn *graphopt.Node, params *Params, cfg Config, dims [][3]int) (*Node, error) {
 	l := gn.Layer
 	n := &Node{
 		Kind: KindInput, Name: l.Name, Op: gn.Op,
@@ -274,11 +339,11 @@ func (p *Plan) lower(m *model.Model, g *graphopt.Graph, gn *graphopt.Node, param
 				pc, bias = foldBNConv(pc, bias, bn)
 				p.Fused.ConvBN++
 			}
-			level, err := layerLevel(tag, pc)
+			level, err := layerLevel(cfg.Level, pc)
 			if err != nil {
 				return nil, err
 			}
-			plan, err := codegen.Compile(pc, level, layerTuning(level, pc))
+			plan, err := codegen.Compile(pc, level, p.resolveTuning(cfg, level, pc))
 			if err != nil {
 				return nil, fmt.Errorf("execgraph: %s/%s: %w", m.Short, m.Dataset, err)
 			}

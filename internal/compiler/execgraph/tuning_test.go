@@ -1,0 +1,132 @@
+package execgraph
+
+import (
+	"testing"
+	"time"
+
+	"patdnn/internal/compiler/codegen"
+	"patdnn/internal/compiler/tuner"
+	"patdnn/internal/compiler/tuner/tunedb"
+	"patdnn/internal/pattern"
+	"patdnn/internal/pruned"
+)
+
+// packedL1Bytes mirrors the tuner's budget constant (unexported there): the
+// mobile-class L1 the packed tile's working set must stay inside.
+const packedL1Bytes = 32 * 1024
+
+// TestTuningDBWarmCompileZeroEvals is the warm-path proof: a first compile
+// against an empty tuning DB misses and searches per layer; a second compile
+// of the same model hits on every layer and performs zero GA evaluations (and
+// is faster, since it skips all search work).
+func TestTuningDBWarmCompileZeroEvals(t *testing.T) {
+	m := bottleneckModel()
+	params, err := Generate(m, 8, 3.6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := tunedb.Open("")
+	cfg := Config{Level: "packed", TuneDB: db, TuneSearch: true}
+
+	coldStart := time.Now()
+	cold, err := Compile(m, params, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldDur := time.Since(coldStart)
+	if cold.Tuning.Hits != 0 || cold.Tuning.Misses == 0 {
+		t.Fatalf("cold compile: %+v, want all misses", cold.Tuning)
+	}
+	if cold.Tuning.Evals == 0 {
+		t.Fatalf("cold compile ran no GA evaluations: %+v", cold.Tuning)
+	}
+
+	warmStart := time.Now()
+	warm, err := Compile(m, params, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmDur := time.Since(warmStart)
+	if warm.Tuning.Evals != 0 {
+		t.Fatalf("warm compile ran %d GA evaluations, want 0", warm.Tuning.Evals)
+	}
+	if warm.Tuning.Misses != 0 || warm.Tuning.Hits != cold.Tuning.Misses {
+		t.Fatalf("warm compile: %+v, want %d hits / 0 misses", warm.Tuning, cold.Tuning.Misses)
+	}
+	// Both compiles must choose identical kernels: a DB hit replays the
+	// recorded decision exactly.
+	for i, n := range cold.Nodes {
+		if n.Kind == KindConv && warm.Nodes[i].Plan.Tune != n.Plan.Tune {
+			t.Fatalf("node %d tuning diverged: cold %+v, warm %+v",
+				i, n.Plan.Tune, warm.Nodes[i].Plan.Tune)
+		}
+	}
+	t.Logf("cold compile %v (%d evals), warm compile %v (0 evals)",
+		coldDur, cold.Tuning.Evals, warmDur)
+}
+
+// TestTuningDBDisabledCountsNothing pins the default path: no DB, no
+// counters, identical plans to before the subsystem existed.
+func TestTuningDBDisabledCountsNothing(t *testing.T) {
+	plan, _ := compileAt(t, bottleneckModel(), "packed")
+	if plan.Tuning != (TuneStats{}) {
+		t.Fatalf("DB-less compile counted tuning traffic: %+v", plan.Tuning)
+	}
+}
+
+// skewedConv builds a layer whose mean per-filter weight count is tiny but
+// whose heaviest filter is dense: filter 0 retains every kernel, all other
+// filters retain one. Geometry chosen so the whole 56-row map fits L1 under
+// the mean but not under the heavy filter.
+func skewedConv() *pruned.Conv {
+	const outC, inC = 64, 512
+	c := &pruned.Conv{
+		Name: "skew", OutC: outC, InC: inC, KH: 3, KW: 3,
+		Stride: 1, Pad: 1, OutH: 56, OutW: 56, InH: 56, InW: 56,
+		Set: pattern.Canonical(8),
+		IDs: make([]int, outC*inC),
+	}
+	for k := 0; k < inC; k++ {
+		c.IDs[k] = 1 // filter 0: fully retained
+	}
+	for f := 1; f < outC; f++ {
+		c.IDs[f*inC] = 1 // every other filter: one kernel
+	}
+	return c
+}
+
+// TestLayerTuningBudgetsForHeaviestFilter is the skewed-sparsity regression
+// test: the packed tile must be sized from the maximum per-filter weight
+// count, not the truncating layer mean — the packed kernels stream one
+// filter at a time, so the heaviest filter's weights share L1 with the tile.
+func TestLayerTuningBudgetsForHeaviestFilter(t *testing.T) {
+	pc := skewedConv()
+	meanPerFilter := pc.NNZ() / pc.OutC
+	maxPerFilter := pc.MaxFilterNNZ()
+	if maxPerFilter <= 4*meanPerFilter {
+		t.Fatalf("fixture not skewed: mean %d, max %d", meanPerFilter, maxPerFilter)
+	}
+
+	workingSet := func(rows, wpf int) int {
+		inRows := (rows-1)*pc.Stride + 3
+		return 4 * (rows*pc.OutW + inRows*(pc.InW+2*pc.Pad) + wpf)
+	}
+	// The regression precondition: sizing by the mean picks the whole map...
+	meanTile := tuner.PackedTile(pc.OutH, pc.OutW, pc.InW+2*pc.Pad, meanPerFilter, pc.Stride)
+	if meanTile != pc.OutH {
+		t.Fatalf("fixture: mean-sized tile %d, want whole map %d", meanTile, pc.OutH)
+	}
+	// ...whose working set the heavy filter blows past the L1 budget.
+	if ws := workingSet(meanTile, maxPerFilter); ws <= packedL1Bytes {
+		t.Fatalf("fixture: mean-sized tile fits anyway (%d <= %d)", ws, packedL1Bytes)
+	}
+
+	tile := layerTuning(codegen.Packed, pc).Tile[1]
+	if ws := workingSet(tile, maxPerFilter); ws > packedL1Bytes {
+		t.Fatalf("layerTuning tile %d: heavy-filter working set %d exceeds L1 budget %d",
+			tile, ws, packedL1Bytes)
+	}
+	if tile >= meanTile {
+		t.Fatalf("layerTuning tile %d did not shrink below the mean-sized %d", tile, meanTile)
+	}
+}

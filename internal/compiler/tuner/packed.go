@@ -48,6 +48,54 @@ func PackedTuning(outH, outW, paddedW, weightsPerFilter, stride int) lr.Tuning {
 	return t
 }
 
+// PackedSpace returns the search space for the packed FKW-direct backend:
+// only the spatial output-row tile is free — the FKW run structure fixes the
+// unroll and permutation genes, and the serving pool owns the thread count —
+// so every other gene is pinned at its default candidate. The tiny space keeps
+// compile-time GA searches and measured background searches cheap (at most
+// len(TileOH) distinct genomes; the eval cache collapses repeats).
+func PackedSpace() Space {
+	d := lr.DefaultTuning()
+	return Space{
+		TileOC:   []int{d.Tile[0]},
+		TileOH:   DefaultSpace().TileOH,
+		TileIC:   []int{d.Tile[2]},
+		UnrollOC: []int{d.Unroll[0]},
+		UnrollOH: []int{d.Unroll[1]},
+		UnrollOW: []int{d.Unroll[2]},
+		Permute:  []lr.Permutation{d.Permute},
+		Threads:  []int{d.Threads},
+	}
+}
+
+// PackedCost is the analytic cost model a compile-time search over
+// PackedSpace minimizes: the packed kernels replay one filter's weight stream
+// per spatial tile, so cost is the MAC work plus a weight-replay term per
+// tile, scaled up sharply when the tile's working set spills the L1 budget.
+// Its minimum coincides with PackedTile's choice — the tallest tile that
+// still fits — while ranking non-fitting tiles worst, which is what makes the
+// GA's winner safe to persist.
+func PackedCost(outH, outW, paddedW, weightsPerFilter, stride int, t lr.Tuning) float64 {
+	if stride < 1 {
+		stride = 1
+	}
+	rows := t.Tile[1]
+	if rows < 1 || rows > outH {
+		rows = outH
+	}
+	tiles := (outH + rows - 1) / rows
+	inRows := (rows-1)*stride + 3
+	work := 4 * (rows*outW + inRows*paddedW + weightsPerFilter)
+	// MACs over the output map plus one weight-stream replay per tile.
+	cost := float64(outH*outW*max(weightsPerFilter, 1)) + float64(tiles*weightsPerFilter)
+	if work > packedL1Bytes {
+		// The tile thrashes L1: at least double the cost (so no spilling tile
+		// ever beats a fitting one) and grow with the spill size.
+		cost *= 2 + float64(work-packedL1Bytes)/float64(packedL1Bytes)
+	}
+	return cost
+}
+
 // PreferPacked is the level chooser the serving engine consults when its
 // configuration leaves the optimization level to the tuner: it predicts, from
 // the layer's geometry and sparsity, whether the packed FKW-direct backend

@@ -1,0 +1,189 @@
+package tunedb
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"patdnn/internal/compiler/lr"
+	"patdnn/internal/pattern"
+	"patdnn/internal/pruned"
+)
+
+func testConv() *pruned.Conv {
+	l := &pruned.Conv{
+		Name: "conv1", OutC: 8, InC: 4, KH: 3, KW: 3,
+		Stride: 1, Pad: 1, OutH: 12, OutW: 12, InH: 12, InW: 12,
+		Set: pattern.Canonical(4),
+		IDs: make([]int, 8*4),
+	}
+	for i := range l.IDs {
+		l.IDs[i] = 1 + i%len(l.Set)
+	}
+	return l
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tuning.json")
+	db := Open(path)
+	if s := db.Stats(); s.Entries != 0 || s.LoadError != "" {
+		t.Fatalf("fresh DB not empty: %+v", s)
+	}
+	key := ConvKey(testConv(), "packed")
+	if _, ok := db.Lookup(key); ok {
+		t.Fatal("lookup hit on empty DB")
+	}
+	want := Entry{Config: lr.DefaultTuning(), CostMs: 1.5, Source: SourceSearch}
+	db.Record(key, want)
+	if err := db.Save(); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	re := Open(path)
+	got, ok := re.Lookup(key)
+	if !ok {
+		t.Fatal("lookup miss after reload")
+	}
+	if got.Config != want.Config || got.CostMs != want.CostMs || got.Source != want.Source {
+		t.Fatalf("reloaded entry %+v, want %+v", got, want)
+	}
+	s := re.Stats()
+	if s.Entries != 1 || s.Hits != 1 || s.Misses != 0 || s.Quarantined != 0 {
+		t.Fatalf("stats after reload: %+v", s)
+	}
+}
+
+func TestKeyDiscriminates(t *testing.T) {
+	a := ConvKey(testConv(), "packed")
+	if b := ConvKey(testConv(), "tuned"); a.String() == b.String() {
+		t.Fatal("level not in the key")
+	}
+	c2 := testConv()
+	c2.IDs[3] = 0 // different sparsity structure, same geometry
+	if b := ConvKey(c2, "packed"); a.String() == b.String() {
+		t.Fatal("pattern assignment not in the key")
+	}
+	c3 := testConv()
+	c3.InH, c3.InW = 24, 24
+	if b := ConvKey(c3, "packed"); a.String() == b.String() {
+		t.Fatal("geometry not in the key")
+	}
+}
+
+func TestCorruptFileQuarantinedWhole(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tuning.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db := Open(path)
+	s := db.Stats()
+	if s.LoadError == "" {
+		t.Fatal("corrupt file produced no LoadError")
+	}
+	if s.Entries != 0 {
+		t.Fatalf("corrupt file produced %d entries", s.Entries)
+	}
+	// The DB must still be fully usable — and Save must rewrite the file.
+	key := ConvKey(testConv(), "packed")
+	db.Record(key, Entry{Config: lr.DefaultTuning(), Source: SourceHeuristic})
+	if err := db.Save(); err != nil {
+		t.Fatalf("Save over corrupt file: %v", err)
+	}
+	if re := Open(path); re.Len() != 1 || re.Stats().LoadError != "" {
+		t.Fatalf("rewritten file not clean: %+v", re.Stats())
+	}
+}
+
+func TestWrongVersionQuarantined(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tuning.json")
+	if err := os.WriteFile(path, []byte(`{"version": 99, "entries": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := Open(path).Stats()
+	if s.LoadError == "" || !strings.Contains(s.LoadError, "version") {
+		t.Fatalf("wrong version not quarantined: %+v", s)
+	}
+}
+
+func TestBadEntriesQuarantinedIndividually(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tuning.json")
+	good := record{Key: ConvKey(testConv(), "packed"),
+		Entry: Entry{Config: lr.DefaultTuning(), Source: SourceMeasured}}
+	badTile := good
+	badTile.Key.Level = "tuned"
+	badTile.Entry.Config.Tile[1] = 0
+	badSource := good
+	badSource.Key.Level = "lre"
+	badSource.Entry.Source = "vibes"
+	badKey := good
+	badKey.Key.OutC = -1
+	data, err := json.Marshal(fileFormat{Version: FormatVersion,
+		Entries: []record{good, badTile, badSource, badKey, good /* duplicate */}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db := Open(path)
+	s := db.Stats()
+	if s.Entries != 1 || s.Quarantined != 4 {
+		t.Fatalf("got %d entries / %d quarantined, want 1 / 4", s.Entries, s.Quarantined)
+	}
+	if _, ok := db.Lookup(good.Key); !ok {
+		t.Fatal("good entry lost alongside the quarantined ones")
+	}
+}
+
+func TestMeasuredNeverDowngraded(t *testing.T) {
+	db := Open("")
+	key := ConvKey(testConv(), "packed")
+	measured := lr.DefaultTuning()
+	measured.Tile[1] = 8
+	db.Record(key, Entry{Config: measured, CostMs: 0.5, Source: SourceMeasured})
+	heuristic := lr.DefaultTuning()
+	db.Record(key, Entry{Config: heuristic, Source: SourceHeuristic})
+	if got, _ := db.Lookup(key); got.Source != SourceMeasured || got.Config != measured {
+		t.Fatalf("measured entry downgraded to %+v", got)
+	}
+	// A newer measurement does replace it.
+	measured2 := measured
+	measured2.Tile[1] = 16
+	db.Record(key, Entry{Config: measured2, CostMs: 0.4, Source: SourceMeasured})
+	if got, _ := db.Lookup(key); got.Config != measured2 {
+		t.Fatalf("fresh measurement not recorded: %+v", got)
+	}
+}
+
+func TestInMemorySaveIsNoop(t *testing.T) {
+	db := Open("")
+	db.Record(ConvKey(testConv(), "packed"), Entry{Config: lr.DefaultTuning(), Source: SourceHeuristic})
+	if err := db.Save(); err != nil {
+		t.Fatalf("in-memory Save: %v", err)
+	}
+}
+
+func TestSaveSkipsWhenClean(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tuning.json")
+	db := Open(path)
+	db.Record(ConvKey(testConv(), "packed"), Entry{Config: lr.DefaultTuning(), Source: SourceHeuristic})
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	st1, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(); err != nil { // clean: must not rewrite
+		t.Fatal(err)
+	}
+	st2, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st1.ModTime().Equal(st2.ModTime()) {
+		t.Fatal("clean Save rewrote the file")
+	}
+}

@@ -9,6 +9,7 @@
 package tuner
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -85,6 +86,9 @@ func (s Space) encode(c lr.Tuning) genome {
 	g[3] = nearestInt(s.UnrollOC, c.Unroll[0])
 	g[4] = nearestInt(s.UnrollOH, c.Unroll[1])
 	g[5] = nearestInt(s.UnrollOW, c.Unroll[2])
+	// A permutation outside the space snaps to the first candidate — the
+	// deterministic analogue of nearestInt (validated spaces are never empty).
+	g[6] = 0
 	for i, p := range s.Permute {
 		if p == c.Permute {
 			g[6] = i
@@ -93,6 +97,35 @@ func (s Space) encode(c lr.Tuning) genome {
 	}
 	g[7] = nearestInt(s.Threads, c.Threads)
 	return g
+}
+
+// geneNames label the genome positions for error messages.
+var geneNames = [8]string{"TileOC", "TileOH", "TileIC", "UnrollOC", "UnrollOH", "UnrollOW", "Permute", "Threads"}
+
+// Validate checks that every gene has at least one candidate, every integer
+// candidate is positive, and every permutation candidate is a known loop
+// order. Search rejects invalid spaces up front: an empty candidate list would
+// otherwise panic deep inside the GA's random-genome draw, and a non-positive
+// tile or thread count would decode into a Tuning no backend can execute.
+func (s Space) Validate() error {
+	for i, c := range s.cardinalities() {
+		if c == 0 {
+			return fmt.Errorf("tuner: space has no %s candidates", geneNames[i])
+		}
+	}
+	for _, vals := range [][]int{s.TileOC, s.TileOH, s.TileIC, s.UnrollOC, s.UnrollOH, s.UnrollOW, s.Threads} {
+		for _, v := range vals {
+			if v < 1 {
+				return fmt.Errorf("tuner: space candidate %d is not positive", v)
+			}
+		}
+	}
+	for _, p := range s.Permute {
+		if !p.Valid() {
+			return fmt.Errorf("tuner: space has unknown permutation %q", p)
+		}
+	}
+	return nil
 }
 
 // Size returns the total number of configurations in the space.
@@ -130,10 +163,37 @@ func DefaultOptions() Options {
 	return Options{Population: 24, Generations: 12, MutationP: 0.15, Elite: 4, Seed: 1}
 }
 
+// Validate rejects option sets the GA cannot run: an empty population has no
+// best individual to return, and a mutation probability outside [0,1] (or NaN)
+// silently degenerates the search.
+func (o Options) Validate() error {
+	if o.Population < 1 {
+		return fmt.Errorf("tuner: Population %d, want >= 1", o.Population)
+	}
+	if o.Generations < 0 {
+		return fmt.Errorf("tuner: Generations %d, want >= 0", o.Generations)
+	}
+	if o.Elite < 0 {
+		return fmt.Errorf("tuner: Elite %d, want >= 0", o.Elite)
+	}
+	if !(o.MutationP >= 0 && o.MutationP <= 1) { // negated to catch NaN
+		return fmt.Errorf("tuner: MutationP %g outside [0, 1]", o.MutationP)
+	}
+	return nil
+}
+
 // Search runs the GA, calling eval for each candidate's cost (lower is
 // better). It returns the best result and the full evaluation history (the
-// training data for the performance estimator).
-func Search(space Space, eval func(lr.Tuning) float64, opt Options) (Result, []Result) {
+// training data for the performance estimator); the history holds one entry
+// per distinct genome evaluated — repeats hit the cache and cost nothing. An
+// invalid space or option set is rejected up front.
+func Search(space Space, eval func(lr.Tuning) float64, opt Options) (Result, []Result, error) {
+	if err := space.Validate(); err != nil {
+		return Result{}, nil, err
+	}
+	if err := opt.Validate(); err != nil {
+		return Result{}, nil, err
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	card := space.cardinalities()
 	randomGenome := func() genome {
@@ -203,11 +263,17 @@ func Search(space Space, eval func(lr.Tuning) float64, opt Options) (Result, []R
 		pop = next
 	}
 	sort.Slice(pop, func(a, b int) bool { return pop[a].cost < pop[b].cost })
-	return Result{Config: space.decode(pop[0].g), CostMs: pop[0].cost}, history
+	return Result{Config: space.decode(pop[0].g), CostMs: pop[0].cost}, history, nil
 }
 
 // RandomSearch is the ablation baseline: n uniform random samples.
-func RandomSearch(space Space, eval func(lr.Tuning) float64, n int, seed int64) (Result, []Result) {
+func RandomSearch(space Space, eval func(lr.Tuning) float64, n int, seed int64) (Result, []Result, error) {
+	if err := space.Validate(); err != nil {
+		return Result{}, nil, err
+	}
+	if n < 1 {
+		return Result{}, nil, fmt.Errorf("tuner: random search over %d samples, want >= 1", n)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	card := space.cardinalities()
 	best := Result{CostMs: -1}
@@ -224,5 +290,5 @@ func RandomSearch(space Space, eval func(lr.Tuning) float64, n int, seed int64) 
 			best = Result{cfg, cost}
 		}
 	}
-	return best, history
+	return best, history, nil
 }

@@ -23,6 +23,26 @@ func syntheticCost(c lr.Tuning) float64 {
 	return cost
 }
 
+// mustSearch / mustRandom fail the test on a search error: every space and
+// option set these tests build is statically valid.
+func mustSearch(t *testing.T, s Space, eval func(lr.Tuning) float64, opt Options) (Result, []Result) {
+	t.Helper()
+	best, hist, err := Search(s, eval, opt)
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	return best, hist
+}
+
+func mustRandom(t *testing.T, s Space, eval func(lr.Tuning) float64, n int, seed int64) (Result, []Result) {
+	t.Helper()
+	best, hist, err := RandomSearch(s, eval, n, seed)
+	if err != nil {
+		t.Fatalf("RandomSearch: %v", err)
+	}
+	return best, hist
+}
+
 func TestSpaceSizeAndDecode(t *testing.T) {
 	s := DefaultSpace()
 	if s.Size() != 4*4*3*4*2*3*4*4 {
@@ -35,7 +55,7 @@ func TestSpaceSizeAndDecode(t *testing.T) {
 }
 
 func TestGAFindsNearOptimum(t *testing.T) {
-	best, history := Search(DefaultSpace(), syntheticCost, DefaultOptions())
+	best, history := mustSearch(t, DefaultSpace(), syntheticCost, DefaultOptions())
 	// Global optimum cost = 10 + 8/8 + 0 = 11.
 	if best.CostMs > 13.0 {
 		t.Fatalf("GA found cost %.2f, want <= 13 (optimum 11)", best.CostMs)
@@ -44,7 +64,7 @@ func TestGAFindsNearOptimum(t *testing.T) {
 		t.Fatal("no history collected")
 	}
 	// GA must beat the mean random configuration decisively.
-	_, rnd := RandomSearch(DefaultSpace(), syntheticCost, 50, 3)
+	_, rnd := mustRandom(t, DefaultSpace(), syntheticCost, 50, 3)
 	var mean float64
 	for _, r := range rnd {
 		mean += r.CostMs
@@ -56,14 +76,24 @@ func TestGAFindsNearOptimum(t *testing.T) {
 }
 
 func TestGADeterministic(t *testing.T) {
-	b1, _ := Search(DefaultSpace(), syntheticCost, DefaultOptions())
-	b2, _ := Search(DefaultSpace(), syntheticCost, DefaultOptions())
+	b1, h1 := mustSearch(t, DefaultSpace(), syntheticCost, DefaultOptions())
+	b2, h2 := mustSearch(t, DefaultSpace(), syntheticCost, DefaultOptions())
 	if b1.Config != b2.Config || b1.CostMs != b2.CostMs {
 		t.Fatal("GA not deterministic for fixed seed")
 	}
+	// The full exploration history must replay identically too: it is the
+	// estimator's training data, and a warm cache replay depends on it.
+	if len(h1) != len(h2) {
+		t.Fatalf("history lengths differ: %d vs %d", len(h1), len(h2))
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("history[%d] differs: %+v vs %+v", i, h1[i], h2[i])
+		}
+	}
 	opt := DefaultOptions()
 	opt.Seed = 99
-	b3, _ := Search(DefaultSpace(), syntheticCost, opt)
+	b3, _ := mustSearch(t, DefaultSpace(), syntheticCost, opt)
 	// Different seeds may find the same optimum, but cost must be sane.
 	if b3.CostMs > 14 {
 		t.Fatalf("seed 99 found poor cost %.2f", b3.CostMs)
@@ -72,8 +102,8 @@ func TestGADeterministic(t *testing.T) {
 
 func TestGABeatsEqualBudgetRandom(t *testing.T) {
 	opt := DefaultOptions()
-	gaBest, gaHist := Search(DefaultSpace(), syntheticCost, opt)
-	rndBest, _ := RandomSearch(DefaultSpace(), syntheticCost, len(gaHist), 11)
+	gaBest, gaHist := mustSearch(t, DefaultSpace(), syntheticCost, opt)
+	rndBest, _ := mustRandom(t, DefaultSpace(), syntheticCost, len(gaHist), 11)
 	if gaBest.CostMs > rndBest.CostMs+1.0 {
 		t.Fatalf("GA (%.2f) much worse than equal-budget random (%.2f)",
 			gaBest.CostMs, rndBest.CostMs)
@@ -86,7 +116,7 @@ func TestWarmStartNeverLosesToSeed(t *testing.T) {
 	seed := lr.DefaultTuning()
 	opt := DefaultOptions()
 	opt.WarmStart = []lr.Tuning{seed}
-	best, _ := Search(DefaultSpace(), syntheticCost, opt)
+	best, _ := mustSearch(t, DefaultSpace(), syntheticCost, opt)
 	if best.CostMs > syntheticCost(seed) {
 		t.Fatalf("warm-started GA (%.2f) worse than seed (%.2f)",
 			best.CostMs, syntheticCost(seed))
@@ -110,7 +140,7 @@ func TestEncodeRoundTripsMembers(t *testing.T) {
 }
 
 func TestEstimatorLearnsLandscape(t *testing.T) {
-	_, history := RandomSearch(DefaultSpace(), syntheticCost, 220, 5)
+	_, history := mustRandom(t, DefaultSpace(), syntheticCost, 220, 5)
 	train, test := history[:180], history[180:]
 	e := NewEstimator(10, 1)
 	baseMSE := e.MSE(test)
@@ -140,7 +170,7 @@ func TestEstimatorRanksConfigs(t *testing.T) {
 	// The estimator's purpose is ranking candidate configs on a new
 	// platform; check it orders a clearly-good config before a clearly-bad
 	// one.
-	_, history := RandomSearch(DefaultSpace(), syntheticCost, 250, 9)
+	_, history := mustRandom(t, DefaultSpace(), syntheticCost, 250, 9)
 	e := NewEstimator(10, 2)
 	e.Fit(history, 250, 0.01)
 	good := lr.Tuning{Tile: [3]int{32, 32, 8}, Unroll: [4]int{4, 1, 8, 1},
@@ -150,6 +180,126 @@ func TestEstimatorRanksConfigs(t *testing.T) {
 	if e.Predict(good) >= e.Predict(bad) {
 		t.Fatalf("estimator ranks bad (%.2f) <= good (%.2f)",
 			e.Predict(bad), e.Predict(good))
+	}
+}
+
+func TestWarmStartAtOptimumNeverLost(t *testing.T) {
+	// Elitism invariant: a warm start sitting on the global optimum must
+	// survive every generation — the returned best must match its cost (the
+	// landscape has equal-cost peers, so the exact genome may differ), for
+	// any seed.
+	optimum := lr.Tuning{Tile: [3]int{32, 32, 8}, Unroll: [4]int{4, 1, 8, 1},
+		Permute: lr.PermCoHWCiBlock, Threads: 8}
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		opt := DefaultOptions()
+		opt.Seed = seed
+		opt.WarmStart = []lr.Tuning{optimum}
+		best, _ := mustSearch(t, DefaultSpace(), syntheticCost, opt)
+		if best.CostMs != syntheticCost(optimum) {
+			t.Fatalf("seed %d: optimum warm start lost: got %+v (%.2f, want %.2f)",
+				seed, best.Config, best.CostMs, syntheticCost(optimum))
+		}
+	}
+}
+
+func TestCachePreventsDoubleEval(t *testing.T) {
+	// Every distinct configuration is evaluated exactly once: repeats hit the
+	// genome cache, and the history holds one entry per unique genome.
+	seen := map[lr.Tuning]int{}
+	eval := func(c lr.Tuning) float64 {
+		seen[c]++
+		return syntheticCost(c)
+	}
+	opt := DefaultOptions()
+	opt.Generations = 30 // plenty of convergence → plenty of repeated genomes
+	_, history := mustSearch(t, DefaultSpace(), eval, opt)
+	for c, n := range seen {
+		if n != 1 {
+			t.Fatalf("config %+v evaluated %d times, want 1", c, n)
+		}
+	}
+	if len(history) != len(seen) {
+		t.Fatalf("history has %d entries for %d unique evals", len(history), len(seen))
+	}
+}
+
+func TestSearchRejectsInvalidSpace(t *testing.T) {
+	empty := DefaultSpace()
+	empty.TileOH = nil
+	if _, _, err := Search(empty, syntheticCost, DefaultOptions()); err == nil {
+		t.Fatal("Search accepted a space with no TileOH candidates")
+	}
+	if _, _, err := RandomSearch(empty, syntheticCost, 10, 1); err == nil {
+		t.Fatal("RandomSearch accepted a space with no TileOH candidates")
+	}
+	badPerm := DefaultSpace()
+	badPerm.Permute = []lr.Permutation{"sideways"}
+	if _, _, err := Search(badPerm, syntheticCost, DefaultOptions()); err == nil {
+		t.Fatal("Search accepted an unknown permutation candidate")
+	}
+	nonPositive := DefaultSpace()
+	nonPositive.Threads = []int{0}
+	if _, _, err := Search(nonPositive, syntheticCost, DefaultOptions()); err == nil {
+		t.Fatal("Search accepted a non-positive thread candidate")
+	}
+}
+
+func TestSearchRejectsInvalidOptions(t *testing.T) {
+	for _, opt := range []Options{
+		{Population: 0, Generations: 5},
+		{Population: 8, Generations: -1},
+		{Population: 8, Elite: -2},
+		{Population: 8, MutationP: 1.5},
+		{Population: 8, MutationP: math.NaN()},
+	} {
+		if _, _, err := Search(DefaultSpace(), syntheticCost, opt); err == nil {
+			t.Fatalf("Search accepted invalid options %+v", opt)
+		}
+	}
+	if _, _, err := RandomSearch(DefaultSpace(), syntheticCost, 0, 1); err == nil {
+		t.Fatal("RandomSearch accepted n=0")
+	}
+}
+
+func TestEncodeUnknownPermuteSnapsDeterministically(t *testing.T) {
+	s := DefaultSpace()
+	cfg := lr.DefaultTuning()
+	cfg.Permute = "not-a-permutation"
+	g1, g2 := s.encode(cfg), s.encode(cfg)
+	if g1 != g2 {
+		t.Fatalf("unknown-permute encoding not deterministic: %v vs %v", g1, g2)
+	}
+	if got := s.decode(g1).Permute; got != s.Permute[0] {
+		t.Fatalf("unknown permute snapped to %q, want first candidate %q", got, s.Permute[0])
+	}
+}
+
+func TestPackedSpaceSearchMatchesPackedTile(t *testing.T) {
+	// The analytic PackedCost minimum over PackedSpace must agree with the
+	// PackedTile heuristic wherever the heuristic's choice is in the space:
+	// that is what makes a searched decision safe to persist and reuse where
+	// a heuristic one would have been.
+	if err := PackedSpace().Validate(); err != nil {
+		t.Fatalf("PackedSpace invalid: %v", err)
+	}
+	cases := []struct{ outH, outW, paddedW, wpf, stride int }{
+		{56, 56, 58, 128, 1},  // mid VGG layer
+		{56, 56, 58, 2048, 1}, // heavy filters: tile must shrink
+		{28, 28, 58, 512, 2},  // strided
+	}
+	for _, c := range cases {
+		eval := func(tn lr.Tuning) float64 {
+			return PackedCost(c.outH, c.outW, c.paddedW, c.wpf, c.stride, tn)
+		}
+		best, _ := mustSearch(t, PackedSpace(), eval, DefaultOptions())
+		want := PackedTile(c.outH, c.outW, c.paddedW, c.wpf, c.stride)
+		got := best.Config.Tile[1]
+		if got > c.outH {
+			got = c.outH
+		}
+		if got != want {
+			t.Fatalf("%+v: searched tile %d (clamped), PackedTile %d", c, got, want)
+		}
 	}
 }
 

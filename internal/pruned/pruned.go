@@ -104,6 +104,26 @@ func (c *Conv) NNZ() int {
 	return n
 }
 
+// MaxFilterNNZ returns the largest retained weight count of any single
+// filter. Tile sizing must budget for this, not the layer mean: under skewed
+// filter sparsity the heaviest filter's weight stream is what actually
+// contends with the activation tile for L1 residency.
+func (c *Conv) MaxFilterNNZ() int {
+	best := 0
+	for f := 0; f < c.OutC; f++ {
+		n := 0
+		for k := 0; k < c.InC; k++ {
+			if id := c.IDs[f*c.InC+k]; id != 0 {
+				n += c.Set[id-1].Entries()
+			}
+		}
+		if n > best {
+			best = n
+		}
+	}
+	return best
+}
+
 // TotalWeights returns the dense weight count.
 func (c *Conv) TotalWeights() int { return c.OutC * c.InC * c.KH * c.KW }
 

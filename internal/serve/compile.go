@@ -37,18 +37,27 @@ type compiledModel struct {
 	retired atomic.Bool
 }
 
+// execCfg builds the graph compiler configuration for one compile at a level
+// tag: when the tuning subsystem is on, every compile consults the tuning DB
+// first and records its decisions, with a compile-time GA search (analytic
+// cost model) standing in for the single-shot heuristics on misses.
+func (e *Engine) execCfg(tag string) execgraph.Config {
+	return execgraph.Config{Level: tag, TuneDB: e.tdb, TuneSearch: e.tdb != nil}
+}
+
 // compileModel lowers m at the given level tag through the graph executor:
 // deterministic parameters are generated at the engine's operating point
 // (pattern + connectivity pruning for 3×3 convs, magnitude pruning for 1×1s,
 // dense FC, synthetic BN statistics), then the graph passes fold BN into conv
 // weights, fuse residual adds and ReLUs into conv epilogues, and the liveness
 // pass lays out the activation arena.
-func compileModel(cfg Config, m *model.Model, tag string) (*compiledModel, error) {
+func (e *Engine) compileModel(m *model.Model, tag string) (*compiledModel, error) {
+	cfg := e.cfg
 	params, err := execgraph.Generate(m, cfg.Patterns, cfg.ConnRate, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	plan, err := execgraph.Compile(m, params, execgraph.Config{Level: tag})
+	plan, err := execgraph.Compile(m, params, e.execCfg(tag))
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
@@ -64,12 +73,12 @@ func compileModel(cfg Config, m *model.Model, tag string) (*compiledModel, error
 // realized as the stride==kernel max-pool that produces exactly the next
 // layer's input geometry. Non-chainable layer sequences are rejected at load
 // time rather than served wrong.
-func compileFromFile(cfg Config, name, version string, mf *modelfile.File, tag string) (*compiledModel, error) {
+func (e *Engine) compileFromFile(name, version string, mf *modelfile.File, tag string) (*compiledModel, error) {
 	m, params, err := execgraph.FromFile(name, mf)
 	if err != nil {
 		return nil, fmt.Errorf("serve: artifact %s@%s: %w", name, version, err)
 	}
-	plan, err := execgraph.Compile(m, params, execgraph.Config{Level: tag})
+	plan, err := execgraph.Compile(m, params, e.execCfg(tag))
 	if err != nil {
 		return nil, fmt.Errorf("serve: artifact %s@%s: %w", name, version, err)
 	}

@@ -73,7 +73,7 @@ func (e *Engine) WithRegistry(cfg registry.Config) (*registry.Registry, error) {
 		if err != nil {
 			return nil, err
 		}
-		cm, err := compileFromFile(e.cfg, name, version, f, tag)
+		cm, err := e.compileFromFile(name, version, f, tag)
 		if err != nil {
 			return nil, err
 		}

@@ -27,6 +27,7 @@ import (
 
 	"patdnn/internal/compiler/codegen"
 	"patdnn/internal/compiler/execgraph"
+	"patdnn/internal/compiler/tuner/tunedb"
 	"patdnn/internal/model"
 	"patdnn/internal/registry"
 	"patdnn/internal/runtime"
@@ -66,6 +67,20 @@ type Config struct {
 	// canary/bench traffic cannot monopolize the compute interactive traffic
 	// needs. Default max(1, Workers/4); values above Workers are clamped.
 	BatchWorkers int
+	// TuningDB is the path of the persistent auto-tuning sidecar (e.g.
+	// <models-dir>/tuning.json). When set — or when BackgroundTune is on —
+	// every plan compile consults the DB before running tuning heuristics and
+	// records its decisions, so recompiles of known layers (lazy reloads
+	// after LRU eviction, warm restarts) do zero search work. Empty with
+	// BackgroundTune off disables the tuning subsystem entirely.
+	TuningDB string
+	// BackgroundTune starts the background tuning worker: off the hot path it
+	// re-searches packed-layer configurations with measured (wall-clock)
+	// evaluation, records winners in the tuning DB, and hot-swaps improved
+	// plans through the same atomic-swap machinery registry hot reloads use.
+	BackgroundTune bool
+	// TuneInterval is the background worker's round period (default 15s).
+	TuneInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +107,9 @@ func (c Config) withDefaults() Config {
 		if c.QueueDepth < 64 {
 			c.QueueDepth = 64
 		}
+	}
+	if c.TuneInterval <= 0 {
+		c.TuneInterval = 15 * time.Second
 	}
 	return c
 }
@@ -202,6 +220,23 @@ type Stats struct {
 	// hot reloads, evictions, resident bytes); nil when no registry is
 	// attached.
 	Registry *registry.Stats `json:"registry,omitempty"`
+	// Tuning snapshots the persistent auto-tuning subsystem (nil when
+	// disabled): tuning-DB traffic plus the background worker's counters.
+	// All counters are monotonic for the engine's lifetime.
+	Tuning *TuningStats `json:"tuning,omitempty"`
+}
+
+// TuningStats reports the tuning DB's counters and the background tuning
+// worker's activity.
+type TuningStats struct {
+	// DB is the tuning store snapshot: entry count, lookup hits/misses,
+	// records written, entries quarantined by the checked reader, and any
+	// whole-file load error.
+	DB tunedb.Stats `json:"db"`
+	// BackgroundSearches counts measured GA searches the background worker
+	// completed; Swaps counts the plan hot-swaps those searches earned.
+	BackgroundSearches uint64 `json:"background_searches"`
+	Swaps              uint64 `json:"swaps"`
 }
 
 // ModelInfo describes one compiled (cached) model — a generator-path plan
@@ -300,12 +335,17 @@ type Engine struct {
 	// than competing at full width with interactive sweeps.
 	batchPool *runtime.Pool
 
-	mu     sync.Mutex // guards models/registered/batchers maps + levelHits + reg
+	mu     sync.Mutex // guards models/registered/batchers maps + levelHits + reg + aliases
 	models map[modelKey]*modelEntry
 	// registered keeps custom descriptors by (short, dataset) so a request
 	// with an explicit level override can compile a registered model at that
 	// level too.
 	registered map[[2]string]*model.Model
+	// aliases memoizes (request network, dataset) → the canonical (Short,
+	// Dataset) model.ByName resolved it to, so alias-named requests ("vgg16",
+	// "VGG-16") hit the plan cache directly instead of re-running descriptor
+	// construction on the hot path.
+	aliases map[[2]string][2]string
 	// batchers is keyed by the compiled artifact itself: generator-path
 	// entries hold one stable compiledModel per cache key, while registry
 	// models swap artifacts on hot reload — the new version gets its own
@@ -321,6 +361,15 @@ type Engine struct {
 	// called): disk-backed versioned .patdnn artifacts the engine resolves
 	// Request.Network against before falling back to the generator path.
 	reg *registry.Registry
+
+	// tdb is the persistent tuning DB every plan compile consults (nil when
+	// the tuning subsystem is disabled); tuneStop/tuneWG manage the
+	// background tuning worker when Config.BackgroundTune is set.
+	tdb        *tunedb.DB
+	tuneStop   chan struct{}
+	tuneWG     sync.WaitGroup
+	bgSearches atomic.Uint64
+	bgSwaps    atomic.Uint64
 
 	// lifecycle serializes Close against in-flight enqueues: enqueuers hold
 	// the read side across the channel send, Close takes the write side
@@ -355,16 +404,29 @@ func New(cfg Config) *Engine {
 			bw = 1
 		}
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:        cfg,
 		pool:       pool,
 		batchPool:  pool.Limit(bw),
 		models:     make(map[modelKey]*modelEntry),
 		registered: make(map[[2]string]*model.Model),
+		aliases:    make(map[[2]string][2]string),
 		batchers:   make(map[*compiledModel]*batcher),
 		levelHits:  make(map[string]uint64),
 		laneCarry:  make(map[laneKey]laneCarry),
 	}
+	if cfg.TuningDB != "" || cfg.BackgroundTune {
+		// An empty path with background tuning on gives an in-memory DB: the
+		// worker's measured winners still steer recompiles, just not across
+		// restarts.
+		e.tdb = tunedb.Open(cfg.TuningDB)
+	}
+	if cfg.BackgroundTune {
+		e.tuneStop = make(chan struct{})
+		e.tuneWG.Add(1)
+		go e.tuneLoop()
+	}
+	return e
 }
 
 // Preload compiles a model into the plan cache (at the engine's default
@@ -380,7 +442,7 @@ func (e *Engine) Preload(network, dataset string) error {
 // ("auto" defers the per-layer choice to the tuner's estimator). Callers hold
 // e.mu.
 func (e *Engine) newEntry(m *model.Model, tag string) *modelEntry {
-	return &modelEntry{compile: func() (*compiledModel, error) { return compileModel(e.cfg, m, tag) }}
+	return &modelEntry{compile: func() (*compiledModel, error) { return e.compileModel(m, tag) }}
 }
 
 // RegisterModel compiles a custom network descriptor into the plan cache
@@ -440,9 +502,18 @@ func (e *Engine) compiled(network, dataset, level string, gate bool) (modelKey, 
 	e.mu.Lock()
 	entry, ok := e.models[key]
 	if !ok {
+		// An alias-named request ("vgg16", "VGG-16") whose canonical key was
+		// resolved before: rewrite the key instead of re-running model.ByName
+		// descriptor construction per request on the hot path.
+		if canon, hit := e.aliases[[2]string{network, dataset}]; hit {
+			key = modelKey{canon[0], canon[1], tag}
+			entry, ok = e.models[key]
+		}
+	}
+	if !ok {
 		// A registered custom model requested at a not-yet-compiled level:
 		// compile its retained descriptor at that level.
-		if m, reg := e.registered[[2]string{network, dataset}]; reg {
+		if m, reg := e.registered[[2]string{key.short, key.dataset}]; reg {
 			entry = e.newEntry(m, tag)
 			entry.gate.Store(gate)
 			e.models[key] = entry
@@ -475,6 +546,11 @@ func (e *Engine) compiled(network, dataset, level string, gate bool) (modelKey, 
 	}
 	key = modelKey{m.Short, m.Dataset, tag}
 	e.mu.Lock()
+	// Remember the alias so the next request under this spelling short-
+	// circuits to the canonical key (and counts as a plan hit).
+	if network != m.Short || dataset != m.Dataset {
+		e.aliases[[2]string{network, dataset}] = [2]string{m.Short, m.Dataset}
+	}
 	entry, ok = e.models[key]
 	if ok {
 		if gate {
@@ -638,9 +714,9 @@ func (cm *compiledModel) response(out *tensor.Tensor, r batchResult) *Response {
 	}
 }
 
-// Close drains every batcher, closes the attached registry (if any), and
-// stops the engine. In-flight requests complete; later Infer calls return
-// ErrClosed. Close is idempotent.
+// Close stops the background tuner, drains every batcher, closes the attached
+// registry (if any), persists the tuning DB, and stops the engine. In-flight
+// requests complete; later Infer calls return ErrClosed. Close is idempotent.
 func (e *Engine) Close() error {
 	e.lifecycle.Lock()
 	if e.closed {
@@ -655,11 +731,23 @@ func (e *Engine) Close() error {
 	reg := e.reg
 	e.mu.Unlock()
 	e.lifecycle.Unlock()
+	if e.tuneStop != nil {
+		// The worker checks e.closed at its next step; closing the stop
+		// channel also wakes it out of its ticker wait. A worker mid-swap is
+		// safe: retireBatcher after Close is a no-op.
+		close(e.tuneStop)
+		e.tuneWG.Wait()
+	}
 	e.wg.Wait()
 	if reg != nil {
 		// After e.closed is set the registry's Release callbacks are no-ops,
 		// so closing it here cannot race the batcher shutdown above.
 		reg.Close()
+	}
+	if e.tdb != nil {
+		// Best-effort persistence of decisions made since the last round;
+		// the DB is an accelerator, so a failed save never fails Close.
+		_ = e.tdb.Save()
 	}
 	return nil
 }
@@ -735,6 +823,13 @@ func (e *Engine) Stats() Stats {
 	if reg != nil {
 		rs := reg.Stats()
 		s.Registry = &rs
+	}
+	if e.tdb != nil {
+		s.Tuning = &TuningStats{
+			DB:                 e.tdb.Stats(),
+			BackgroundSearches: e.bgSearches.Load(),
+			Swaps:              e.bgSwaps.Load(),
+		}
 	}
 	return s
 }

@@ -1,0 +1,189 @@
+package serve
+
+// Background tuning worker: the serving half of the persistent autotuning
+// subsystem. Off the hot path it re-searches packed-layer execution
+// configurations with *measured* (wall-clock) evaluation — the compile path
+// only ever affords the analytic cost model — records the winners in the
+// tuning DB as SourceMeasured (which outranks analytic decisions and is never
+// downgraded), and hot-swaps any plan whose compiled configuration the
+// measurements beat. The swap rides the exact machinery registry hot reloads
+// use: the plan-cache entry is replaced under the engine mutex and the old
+// artifact's batcher is retired — queued requests drain on the old plans,
+// stragglers run unbatched, new requests batch on the replacement — so no
+// in-flight request ever fails because tuning improved its model.
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"patdnn/internal/compiler/codegen"
+	"patdnn/internal/compiler/execgraph"
+	"patdnn/internal/compiler/lr"
+	"patdnn/internal/compiler/tuner"
+	"patdnn/internal/compiler/tuner/tunedb"
+	"patdnn/internal/tensor"
+)
+
+// readyEntry wraps an already-compiled artifact as a plan-cache entry (the
+// shape a hot swap installs: the replacement must be immediately ready, never
+// "compiling").
+func readyEntry(cm *compiledModel) *modelEntry {
+	en := &modelEntry{compile: func() (*compiledModel, error) { return cm, nil }}
+	en.get()
+	return en
+}
+
+// tuneLoop is the worker goroutine: one tuning round per Config.TuneInterval
+// until Close.
+func (e *Engine) tuneLoop() {
+	defer e.tuneWG.Done()
+	tick := time.NewTicker(e.cfg.TuneInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.tuneStop:
+			return
+		case <-tick.C:
+			e.tuneRound()
+		}
+	}
+}
+
+// tuneRound walks every ready generator-path plan, measures better packed
+// configurations where the DB has no measured verdict yet, and hot-swaps the
+// plans the verdicts improve. Registry-backed artifacts are not swapped
+// directly — their next lazy recompile (eviction, hot reload) picks the
+// measured winners out of the DB — because the registry owns their lifecycle
+// and memory accounting.
+func (e *Engine) tuneRound() {
+	if e.tdb == nil {
+		return
+	}
+	type item struct {
+		key   modelKey
+		entry *modelEntry
+		cm    *compiledModel
+	}
+	e.lifecycle.RLock()
+	closed := e.closed
+	e.lifecycle.RUnlock()
+	if closed {
+		return
+	}
+	e.mu.Lock()
+	items := make([]item, 0, len(e.models))
+	for k, en := range e.models {
+		if cm, err, ok := en.snapshot(); ok && err == nil && cm != nil {
+			items = append(items, item{k, en, cm})
+		}
+	}
+	e.mu.Unlock()
+	for _, it := range items {
+		e.tuneModel(it.key, it.entry, it.cm)
+	}
+	// Persist this round's verdicts; a failed save just retries next round.
+	_ = e.tdb.Save()
+}
+
+// tuneModel measures one compiled model's packed convs and swaps in a
+// recompile if any conv's best-known configuration differs from the compiled
+// one.
+func (e *Engine) tuneModel(key modelKey, entry *modelEntry, cm *compiledModel) {
+	improved := false
+	for _, n := range cm.plan.Nodes {
+		if e.stopping() {
+			return
+		}
+		if n.Kind != execgraph.KindConv || n.Plan.Level != codegen.Packed {
+			continue
+		}
+		if e.tuneConv(n) {
+			improved = true
+		}
+	}
+	if !improved {
+		return
+	}
+	// Recompile: every layer now hits the DB (measured entries included), so
+	// this does zero search work and embodies the improved configurations.
+	newCM, err := e.compileModel(cm.model, cm.level)
+	if err != nil {
+		return
+	}
+	// Install under the same discipline registry hot reloads use. The entry
+	// identity check makes the swap idempotent against racing swaps or an
+	// eviction that already replaced the key.
+	e.lifecycle.RLock()
+	if e.closed {
+		e.lifecycle.RUnlock()
+		return
+	}
+	swapped := false
+	e.mu.Lock()
+	if e.models[key] == entry {
+		e.models[key] = readyEntry(newCM)
+		swapped = true
+	}
+	e.mu.Unlock()
+	e.lifecycle.RUnlock()
+	if swapped {
+		e.retireBatcher(cm)
+		e.bgSwaps.Add(1)
+	}
+}
+
+// tuneConv ensures the DB holds a measured verdict for one packed conv and
+// reports whether that verdict differs from the configuration the conv is
+// currently compiled with (i.e. whether a recompile would change the plan).
+func (e *Engine) tuneConv(n *execgraph.Node) bool {
+	pc := n.Plan.Conv
+	key := tunedb.ConvKey(pc, codegen.LevelTag(codegen.Packed))
+	if ent, ok := e.tdb.Lookup(key); ok && ent.Source == tunedb.SourceMeasured {
+		return ent.Config.Tile[1] != n.Plan.Tune.Tile[1]
+	}
+
+	// Measured evaluation: compile the candidate and time the fused layer on
+	// the batch pool (the width background work is allowed), min-of-3 with
+	// nanosecond resolution so sub-millisecond layers still rank.
+	in := tensor.New(pc.InChannels(), pc.InH, pc.InW)
+	in.Randn(rand.New(rand.NewSource(1)), 1)
+	eval := func(t lr.Tuning) float64 {
+		plan, err := codegen.Compile(pc, codegen.Packed, t)
+		if err != nil {
+			return math.MaxFloat64
+		}
+		best := math.MaxFloat64
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			e.batchPool.RunLayerFused(plan, in, n.Bias, n.ReLU)
+			if ms := float64(time.Since(start).Nanoseconds()) / 1e6; ms < best {
+				best = ms
+			}
+		}
+		return best
+	}
+	opt := tuner.Options{Population: 6, Generations: 2, MutationP: 0.25, Elite: 2, Seed: 1,
+		WarmStart: []lr.Tuning{n.Plan.Tune}}
+	best, _, err := tuner.Search(tuner.PackedSpace(), eval, opt)
+	if err != nil {
+		return false
+	}
+	e.bgSearches.Add(1)
+	e.tdb.Record(key, tunedb.Entry{Config: best.Config, CostMs: best.CostMs, Source: tunedb.SourceMeasured})
+	return best.Config.Tile[1] != n.Plan.Tune.Tile[1]
+}
+
+// stopping reports whether Close has started (checked between layer
+// measurements so a round in progress does not delay shutdown by seconds).
+func (e *Engine) stopping() bool {
+	if e.tuneStop == nil {
+		return false
+	}
+	select {
+	case <-e.tuneStop:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"patdnn/internal/compiler/codegen"
+	"patdnn/internal/compiler/execgraph"
+	"patdnn/internal/compiler/tuner/tunedb"
+)
+
+// TestAliasRequestsHitPlanCache: every spelling model.ByName accepts for a
+// paper network must resolve to the one cached plan — one compile, and every
+// subsequent request (canonical or alias) counts as a plan hit. The first
+// alias request memoizes the canonical key, so later alias requests skip
+// descriptor construction entirely.
+func TestAliasRequestsHitPlanCache(t *testing.T) {
+	eng := New(Config{Workers: 2, Level: "noopt"})
+	defer eng.Close()
+	ctx := context.Background()
+
+	if _, err := eng.Infer(ctx, Request{Network: "vgg16", Dataset: "cifar10"}); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.Stats()
+	if s.PlanCompiles != 1 || s.PlanHits != 0 {
+		t.Fatalf("after first alias request: %d compiles / %d hits, want 1 / 0",
+			s.PlanCompiles, s.PlanHits)
+	}
+	// The alias was memoized against the canonical (Short, Dataset) key.
+	eng.mu.Lock()
+	canon, ok := eng.aliases[[2]string{"vgg16", "cifar10"}]
+	eng.mu.Unlock()
+	if !ok || canon != [2]string{"VGG", "cifar10"} {
+		t.Fatalf("alias not memoized: %v (ok=%v)", canon, ok)
+	}
+
+	// Every other spelling — the memoized alias, new aliases, the canonical
+	// name — rides the cached plan and counts as a hit.
+	for _, name := range []string{"vgg16", "VGG-16", "vgg", "VGG"} {
+		if _, err := eng.Infer(ctx, Request{Network: name, Dataset: "cifar10"}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	s = eng.Stats()
+	if s.PlanCompiles != 1 {
+		t.Fatalf("alias requests recompiled the model: %d compiles", s.PlanCompiles)
+	}
+	if s.PlanHits != 4 {
+		t.Fatalf("alias requests missed the plan cache: %d hits, want 4", s.PlanHits)
+	}
+}
+
+// TestRegistryLazyRecompileHitsTuningDB: a registry model evicted by the
+// memory budget recompiles lazily on its next hit — and with a tuning DB
+// attached, that recompile replays the recorded per-layer decisions instead
+// of re-searching (zero new DB misses).
+func TestRegistryLazyRecompileHitsTuningDB(t *testing.T) {
+	dir := t.TempDir()
+	writeTinyArtifact(t, dir, "tiny", "v1", 100)
+	writeTinyArtifact(t, dir, "tiny", "v2", 200)
+	eng, reg := registryEngine(t, dir, 0, Config{
+		Workers: 2, Level: "packed",
+		TuningDB: filepath.Join(t.TempDir(), "tuning.json"),
+	})
+	ctx := context.Background()
+
+	if _, err := eng.Infer(ctx, Request{Network: "tiny@v1"}); err != nil {
+		t.Fatal(err)
+	}
+	cold := eng.Stats().Tuning
+	if cold == nil {
+		t.Fatal("tuning stats nil with a tuning DB configured")
+	}
+	if cold.DB.Misses == 0 || cold.DB.Records == 0 {
+		t.Fatalf("first compile recorded nothing: %+v", cold.DB)
+	}
+
+	// Shrink the budget so loading v2 evicts v1's compiled plan.
+	one := eng.Stats().Registry.BytesInUse
+	reg.SetMemoryBudget(one + one/2)
+	if _, err := eng.Infer(ctx, Request{Network: "tiny@v2"}); err != nil {
+		t.Fatal(err)
+	}
+	if s := eng.Stats().Registry; s.Evictions != 1 {
+		t.Fatalf("v2 load did not evict v1: %+v", s)
+	}
+	snap := eng.Stats().Tuning
+
+	// v1's lazy recompile must hit the DB on every layer: hits grow, misses
+	// do not — the whole point of persisting tuning decisions.
+	if _, err := eng.Infer(ctx, Request{Network: "tiny@v1"}); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.Stats()
+	if s.Registry.LazyReloads != 1 {
+		t.Fatalf("v1 did not lazily recompile: %+v", s.Registry)
+	}
+	if s.Tuning.DB.Misses != snap.DB.Misses {
+		t.Fatalf("lazy recompile missed the tuning DB: %d misses, had %d",
+			s.Tuning.DB.Misses, snap.DB.Misses)
+	}
+	if s.Tuning.DB.Hits <= snap.DB.Hits {
+		t.Fatalf("lazy recompile hit nothing: %d hits, had %d",
+			s.Tuning.DB.Hits, snap.DB.Hits)
+	}
+}
+
+// TestBackgroundTunerHotSwap: when the DB's measured verdict for a compiled
+// packed conv diverges from the plan, a tuning round recompiles the model
+// (picking the measured configuration out of the DB) and hot-swaps it while
+// concurrent requests stream — zero failures, the swapped plan embodies the
+// measured configs, and a second round finds nothing left to improve
+// (convergence: counters are monotonic and Swaps stops moving).
+func TestBackgroundTunerHotSwap(t *testing.T) {
+	eng := New(Config{
+		Workers: 2, Level: "packed",
+		// The ticker must never fire on its own: the test drives rounds.
+		BackgroundTune: true, TuneInterval: time.Hour,
+	})
+	defer eng.Close()
+	if err := eng.RegisterModel(tinyModel("tiny", "synthetic")); err != nil {
+		t.Fatal(err)
+	}
+
+	key := modelKey{"tiny", "synthetic", "packed"}
+	eng.mu.Lock()
+	entry := eng.models[key]
+	eng.mu.Unlock()
+	cm, err := entry.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-seed the DB with measured verdicts that diverge from every packed
+	// conv's compiled tile, forcing the first round into a deterministic swap
+	// (no wall-clock measurement, so the test is stable under -race).
+	want := map[*execgraph.Node]int{}
+	for _, n := range cm.plan.Nodes {
+		if n.Kind != execgraph.KindConv || n.Plan.Level != codegen.Packed {
+			continue
+		}
+		alt := n.Plan.Tune
+		alt.Tile[1] = alt.Tile[1] / 2
+		if alt.Tile[1] < 1 {
+			alt.Tile[1] = n.Plan.Tune.Tile[1] + 1
+		}
+		k := tunedb.ConvKey(n.Plan.Conv, codegen.LevelTag(codegen.Packed))
+		eng.tdb.Record(k, tunedb.Entry{Config: alt, CostMs: 0.01, Source: tunedb.SourceMeasured})
+		want[n] = alt.Tile[1]
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture compiled no packed convs")
+	}
+
+	// Hammer the model from several goroutines across both rounds: the swap
+	// must never fail an in-flight request.
+	stop := make(chan struct{})
+	errCh := make(chan error, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := eng.Infer(context.Background(),
+					Request{Network: "tiny", Dataset: "synthetic", Input: tinyInput(seed)}); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+
+	eng.tuneRound()
+	s1 := eng.Stats()
+	if s1.Tuning == nil || s1.Tuning.Swaps != 1 {
+		t.Fatalf("first round: %+v, want exactly 1 swap", s1.Tuning)
+	}
+
+	// The swapped-in plan embodies the measured configurations.
+	eng.mu.Lock()
+	swapped := eng.models[key]
+	eng.mu.Unlock()
+	if swapped == entry {
+		t.Fatal("plan-cache entry not replaced")
+	}
+	cm2, err2, ok := swapped.snapshot()
+	if !ok || err2 != nil {
+		t.Fatalf("swapped entry not ready: ok=%v err=%v", ok, err2)
+	}
+	i := 0
+	for _, n := range cm2.plan.Nodes {
+		if n.Kind != execgraph.KindConv || n.Plan.Level != codegen.Packed {
+			continue
+		}
+		k := tunedb.ConvKey(n.Plan.Conv, codegen.LevelTag(codegen.Packed))
+		ent, hit := eng.tdb.Lookup(k)
+		if !hit || n.Plan.Tune.Tile[1] != ent.Config.Tile[1] {
+			t.Fatalf("packed conv %d: swapped plan tile %d, measured verdict %d (hit=%v)",
+				i, n.Plan.Tune.Tile[1], ent.Config.Tile[1], hit)
+		}
+		i++
+	}
+	if i != len(want) {
+		t.Fatalf("swapped plan has %d packed convs, want %d", i, len(want))
+	}
+
+	// Second round: the compiled plan now matches every measured verdict, so
+	// nothing swaps — the worker converges instead of flapping.
+	eng.tuneRound()
+	s2 := eng.Stats()
+	if s2.Tuning.Swaps != s1.Tuning.Swaps {
+		t.Fatalf("worker did not converge: swaps %d -> %d", s1.Tuning.Swaps, s2.Tuning.Swaps)
+	}
+	// /stats counters are monotonic across rounds.
+	if s2.Tuning.DB.Hits < s1.Tuning.DB.Hits || s2.Tuning.DB.Records < s1.Tuning.DB.Records ||
+		s2.Tuning.BackgroundSearches < s1.Tuning.BackgroundSearches {
+		t.Fatalf("tuning counters went backwards: %+v -> %+v", s1.Tuning, s2.Tuning)
+	}
+
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatalf("in-flight request failed across the hot swap: %v", err)
+	default:
+	}
+}
