@@ -147,7 +147,7 @@ func hostLevelTuning(level codegen.Level) lr.Tuning {
 		return lr.DefaultTuning()
 	}
 	c := hostFix.conv
-	return tuner.PackedTuning(c.OutH, c.OutW, c.InW+2*c.Pad, c.NNZ()/c.OutC, c.Stride)
+	return tuner.PackedTuning(c.OutH, c.OutW, c.InW+2*c.Pad, c.NNZ()/c.OutC, c.Stride, 4)
 }
 
 func benchBatchedLevel(b *testing.B, level codegen.Level, batch int) {

@@ -39,11 +39,13 @@ func main() {
 	serveRequests := flag.Int("serve-requests", 96, "timed requests per -serve-json case")
 	serveNet := flag.String("serve-net", "VGG",
 		"network the -serve-json sweep drives (VGG, RNT, MBNT; CIFAR-10 variants) — CI uploads one artifact per net")
+	serveLevel := flag.String("serve-level", "",
+		"pin the -serve-json engine to this optimization level (e.g. packedq8 for the quantized-serving baseline); empty = engine default")
 	flag.Parse()
 
 	switch {
 	case *serveJSON != "":
-		if err := writeServeBench(*serveJSON, *serveRequests, *serveNet); err != nil {
+		if err := writeServeBench(*serveJSON, *serveRequests, *serveNet, *serveLevel); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -90,14 +92,19 @@ func runSweep() {
 	bias := make([]float32, outC)
 
 	pool := runtime.NewPool(0)
-	levels := []codegen.Level{codegen.Tuned, codegen.Packed}
+	levels := []codegen.Level{codegen.Tuned, codegen.Packed, codegen.PackedQ8}
 	plans := map[codegen.Level]*codegen.Plan{}
 	for _, lv := range levels {
 		tune := lr.DefaultTuning()
-		if lv == codegen.Packed {
+		if lv == codegen.Packed || lv == codegen.PackedQ8 {
 			// Budget the tile for the heaviest filter's weight stream, not the
-			// layer mean — skewed sparsity otherwise overruns L1.
-			tune = tuner.PackedTuning(conv.OutH, conv.OutW, conv.InW+2*conv.Pad, conv.MaxFilterNNZ(), conv.Stride)
+			// layer mean — skewed sparsity otherwise overruns L1. The int8
+			// stream is a quarter the bytes, which buys taller tiles.
+			bpw := 4
+			if lv == codegen.PackedQ8 {
+				bpw = 1
+			}
+			tune = tuner.PackedTuning(conv.OutH, conv.OutW, conv.InW+2*conv.Pad, conv.MaxFilterNNZ(), conv.Stride, bpw)
 		}
 		p, err := codegen.Compile(conv, lv, tune)
 		if err != nil {
@@ -107,9 +114,10 @@ func runSweep() {
 		plans[lv] = p
 	}
 
-	fmt.Printf("Tuned vs Packed sweep — %dx%d conv, %dx%d map, %d workers\n",
+	fmt.Printf("Tuned vs Packed vs Packed-INT8 sweep — %dx%d conv, %dx%d map, %d workers\n",
 		outC, inC, h, w, pool.Workers())
-	fmt.Printf("%-6s  %-20s  %-20s  %s\n", "batch", codegen.Tuned, codegen.Packed, "speedup")
+	fmt.Printf("%-6s  %-18s  %-18s  %-18s  %-9s  %s\n",
+		"batch", codegen.Tuned, codegen.Packed, codegen.PackedQ8, "pk/tuned", "q8/packed")
 	for _, batch := range []int{1, 2, 4, 8, 16} {
 		ms := map[codegen.Level]float64{}
 		for _, lv := range levels {
@@ -118,8 +126,9 @@ func runSweep() {
 				runBatchOnce(pool, plan, input, bias, batch)
 			})
 		}
-		fmt.Printf("%-6d  %17.2fms  %17.2fms  %.2fx\n",
-			batch, ms[codegen.Tuned], ms[codegen.Packed], ms[codegen.Tuned]/ms[codegen.Packed])
+		fmt.Printf("%-6d  %15.2fms  %15.2fms  %15.2fms  %8.2fx  %8.2fx\n",
+			batch, ms[codegen.Tuned], ms[codegen.Packed], ms[codegen.PackedQ8],
+			ms[codegen.Tuned]/ms[codegen.Packed], ms[codegen.Packed]/ms[codegen.PackedQ8])
 	}
 }
 

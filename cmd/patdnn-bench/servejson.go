@@ -28,6 +28,7 @@ const serveBenchSchema = "patdnn/bench-serve/v2"
 
 type serveBenchCase struct {
 	Name          string  `json:"name"`
+	Level         string  `json:"level,omitempty"` // engine level the sweep served at ("" = auto)
 	MaxBatch      int     `json:"max_batch"`
 	Clients       int     `json:"clients"`
 	Requests      int     `json:"requests"`
@@ -50,8 +51,11 @@ type serveBenchReport struct {
 // (CIFAR-10 variant through the real engine — graph-compiled end to end —
 // batching settings swept, fixed concurrent client count) and writes the
 // JSON artifact to path. network is any spelling model.ByName accepts
-// ("VGG", "RNT", "MBNT", "resnet50", ...).
-func writeServeBench(path string, requests int, network string) error {
+// ("VGG", "RNT", "MBNT", "resnet50", ...). level pins the engine's
+// optimization level for the whole sweep ("packedq8" benchmarks quantized
+// serving); empty keeps the engine default and the historical case names,
+// so existing baselines keep matching.
+func writeServeBench(path string, requests int, network, level string) error {
 	if requests < 8 {
 		requests = 8
 	}
@@ -64,7 +68,7 @@ func writeServeBench(path string, requests int, network string) error {
 		Timestamp: time.Now().UTC(),
 	}
 	for _, maxBatch := range []int{1, 4, 8} {
-		c, err := runServeBenchCase(network, maxBatch, clients, requests)
+		c, err := runServeBenchCase(network, level, maxBatch, clients, requests)
 		if err != nil {
 			return err
 		}
@@ -85,8 +89,8 @@ func writeServeBench(path string, requests int, network string) error {
 	return f.Close()
 }
 
-func runServeBenchCase(network string, maxBatch, clients, requests int) (serveBenchCase, error) {
-	eng := serve.New(serve.Config{MaxBatch: maxBatch, BatchWindow: time.Millisecond})
+func runServeBenchCase(network, level string, maxBatch, clients, requests int) (serveBenchCase, error) {
+	eng := serve.New(serve.Config{MaxBatch: maxBatch, BatchWindow: time.Millisecond, Level: level})
 	defer eng.Close()
 	if err := eng.Preload(network, "cifar10"); err != nil {
 		return serveBenchCase{}, err
@@ -138,7 +142,8 @@ func runServeBenchCase(network string, maxBatch, clients, requests int) (serveBe
 	sort.Float64s(latencies)
 	s := eng.Stats()
 	return serveBenchCase{
-		Name:          caseName(network, maxBatch, clients),
+		Name:          caseName(network, level, maxBatch, clients),
+		Level:         level,
 		MaxBatch:      maxBatch,
 		Clients:       clients,
 		Requests:      requests,
@@ -149,8 +154,16 @@ func runServeBenchCase(network string, maxBatch, clients, requests int) (serveBe
 	}, nil
 }
 
-func caseName(network string, maxBatch, clients int) string {
-	return strings.ToLower(network) + "_cifar10_batch" + strconv.Itoa(maxBatch) + "_clients" + strconv.Itoa(clients)
+// caseName keys one sweep row for the benchgate baseline matcher. A pinned
+// level becomes part of the name ("vgg_cifar10_packedq8_batch4_clients16"),
+// so level-specific baselines (e.g. BENCH_serve_VGGQ8.json) never collide
+// with the historical default-level names.
+func caseName(network, level string, maxBatch, clients int) string {
+	name := strings.ToLower(network) + "_cifar10"
+	if level != "" {
+		name += "_" + strings.ToLower(level)
+	}
+	return name + "_batch" + strconv.Itoa(maxBatch) + "_clients" + strconv.Itoa(clients)
 }
 
 // percentile reads the q-quantile from sorted values (nearest-rank).

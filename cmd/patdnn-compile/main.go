@@ -29,13 +29,15 @@ import (
 // would be quarantined by every watching server until the write finished.
 // format "graph" emits the v2 full-network artifact (topology + conv/dense/BN
 // records — what ResNet-50 and MobileNet-V2 need to serve end to end);
-// "conv" emits the legacy v1 3×3-conv-trunk artifact.
-func writeModelFile(path, format string, c *patdnn.Compiled) error {
-	write := c.WriteModelGraph
+// "conv" emits the legacy v1 3×3-conv-trunk artifact. quantBits >= 2 stores
+// conv weights as per-filter symmetric integer levels instead of FP16 — the
+// format-v3 quantized artifact the serving engine runs at level packedq8.
+func writeModelFile(path, format string, quantBits int, c *patdnn.Compiled) error {
+	write := func(w *os.File) error { return c.WriteModelGraphQuant(w, quantBits) }
 	switch format {
 	case "graph":
 	case "conv":
-		write = c.WriteModel
+		write = func(w *os.File) error { return c.WriteModelQuant(w, quantBits) }
 	default:
 		return fmt.Errorf("unknown -format %q (want graph or conv)", format)
 	}
@@ -67,6 +69,8 @@ func main() {
 	out := flag.String("o", "", "write the deployable compact model (.patdnn) to this path")
 	format := flag.String("format", "graph",
 		"artifact format: graph (v2 full network — serves ResNet-50/MobileNet-V2 end to end) or conv (legacy v1 3x3-conv trunk)")
+	quantBits := flag.Int("quant-bits", 0,
+		"quantize conv weights to this many bits (2..8) in the written artifact — emits a v3 quantized model served at level packedq8; 0 keeps FP16")
 	regDir := flag.String("registry-dir", "",
 		"write the compact model into this models directory in registry layout (<name>@<version>.patdnn), creating it if needed")
 	regName := flag.String("name", "", "registry artifact name (default: lowercased model short name)")
@@ -102,7 +106,7 @@ func main() {
 	}
 
 	if *out != "" {
-		if err := writeModelFile(*out, *format, c); err != nil {
+		if err := writeModelFile(*out, *format, *quantBits, c); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -127,7 +131,7 @@ func main() {
 			os.Exit(1)
 		}
 		path := filepath.Join(*regDir, base)
-		if err := writeModelFile(path, *format, c); err != nil {
+		if err := writeModelFile(path, *format, *quantBits, c); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

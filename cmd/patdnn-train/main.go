@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"patdnn/internal/admm"
 	"patdnn/internal/dataset"
@@ -54,7 +55,11 @@ func main() {
 	acfg.SkipFirstConv = true
 	fmt.Printf("running ADMM: %d iterations, rho=%.3f, connectivity %.1fx...\n",
 		acfg.Iterations, acfg.Rho, acfg.ConnRate)
-	rep := admm.Run(net, train, test, acfg)
+	rep, err := admm.Run(net, train, test, acfg)
+	if err != nil {
+		fmt.Println("admm failed:", err)
+		os.Exit(1)
+	}
 	fmt.Print(rep)
 	fmt.Printf("ADMM residuals per iteration: %.4f\n", rep.Residuals)
 }

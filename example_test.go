@@ -25,7 +25,10 @@ func ExamplePrune() {
 
 	pc := patdnn.DefaultPruneConfig()
 	pc.Iterations, pc.EpochsPerIter, pc.FinetuneEps = 1, 1, 1
-	res := patdnn.Prune(net, train, test, pc)
+	res, err := patdnn.Prune(net, train, test, pc)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("pruned layers:", len(res.Layers) > 0)
 	fmt.Println("compressed:", res.Compression > 1.5)

@@ -31,7 +31,10 @@ func main() {
 	nn.Train(net, train, nn.NewAdam(0.004), nn.TrainConfig{Epochs: 6, BatchSize: 16, Seed: 1})
 	fmt.Printf("dense accuracy: %.1f%%\n", 100*net.Accuracy(test))
 
-	res := patdnn.Prune(net, train, test, patdnn.DefaultPruneConfig())
+	res, err := patdnn.Prune(net, train, test, patdnn.DefaultPruneConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("pruned accuracy: %.1f%% at %.2fx CONV compression\n",
 		100*res.AccuracyAfter, res.Compression)
 

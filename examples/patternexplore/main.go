@@ -86,7 +86,11 @@ func main() {
 			n.ConvLayers()[0].Weight.W, n.ConvLayers()[1].Weight.W))
 		acfg.ConnRate = 0 // pattern pruning only
 		acfg.Iterations, acfg.EpochsPerIt, acfg.FinetuneEps = 2, 1, 1
-		rep := admm.Run(n, train, test, acfg)
+		rep, err := admm.Run(n, train, test, acfg)
+		if err != nil {
+			fmt.Println("admm failed:", err)
+			return
+		}
 		fmt.Printf("%9d  %15.1f%%  %19.1f%%  %18.1f%%\n", k,
 			100*retainedMass(k), 100*rep.AccAfterADMM, 100*rep.AccAfterTune)
 	}

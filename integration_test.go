@@ -96,7 +96,10 @@ func TestPruneCompileAccuracyChain(t *testing.T) {
 	acfg := admm.DefaultConfig(pattern.Canonical(8))
 	acfg.Iterations, acfg.EpochsPerIt, acfg.FinetuneEps = 2, 1, 2
 	acfg.SkipFirstConv = true
-	rep := admm.Run(net, train, test, acfg)
+	rep, err := admm.Run(net, train, test, acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	convs := net.ConvLayers()
 	var plans []*codegen.Plan
@@ -147,7 +150,10 @@ func TestTrainPruneSaveRun(t *testing.T) {
 
 	pc := DefaultPruneConfig()
 	pc.Iterations, pc.EpochsPerIter, pc.FinetuneEps = 2, 1, 2
-	res := Prune(net, train, test, pc)
+	res, err := Prune(net, train, test, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	var buf bytes.Buffer
 	if err := SavePruned(net, res, &buf); err != nil {

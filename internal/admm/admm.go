@@ -100,10 +100,15 @@ type state struct {
 }
 
 // Run executes the full pipeline: ADMM regularization → masked mapping →
-// retraining, evaluating accuracy on test before/after.
-func Run(net *nn.Network, train, test *dataset.Dataset, cfg Config) *Report {
+// retraining, evaluating accuracy on test before/after. It validates the
+// config up front — an empty pattern set, a network without 3×3 convs, or an
+// out-of-range QuantBits return an error before any training work.
+func Run(net *nn.Network, train, test *dataset.Dataset, cfg Config) (*Report, error) {
 	if len(cfg.Set) == 0 {
-		panic("admm: empty pattern set")
+		return nil, fmt.Errorf("admm: empty pattern set")
+	}
+	if err := ValidateQuantBits(cfg.QuantBits); err != nil {
+		return nil, err
 	}
 	rep := &Report{AccBefore: net.Accuracy(test)}
 
@@ -134,7 +139,7 @@ func Run(net *nn.Network, train, test *dataset.Dataset, cfg Config) *Report {
 		states = append(states, st)
 	}
 	if len(states) == 0 {
-		panic("admm: no 3x3 conv layers to prune")
+		return nil, fmt.Errorf("admm: no 3x3 conv layers to prune")
 	}
 
 	// Initial projections so the proximal terms pull toward feasibility
@@ -143,7 +148,9 @@ func Run(net *nn.Network, train, test *dataset.Dataset, cfg Config) *Report {
 		projectPattern(st.z, cfg.Set)
 		projectConnectivity(st.y, st.conv.InC, st.alpha)
 		if st.q != nil {
-			projectQuantize(st.q, quantStep(st.q, cfg.QuantBits), cfg.QuantBits)
+			if err := snapToGrid(st.q, cfg.QuantBits); err != nil {
+				return nil, fmt.Errorf("admm: layer %s: %w", st.conv.Name, err)
+			}
 		}
 	}
 
@@ -186,7 +193,9 @@ func Run(net *nn.Network, train, test *dataset.Dataset, cfg Config) *Report {
 			if st.q != nil {
 				copyInto(st.q, w)
 				st.q.AddScaled(st.r, 1)
-				projectQuantize(st.q, quantStep(st.q, cfg.QuantBits), cfg.QuantBits)
+				if err := snapToGrid(st.q, cfg.QuantBits); err != nil {
+					return nil, fmt.Errorf("admm: layer %s: %w", st.conv.Name, err)
+				}
 				for i := range w.Data {
 					st.r.Data[i] += w.Data[i] - st.q.Data[i]
 				}
@@ -264,15 +273,30 @@ func Run(net *nn.Network, train, test *dataset.Dataset, cfg Config) *Report {
 		rep.QuantBits = cfg.QuantBits
 		for _, st := range states {
 			w := st.conv.Weight.W
-			step := quantStep(w, cfg.QuantBits)
+			step, err := quantStep(w, cfg.QuantBits)
+			if err != nil {
+				return nil, fmt.Errorf("admm: layer %s: %w", st.conv.Name, err)
+			}
 			if e := quantError(w, step, cfg.QuantBits); e > rep.QuantRMSError {
 				rep.QuantRMSError = e
 			}
-			projectQuantize(w, step, cfg.QuantBits)
+			if err := projectQuantize(w, step, cfg.QuantBits); err != nil {
+				return nil, fmt.Errorf("admm: layer %s: %w", st.conv.Name, err)
+			}
 		}
 		rep.AccQuantized = net.Accuracy(test)
 	}
-	return rep
+	return rep, nil
+}
+
+// snapToGrid derives the tensor's current step and projects it onto the
+// level grid — the combined quantization subproblem update.
+func snapToGrid(w *tensor.Tensor, bits int) error {
+	step, err := quantStep(w, bits)
+	if err != nil {
+		return err
+	}
+	return projectQuantize(w, step, bits)
 }
 
 // copyInto copies src into dst (same shape).

@@ -79,7 +79,10 @@ func TestADMMEndToEnd(t *testing.T) {
 
 	acfg := DefaultConfig(pattern.Canonical(8))
 	acfg.SkipFirstConv = true
-	rep := Run(net, train, test, acfg)
+	rep, err := Run(net, train, test, acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Constraint satisfaction.
 	for _, pc := range rep.Pruned {
@@ -108,13 +111,10 @@ func TestADMMEndToEnd(t *testing.T) {
 	}
 }
 
-func TestRunPanicsWithoutPatternSet(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	Run(nil, nil, nil, Config{})
+func TestRunErrorsWithoutPatternSet(t *testing.T) {
+	if _, err := Run(nil, nil, nil, Config{}); err == nil {
+		t.Fatal("expected error for empty pattern set")
+	}
 }
 
 func TestMaskedRetrainingPreservesSparsity(t *testing.T) {
@@ -130,7 +130,10 @@ func TestMaskedRetrainingPreservesSparsity(t *testing.T) {
 
 	acfg := DefaultConfig(pattern.Canonical(6))
 	acfg.Iterations, acfg.EpochsPerIt, acfg.FinetuneEps = 2, 1, 2
-	rep := Run(net, train, test, acfg)
+	rep, err := Run(net, train, test, acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// After fine-tuning, weights must still satisfy the masks: zeros stay zero.
 	for i, conv := range net.ConvLayers() {

@@ -1,6 +1,7 @@
 package admm
 
 import (
+	"fmt"
 	"math"
 
 	"patdnn/internal/tensor"
@@ -15,12 +16,31 @@ import (
 // joins the pattern and connectivity pairs, and the final masked-mapped
 // weights are snapped to the level grid.
 
+// MinQuantBits and MaxQuantBits bound Config.QuantBits: below 2 bits a
+// symmetric grid holds no information; above 8 the serving-side int8
+// encoding (internal/quant, modelfile v3) cannot store the levels.
+const (
+	MinQuantBits = 2
+	MaxQuantBits = 8
+)
+
+// ValidateQuantBits accepts 0 (quantization disabled) or a width within
+// [MinQuantBits, MaxQuantBits].
+func ValidateQuantBits(bits int) error {
+	if bits != 0 && (bits < MinQuantBits || bits > MaxQuantBits) {
+		return fmt.Errorf("admm: QuantBits %d out of range (0 to disable, or %d..%d)",
+			bits, MinQuantBits, MaxQuantBits)
+	}
+	return nil
+}
+
 // quantStep returns the uniform symmetric step size for b-bit quantization
 // of w: Δ = max|w| / (2^(b-1) − 1), so the grid {0, ±Δ, …, ±(2^(b-1)−1)Δ}
 // covers the full range.
-func quantStep(w *tensor.Tensor, bits int) float32 {
-	if bits < 2 {
-		panic("admm: quantization needs >= 2 bits")
+func quantStep(w *tensor.Tensor, bits int) (float32, error) {
+	if bits < MinQuantBits || bits > MaxQuantBits {
+		return 0, fmt.Errorf("admm: quantization bits %d out of range %d..%d",
+			bits, MinQuantBits, MaxQuantBits)
 	}
 	var maxAbs float64
 	for _, v := range w.Data {
@@ -30,17 +50,25 @@ func quantStep(w *tensor.Tensor, bits int) float32 {
 	}
 	levels := float64(int(1)<<(bits-1)) - 1
 	if maxAbs == 0 {
-		return 1
+		return 1, nil
 	}
-	return float32(maxAbs / levels)
+	step := maxAbs / levels
+	if math.IsInf(step, 0) || math.IsNaN(step) {
+		return 0, fmt.Errorf("admm: non-finite quantization step (max|w| = %g)", maxAbs)
+	}
+	return float32(step), nil
 }
 
 // projectQuantize snaps every element of w to the nearest quantization level
 // for the given step — the exact Euclidean projection onto the level grid.
 // Zeros stay exactly zero (so the pruning constraints are respected).
-func projectQuantize(w *tensor.Tensor, step float32, bits int) {
-	if step == 0 {
-		return
+func projectQuantize(w *tensor.Tensor, step float32, bits int) error {
+	if bits < MinQuantBits || bits > MaxQuantBits {
+		return fmt.Errorf("admm: quantization bits %d out of range %d..%d",
+			bits, MinQuantBits, MaxQuantBits)
+	}
+	if !(step > 0) || math.IsInf(float64(step), 0) {
+		return fmt.Errorf("admm: invalid quantization step %g", step)
 	}
 	limit := float32(int(1)<<(bits-1)) - 1
 	for i, v := range w.Data {
@@ -56,6 +84,7 @@ func projectQuantize(w *tensor.Tensor, step float32, bits int) {
 		}
 		w.Data[i] = q * step
 	}
+	return nil
 }
 
 // quantError returns the RMS quantization error of snapping w to the grid,

@@ -12,13 +12,25 @@ import (
 	"patdnn/internal/tensor"
 )
 
+// mustStep is a test helper for call sites that pass known-valid bits.
+func mustStep(t *testing.T, w *tensor.Tensor, bits int) float32 {
+	t.Helper()
+	step, err := quantStep(w, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return step
+}
+
 func TestQuantStepAndProjection(t *testing.T) {
 	w := tensor.FromSlice([]float32{-3, -1.4, 0, 0.6, 3}, 5)
-	step := quantStep(w, 3) // levels 0..±3, step = 3/3 = 1
+	step := mustStep(t, w, 3) // levels 0..±3, step = 3/3 = 1
 	if math.Abs(float64(step)-1) > 1e-6 {
 		t.Fatalf("step = %v, want 1", step)
 	}
-	projectQuantize(w, step, 3)
+	if err := projectQuantize(w, step, 3); err != nil {
+		t.Fatal(err)
+	}
 	want := []float32{-3, -1, 0, 1, 3}
 	for i, v := range want {
 		if w.Data[i] != v {
@@ -27,9 +39,95 @@ func TestQuantStepAndProjection(t *testing.T) {
 	}
 }
 
+func TestQuantStepRejectsBadBits(t *testing.T) {
+	w := tensor.FromSlice([]float32{1, -1}, 2)
+	for _, bits := range []int{-4, 0, 1, 9, 32} {
+		if _, err := quantStep(w, bits); err == nil {
+			t.Errorf("quantStep accepted bits=%d", bits)
+		}
+		if err := projectQuantize(w, 0.5, bits); err == nil {
+			t.Errorf("projectQuantize accepted bits=%d", bits)
+		}
+	}
+}
+
+func TestProjectQuantizeRejectsBadStep(t *testing.T) {
+	cases := []struct {
+		name string
+		step float32
+	}{
+		{"zero", 0},
+		{"negative", -0.25},
+		{"nan", float32(math.NaN())},
+		{"inf", float32(math.Inf(1))},
+	}
+	for _, tc := range cases {
+		w := tensor.FromSlice([]float32{1, -2, 0.5}, 3)
+		before := append([]float32(nil), w.Data...)
+		if err := projectQuantize(w, tc.step, 4); err == nil {
+			t.Errorf("%s: projectQuantize accepted step %g", tc.name, tc.step)
+		}
+		for i := range before {
+			if w.Data[i] != before[i] {
+				t.Errorf("%s: rejected projection still mutated weights", tc.name)
+				break
+			}
+		}
+	}
+}
+
+func TestValidateQuantBits(t *testing.T) {
+	cases := []struct {
+		bits int
+		ok   bool
+	}{
+		{0, true}, // disabled
+		{2, true},
+		{8, true},
+		{1, false},
+		{-1, false},
+		{9, false},
+		{16, false},
+	}
+	for _, tc := range cases {
+		err := ValidateQuantBits(tc.bits)
+		if tc.ok && err != nil {
+			t.Errorf("ValidateQuantBits(%d) = %v, want nil", tc.bits, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ValidateQuantBits(%d) accepted", tc.bits)
+		}
+	}
+}
+
+func TestRunRejectsBadQuantBits(t *testing.T) {
+	cfg := dataset.DefaultConfig()
+	cfg.N = 20
+	data := dataset.Synthetic(cfg)
+	train, test := data.Split(0.8)
+	net := nn.SmallCNN(cfg.C, cfg.H, cfg.W, 4, 6, cfg.Classes, 3)
+
+	acfg := DefaultConfig(pattern.Canonical(8))
+	acfg.QuantBits = 1
+	if _, err := Run(net, train, test, acfg); err == nil {
+		t.Fatal("Run accepted QuantBits=1")
+	}
+	acfg.QuantBits = 9
+	if _, err := Run(net, train, test, acfg); err == nil {
+		t.Fatal("Run accepted QuantBits=9")
+	}
+	acfg.QuantBits = 0
+	acfg.Set = nil
+	if _, err := Run(net, train, test, acfg); err == nil {
+		t.Fatal("Run accepted an empty pattern set")
+	}
+}
+
 func TestProjectQuantizePreservesZeros(t *testing.T) {
 	w := tensor.FromSlice([]float32{0, 0.49, 0, -2}, 4)
-	projectQuantize(w, quantStep(w, 4), 4)
+	if err := projectQuantize(w, mustStep(t, w, 4), 4); err != nil {
+		t.Fatal(err)
+	}
 	if w.Data[0] != 0 || w.Data[2] != 0 {
 		t.Fatal("quantization disturbed pruned zeros")
 	}
@@ -40,7 +138,9 @@ func TestDistinctLevelsBound(t *testing.T) {
 	w := tensor.New(64, 8, 3, 3)
 	w.Randn(rng, 1)
 	bits := 4
-	projectQuantize(w, quantStep(w, bits), bits)
+	if err := projectQuantize(w, mustStep(t, w, bits), bits); err != nil {
+		t.Fatal(err)
+	}
 	if got, max := DistinctLevels(w), (1<<bits)-2; got > max {
 		t.Fatalf("distinct levels = %d, want <= %d", got, max)
 	}
@@ -58,10 +158,17 @@ func TestProjectQuantizeProperties(t *testing.T) {
 				maxBefore = a
 			}
 		}
-		step := quantStep(w, 4)
-		projectQuantize(w, step, 4)
+		step, err := quantStep(w, 4)
+		if err != nil {
+			return false
+		}
+		if err := projectQuantize(w, step, 4); err != nil {
+			return false
+		}
 		once := w.Clone()
-		projectQuantize(w, step, 4)
+		if err := projectQuantize(w, step, 4); err != nil {
+			return false
+		}
 		if !w.AllClose(once, 0) {
 			return false
 		}
@@ -92,7 +199,10 @@ func TestJointPruneQuantizeEndToEnd(t *testing.T) {
 	acfg := DefaultConfig(pattern.Canonical(8))
 	acfg.SkipFirstConv = true
 	acfg.QuantBits = 6
-	rep := Run(net, train, test, acfg)
+	rep, err := Run(net, train, test, acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if rep.QuantBits != 6 || rep.AccQuantized == 0 {
 		t.Fatalf("quantization not reported: %+v", rep)

@@ -77,7 +77,19 @@ func buildCase(dc diffCase) (*pruned.Conv, *tensor.Tensor, []float32) {
 	return c, input, bias
 }
 
-// TestDifferentialAllLevels pins all five execution paths to tensor.Conv2D
+// levelTol is the per-level gate against the dense FP32 reference: the FP32
+// levels must agree to 1e-4; PackedQ8 runs the same structure over an 8-bit
+// weight grid, so it gets the quantization-error budget (per-filter half-step
+// errors accumulate over the receptive field) — still tight enough that a
+// wrong tap, stride, or reorder fails by orders of magnitude.
+func levelTol(level Level) float64 {
+	if level == PackedQ8 {
+		return 5e-2
+	}
+	return 1e-4
+}
+
+// TestDifferentialAllLevels pins all six execution paths to tensor.Conv2D
 // over ≥50 seeded random layers. Table-driven: each case is an independent
 // subtest named by its seed, so a failure names the exact reproducer.
 func TestDifferentialAllLevels(t *testing.T) {
@@ -94,7 +106,7 @@ func TestDifferentialAllLevels(t *testing.T) {
 					t.Fatalf("level %v: %v", level, err)
 				}
 				got := p.Execute(input, bias)
-				if !got.AllClose(want, 1e-4) {
+				if !got.AllClose(want, levelTol(level)) {
 					t.Errorf("level %v: max diff %g vs dense reference",
 						level, got.MaxAbsDiff(want))
 				}
@@ -135,7 +147,7 @@ func TestDifferentialDepthwiseAllLevels(t *testing.T) {
 				t.Fatalf("seed %d level %v: %v", seed, level, err)
 			}
 			got := p.Execute(input, bias)
-			if !got.AllClose(want, 1e-4) {
+			if !got.AllClose(want, levelTol(level)) {
 				t.Errorf("seed %d level %v depthwise: max diff %g", seed, level, got.MaxAbsDiff(want))
 			}
 		}
@@ -162,37 +174,87 @@ func TestDifferentialFusedMatchesUnfused(t *testing.T) {
 				out.Data[i] = float32(i%7) - 3 // garbage the kernel must overwrite
 			}
 			p.ExecuteRangeFused(padded, out, 0, c.OutC, bias, true)
-			if !out.AllClose(want, 1e-4) {
+			if !out.AllClose(want, levelTol(level)) {
 				t.Errorf("seed %d level %v fused: max diff %g", seed, level, out.MaxAbsDiff(want))
 			}
 		}
 	}
 }
 
-// TestDifferentialPackedRangeComposes splits the packed sweep across range
-// boundaries (the runtime's ParallelFor contract) and checks the parts sum to
-// the whole.
+// TestDifferentialPackedRangeComposes splits the packed sweeps (FP32 and
+// quantized) across range boundaries (the runtime's ParallelFor contract) and
+// checks the parts sum to the whole.
 func TestDifferentialPackedRangeComposes(t *testing.T) {
-	for seed := int64(201); seed <= 208; seed++ {
-		dc := randomCase(seed)
-		c, input, _ := buildCase(dc)
-		p, err := Compile(c, Packed, lr.DefaultTuning())
-		if err != nil {
-			t.Fatal(err)
-		}
-		full := p.Execute(input, nil)
-		padded := p.PadInput(input)
-		split := tensor.New(c.OutC, c.OutH, c.OutW)
-		for cut := 1; cut < c.OutC; cut += 3 {
-			for i := range split.Data {
-				split.Data[i] = 0
+	for _, level := range []Level{Packed, PackedQ8} {
+		for seed := int64(201); seed <= 208; seed++ {
+			dc := randomCase(seed)
+			c, input, _ := buildCase(dc)
+			p, err := Compile(c, level, lr.DefaultTuning())
+			if err != nil {
+				t.Fatal(err)
 			}
-			p.ExecuteRange(padded, split, 0, cut)
-			p.ExecuteRange(padded, split, cut, c.OutC)
-			if !split.AllClose(full, 1e-5) {
-				t.Fatalf("seed %d cut %d: split differs by %g", seed, cut, split.MaxAbsDiff(full))
+			full := p.Execute(input, nil)
+			padded := p.PadInput(input)
+			split := tensor.New(c.OutC, c.OutH, c.OutW)
+			for cut := 1; cut < c.OutC; cut += 3 {
+				for i := range split.Data {
+					split.Data[i] = 0
+				}
+				p.ExecuteRange(padded, split, 0, cut)
+				p.ExecuteRange(padded, split, cut, c.OutC)
+				if !split.AllClose(full, 1e-5) {
+					t.Fatalf("seed %d level %v cut %d: split differs by %g",
+						seed, level, cut, split.MaxAbsDiff(full))
+				}
 			}
 		}
+	}
+}
+
+// TestPackedQ8FreesFloatWeights pins the memory contract: a PackedQ8 plan
+// drops both float32 weight streams (its int8 view is the only weight
+// storage), reports the quantized byte count, and — critically — never
+// mutates the caller's shared Conv/FKW, which other plans may still be using.
+func TestPackedQ8FreesFloatWeights(t *testing.T) {
+	dc := randomCase(77)
+	c, input, bias := buildCase(dc)
+	p8, err := Compile(c, PackedQ8, lr.DefaultTuning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p8.Conv.Weights != nil || p8.FKW.Weights != nil {
+		t.Fatal("PackedQ8 plan retained float32 weight streams")
+	}
+	if c.Weights == nil {
+		t.Fatal("Compile mutated the caller's Conv")
+	}
+	qb, ok := p8.QuantizedWeightBytes()
+	if !ok || qb <= 0 {
+		t.Fatalf("QuantizedWeightBytes = (%d, %v)", qb, ok)
+	}
+	pFP, err := Compile(c, Packed, lr.DefaultTuning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 byte/weight + one float32 scale per filter vs 4 bytes/weight: even on
+	// tiny layers the quantized payload is well under half the FP32 stream.
+	if fp32 := int64(4 * pFP.FKW.NNZ()); 2*qb >= fp32 {
+		t.Fatalf("quantized payload %d B not well under fp32 %d B", qb, fp32)
+	}
+	// The weight-free plan still executes, and a plan compiled from the same
+	// (unmutated) conv at a float level still matches the dense reference.
+	want := refConv(c, input, bias)
+	if got := p8.Execute(input, bias); !got.AllClose(want, levelTol(PackedQ8)) {
+		t.Errorf("PackedQ8 after weight drop: max diff %g", got.MaxAbsDiff(want))
+	}
+	if got := pFP.Execute(input, bias); !got.AllClose(want, levelTol(Packed)) {
+		t.Errorf("Packed sharing the conv: max diff %g", got.MaxAbsDiff(want))
+	}
+	// Stats on a weight-free plan must not panic and must report the smaller
+	// weight stream.
+	st8, stFP := p8.Stats(), pFP.Stats()
+	if st8.WeightBytes >= stFP.WeightBytes {
+		t.Errorf("PackedQ8 WeightBytes %d not below Packed %d", st8.WeightBytes, stFP.WeightBytes)
 	}
 }
 

@@ -71,6 +71,23 @@ for (pos = 0; pos < out_channels; pos++) {    // reordered filter order
   relu(plane[f]);                             // fused epilogue
 }
 `, p.Tune.Tile[1])
+	case PackedQ8:
+		fmt.Fprintf(&b, `q = qweights;                                 // int8 FKW stream (4x fewer bytes)
+for (pos = 0; pos < out_channels; pos++) {    // reordered filter order
+  f = reorder[pos];                           // FKW reorder array
+  plane[f][:] = 0;                            // raw-level accumulator
+  for (ohb = 0; ohb < out_h; ohb += %d)       // spatial tile (tuner-sized)
+    for (run in stride[pos])                  // pattern runs, shape known
+      for (k = run.start; k < run.end; k++) { // ch = index[k]
+        w0 = (f32)*q++; w1 = (f32)*q++;       // int8 levels, no dequant here
+        w2 = (f32)*q++; w3 = (f32)*q++;
+        for (oh in tile)
+          acc[f][oh][:] += w0*r0 + w1*r1 + w2*r2 + w3*r3;
+      }
+  plane[f][:] = acc[f][:]*scale[f] + bias[f]; // dequant-fused epilogue:
+  relu(plane[f]);                             // one scale multiply per filter
+}
+`, p.Tune.Tile[1])
 	}
 	return b.String()
 }

@@ -1,0 +1,215 @@
+package codegen
+
+// The PackedQ8 level's execution kernels: the FKW-direct walk of exec_packed.go
+// over an int8 weight stream.
+//
+// Quantization is symmetric per filter (internal/quant): every weight of
+// reordered filter position pos is scale[orig] × level, so the scale factors
+// out of the filter's whole accumulation. The fused kernel exploits that —
+// it accumulates raw float32(int8) products into the output plane and applies
+// the scale ONCE per filter in the bias+ReLU epilogue (out = acc·scale + bias),
+// the dequant-fused epilogue of the quantized serving path. The plain
+// accumulate-on-top form (ExecuteRange / the residual epilogue) cannot defer
+// the scale past pre-initialized content, so it dequantizes at weight load
+// instead: four scale multiplies per kernel per tile, amortized over the whole
+// output row.
+//
+// Either way the weight side stays a pure stream — now a quarter the bytes of
+// the FP32 packed level, which is the point: less weight traffic contending
+// with the activation tile for L1, and ~4× more model versions resident under
+// the registry's memory budget.
+
+import (
+	"patdnn/internal/quant"
+	"patdnn/internal/sparse"
+	"patdnn/internal/tensor"
+)
+
+// packedQ8Run is one pattern run of a filter in the quantized packed view:
+// taps decoded at compile time, ch aliasing FKW.Index, and q the int8 levels
+// (4 per kernel, in tap order) aliasing the FKW8 stream.
+type packedQ8Run struct {
+	taps [4][2]int
+	ch   []uint16
+	q    []int8
+}
+
+// packedQ8Filter is one reordered filter position's run list, its original
+// output channel, and the filter's dequantization scale.
+type packedQ8Filter struct {
+	orig  int
+	scale float32
+	runs  []packedQ8Run
+}
+
+// buildPackedQ8 quantizes the FKW weight stream at 8 bits and precompiles the
+// per-filter run views over it. The float32 weight streams (Conv.Weights and
+// FKW.Weights) are then dropped from the plan via struct copies — never by
+// mutating the caller's objects, which other plans may share — so a resident
+// PackedQ8 plan really is ~4× smaller.
+func (p *Plan) buildPackedQ8() error {
+	c := p.Conv
+	q, err := quant.Quantize(p.FKW, 8)
+	if err != nil {
+		return err
+	}
+	p.q8Bytes = q.EncodedBytes()
+	p.packedQ8 = make([]packedQ8Filter, c.OutC)
+	wOff := 0
+	for pos := 0; pos < c.OutC; pos++ {
+		var runs []sparse.Run
+		runs, _ = p.FKW.Runs(nil, pos, wOff)
+		orig := int(p.FKW.Reorder[pos])
+		pf := packedQ8Filter{orig: orig, scale: q.Scales[orig]}
+		for _, r := range runs {
+			n := 4 * len(r.Channels)
+			pr := packedQ8Run{ch: r.Channels, q: q.Weights[wOff : wOff+n]}
+			for i, tap := range r.Pattern.Indices() {
+				pr.taps[i] = [2]int{tap / c.KW, tap % c.KW}
+			}
+			pf.runs = append(pf.runs, pr)
+			wOff += n
+		}
+		p.packedQ8[pos] = pf
+	}
+	conv := *c
+	conv.Weights = nil
+	p.Conv = &conv
+	fkw := *p.FKW
+	fkw.Weights = nil
+	p.FKW = &fkw
+	return nil
+}
+
+// rangePackedQ8 is the plain ExecuteRange form: accumulate into a
+// caller-initialized output. Content may already sit in the planes (bias, a
+// residual shortcut), so the scale cannot be deferred to an epilogue — the
+// levels are dequantized as they are loaded, once per kernel per tile.
+func (p *Plan) rangePackedQ8(padded, out *tensor.Tensor, from, to int) {
+	c, _, pw := p.prologue(padded)
+	phpw := padded.Dim(1) * pw
+	oHW := c.OutH * c.OutW
+	tileOH := p.Tune.Tile[1]
+	if tileOH < 1 {
+		tileOH = c.OutH
+	}
+	for pos := from; pos < to; pos++ {
+		pf := &p.packedQ8[pos]
+		scale := pf.scale
+		oplane := out.Data[pf.orig*oHW : (pf.orig+1)*oHW]
+		for ohBase := 0; ohBase < c.OutH; ohBase += tileOH {
+			ohEnd := min(ohBase+tileOH, c.OutH)
+			for ri := range pf.runs {
+				run := &pf.runs[ri]
+				t0, t1, t2, t3 := run.taps[0], run.taps[1], run.taps[2], run.taps[3]
+				q := run.q
+				for ki, ch := range run.ch {
+					w0 := scale * float32(q[4*ki])
+					w1 := scale * float32(q[4*ki+1])
+					w2 := scale * float32(q[4*ki+2])
+					w3 := scale * float32(q[4*ki+3])
+					inCh := int(ch)
+					if c.Depthwise {
+						inCh = pf.orig
+					}
+					iplane := padded.Data[inCh*phpw:]
+					for oh := ohBase; oh < ohEnd; oh++ {
+						ihBase := oh * c.Stride
+						r0 := iplane[(ihBase+t0[0])*pw+t0[1]:]
+						r1 := iplane[(ihBase+t1[0])*pw+t1[1]:]
+						r2 := iplane[(ihBase+t2[0])*pw+t2[1]:]
+						r3 := iplane[(ihBase+t3[0])*pw+t3[1]:]
+						orow := oplane[oh*c.OutW : oh*c.OutW+c.OutW]
+						if c.Stride == 1 {
+							for ow := range orow {
+								orow[ow] += w0*r0[ow] + w1*r1[ow] + w2*r2[ow] + w3*r3[ow]
+							}
+						} else {
+							for ow := range orow {
+								iw := ow * c.Stride
+								orow[ow] += w0*r0[iw] + w1*r1[iw] + w2*r2[iw] + w3*r3[iw]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// rangePackedQ8Fused executes reordered filter positions [from, to) with the
+// dequant-fused epilogue: the plane is zero-initialized, raw float32(int8)
+// products accumulate through the whole filter sweep, and the epilogue applies
+// out = acc·scale + bias (then the optional ReLU clamp) in one pass — a single
+// scale multiply per output element instead of one per weight load.
+func (p *Plan) rangePackedQ8Fused(padded, out *tensor.Tensor, from, to int, bias []float32, relu bool) {
+	c, _, pw := p.prologue(padded)
+	phpw := padded.Dim(1) * pw
+	oHW := c.OutH * c.OutW
+	tileOH := p.Tune.Tile[1]
+	if tileOH < 1 {
+		tileOH = c.OutH
+	}
+	for pos := from; pos < to; pos++ {
+		pf := &p.packedQ8[pos]
+		oplane := out.Data[pf.orig*oHW : (pf.orig+1)*oHW]
+		clear(oplane)
+		for ohBase := 0; ohBase < c.OutH; ohBase += tileOH {
+			ohEnd := min(ohBase+tileOH, c.OutH)
+			for ri := range pf.runs {
+				run := &pf.runs[ri]
+				t0, t1, t2, t3 := run.taps[0], run.taps[1], run.taps[2], run.taps[3]
+				q := run.q
+				for ki, ch := range run.ch {
+					w0 := float32(q[4*ki])
+					w1 := float32(q[4*ki+1])
+					w2 := float32(q[4*ki+2])
+					w3 := float32(q[4*ki+3])
+					inCh := int(ch)
+					if c.Depthwise {
+						inCh = pf.orig
+					}
+					iplane := padded.Data[inCh*phpw:]
+					for oh := ohBase; oh < ohEnd; oh++ {
+						ihBase := oh * c.Stride
+						r0 := iplane[(ihBase+t0[0])*pw+t0[1]:]
+						r1 := iplane[(ihBase+t1[0])*pw+t1[1]:]
+						r2 := iplane[(ihBase+t2[0])*pw+t2[1]:]
+						r3 := iplane[(ihBase+t3[0])*pw+t3[1]:]
+						orow := oplane[oh*c.OutW : oh*c.OutW+c.OutW]
+						if c.Stride == 1 {
+							for ow := range orow {
+								orow[ow] += w0*r0[ow] + w1*r1[ow] + w2*r2[ow] + w3*r3[ow]
+							}
+						} else {
+							for ow := range orow {
+								iw := ow * c.Stride
+								orow[ow] += w0*r0[iw] + w1*r1[iw] + w2*r2[iw] + w3*r3[iw]
+							}
+						}
+					}
+				}
+			}
+		}
+		// Dequant-fused epilogue: one scale multiply (and bias add) per
+		// output element, after the filter's full accumulation.
+		scale := pf.scale
+		b := float32(0)
+		if bias != nil {
+			b = bias[pf.orig]
+		}
+		if relu {
+			for i, v := range oplane {
+				v = v*scale + b
+				if v < 0 {
+					v = 0
+				}
+				oplane[i] = v
+			}
+		} else {
+			for i, v := range oplane {
+				oplane[i] = v*scale + b
+			}
+		}
+	}
+}

@@ -45,20 +45,27 @@ const (
 	ReorderLRE
 	Tuned
 	Packed
+	// PackedQ8 is the quantized sibling of Packed: the same FKW-direct walk,
+	// but the weight stream is int8 levels with one float32 scale per filter
+	// (internal/quant's symmetric encoding), so the hot loop streams 4× fewer
+	// weight bytes and the fused epilogue applies the scale once per filter.
+	PackedQ8
 )
 
 var levelNames = map[Level]string{
 	NoOpt: "No-Opt", Reorder: "+Reorder", ReorderLRE: "+Reorder+LRE",
-	Tuned: "+Reorder+LRE+Tune", Packed: "+Packed-FKW",
+	Tuned: "+Reorder+LRE+Tune", Packed: "+Packed-FKW", PackedQ8: "+Packed-INT8",
 }
 
 func (l Level) String() string { return levelNames[l] }
 
 // AllLevels lists every optimization level in ascending order.
-func AllLevels() []Level { return []Level{NoOpt, Reorder, ReorderLRE, Tuned, Packed} }
+func AllLevels() []Level {
+	return []Level{NoOpt, Reorder, ReorderLRE, Tuned, Packed, PackedQ8}
+}
 
 // ParseLevel maps a user-facing level name ("noopt", "reorder", "lre",
-// "tuned", "packed"; case-insensitive) to a Level.
+// "tuned", "packed", "packedq8"; case-insensitive) to a Level.
 func ParseLevel(s string) (Level, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "noopt", "no-opt":
@@ -71,8 +78,10 @@ func ParseLevel(s string) (Level, error) {
 		return Tuned, nil
 	case "packed", "fkw":
 		return Packed, nil
+	case "packedq8", "q8", "int8":
+		return PackedQ8, nil
 	}
-	return NoOpt, fmt.Errorf("codegen: unknown level %q (want noopt, reorder, lre, tuned, or packed)", s)
+	return NoOpt, fmt.Errorf("codegen: unknown level %q (want noopt, reorder, lre, tuned, packed, or packedq8)", s)
 }
 
 // LevelTag returns the canonical short name ParseLevel accepts for l — the
@@ -89,6 +98,8 @@ func LevelTag(l Level) string {
 		return "tuned"
 	case Packed:
 		return "packed"
+	case PackedQ8:
+		return "packedq8"
 	}
 	return "unknown"
 }
@@ -106,6 +117,13 @@ type Plan struct {
 	// packed[pos] is the Packed level's precompiled view over the FKW arrays
 	// for reordered filter position pos; nil for other levels.
 	packed []packedFilter
+	// packedQ8[pos] is the PackedQ8 level's quantized run view; nil for other
+	// levels. When set, Conv.Weights and FKW.Weights are nil — the int8
+	// stream is the plan's only weight storage.
+	packedQ8 []packedQ8Filter
+	// q8Bytes is the resident size of the quantized weight payload (levels +
+	// scale table), recorded before the float32 streams are dropped.
+	q8Bytes int64
 }
 
 // Compile builds the plan for the requested level. Layers must carry weights.
@@ -141,7 +159,21 @@ func Compile(c *pruned.Conv, level Level, tune lr.Tuning) (*Plan, error) {
 	if level == Packed {
 		p.buildPacked()
 	}
+	if level == PackedQ8 {
+		if err := p.buildPackedQ8(); err != nil {
+			return nil, err
+		}
+	}
 	return p, nil
+}
+
+// QuantizedWeightBytes returns the resident quantized weight payload size and
+// true for PackedQ8 plans; (0, false) for levels storing float32 weights.
+func (p *Plan) QuantizedWeightBytes() (int64, bool) {
+	if p.Level != PackedQ8 {
+		return 0, false
+	}
+	return p.q8Bytes, true
 }
 
 // pad returns input copied into a zero-padded buffer [C, H+2p, W+2p].
@@ -187,6 +219,8 @@ func (p *Plan) Execute(input *tensor.Tensor, bias []float32) *tensor.Tensor {
 		p.execTuned(padded, out)
 	case Packed:
 		p.rangePacked(padded, out, 0, c.OutC)
+	case PackedQ8:
+		p.rangePackedQ8(padded, out, 0, c.OutC)
 	}
 	return out
 }
@@ -206,14 +240,16 @@ func (p *Plan) ExecuteRange(padded *tensor.Tensor, out *tensor.Tensor, from, to 
 		p.rangeTuned(padded, out, from, to)
 	case Packed:
 		p.rangePacked(padded, out, from, to)
+	case PackedQ8:
+		p.rangePackedQ8(padded, out, from, to)
 	}
 }
 
 // SupportsFused reports whether the plan's kernels fuse the bias + ReLU
-// epilogue into the conv sweep. Only the packed FKW-direct backend does: its
+// epilogue into the conv sweep. Only the packed FKW-direct backends do: their
 // kernels initialize each output plane themselves, so fused execution also
 // accepts un-zeroed (pooled) output buffers.
-func (p *Plan) SupportsFused() bool { return p.Level == Packed }
+func (p *Plan) SupportsFused() bool { return p.Level == Packed || p.Level == PackedQ8 }
 
 // ExecuteRangeFused computes output channels (in plan order) [from, to) like
 // ExecuteRange, but the kernel initializes each output plane itself (to bias,
@@ -224,6 +260,10 @@ func (p *Plan) SupportsFused() bool { return p.Level == Packed }
 func (p *Plan) ExecuteRangeFused(padded, out *tensor.Tensor, from, to int, bias []float32, relu bool) {
 	if p.Level == Packed {
 		p.rangePackedFused(padded, out, from, to, bias, true, relu)
+		return
+	}
+	if p.Level == PackedQ8 {
+		p.rangePackedQ8Fused(padded, out, from, to, bias, relu)
 		return
 	}
 	c := p.Conv
@@ -400,6 +440,13 @@ func (p *Plan) Stats() InstrStats {
 		st.RegLoads = loads.KernelLRE
 		st.Branches = p.FKR.BranchCount(c, 1)
 		st.VecEff, st.CacheEff = 1.0, 0.95
+	case PackedQ8:
+		// Same FKW-direct walk as Packed, but the weight stream is int8: a
+		// quarter of the bytes contend with the activation tile for L1.
+		st.RegLoads = loads.KernelLRE
+		st.Branches = p.FKR.BranchCount(c, 1)
+		st.VecEff, st.CacheEff = 1.0, 0.97
+		st.WeightBytes = int64(p.FKW.OverheadBytes()) + p.q8Bytes
 	}
 	return st
 }

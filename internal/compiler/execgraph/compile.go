@@ -20,8 +20,10 @@ const LevelAuto = "auto"
 // Config parameterizes Compile.
 type Config struct {
 	// Level is the kernel optimization level for pattern-pruned convs
-	// ("noopt", "reorder", "lre", "tuned", "packed"); empty or "auto" lets
-	// the tuner's estimator choose per layer.
+	// ("noopt", "reorder", "lre", "tuned", "packed", "packedq8"); empty or
+	// "auto" lets the tuner's estimator choose per layer (never packedq8 —
+	// quantization changes the numbers, so it is always an explicit choice,
+	// the caller's or the artifact's).
 	Level string
 	// TuneDB, when non-nil, is consulted for every pattern conv's execution
 	// configuration before the analytic heuristics run, and records whichever
@@ -153,8 +155,14 @@ func (p *Plan) MemoryBytes() int64 {
 	for _, n := range p.Nodes {
 		switch n.Kind {
 		case KindConv:
-			b += 4 * int64(n.Plan.Conv.TotalWeights())
-			b += int64(n.Plan.FKW.TotalBytes(4))
+			if qb, ok := n.Plan.QuantizedWeightBytes(); ok {
+				// PackedQ8 plans drop both float32 streams: resident weights
+				// are the int8 levels + per-filter scales, plus FKW indices.
+				b += int64(n.Plan.FKW.OverheadBytes()) + qb
+			} else {
+				b += 4 * int64(n.Plan.Conv.TotalWeights())
+				b += int64(n.Plan.FKW.TotalBytes(4))
+			}
 		case KindConv1x1:
 			b += n.Plan1x1.MemoryBytes()
 		case KindFC:
@@ -196,10 +204,20 @@ func layerLevel(tag string, pc *pruned.Conv) (codegen.Level, error) {
 // under skewed filter sparsity the heaviest filter is what must share L1 with
 // the activation tile.
 func layerTuning(level codegen.Level, pc *pruned.Conv) lr.Tuning {
-	if level != codegen.Packed {
+	if level != codegen.Packed && level != codegen.PackedQ8 {
 		return lr.DefaultTuning()
 	}
-	return tuner.PackedTuning(pc.OutH, pc.OutW, pc.InW+2*pc.Pad, pc.MaxFilterNNZ(), pc.Stride)
+	return tuner.PackedTuning(pc.OutH, pc.OutW, pc.InW+2*pc.Pad, pc.MaxFilterNNZ(), pc.Stride,
+		packedBytesPerWeight(level))
+}
+
+// packedBytesPerWeight sizes the weight stream the packed tuning heuristics
+// budget for: 4 bytes for the FP32 packed level, 1 for PackedQ8's int8 stream.
+func packedBytesPerWeight(level codegen.Level) int {
+	if level == codegen.PackedQ8 {
+		return 1
+	}
+	return 4
 }
 
 // resolveTuning picks the tuning a pattern conv compiles with, consulting the
@@ -219,10 +237,11 @@ func (p *Plan) resolveTuning(cfg Config, level codegen.Level, pc *pruned.Conv) l
 	}
 	t := layerTuning(level, pc)
 	source, cost := tunedb.SourceHeuristic, 0.0
-	if cfg.TuneSearch && level == codegen.Packed {
+	if cfg.TuneSearch && (level == codegen.Packed || level == codegen.PackedQ8) {
 		wpf := pc.MaxFilterNNZ()
+		bpw := packedBytesPerWeight(level)
 		eval := func(c lr.Tuning) float64 {
-			return tuner.PackedCost(pc.OutH, pc.OutW, pc.InW+2*pc.Pad, wpf, pc.Stride, c)
+			return tuner.PackedCost(pc.OutH, pc.OutW, pc.InW+2*pc.Pad, wpf, pc.Stride, bpw, c)
 		}
 		// A small deterministic budget, warm-started at the heuristic so the
 		// search can never do worse than the fallback it replaces.

@@ -112,7 +112,7 @@ func TestLayerTuningBudgetsForHeaviestFilter(t *testing.T) {
 		return 4 * (rows*pc.OutW + inRows*(pc.InW+2*pc.Pad) + wpf)
 	}
 	// The regression precondition: sizing by the mean picks the whole map...
-	meanTile := tuner.PackedTile(pc.OutH, pc.OutW, pc.InW+2*pc.Pad, meanPerFilter, pc.Stride)
+	meanTile := tuner.PackedTile(pc.OutH, pc.OutW, pc.InW+2*pc.Pad, meanPerFilter, pc.Stride, 4)
 	if meanTile != pc.OutH {
 		t.Fatalf("fixture: mean-sized tile %d, want whole map %d", meanTile, pc.OutH)
 	}

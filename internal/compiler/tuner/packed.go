@@ -14,9 +14,14 @@ const packedL1Bytes = 32 * 1024
 // picks the largest candidate from the standard tuning space whose working
 // set (tile output rows + the tile's input rows + one filter's weight
 // stream) fits packedL1Bytes; the whole map in one tile when it fits.
-func PackedTile(outH, outW, paddedW, weightsPerFilter, stride int) int {
+// bytesPerWeight sizes the weight stream: 4 for the FP32 packed level, 1 for
+// PackedQ8's int8 stream — the smaller stream leaves room for taller tiles.
+func PackedTile(outH, outW, paddedW, weightsPerFilter, stride, bytesPerWeight int) int {
 	if stride < 1 {
 		stride = 1
+	}
+	if bytesPerWeight < 1 {
+		bytesPerWeight = 4
 	}
 	fits := func(rows int) bool {
 		// rows output rows + the input rows a 3-tap-high pattern touches
@@ -24,7 +29,7 @@ func PackedTile(outH, outW, paddedW, weightsPerFilter, stride int) int {
 		// the filter's packed weights.
 		inRows := (rows-1)*stride + 3
 		work := 4 * (rows*outW + inRows*paddedW)
-		return work+4*weightsPerFilter <= packedL1Bytes
+		return work+bytesPerWeight*weightsPerFilter <= packedL1Bytes
 	}
 	if fits(outH) {
 		return outH
@@ -42,9 +47,9 @@ func PackedTile(outH, outW, paddedW, weightsPerFilter, stride int) int {
 // default configuration with the spatial tile swapped for the PackedTile
 // choice. The unroll/permutation genes do not apply to the packed kernels
 // (the run structure is fixed by the FKW layout) and are left at defaults.
-func PackedTuning(outH, outW, paddedW, weightsPerFilter, stride int) lr.Tuning {
+func PackedTuning(outH, outW, paddedW, weightsPerFilter, stride, bytesPerWeight int) lr.Tuning {
 	t := lr.DefaultTuning()
-	t.Tile[1] = PackedTile(outH, outW, paddedW, weightsPerFilter, stride)
+	t.Tile[1] = PackedTile(outH, outW, paddedW, weightsPerFilter, stride, bytesPerWeight)
 	return t
 }
 
@@ -75,9 +80,12 @@ func PackedSpace() Space {
 // Its minimum coincides with PackedTile's choice — the tallest tile that
 // still fits — while ranking non-fitting tiles worst, which is what makes the
 // GA's winner safe to persist.
-func PackedCost(outH, outW, paddedW, weightsPerFilter, stride int, t lr.Tuning) float64 {
+func PackedCost(outH, outW, paddedW, weightsPerFilter, stride, bytesPerWeight int, t lr.Tuning) float64 {
 	if stride < 1 {
 		stride = 1
+	}
+	if bytesPerWeight < 1 {
+		bytesPerWeight = 4
 	}
 	rows := t.Tile[1]
 	if rows < 1 || rows > outH {
@@ -85,7 +93,7 @@ func PackedCost(outH, outW, paddedW, weightsPerFilter, stride int, t lr.Tuning) 
 	}
 	tiles := (outH + rows - 1) / rows
 	inRows := (rows-1)*stride + 3
-	work := 4 * (rows*outW + inRows*paddedW + weightsPerFilter)
+	work := 4*(rows*outW+inRows*paddedW) + bytesPerWeight*weightsPerFilter
 	// MACs over the output map plus one weight-stream replay per tile.
 	cost := float64(outH*outW*max(weightsPerFilter, 1)) + float64(tiles*weightsPerFilter)
 	if work > packedL1Bytes {

@@ -289,10 +289,10 @@ func TestPackedSpaceSearchMatchesPackedTile(t *testing.T) {
 	}
 	for _, c := range cases {
 		eval := func(tn lr.Tuning) float64 {
-			return PackedCost(c.outH, c.outW, c.paddedW, c.wpf, c.stride, tn)
+			return PackedCost(c.outH, c.outW, c.paddedW, c.wpf, c.stride, 4, tn)
 		}
 		best, _ := mustSearch(t, PackedSpace(), eval, DefaultOptions())
-		want := PackedTile(c.outH, c.outW, c.paddedW, c.wpf, c.stride)
+		want := PackedTile(c.outH, c.outW, c.paddedW, c.wpf, c.stride, 4)
 		got := best.Config.Tile[1]
 		if got > c.outH {
 			got = c.outH

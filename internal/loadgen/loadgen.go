@@ -129,6 +129,11 @@ type Result struct {
 	Shed    int `json:"shed"`    // 429s: the server's admission control said no
 	Expired int `json:"expired"` // deadline exceeded (client- or server-side)
 	Failed  int `json:"failed"`  // transport errors, non-latency HTTP errors, in-flight overflow
+	// ServedLevel is the optimization-level tag the server reported executing
+	// ("packed", "packedq8", ...), from the first OK /infer response — so a
+	// latency report is attributable to the kernel generation that produced
+	// it, and a quantized-serving run is distinguishable from an FP32 one.
+	ServedLevel string `json:"served_level,omitempty"`
 	// FirstError preserves the first failure's message for diagnosis.
 	FirstError    string        `json:"first_error,omitempty"`
 	Elapsed       time.Duration `json:"-"`
@@ -192,13 +197,17 @@ type recorder struct {
 	sent      int
 	counts    [4]int
 	perTarget map[string]*[4]int // serving endpoint → outcome counts
+	level     string             // first served level an OK response reported
 	firstErr  string
 }
 
-func (rec *recorder) record(target string, o outcome, latMs float64, err error) {
+func (rec *recorder) record(target string, o outcome, latMs float64, level string, err error) {
 	rec.mu.Lock()
 	rec.sent++
 	rec.counts[o]++
+	if rec.level == "" && level != "" {
+		rec.level = level
+	}
 	if rec.perTarget == nil {
 		rec.perTarget = make(map[string]*[4]int)
 	}
@@ -243,7 +252,8 @@ const replicaHeader = "X-Patdnn-Replica"
 // Latency is measured around the full HTTP round trip — what a client
 // experiences. servedBy names the endpoint the outcome is attributed to: the
 // replica the response's header identifies when present, else the target.
-func doRequest(ctx context.Context, spec *Spec, target string, body []byte) (latMs float64, o outcome, servedBy string, err error) {
+// level is the optimization-level tag an OK response reported executing.
+func doRequest(ctx context.Context, spec *Spec, target string, body []byte) (latMs float64, o outcome, servedBy, level string, err error) {
 	if spec.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, spec.Timeout)
@@ -253,16 +263,25 @@ func doRequest(ctx context.Context, spec *Spec, target string, body []byte) (lat
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		target+"/infer", bytes.NewReader(body))
 	if err != nil {
-		return 0, outcomeFailed, target, err
+		return 0, outcomeFailed, target, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	latMs = float64(time.Since(start).Nanoseconds()) / 1e6
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			return latMs, outcomeExpired, target, nil
+			return latMs, outcomeExpired, target, "", nil
 		}
-		return latMs, outcomeFailed, target, err
+		return latMs, outcomeFailed, target, "", err
+	}
+	if resp.StatusCode == http.StatusOK {
+		// The response names the plan stack that served it; the rest of the
+		// payload (probabilities) is drained without decoding.
+		var served struct {
+			Level string `json:"level"`
+		}
+		json.NewDecoder(resp.Body).Decode(&served)
+		level = served.Level
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
@@ -272,13 +291,13 @@ func doRequest(ctx context.Context, spec *Spec, target string, body []byte) (lat
 	}
 	switch resp.StatusCode {
 	case http.StatusOK:
-		return latMs, outcomeOK, servedBy, nil
+		return latMs, outcomeOK, servedBy, level, nil
 	case http.StatusTooManyRequests:
-		return latMs, outcomeShed, servedBy, nil
+		return latMs, outcomeShed, servedBy, "", nil
 	case 499, http.StatusGatewayTimeout:
-		return latMs, outcomeExpired, servedBy, nil
+		return latMs, outcomeExpired, servedBy, "", nil
 	default:
-		return latMs, outcomeFailed, servedBy, fmt.Errorf("loadgen: HTTP %d from /infer", resp.StatusCode)
+		return latMs, outcomeFailed, servedBy, "", fmt.Errorf("loadgen: HTTP %d from /infer", resp.StatusCode)
 	}
 }
 
@@ -319,8 +338,9 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		Expired: rec.counts[outcomeExpired],
 		Failed:  rec.counts[outcomeFailed],
 		Elapsed: elapsed, ElapsedMs: float64(elapsed.Nanoseconds()) / 1e6,
-		FirstError: rec.firstErr,
-		Hist:       rec.hist,
+		ServedLevel: rec.level,
+		FirstError:  rec.firstErr,
+		Hist:        rec.hist,
 	}
 	if spec.Mode == "open" {
 		r.OfferedRPS = spec.Rate
@@ -373,11 +393,11 @@ func runClosed(ctx context.Context, spec *Spec, body []byte, rec *recorder) {
 			defer wg.Done()
 			for take() {
 				target := spec.URLs[int((rr.Add(1)-1)%uint64(len(spec.URLs)))]
-				lat, o, servedBy, err := doRequest(ctx, spec, target, body)
+				lat, o, servedBy, level, err := doRequest(ctx, spec, target, body)
 				if truncated(ctx, o) {
 					return
 				}
-				rec.record(servedBy, o, lat, err)
+				rec.record(servedBy, o, lat, level, err)
 			}
 		}()
 	}
@@ -417,14 +437,14 @@ func runOpen(ctx context.Context, spec *Spec, body []byte, rec *recorder) {
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				lat, o, servedBy, err := doRequest(ctx, spec, target, body)
+				lat, o, servedBy, level, err := doRequest(ctx, spec, target, body)
 				if truncated(ctx, o) {
 					return
 				}
-				rec.record(servedBy, o, lat, err)
+				rec.record(servedBy, o, lat, level, err)
 			}()
 		default:
-			rec.record(target, outcomeFailed, 0, errors.New("loadgen: in-flight cap reached, arrival dropped client-side"))
+			rec.record(target, outcomeFailed, 0, "", errors.New("loadgen: in-flight cap reached, arrival dropped client-side"))
 		}
 	}
 done:

@@ -94,7 +94,7 @@ func stubServe(t *testing.T, handler func(class string) (status int, delay time.
 			time.Sleep(delay)
 		}
 		w.WriteHeader(status)
-		w.Write([]byte(`{"argmax":0}`))
+		w.Write([]byte(`{"argmax":0,"level":"packedq8"}`))
 	}))
 	t.Cleanup(ts.Close)
 	return ts
@@ -244,8 +244,16 @@ func TestRunAllAndReport(t *testing.T) {
 	if c.Class != "interactive" || c.OK != 20 || c.ThroughputRPS <= 0 || len(c.Hist) == 0 {
 		t.Fatalf("case 0: %+v", c)
 	}
+	// The report labels which kernel generation served the OK stream; a
+	// stream with no OK responses has no level to attribute.
+	if c.ServedLevel != "packedq8" {
+		t.Fatalf("case 0 served_level %q, want packedq8", c.ServedLevel)
+	}
 	if rep.Cases[1].Shed != 20 || len(rep.Cases[1].Hist) != 0 {
 		t.Fatalf("case 1: %+v", rep.Cases[1])
+	}
+	if rep.Cases[1].ServedLevel != "" {
+		t.Fatalf("all-shed stream has served_level %q, want empty", rep.Cases[1].ServedLevel)
 	}
 }
 

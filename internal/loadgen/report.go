@@ -27,16 +27,17 @@ type Case struct {
 	P50Ms         float64 `json:"p50_ms"`
 	P99Ms         float64 `json:"p99_ms"`
 	// Loadgen-specific (additive over the bench sweep's cases):
-	Class      string   `json:"class,omitempty"`
-	Mode       string   `json:"mode,omitempty"`
-	OfferedRPS float64  `json:"offered_rps,omitempty"`
-	MeanMs     float64  `json:"mean_ms,omitempty"`
-	P95Ms      float64  `json:"p95_ms,omitempty"`
-	OK         int      `json:"ok"`
-	Shed       int      `json:"shed,omitempty"`
-	Expired    int      `json:"expired,omitempty"`
-	Failed     int      `json:"failed,omitempty"`
-	Hist       []Bucket `json:"hist,omitempty"`
+	ServedLevel string   `json:"served_level,omitempty"`
+	Class       string   `json:"class,omitempty"`
+	Mode        string   `json:"mode,omitempty"`
+	OfferedRPS  float64  `json:"offered_rps,omitempty"`
+	MeanMs      float64  `json:"mean_ms,omitempty"`
+	P95Ms       float64  `json:"p95_ms,omitempty"`
+	OK          int      `json:"ok"`
+	Shed        int      `json:"shed,omitempty"`
+	Expired     int      `json:"expired,omitempty"`
+	Failed      int      `json:"failed,omitempty"`
+	Hist        []Bucket `json:"hist,omitempty"`
 	// PerTarget carries the fleet breakdown (outcomes per replica/endpoint)
 	// for multi-target or router-fronted runs.
 	PerTarget map[string]Outcomes `json:"per_target,omitempty"`
@@ -70,6 +71,7 @@ func NewReport(model string, results []*Result) *Report {
 			ThroughputRPS: r.ThroughputRPS,
 			P50Ms:         r.P50Ms,
 			P99Ms:         r.P99Ms,
+			ServedLevel:   r.ServedLevel,
 			Class:         r.Class,
 			Mode:          r.Mode,
 			OfferedRPS:    r.OfferedRPS,

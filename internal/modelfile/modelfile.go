@@ -47,8 +47,23 @@
 //	                                     kinds, shapes, shortcut edges)
 //	crc32   uint32
 //
+// Format v3 (magic "PATDNN\x00\x03") stores conv weights quantized: one int8
+// level per FKW weight plus one float32 scale per original output channel
+// (internal/quant's symmetric per-filter encoding), ~4× smaller than the FP16
+// v1/v2 stream. After the LR section a single quantBits byte (2..8) declares
+// the grid width; each conv record's weight subsection becomes
+//
+//	nWeights uint32
+//	scales   [outC]float32   (indexed by original output channel)
+//	qweights [nWeights]int8
+//
+// with biases staying FP16. v3 files always carry the v2 sections (possibly
+// empty). The quantized grid is self-reproducing — the per-filter max-abs
+// weight decodes to exactly ±limit — so read → write round trips are
+// byte-exact, like v1/v2.
+//
 // Write emits v1 when the File carries no v2 content, so existing artifacts
-// and their byte-exact round trips are untouched; Read accepts both.
+// and their byte-exact round trips are untouched; Read accepts all three.
 package modelfile
 
 import (
@@ -65,12 +80,14 @@ import (
 	"patdnn/internal/model"
 	"patdnn/internal/pattern"
 	"patdnn/internal/pruned"
+	"patdnn/internal/quant"
 	"patdnn/internal/sparse"
 )
 
 var (
 	magic   = [8]byte{'P', 'A', 'T', 'D', 'N', 'N', 0, 1}
 	magicV2 = [8]byte{'P', 'A', 'T', 'D', 'N', 'N', 0, 2}
+	magicV3 = [8]byte{'P', 'A', 'T', 'D', 'N', 'N', 0, 3}
 )
 
 // Layer couples a pruned conv with its bias for serialization.
@@ -117,6 +134,9 @@ type File struct {
 	// Net is the network topology (layer kinds, shapes, shortcut edges).
 	// Non-nil marks a v2 graph artifact.
 	Net *model.Model
+	// QuantBits, when >= 2, marks a v3 quantized artifact: conv weights are
+	// stored as int8 levels with one float32 scale per output channel.
+	QuantBits int
 }
 
 // isV2 reports whether the file needs the v2 format.
@@ -124,14 +144,25 @@ func (f *File) isV2() bool {
 	return f.Net != nil || len(f.Dense) > 0 || len(f.BNs) > 0
 }
 
+// isV3 reports whether the file needs the v3 quantized format.
+func (f *File) isV3() bool { return f.QuantBits >= 2 }
+
 // Write serializes the model to w: format v1 when the file holds only
 // pruned-conv records (byte-identical to what previous releases wrote), v2
-// when dense/BN/topology records are present.
+// when dense/BN/topology records are present, v3 when QuantBits requests
+// quantized weight storage.
 func Write(w io.Writer, f *File) error {
+	if f.QuantBits != 0 && !f.isV3() {
+		return fmt.Errorf("modelfile: QuantBits %d out of range %d..%d (0 disables)",
+			f.QuantBits, quant.MinBits, quant.MaxBits)
+	}
 	var buf bytes.Buffer
-	if f.isV2() {
+	switch {
+	case f.isV3():
+		buf.Write(magicV3[:])
+	case f.isV2():
 		buf.Write(magicV2[:])
-	} else {
+	default:
 		buf.Write(magic[:])
 	}
 
@@ -141,6 +172,13 @@ func Write(w io.Writer, f *File) error {
 	}
 	put32(&buf, uint32(len(lrJSON)))
 	buf.Write(lrJSON)
+
+	if f.isV3() {
+		if _, err := quant.Limit(f.QuantBits); err != nil {
+			return fmt.Errorf("modelfile: %w", err)
+		}
+		buf.WriteByte(byte(f.QuantBits))
+	}
 
 	put32(&buf, uint32(len(f.Layers)))
 	for _, layer := range f.Layers {
@@ -181,9 +219,23 @@ func Write(w io.Writer, f *File) error {
 		for _, s := range fkw.Stride {
 			put16(&buf, s)
 		}
-		put32(&buf, uint32(len(fkw.Weights)))
-		for _, wv := range fkw.Weights {
-			put16(&buf, uint16(fp16.FromFloat32(wv)))
+		if f.isV3() {
+			q, err := quant.Quantize(fkw, f.QuantBits)
+			if err != nil {
+				return fmt.Errorf("modelfile: layer %s: %w", c.Name, err)
+			}
+			put32(&buf, uint32(len(q.Weights)))
+			for _, s := range q.Scales {
+				put32(&buf, math.Float32bits(s))
+			}
+			for _, lv := range q.Weights {
+				buf.WriteByte(byte(lv))
+			}
+		} else {
+			put32(&buf, uint32(len(fkw.Weights)))
+			for _, wv := range fkw.Weights {
+				put16(&buf, uint16(fp16.FromFloat32(wv)))
+			}
 		}
 		bias := layer.Bias
 		for i := 0; i < c.OutC; i++ {
@@ -195,7 +247,7 @@ func Write(w io.Writer, f *File) error {
 		}
 	}
 
-	if f.isV2() {
+	if f.isV2() || f.isV3() {
 		if err := writeV2(&buf, f); err != nil {
 			return err
 		}
@@ -289,7 +341,8 @@ func Read(r io.Reader) (*File, error) {
 		return nil, fmt.Errorf("modelfile: truncated file (%d bytes)", len(data))
 	}
 	v2 := bytes.Equal(data[:8], magicV2[:])
-	if !v2 && !bytes.Equal(data[:8], magic[:]) {
+	v3 := bytes.Equal(data[:8], magicV3[:])
+	if !v2 && !v3 && !bytes.Equal(data[:8], magic[:]) {
 		return nil, fmt.Errorf("modelfile: bad magic or unsupported version")
 	}
 	body, footer := data[:len(data)-4], data[len(data)-4:]
@@ -308,6 +361,15 @@ func Read(r io.Reader) (*File, error) {
 		return nil, fmt.Errorf("modelfile: %w", err)
 	}
 	out := &File{LR: rep}
+
+	if v3 {
+		out.QuantBits = int(d.u8())
+		if d.err == nil {
+			if _, err := quant.Limit(out.QuantBits); err != nil {
+				return nil, fmt.Errorf("modelfile: %w", err)
+			}
+		}
+	}
 
 	nLayers := int(d.u32())
 	for li := 0; li < nLayers && d.err == nil; li++ {
@@ -352,9 +414,25 @@ func Read(r io.Reader) (*File, error) {
 			fkw.Stride[i] = d.u16()
 		}
 		nWeights := int(d.u32())
-		fkw.Weights = make([]float32, nWeights)
-		for i := range fkw.Weights {
-			fkw.Weights[i] = fp16.Bits(d.u16()).ToFloat32()
+		var q8 *quant.FKW8
+		if v3 {
+			// Quantized weight subsection: per-filter scales then int8 levels.
+			// The float32 stream is reconstructed below AFTER fkw.Validate()
+			// has vetted the structural arrays the scale walk indexes.
+			scales := make([]float32, outC)
+			for i := range scales {
+				scales[i] = math.Float32frombits(d.u32())
+			}
+			raw := d.bytes(nWeights)
+			q8 = &quant.FKW8{Bits: out.QuantBits, Scales: scales, Weights: make([]int8, len(raw))}
+			for i, b := range raw {
+				q8.Weights[i] = int8(b)
+			}
+		} else {
+			fkw.Weights = make([]float32, nWeights)
+			for i := range fkw.Weights {
+				fkw.Weights[i] = fp16.Bits(d.u16()).ToFloat32()
+			}
 		}
 		bias := make([]float32, outC)
 		for i := range bias {
@@ -362,6 +440,17 @@ func Read(r io.Reader) (*File, error) {
 		}
 		if d.err != nil {
 			break
+		}
+		if q8 != nil {
+			// Dequantize validates the FKW structure (reorder bounds, offset
+			// monotonicity, stride-implied weight count) and the quantized
+			// payload (finite positive scales, levels within the bit limit)
+			// before touching either, so corrupt v3 bytes error here.
+			w, err := q8.Dequantize(fkw)
+			if err != nil {
+				return nil, fmt.Errorf("modelfile: layer %s: %w", name, err)
+			}
+			fkw.Weights = w
 		}
 
 		// Rebuild the pruned representation from the FKW arrays. The file
@@ -395,7 +484,7 @@ func Read(r io.Reader) (*File, error) {
 	if d.err != nil {
 		return nil, d.err
 	}
-	if v2 {
+	if v2 || v3 {
 		if err := readV2(d, out); err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@ package modelfile
 
 import (
 	"bytes"
+	"encoding/binary"
 	"hash/crc32"
 	"math/rand"
 	"testing"
@@ -219,6 +220,32 @@ func FuzzModelFileRead(f *testing.F) {
 	}
 	f.Add(v2.Bytes())
 	f.Add([]byte("PATDNN\x00\x02garbage"))
+	var v3 bytes.Buffer
+	if err := Write(&v3, sampleV3File(52, 8)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v3.Bytes())
+	f.Add([]byte("PATDNN\x00\x03garbage"))
+	// v3 corruption-class seeds: bad scale, truncated int8 section, trailing
+	// bytes (each with a recomputed CRC so the damage reaches the parsers).
+	scaleOff, weightOff, nWeights := 0, 0, 0
+	func() {
+		var t testing.T
+		scaleOff, weightOff, nWeights = v3WeightSection(&t, v3.Bytes())
+	}()
+	reseal := func(b []byte) []byte {
+		sum := crcOf(b[:len(b)-4])
+		binary.LittleEndian.PutUint32(b[len(b)-4:], sum)
+		return b
+	}
+	badScale := append([]byte(nil), v3.Bytes()...)
+	binary.LittleEndian.PutUint32(badScale[scaleOff:], 0x7fc00000)
+	f.Add(reseal(badScale))
+	truncated := append([]byte(nil), v3.Bytes()[:weightOff+nWeights/2]...)
+	truncated = append(truncated, v3.Bytes()[weightOff+nWeights/2+5:]...)
+	f.Add(reseal(truncated))
+	trailing := append(append([]byte(nil), v3.Bytes()...), 0xca, 0xfe)
+	f.Add(reseal(trailing))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		mf, err := Read(bytes.NewReader(data))
 		if err != nil {

@@ -1,0 +1,189 @@
+// Package quant implements symmetric per-filter INT8 weight quantization for
+// the FKW weight stream — the serving-side half of the paper's joint
+// pruning + quantization axis. internal/admm already regularizes weights onto
+// a uniform symmetric level grid during training (ADMM-NN's third constraint);
+// this package encodes the resulting FKW weight stream as one int8 per weight
+// plus one float32 scale per output filter, and decodes it back for the
+// dequant-fused execution kernels.
+//
+// The encoding is exact on its own grid: the largest-magnitude weight of a
+// filter quantizes to exactly ±limit (limit = 2^(bits-1)−1), so re-quantizing
+// a dequantized stream reproduces the same bytes — the property that makes
+// modelfile v3 artifacts stable across read → write round trips.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"patdnn/internal/sparse"
+)
+
+// MinBits and MaxBits bound the supported quantization widths: below 2 bits a
+// symmetric grid holds no information, above 8 the int8 storage overflows.
+const (
+	MinBits = 2
+	MaxBits = 8
+)
+
+// Limit returns the largest representable level magnitude, 2^(bits-1)−1.
+func Limit(bits int) (int, error) {
+	if bits < MinBits || bits > MaxBits {
+		return 0, fmt.Errorf("quant: bits %d out of range [%d,%d]", bits, MinBits, MaxBits)
+	}
+	return 1<<(bits-1) - 1, nil
+}
+
+// FKW8 is the quantized companion of a sparse.FKW: the same weight stream,
+// one int8 level per weight, with one float32 scale per original output
+// channel (w ≈ Scales[orig] · Weights[i]). The structural arrays (Offset,
+// Reorder, Index, Stride) stay on the FKW — quantization touches only the
+// weight level of the format's three-level hierarchy.
+type FKW8 struct {
+	Bits    int
+	Scales  []float32 // len OutC, indexed by ORIGINAL output channel
+	Weights []int8    // same order and length as FKW.Weights
+}
+
+// EncodedBytes returns the resident size of the quantized weight payload:
+// one byte per weight plus a 4-byte scale per filter.
+func (q *FKW8) EncodedBytes() int64 {
+	return int64(len(q.Weights)) + 4*int64(len(q.Scales))
+}
+
+// Quantize encodes f's weight stream at the given bit width. Scales are
+// per-filter symmetric: scale = maxAbs/limit over the filter's weights, so
+// the largest weight lands exactly on ±limit and nothing saturates. A filter
+// with no surviving weights (or all-zero weights) gets scale 1, keeping the
+// encoding well-defined without a divide-by-zero.
+func Quantize(f *sparse.FKW, bits int) (*FKW8, error) {
+	limit, err := Limit(bits)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("quant: %w", err)
+	}
+	q := &FKW8{
+		Bits:    bits,
+		Scales:  make([]float32, f.OutC),
+		Weights: make([]int8, len(f.Weights)),
+	}
+	wOff := 0
+	for pos := 0; pos < f.OutC; pos++ {
+		orig := int(f.Reorder[pos])
+		n := filterWeights(f, pos)
+		span := f.Weights[wOff : wOff+n]
+		var maxAbs float32
+		for _, w := range span {
+			if a := abs32(w); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := float32(1)
+		if maxAbs > 0 {
+			scale = maxAbs / float32(limit)
+		}
+		if math.IsInf(float64(scale), 0) || math.IsNaN(float64(scale)) {
+			return nil, fmt.Errorf("quant: filter %d has non-finite weights (maxAbs %g)", orig, maxAbs)
+		}
+		q.Scales[orig] = scale
+		for i, w := range span {
+			lv := int(math.RoundToEven(float64(w / scale)))
+			// The scale construction makes |w/scale| <= limit; clamp anyway so
+			// a float corner case can never overflow the int8.
+			if lv > limit {
+				lv = limit
+			} else if lv < -limit {
+				lv = -limit
+			}
+			q.Weights[wOff+i] = int8(lv)
+		}
+		wOff += n
+	}
+	return q, nil
+}
+
+// Validate checks q against the structural FKW it quantizes: matching stream
+// length and scale count, levels within the bit width's limit, and finite
+// positive scales. A malformed instance (e.g. decoded from a corrupted v3
+// artifact) errors here instead of corrupting an execution plan.
+func (q *FKW8) Validate(f *sparse.FKW) error {
+	limit, err := Limit(q.Bits)
+	if err != nil {
+		return err
+	}
+	if len(q.Weights) != len(f.Weights) {
+		return fmt.Errorf("quant: %d quantized weights for a %d-weight stream", len(q.Weights), len(f.Weights))
+	}
+	if len(q.Scales) != f.OutC {
+		return fmt.Errorf("quant: %d scales for %d output channels", len(q.Scales), f.OutC)
+	}
+	for oc, s := range q.Scales {
+		if !(s > 0) || math.IsInf(float64(s), 0) {
+			return fmt.Errorf("quant: filter %d has invalid scale %g", oc, s)
+		}
+	}
+	for i, lv := range q.Weights {
+		if int(lv) > limit || int(lv) < -limit {
+			return fmt.Errorf("quant: weight %d level %d exceeds %d-bit limit %d", i, lv, q.Bits, limit)
+		}
+	}
+	return nil
+}
+
+// Dequantize reconstructs the float32 weight stream for f's layout:
+// out[i] = Scales[orig(i)] · Weights[i]. f supplies the structural arrays
+// (which scale applies to which stretch of the stream); its Weights field may
+// be unset — the stride table implies the stream length, and it must match q.
+func (q *FKW8) Dequantize(f *sparse.FKW) ([]float32, error) {
+	// Validate structure against the quantized stream length, not whatever
+	// f.Weights currently holds (the modelfile reader dequantizes into an FKW
+	// whose float32 stream does not exist yet).
+	probe := *f
+	probe.Weights = make([]float32, len(q.Weights))
+	if err := probe.Validate(); err != nil {
+		return nil, fmt.Errorf("quant: %w", err)
+	}
+	if err := q.Validate(&probe); err != nil {
+		return nil, err
+	}
+	f = &probe
+	out := probe.Weights
+	wOff := 0
+	for pos := 0; pos < f.OutC; pos++ {
+		orig := int(f.Reorder[pos])
+		scale := q.Scales[orig]
+		n := filterWeights(f, pos)
+		for i := 0; i < n; i++ {
+			w := scale * float32(q.Weights[wOff+i])
+			// A crafted scale near float32-max can overflow the product even
+			// though scale and level are each finite; reject rather than hand
+			// Inf weights to the kernels.
+			if math.IsInf(float64(w), 0) {
+				return nil, fmt.Errorf("quant: filter %d weight %d overflows float32 (scale %g)", orig, wOff+i, scale)
+			}
+			out[wOff+i] = w
+		}
+		wOff += n
+	}
+	return out, nil
+}
+
+// filterWeights returns how many weights reordered filter position pos
+// contributes to the stream. Callers must have validated f.
+func filterWeights(f *sparse.FKW, pos int) int {
+	n := 0
+	for slot, p := range f.Patterns {
+		start, end, _ := f.KernelsOf(pos, slot)
+		n += (end - start) * p.Entries()
+	}
+	return n
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

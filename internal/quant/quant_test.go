@@ -1,0 +1,177 @@
+package quant
+
+import (
+	"bytes"
+	"testing"
+
+	"patdnn/internal/compiler/reorder"
+	"patdnn/internal/model"
+	"patdnn/internal/pattern"
+	"patdnn/internal/pruned"
+	"patdnn/internal/sparse"
+)
+
+// testFKW builds a realistically pruned layer's FKW (with a non-identity FKR
+// permutation, so the scale indexing by original channel is actually
+// exercised).
+func testFKW(t *testing.T, seed int64) *sparse.FKW {
+	t.Helper()
+	l := &model.Layer{Name: "q", Kind: model.Conv, InC: 12, OutC: 16, KH: 3, KW: 3,
+		Groups: 1, Stride: 1, Pad: 1, InH: 8, InW: 8, OutH: 8, OutW: 8}
+	c := pruned.Generate(l, pattern.Canonical(8), 3.6, seed, true)
+	f, err := sparse.Encode(c, reorder.Build(c).FilterPerm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestQuantizeRoundTripStable(t *testing.T) {
+	f := testFKW(t, 7)
+	q, err := Quantize(f, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deq, err := q.Dequantize(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deq) != len(f.Weights) {
+		t.Fatalf("dequantized stream has %d weights, want %d", len(deq), len(f.Weights))
+	}
+	// Dequantization error is bounded by half a step per weight.
+	wOff := 0
+	for pos := 0; pos < f.OutC; pos++ {
+		orig := int(f.Reorder[pos])
+		n := filterWeights(f, pos)
+		half := q.Scales[orig] / 2
+		for i := wOff; i < wOff+n; i++ {
+			if d := abs32(deq[i] - f.Weights[i]); d > half+1e-7 {
+				t.Fatalf("filter %d weight %d: |%g - %g| = %g exceeds half-step %g",
+					orig, i, deq[i], f.Weights[i], d, half)
+			}
+		}
+		wOff += n
+	}
+	// Re-quantizing the dequantized stream is byte-exact: the max-abs weight
+	// sits exactly on ±limit, so the scale reproduces itself.
+	f2 := *f
+	f2.Weights = deq
+	q2, err := Quantize(&f2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(int8Bytes(q.Weights), int8Bytes(q2.Weights)) {
+		t.Fatal("re-quantization changed the level stream")
+	}
+	for oc := range q.Scales {
+		if q.Scales[oc] != q2.Scales[oc] {
+			t.Fatalf("scale %d drifted: %g -> %g", oc, q.Scales[oc], q2.Scales[oc])
+		}
+	}
+}
+
+func TestQuantizeSaturationChecked(t *testing.T) {
+	f := testFKW(t, 11)
+	for _, bits := range []int{2, 4, 8} {
+		q, err := Quantize(f, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		limit, _ := Limit(bits)
+		hit := false
+		for _, lv := range q.Weights {
+			if int(lv) > limit || int(lv) < -limit {
+				t.Fatalf("bits=%d: level %d exceeds limit %d", bits, lv, limit)
+			}
+			if int(lv) == limit || int(lv) == -limit {
+				hit = true
+			}
+		}
+		// The per-filter max-abs weight must land exactly on the limit —
+		// that is what makes the grid self-reproducing.
+		if !hit {
+			t.Fatalf("bits=%d: no weight reached the ±%d limit", bits, limit)
+		}
+		if err := q.Validate(f); err != nil {
+			t.Fatalf("bits=%d: fresh encoding fails validation: %v", bits, err)
+		}
+	}
+}
+
+func TestQuantizeRejectsBadBits(t *testing.T) {
+	f := testFKW(t, 3)
+	for _, bits := range []int{-1, 0, 1, 9, 16} {
+		if _, err := Quantize(f, bits); err == nil {
+			t.Fatalf("Quantize accepted bits=%d", bits)
+		}
+		if _, err := Limit(bits); err == nil {
+			t.Fatalf("Limit accepted bits=%d", bits)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	f := testFKW(t, 5)
+	fresh := func() *FKW8 {
+		q, err := Quantize(f, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	cases := []struct {
+		name   string
+		mutate func(*FKW8)
+	}{
+		{"zero-scale", func(q *FKW8) { q.Scales[0] = 0 }},
+		{"negative-scale", func(q *FKW8) { q.Scales[1] = -0.5 }},
+		{"nan-scale", func(q *FKW8) { q.Scales[2] = nan32() }},
+		{"level-overflow", func(q *FKW8) { q.Bits = 4 }},
+		{"short-stream", func(q *FKW8) { q.Weights = q.Weights[:len(q.Weights)-1] }},
+		{"short-scales", func(q *FKW8) { q.Scales = q.Scales[:len(q.Scales)-1] }},
+		{"bad-bits", func(q *FKW8) { q.Bits = 1 }},
+	}
+	for _, tc := range cases {
+		q := fresh()
+		tc.mutate(q)
+		if err := q.Validate(f); err == nil {
+			t.Errorf("%s: corruption passed validation", tc.name)
+		}
+		if _, err := q.Dequantize(f); err == nil {
+			t.Errorf("%s: corruption passed Dequantize", tc.name)
+		}
+	}
+}
+
+func TestEncodedBytesIsQuarterOfFloat32(t *testing.T) {
+	f := testFKW(t, 9)
+	q, err := Quantize(f, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp32 := int64(4 * len(f.Weights))
+	got := q.EncodedBytes()
+	want := int64(len(f.Weights)) + 4*int64(f.OutC)
+	if got != want {
+		t.Fatalf("EncodedBytes = %d, want %d", got, want)
+	}
+	// The stream itself is exactly 4× smaller; the scale table is the only
+	// overhead and stays tiny relative to the weights.
+	if got >= fp32 {
+		t.Fatalf("quantized payload %d not smaller than fp32 payload %d", got, fp32)
+	}
+}
+
+func int8Bytes(s []int8) []byte {
+	out := make([]byte, len(s))
+	for i, v := range s {
+		out[i] = byte(v)
+	}
+	return out
+}
+
+func nan32() float32 {
+	z := float32(0)
+	return z / z
+}

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sync/atomic"
 
+	"patdnn/internal/compiler/codegen"
 	"patdnn/internal/compiler/execgraph"
 	"patdnn/internal/model"
 	"patdnn/internal/modelfile"
@@ -77,6 +78,13 @@ func (e *Engine) compileFromFile(name, version string, mf *modelfile.File, tag s
 	m, params, err := execgraph.FromFile(name, mf)
 	if err != nil {
 		return nil, fmt.Errorf("serve: artifact %s@%s: %w", name, version, err)
+	}
+	// A v3 quantized artifact serves quantized by default: under "auto" its
+	// convs compile at packedq8, keeping the int8 stream (and the ~4× smaller
+	// resident footprint) the artifact was built for. An explicit engine
+	// level still wins — the dequantized weights serve at any FP32 level.
+	if tag == LevelAuto && mf.QuantBits >= 2 {
+		tag = codegen.LevelTag(codegen.PackedQ8)
 	}
 	plan, err := execgraph.Compile(m, params, e.execCfg(tag))
 	if err != nil {

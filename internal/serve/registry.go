@@ -38,12 +38,15 @@ func (a *diskArtifact) MemoryBytes() int64 { return a.cm.memoryBytes() }
 type artifactDetail struct {
 	Fused      execgraph.FusedOps `json:"fused_ops"`
 	ArenaBytes int64              `json:"arena_bytes"`
+	// Level is the optimization level the artifact compiled at —
+	// "packedq8" for quantized v3 artifacts serving their int8 stream.
+	Level string `json:"level"`
 }
 
 // Describe implements registry.Describer.
 func (a *diskArtifact) Describe() any {
 	arena, _ := a.cm.plan.ArenaBytes()
-	return artifactDetail{Fused: a.cm.plan.Fused, ArenaBytes: arena}
+	return artifactDetail{Fused: a.cm.plan.Fused, ArenaBytes: arena, Level: a.cm.level}
 }
 
 // Release retires the artifact's batcher when the registry drops the
@@ -120,8 +123,11 @@ func (e *Engine) Registry() *registry.Registry {
 // protocol (registry artifacts carry no dataset), so such requests fall
 // through to the generator path instead of letting a same-named artifact
 // silently shadow every dataset's model. Registry artifacts are pinned to
-// the engine's configured level, so a conflicting per-request level
-// override is rejected rather than silently ignored.
+// the level they compiled at (the engine's configured level, or "packedq8"
+// for quantized v3 artifacts under auto), so a per-request level override
+// is accepted when it names that compiled level — "packedq8" against a
+// quantized artifact, say — and rejected rather than silently ignored when
+// it conflicts.
 func (e *Engine) resolveModel(req Request) (*compiledModel, error) {
 	reg := e.Registry()
 	versioned := strings.Contains(req.Network, "@")
@@ -132,21 +138,22 @@ func (e *Engine) resolveModel(req Request) (*compiledModel, error) {
 		_, cm, err := e.compiled(req.Network, req.Dataset, req.Level, false)
 		return cm, err
 	}
+	res, err := reg.Resolve(req.Network)
+	if err != nil {
+		return nil, err
+	}
+	cm := res.Artifact.(*diskArtifact).cm
 	if req.Level != "" {
 		tag, err := e.resolveLevelTag(req.Level)
 		if err != nil {
 			return nil, err
 		}
-		if def, _ := e.resolveLevelTag(""); tag != def {
-			return nil, fmt.Errorf("serve: registry model %s serves at the engine level %q; per-request level %q applies only to generator models",
-				req.Network, def, tag)
+		if tag != LevelAuto && tag != cm.level {
+			return nil, fmt.Errorf("serve: registry model %s is compiled at level %q; per-request level %q would serve different kernels",
+				req.Network, cm.level, tag)
 		}
 	}
-	res, err := reg.Resolve(req.Network)
-	if err != nil {
-		return nil, err
-	}
-	return res.Artifact.(*diskArtifact).cm, nil
+	return cm, nil
 }
 
 // retireBatcher marks cm retired and closes/removes its batcher after the

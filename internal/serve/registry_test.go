@@ -47,12 +47,21 @@ func tinyArtifactFile(seed int64) *modelfile.File {
 
 func writeTinyArtifact(t *testing.T, dir, name, ver string, seed int64) string {
 	t.Helper()
+	return writeTinyArtifactQ(t, dir, name, ver, seed, 0)
+}
+
+// writeTinyArtifactQ writes the tiny trunk quantized to the given bit width
+// (0 keeps FP16 v1/v2; 8 produces a modelfile v3 with int8 weight streams).
+func writeTinyArtifactQ(t *testing.T, dir, name, ver string, seed int64, bits int) string {
+	t.Helper()
 	path := filepath.Join(dir, registry.FileName(name, ver))
 	f, err := os.Create(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := modelfile.Write(f, tinyArtifactFile(seed)); err != nil {
+	mf := tinyArtifactFile(seed)
+	mf.QuantBits = bits
+	if err := modelfile.Write(f, mf); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
@@ -264,6 +273,168 @@ func TestRegistryMemoryBudgetEvictsAndLazilyRecompiles(t *testing.T) {
 	}
 }
 
+// TestRegistryQuantizedBudgetHoldsMoreVersions is the quantized-LRU proof:
+// a v3 int8 artifact is byte-accounted at its real (~4× smaller) resident
+// size, so a memory budget sized to hold one-and-a-half FP32 copies of the
+// same trunk keeps three quantized versions resident with zero evictions.
+func TestRegistryQuantizedBudgetHoldsMoreVersions(t *testing.T) {
+	ctx := context.Background()
+
+	// Measure the FP32 resident footprint of the tiny trunk.
+	fpDir := t.TempDir()
+	writeTinyArtifact(t, fpDir, "tiny", "v1", 100)
+	fpEng, _ := registryEngine(t, fpDir, 0, Config{Workers: 2})
+	if _, err := fpEng.Infer(ctx, Request{Network: "tiny"}); err != nil {
+		t.Fatal(err)
+	}
+	fp32 := fpEng.Stats().Registry.BytesInUse
+	if fp32 <= 0 {
+		t.Fatalf("FP32 resident bytes = %d", fp32)
+	}
+
+	// The same trunk quantized: int8 levels + per-filter scales replace both
+	// float32 streams, so one version's footprint lands well under half the
+	// FP32 figure (in practice ~4× smaller).
+	qDir := t.TempDir()
+	for i, ver := range []string{"v1", "v2", "v3"} {
+		writeTinyArtifactQ(t, qDir, "tiny", ver, 100+int64(i)*100, 8)
+	}
+	qEng, _ := registryEngine(t, qDir, fp32+fp32/2, Config{Workers: 2})
+	if _, err := qEng.Infer(ctx, Request{Network: "tiny@v1"}); err != nil {
+		t.Fatal(err)
+	}
+	q8 := qEng.Stats().Registry.BytesInUse
+	if q8 <= 0 || 2*q8 >= fp32 {
+		t.Fatalf("quantized resident bytes = %d, want well under half of FP32 %d", q8, fp32)
+	}
+
+	// A budget that admits one-and-a-half FP32 copies holds all three
+	// quantized versions at once: no evictions, all resident, and every
+	// listing row carries the quantized level.
+	for _, net := range []string{"tiny@v2", "tiny@v3"} {
+		if _, err := qEng.Infer(ctx, Request{Network: net}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := qEng.Stats().Registry
+	if s.Loaded != 3 || s.Evictions != 0 || s.BytesInUse > s.MemoryBudget {
+		t.Fatalf("quantized fleet under FP32-sized budget: %+v", s)
+	}
+	for _, m := range qEng.Models() {
+		if !m.Loaded {
+			t.Fatalf("version %s not resident: %+v", m.Version, m)
+		}
+		if m.Level != codegen.LevelTag(codegen.PackedQ8) {
+			t.Fatalf("version %s listed at level %q, want packedq8", m.Version, m.Level)
+		}
+	}
+}
+
+// TestQuantizedRegistryServesEndToEnd is the tentpole's end-to-end proof: a
+// v3 quantized artifact in a registry dir hot-loads, serves /infer at level
+// packedq8 (explicitly requestable), agrees with the FP32 packed serving
+// path on top-1 and within the quantization tolerance, reports the quantized
+// level through /models, and warm-recompiles against the persisted tuning DB
+// with zero search work — the DB keys carry the new level tag.
+func TestQuantizedRegistryServesEndToEnd(t *testing.T) {
+	const seed = 700
+	ctx := context.Background()
+	in := tinyInput(5)
+
+	qDir := t.TempDir()
+	writeTinyArtifactQ(t, qDir, "tiny", "v1", seed, 8)
+	dbPath := filepath.Join(qDir, "tuning.json")
+	eng, _ := registryEngine(t, qDir, 0, Config{Workers: 2, TuningDB: dbPath})
+
+	// The artifact serves quantized by default under "auto"; the explicit
+	// per-request spelling resolves to the same compiled model.
+	r8, err := eng.Infer(ctx, Request{Network: "tiny", Level: "packedq8", Input: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.Level != codegen.LevelTag(codegen.PackedQ8) {
+		t.Fatalf("response level %q, want packedq8", r8.Level)
+	}
+
+	// FP32 reference: the identical trunk, unquantized, served at packed.
+	fpDir := t.TempDir()
+	writeTinyArtifact(t, fpDir, "tiny", "v1", seed)
+	fpEng, _ := registryEngine(t, fpDir, 0, Config{Workers: 2, Level: "packed"})
+	rFP, err := fpEng.Infer(ctx, Request{Network: "tiny", Input: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a8, aFP := argmax(r8.Output), argmax(rFP.Output); a8 != aFP {
+		t.Fatalf("top-1 diverged: packedq8 %d vs packed %d", a8, aFP)
+	}
+	q := tensor.FromSlice(r8.Output, r8.Shape[0], r8.Shape[1], r8.Shape[2])
+	f := tensor.FromSlice(rFP.Output, rFP.Shape[0], rFP.Shape[1], rFP.Shape[2])
+	if d := q.MaxAbsDiff(f); d > 5e-2 {
+		t.Fatalf("quantized output diverged from FP32 packed by %g", d)
+	}
+
+	// /models reports the quantized level and a resident footprint well
+	// under the FP32 artifact's.
+	var qBytes, fpBytes int64
+	for _, m := range eng.Models() {
+		if m.Level != codegen.LevelTag(codegen.PackedQ8) {
+			t.Fatalf("quantized artifact listed at level %q", m.Level)
+		}
+		qBytes = m.MemoryBytes
+	}
+	for _, m := range fpEng.Models() {
+		fpBytes = m.MemoryBytes
+	}
+	if qBytes <= 0 || 2*qBytes >= fpBytes {
+		t.Fatalf("quantized resident bytes %d, want well under half of FP32 %d", qBytes, fpBytes)
+	}
+
+	// The cold compile missed the empty DB once per conv layer and recorded
+	// its decisions under the quantized level's keys.
+	cold := eng.Stats()
+	if cold.Tuning == nil || cold.Tuning.DB.Misses == 0 || cold.Tuning.DB.Hits != 0 {
+		t.Fatalf("cold compile DB traffic: %+v", cold.Tuning)
+	}
+	if err := eng.Close(); err != nil { // persists the DB
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), codegen.LevelTag(codegen.PackedQ8)) {
+		t.Fatalf("tuning DB keys missing the quantized level tag:\n%s", raw)
+	}
+
+	// Warm restart over the same DB: the recompile of the v3 artifact hits
+	// on every layer and does zero tuner search.
+	eng2, _ := registryEngine(t, qDir, 0, Config{Workers: 2, TuningDB: dbPath})
+	warm8, err := eng2.Infer(ctx, Request{Network: "tiny", Input: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range warm8.Output {
+		if warm8.Output[i] != r8.Output[i] {
+			t.Fatal("warm recompile served different outputs than the cold compile")
+		}
+	}
+	warm := eng2.Stats()
+	if warm.Tuning == nil || warm.Tuning.DB.Misses != 0 || warm.Tuning.DB.Hits == 0 {
+		t.Fatalf("warm compile DB traffic: %+v, want all hits / zero misses", warm.Tuning)
+	}
+}
+
+// argmax returns the index of the largest element.
+func argmax(xs []float32) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
 func TestRegistryCorruptDropInDoesNotBreakServing(t *testing.T) {
 	dir := t.TempDir()
 	writeTinyArtifact(t, dir, "tiny", "v1", 100)
@@ -304,7 +475,7 @@ func TestRegistryLevelOverridePinned(t *testing.T) {
 	eng, _ := registryEngine(t, dir, 0, Config{Workers: 1})
 	ctx := context.Background()
 	if _, err := eng.Infer(ctx, Request{Network: "tiny", Level: "noopt"}); err == nil ||
-		!strings.Contains(err.Error(), "engine level") {
+		!strings.Contains(err.Error(), "compiled at level") {
 		t.Fatalf("conflicting level override: %v, want pinned-level error", err)
 	}
 	// The engine's own level spelling is accepted.

@@ -54,7 +54,7 @@ type Config struct {
 	Patterns    int           // pattern-set size (default 8)
 	ConnRate    float64       // connectivity pruning rate (default 3.6)
 	// Level is the kernel optimization level ("noopt", "reorder", "lre",
-	// "tuned", "packed"). Empty / LevelAuto lets the tuner's estimator pick
+	// "tuned", "packed", "packedq8"). Empty / LevelAuto lets the tuner's estimator pick
 	// per layer between the tuned dense-layout kernels and the packed
 	// FKW-direct backend.
 	Level string
@@ -142,7 +142,7 @@ type Request struct {
 	// deterministic synthetic input.
 	Input []float32 `json:"input,omitempty"`
 	// Level optionally overrides the engine's optimization level for this
-	// request ("noopt", "reorder", "lre", "tuned", "packed", "auto"). Each
+	// request ("noopt", "reorder", "lre", "tuned", "packed", "packedq8", "auto"). Each
 	// level compiles and caches its own plan stack — the level is part of the
 	// plan-cache key.
 	Level string `json:"level,omitempty"`
@@ -165,7 +165,11 @@ type Response struct {
 	// Version is the registry version that served the request ("" for
 	// generator models). Under a weighted route this reveals which canary
 	// leg the request rode.
-	Version   string    `json:"version,omitempty"`
+	Version string `json:"version,omitempty"`
+	// Level is the optimization-level tag of the plan stack that served the
+	// request ("packedq8" for quantized artifacts) — the ground truth for
+	// what kernels actually ran, whatever the request asked for.
+	Level     string    `json:"level,omitempty"`
 	Shape     [3]int    `json:"shape"`      // output [C,H,W]
 	Output    []float32 `json:"output"`     // flattened feature map
 	ArgMax    int       `json:"argmax"`     // index of the max output element
@@ -705,6 +709,7 @@ func (cm *compiledModel) response(out *tensor.Tensor, r batchResult) *Response {
 		Network:   cm.model.Short,
 		Dataset:   cm.model.Dataset,
 		Version:   cm.version,
+		Level:     cm.level,
 		Shape:     [3]int{out.Dim(0), out.Dim(1), out.Dim(2)},
 		Output:    out.Data,
 		ArgMax:    out.ArgMax(),
@@ -862,9 +867,14 @@ func (e *Engine) Models() []ModelInfo {
 				Loaded: m.Loaded, MemoryBytes: m.Bytes, LastUsed: m.LastUsed,
 			}
 			// Resident artifacts describe their compiled plan (fused-op
-			// counts, arena size) through the registry's detail channel.
+			// counts, arena size, actual level) through the registry's detail
+			// channel. The detail level wins over the engine default: a v3
+			// quantized artifact compiles at packedq8 even under "auto".
 			if d, ok := m.Detail.(artifactDetail); ok {
 				mi.FusedOps, mi.ArenaBytes = d.Fused, d.ArenaBytes
+				if d.Level != "" {
+					mi.Level = d.Level
+				}
 			}
 			out = append(out, mi)
 		}

@@ -80,7 +80,7 @@ type PruneResult struct {
 // Prune trains-with-constraints: it applies joint kernel-pattern and
 // connectivity pruning to net using the extended ADMM framework, fine-tunes
 // the surviving weights, and reports accuracy on test.
-func Prune(net *nn.Network, train, test *dataset.Dataset, cfg PruneConfig) *PruneResult {
+func Prune(net *nn.Network, train, test *dataset.Dataset, cfg PruneConfig) (*PruneResult, error) {
 	acfg := admm.DefaultConfig(pattern.Canonical(cfg.Patterns))
 	acfg.ConnRate = cfg.ConnRate
 	if cfg.Iterations > 0 {
@@ -94,13 +94,16 @@ func Prune(net *nn.Network, train, test *dataset.Dataset, cfg PruneConfig) *Prun
 	}
 	acfg.Seed = cfg.Seed
 	acfg.SkipFirstConv = true
-	rep := admm.Run(net, train, test, acfg)
+	rep, err := admm.Run(net, train, test, acfg)
+	if err != nil {
+		return nil, err
+	}
 	return &PruneResult{
 		AccuracyBefore: rep.AccBefore,
 		AccuracyAfter:  rep.AccAfterTune,
 		Compression:    rep.CompressionRate,
 		Layers:         rep.Pruned,
-	}
+	}, nil
 }
 
 // SavePruned writes a trained-and-pruned network (the output of Prune) as a
@@ -170,6 +173,14 @@ func (c *Compiled) LRJSON() ([]byte, error) { return c.lrRep.Marshal() }
 // model registry serves. Deterministic per (network, patterns, connRate), so
 // distinct operating points yield distinct model versions.
 func (c *Compiled) WriteModel(w io.Writer) error {
+	return c.WriteModelQuant(w, 0)
+}
+
+// WriteModelQuant is WriteModel with quantized weight storage: bits >= 2
+// stores every conv's FKW weight stream as symmetric per-filter integer
+// levels plus float32 scales (a format-v3 artifact, ~4× smaller at 8 bits);
+// bits == 0 writes the FP16 v1 form.
+func (c *Compiled) WriteModelQuant(w io.Writer, bits int) error {
 	set := pattern.Canonical(c.Patterns)
 	file := &modelfile.File{LR: &lr.Representation{Model: c.Model.Name, Device: "CPU"}}
 	first := true
@@ -188,6 +199,7 @@ func (c *Compiled) WriteModel(w io.Writer) error {
 		file.LR.Layers = append(file.LR.Layers,
 			lr.FromPruned(pc, reorder.Build(pc), lr.DefaultTuning()))
 	}
+	file.QuantBits = bits
 	return modelfile.Write(w, file)
 }
 
@@ -201,6 +213,15 @@ func (c *Compiled) WriteModel(w io.Writer) error {
 // Networks with operators outside the executable IR (e.g. the 7×7 ImageNet
 // ResNet stem) are rejected with a descriptive error.
 func (c *Compiled) WriteModelGraph(w io.Writer) error {
+	return c.WriteModelGraphQuant(w, 0)
+}
+
+// WriteModelGraphQuant is WriteModelGraph with quantized weight storage:
+// bits >= 2 stores every pattern conv's FKW weight stream as symmetric
+// per-filter integer levels plus float32 scales (a format-v3 artifact, ~4×
+// smaller at 8 bits, served quantized — packedq8 — by default); bits == 0
+// writes the FP16 v2 form.
+func (c *Compiled) WriteModelGraphQuant(w io.Writer, bits int) error {
 	params, err := execgraph.Generate(c.Model, c.Patterns, c.ConnRate, 42)
 	if err != nil {
 		return err
@@ -243,6 +264,7 @@ func (c *Compiled) WriteModelGraph(w io.Writer) error {
 			})
 		}
 	}
+	file.QuantBits = bits
 	return modelfile.Write(w, file)
 }
 

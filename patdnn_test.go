@@ -75,7 +75,10 @@ func TestPruneEndToEnd(t *testing.T) {
 
 	pc := DefaultPruneConfig()
 	pc.Iterations, pc.EpochsPerIter, pc.FinetuneEps = 2, 1, 2
-	res := Prune(net, train, test, pc)
+	res, err := Prune(net, train, test, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Compression < 2 {
 		t.Fatalf("compression %.2f too low", res.Compression)
 	}
