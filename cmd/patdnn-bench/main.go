@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	goruntime "runtime"
+	"runtime/pprof"
 	"time"
 
 	"patdnn/internal/bench"
@@ -41,7 +43,37 @@ func main() {
 		"network the -serve-json sweep drives (VGG, RNT, MBNT; CIFAR-10 variants) — CI uploads one artifact per net")
 	serveLevel := flag.String("serve-level", "",
 		"pin the -serve-json engine to this optimization level (e.g. packedq8 for the quantized-serving baseline); empty = engine default")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			goruntime.GC() // materialize the steady-state heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	switch {
 	case *serveJSON != "":

@@ -1,29 +1,69 @@
 package codegen
 
-// The Packed level's execution kernels: FKW-direct tiled execution.
+// The Packed level's execution kernels: FKW-direct register-tiled execution.
 //
 // Every other level gathers weights from the dense [OutC, InC, KH, KW] layout
 // through wbase + dr*KW + dc index arithmetic, reconstructing per kernel what
 // the FKW format (paper §5.3, Figure 10) already laid out: after Filter
 // Kernel Reorder, a filter's surviving weights sit in one contiguous span of
 // the Weights array, grouped into pattern runs whose shape is known from the
-// Stride table. The packed kernels exploit that directly — one linear sweep
-// of Weights per filter, the 4-entry pattern run unrolled into four fused
-// multiply-adds, zero per-weight index arithmetic. The weight side of the
-// layer becomes a pure stream, which is where PCONV/GRIM-style load
-// redundancy wins come from on mobile-class cores.
+// Stride table. The packed driver exploits that directly — one linear sweep
+// of Weights per filter, zero per-weight index arithmetic — and hands each
+// span to a register-tiled microkernel (internal/simd).
 //
-// Output rows are processed in spatial tiles (Tune.Tile[1], sized by
-// compiler/tuner's PackedTuning) so the output tile plus the three input rows
-// a pattern touches stay cache-resident while the filter's weight stream is
-// replayed, and the bias + ReLU epilogue fuses into the same sweep: the
-// kernel initializes each output plane itself, so the serving runtime can
-// hand it dirty pooled buffers without a zeroing pass.
+// Blocking structure (the register-level load redundancy elimination of
+// paper §5.4, Fig. 12):
+//
+//	filter group   (Tune.Unroll[0]) — filters sharing the input tile are
+//	                                  executed together so the tile's rows are
+//	                                  loaded from memory once per group
+//	row tile       (Tune.Tile[1])   — output rows per microkernel sweep; the
+//	                                  tap weights stay pinned in vector
+//	                                  registers for the whole tile
+//	column chunk   (Tune.Unroll[2]) — output columns per microkernel call,
+//	                                  bounding the per-sweep working set
+//	kernel pairs                    — two consecutive kernels of a run (8
+//	                                  taps) per Tile8 call, halving output
+//	                                  load/store traffic; a trailing odd
+//	                                  kernel takes the Tile4 form
+//
+// The microkernel set is captured from simd.Active() when the plan is built,
+// so a compiled plan's behavior is immutable: simd.ForceGeneric only affects
+// plans compiled afterwards, and the hot path reads no globals. Strided
+// convolutions (Stride >= 2) keep the scalar sweep — the microkernel contract
+// is unit column step — as does any geometry the tile kernels cannot express.
+//
+// The bias + ReLU epilogue fuses into the same walk: the driver initializes
+// each output plane itself, so the serving runtime can hand it dirty pooled
+// buffers without a zeroing pass.
 
 import (
+	"sync"
+
+	"patdnn/internal/simd"
 	"patdnn/internal/sparse"
 	"patdnn/internal/tensor"
 )
+
+// packedScratch holds the pointer/weight buffers a driver call hands to the
+// microkernels. The calls go through func values, so escape analysis cannot
+// prove the arrays don't leak and stack copies would be heap-allocated on
+// every call; pooling one scratch per driver invocation keeps the serving
+// hot path allocation-free.
+type packedScratch struct {
+	s8 [8]*float32
+	s4 [4]*float32
+	w4 [4]float32
+}
+
+var packedScratchPool = sync.Pool{New: func() any { return new(packedScratch) }}
+
+// putPackedScratch clears the held input pointers (so a pooled scratch never
+// pins a retired activation buffer) and returns sc to the pool.
+func putPackedScratch(sc *packedScratch) {
+	*sc = packedScratch{}
+	packedScratchPool.Put(sc)
+}
 
 // packedRun is one pattern run of a filter in the packed view: the taps are
 // decoded once at compile time, and ch/w alias the FKW Index and Weights
@@ -44,24 +84,29 @@ type packedFilter struct {
 // buildPacked precompiles the FKW arrays into per-filter run views. The
 // Channels/Weights slices alias the FKW storage; only the small run headers
 // are allocated here, once, at compile time — the execution path allocates
-// nothing.
-func (p *Plan) buildPacked() {
+// nothing. The active microkernel set is captured here too, fixing the
+// plan's dispatch for its lifetime.
+func (p *Plan) buildPacked() error {
 	c := p.Conv
+	p.kern = simd.Active()
 	p.packed = make([]packedFilter, c.OutC)
 	wOff := 0
+	var runs []sparse.Run
 	for pos := 0; pos < c.OutC; pos++ {
-		var runs []sparse.Run
-		runs, wOff = p.FKW.Runs(nil, pos, wOff)
+		runs, wOff = p.FKW.Runs(runs, pos, wOff)
 		pf := packedFilter{orig: int(p.FKW.Reorder[pos])}
 		for _, r := range runs {
 			pr := packedRun{ch: r.Channels, w: r.Weights}
-			for i, tap := range r.Pattern.Indices() {
-				pr.taps[i] = [2]int{tap / c.KW, tap % c.KW}
+			taps, err := sparse.TapOffsets(r.Pattern, c.KH, c.KW)
+			if err != nil {
+				return err
 			}
+			copy(pr.taps[:], taps)
 			pf.runs = append(pf.runs, pr)
 		}
 		p.packed[pos] = pf
 	}
+	return nil
 }
 
 // rangePacked is the plain ExecuteRange form: accumulate into a
@@ -71,10 +116,115 @@ func (p *Plan) rangePacked(padded, out *tensor.Tensor, from, to int) {
 }
 
 // rangePackedFused executes reordered filter positions [from, to) by walking
-// the packed runs. When init is set the kernel writes each output plane's
-// initial value (bias, or zero) itself; relu applies the fused ReLU epilogue
-// after the plane's last accumulation.
+// the packed runs through the register-tiled microkernels. When init is set
+// the driver writes each output plane's initial value (bias, or zero) itself;
+// relu applies the fused ReLU epilogue after the plane's last accumulation.
 func (p *Plan) rangePackedFused(padded, out *tensor.Tensor, from, to int, bias []float32, init, relu bool) {
+	c, _, pw := p.prologue(padded)
+	if c.Stride != 1 {
+		p.rangePackedScalar(padded, out, from, to, bias, init, relu)
+		return
+	}
+	phpw := padded.Dim(1) * pw
+	oHW := c.OutH * c.OutW
+	tileOH := p.Tune.Tile[1]
+	if tileOH < 1 || tileOH > c.OutH {
+		tileOH = c.OutH
+	}
+	fg := p.Tune.Unroll[0]
+	if fg < 1 {
+		fg = 1
+	}
+	pbw := p.Tune.Unroll[2]
+	if pbw < 1 || pbw > c.OutW {
+		pbw = c.OutW
+	}
+	kern := p.kern
+	if kern.Tile8 == nil {
+		kern = simd.Generic()
+	}
+	sc := packedScratchPool.Get().(*packedScratch)
+	defer putPackedScratch(sc)
+	for gBase := from; gBase < to; gBase += fg {
+		gEnd := min(gBase+fg, to)
+		if init {
+			for pos := gBase; pos < gEnd; pos++ {
+				pf := &p.packed[pos]
+				v := float32(0)
+				if bias != nil {
+					v = bias[pf.orig]
+				}
+				oplane := out.Data[pf.orig*oHW : (pf.orig+1)*oHW]
+				for i := range oplane {
+					oplane[i] = v
+				}
+			}
+		}
+		// Row tile outside the group's filter loop: every filter of the group
+		// replays the same input rows while they are still cache-resident.
+		for ohBase := 0; ohBase < c.OutH; ohBase += tileOH {
+			rows := min(tileOH, c.OutH-ohBase)
+			for pos := gBase; pos < gEnd; pos++ {
+				pf := &p.packed[pos]
+				oplane := out.Data[pf.orig*oHW:]
+				for ri := range pf.runs {
+					run := &pf.runs[ri]
+					nk := len(run.ch)
+					// Tap row offsets for this tile, owBase added per chunk.
+					o0 := (ohBase+run.taps[0][0])*pw + run.taps[0][1]
+					o1 := (ohBase+run.taps[1][0])*pw + run.taps[1][1]
+					o2 := (ohBase+run.taps[2][0])*pw + run.taps[2][1]
+					o3 := (ohBase+run.taps[3][0])*pw + run.taps[3][1]
+					for owBase := 0; owBase < c.OutW; owBase += pbw {
+						cols := min(pbw, c.OutW-owBase)
+						dst := &oplane[ohBase*c.OutW+owBase]
+						ki := 0
+						for ; ki+2 <= nk; ki += 2 {
+							chA, chB := int(run.ch[ki]), int(run.ch[ki+1])
+							if c.Depthwise {
+								chA, chB = pf.orig, pf.orig
+							}
+							ipA := padded.Data[chA*phpw:]
+							ipB := padded.Data[chB*phpw:]
+							sc.s8 = [8]*float32{
+								&ipA[o0+owBase], &ipA[o1+owBase], &ipA[o2+owBase], &ipA[o3+owBase],
+								&ipB[o0+owBase], &ipB[o1+owBase], &ipB[o2+owBase], &ipB[o3+owBase],
+							}
+							kern.Tile8(dst, c.OutW, &sc.s8, pw, (*[8]float32)(run.w[4*ki:]), cols, rows)
+						}
+						if ki < nk {
+							chA := int(run.ch[ki])
+							if c.Depthwise {
+								chA = pf.orig
+							}
+							ipA := padded.Data[chA*phpw:]
+							sc.s4 = [4]*float32{
+								&ipA[o0+owBase], &ipA[o1+owBase], &ipA[o2+owBase], &ipA[o3+owBase],
+							}
+							kern.Tile4(dst, c.OutW, &sc.s4, pw, (*[4]float32)(run.w[4*ki:]), cols, rows)
+						}
+					}
+				}
+			}
+		}
+		if relu {
+			for pos := gBase; pos < gEnd; pos++ {
+				pf := &p.packed[pos]
+				oplane := out.Data[pf.orig*oHW : (pf.orig+1)*oHW]
+				for i, v := range oplane {
+					if v < 0 {
+						oplane[i] = 0
+					}
+				}
+			}
+		}
+	}
+}
+
+// rangePackedScalar is the strided fallback: the microkernel contract is unit
+// column step, so Stride >= 2 keeps the scalar FKW walk (per-kernel weight
+// registers, row-sliced accumulation).
+func (p *Plan) rangePackedScalar(padded, out *tensor.Tensor, from, to int, bias []float32, init, relu bool) {
 	c, _, pw := p.prologue(padded)
 	phpw := padded.Dim(1) * pw
 	oHW := c.OutH * c.OutW

@@ -1,18 +1,18 @@
 package codegen
 
-// The PackedQ8 level's execution kernels: the FKW-direct walk of exec_packed.go
-// over an int8 weight stream.
+// The PackedQ8 level's execution kernels: the register-tiled FKW-direct walk
+// of exec_packed.go over an int8 weight stream.
 //
 // Quantization is symmetric per filter (internal/quant): every weight of
-// reordered filter position pos is scale[orig] × level, so the scale factors
-// out of the filter's whole accumulation. The fused kernel exploits that —
-// it accumulates raw float32(int8) products into the output plane and applies
-// the scale ONCE per filter in the bias+ReLU epilogue (out = acc·scale + bias),
-// the dequant-fused epilogue of the quantized serving path. The plain
-// accumulate-on-top form (ExecuteRange / the residual epilogue) cannot defer
-// the scale past pre-initialized content, so it dequantizes at weight load
-// instead: four scale multiplies per kernel per tile, amortized over the whole
-// output row.
+// reordered filter position pos is scale[orig] × level. The driver shares the
+// blocking structure of the float32 packed level — filter group × row tile ×
+// column chunk × kernel pairs — but each Tile8 call takes the widening
+// Tile8Q8 form: the 8 int8 levels of a kernel pair are sign-extended,
+// converted, and scaled in-register once per tile sweep (on amd64 a single
+// VPMOVSXBD+VCVTDQ2PS+VMULPS prologue), so the dequantization cost is
+// amortized over the whole row tile instead of paid per weight load. A
+// trailing odd kernel widens its 4 levels through simd.WidenQ8 and takes the
+// plain Tile4 form.
 //
 // Either way the weight side stays a pure stream — now a quarter the bytes of
 // the FP32 packed level, which is the point: less weight traffic contending
@@ -21,6 +21,7 @@ package codegen
 
 import (
 	"patdnn/internal/quant"
+	"patdnn/internal/simd"
 	"patdnn/internal/sparse"
 	"patdnn/internal/tensor"
 )
@@ -53,6 +54,7 @@ func (p *Plan) buildPackedQ8() error {
 	if err != nil {
 		return err
 	}
+	p.kern = simd.Active()
 	p.q8Bytes = q.EncodedBytes()
 	p.packedQ8 = make([]packedQ8Filter, c.OutC)
 	wOff := 0
@@ -64,9 +66,11 @@ func (p *Plan) buildPackedQ8() error {
 		for _, r := range runs {
 			n := 4 * len(r.Channels)
 			pr := packedQ8Run{ch: r.Channels, q: q.Weights[wOff : wOff+n]}
-			for i, tap := range r.Pattern.Indices() {
-				pr.taps[i] = [2]int{tap / c.KW, tap % c.KW}
+			taps, terr := sparse.TapOffsets(r.Pattern, c.KH, c.KW)
+			if terr != nil {
+				return terr
 			}
+			copy(pr.taps[:], taps)
 			pf.runs = append(pf.runs, pr)
 			wOff += n
 		}
@@ -82,10 +86,127 @@ func (p *Plan) buildPackedQ8() error {
 }
 
 // rangePackedQ8 is the plain ExecuteRange form: accumulate into a
-// caller-initialized output. Content may already sit in the planes (bias, a
-// residual shortcut), so the scale cannot be deferred to an epilogue — the
-// levels are dequantized as they are loaded, once per kernel per tile.
+// caller-initialized output, no epilogue. The scale folds into the widened
+// tap registers, so accumulating on top of pre-initialized content (bias, a
+// residual shortcut) costs nothing extra.
 func (p *Plan) rangePackedQ8(padded, out *tensor.Tensor, from, to int) {
+	p.rangePackedQ8Tiled(padded, out, from, to, nil, false, false)
+}
+
+// rangePackedQ8Fused executes reordered filter positions [from, to) with the
+// fused epilogue: the driver initializes each plane to bias (or zero) itself
+// and clamps negatives after the plane's last accumulation.
+func (p *Plan) rangePackedQ8Fused(padded, out *tensor.Tensor, from, to int, bias []float32, relu bool) {
+	p.rangePackedQ8Tiled(padded, out, from, to, bias, true, relu)
+}
+
+// rangePackedQ8Tiled is the shared quantized driver, mirroring
+// rangePackedFused's blocking with the widening-multiply microkernels.
+func (p *Plan) rangePackedQ8Tiled(padded, out *tensor.Tensor, from, to int, bias []float32, init, relu bool) {
+	c, _, pw := p.prologue(padded)
+	if c.Stride != 1 {
+		p.rangePackedQ8Scalar(padded, out, from, to, bias, init, relu)
+		return
+	}
+	phpw := padded.Dim(1) * pw
+	oHW := c.OutH * c.OutW
+	tileOH := p.Tune.Tile[1]
+	if tileOH < 1 || tileOH > c.OutH {
+		tileOH = c.OutH
+	}
+	fg := p.Tune.Unroll[0]
+	if fg < 1 {
+		fg = 1
+	}
+	pbw := p.Tune.Unroll[2]
+	if pbw < 1 || pbw > c.OutW {
+		pbw = c.OutW
+	}
+	kern := p.kern
+	if kern.Tile8Q8 == nil {
+		kern = simd.Generic()
+	}
+	sc := packedScratchPool.Get().(*packedScratch)
+	defer putPackedScratch(sc)
+	for gBase := from; gBase < to; gBase += fg {
+		gEnd := min(gBase+fg, to)
+		if init {
+			for pos := gBase; pos < gEnd; pos++ {
+				pf := &p.packedQ8[pos]
+				v := float32(0)
+				if bias != nil {
+					v = bias[pf.orig]
+				}
+				oplane := out.Data[pf.orig*oHW : (pf.orig+1)*oHW]
+				for i := range oplane {
+					oplane[i] = v
+				}
+			}
+		}
+		for ohBase := 0; ohBase < c.OutH; ohBase += tileOH {
+			rows := min(tileOH, c.OutH-ohBase)
+			for pos := gBase; pos < gEnd; pos++ {
+				pf := &p.packedQ8[pos]
+				scale := pf.scale
+				oplane := out.Data[pf.orig*oHW:]
+				for ri := range pf.runs {
+					run := &pf.runs[ri]
+					nk := len(run.ch)
+					o0 := (ohBase+run.taps[0][0])*pw + run.taps[0][1]
+					o1 := (ohBase+run.taps[1][0])*pw + run.taps[1][1]
+					o2 := (ohBase+run.taps[2][0])*pw + run.taps[2][1]
+					o3 := (ohBase+run.taps[3][0])*pw + run.taps[3][1]
+					for owBase := 0; owBase < c.OutW; owBase += pbw {
+						cols := min(pbw, c.OutW-owBase)
+						dst := &oplane[ohBase*c.OutW+owBase]
+						ki := 0
+						for ; ki+2 <= nk; ki += 2 {
+							chA, chB := int(run.ch[ki]), int(run.ch[ki+1])
+							if c.Depthwise {
+								chA, chB = pf.orig, pf.orig
+							}
+							ipA := padded.Data[chA*phpw:]
+							ipB := padded.Data[chB*phpw:]
+							sc.s8 = [8]*float32{
+								&ipA[o0+owBase], &ipA[o1+owBase], &ipA[o2+owBase], &ipA[o3+owBase],
+								&ipB[o0+owBase], &ipB[o1+owBase], &ipB[o2+owBase], &ipB[o3+owBase],
+							}
+							kern.Tile8Q8(dst, c.OutW, &sc.s8, pw, (*[8]int8)(run.q[4*ki:]), scale, cols, rows)
+						}
+						if ki < nk {
+							chA := int(run.ch[ki])
+							if c.Depthwise {
+								chA = pf.orig
+							}
+							ipA := padded.Data[chA*phpw:]
+							sc.s4 = [4]*float32{
+								&ipA[o0+owBase], &ipA[o1+owBase], &ipA[o2+owBase], &ipA[o3+owBase],
+							}
+							simd.WidenQ8(run.q[4*ki:4*ki+4], scale, &sc.w4)
+							kern.Tile4(dst, c.OutW, &sc.s4, pw, &sc.w4, cols, rows)
+						}
+					}
+				}
+			}
+		}
+		if relu {
+			for pos := gBase; pos < gEnd; pos++ {
+				pf := &p.packedQ8[pos]
+				oplane := out.Data[pf.orig*oHW : (pf.orig+1)*oHW]
+				for i, v := range oplane {
+					if v < 0 {
+						oplane[i] = 0
+					}
+				}
+			}
+		}
+	}
+}
+
+// rangePackedQ8Scalar is the strided fallback: Stride >= 2 keeps the scalar
+// FKW walk, dequantizing the four levels of each kernel into registers once
+// per tile.
+func (p *Plan) rangePackedQ8Scalar(padded, out *tensor.Tensor, from, to int, bias []float32, init, relu bool) {
 	c, _, pw := p.prologue(padded)
 	phpw := padded.Dim(1) * pw
 	oHW := c.OutH * c.OutW
@@ -97,6 +218,15 @@ func (p *Plan) rangePackedQ8(padded, out *tensor.Tensor, from, to int) {
 		pf := &p.packedQ8[pos]
 		scale := pf.scale
 		oplane := out.Data[pf.orig*oHW : (pf.orig+1)*oHW]
+		if init {
+			v := float32(0)
+			if bias != nil {
+				v = bias[pf.orig]
+			}
+			for i := range oplane {
+				oplane[i] = v
+			}
+		}
 		for ohBase := 0; ohBase < c.OutH; ohBase += tileOH {
 			ohEnd := min(ohBase+tileOH, c.OutH)
 			for ri := range pf.runs {
@@ -134,81 +264,11 @@ func (p *Plan) rangePackedQ8(padded, out *tensor.Tensor, from, to int) {
 				}
 			}
 		}
-	}
-}
-
-// rangePackedQ8Fused executes reordered filter positions [from, to) with the
-// dequant-fused epilogue: the plane is zero-initialized, raw float32(int8)
-// products accumulate through the whole filter sweep, and the epilogue applies
-// out = acc·scale + bias (then the optional ReLU clamp) in one pass — a single
-// scale multiply per output element instead of one per weight load.
-func (p *Plan) rangePackedQ8Fused(padded, out *tensor.Tensor, from, to int, bias []float32, relu bool) {
-	c, _, pw := p.prologue(padded)
-	phpw := padded.Dim(1) * pw
-	oHW := c.OutH * c.OutW
-	tileOH := p.Tune.Tile[1]
-	if tileOH < 1 {
-		tileOH = c.OutH
-	}
-	for pos := from; pos < to; pos++ {
-		pf := &p.packedQ8[pos]
-		oplane := out.Data[pf.orig*oHW : (pf.orig+1)*oHW]
-		clear(oplane)
-		for ohBase := 0; ohBase < c.OutH; ohBase += tileOH {
-			ohEnd := min(ohBase+tileOH, c.OutH)
-			for ri := range pf.runs {
-				run := &pf.runs[ri]
-				t0, t1, t2, t3 := run.taps[0], run.taps[1], run.taps[2], run.taps[3]
-				q := run.q
-				for ki, ch := range run.ch {
-					w0 := float32(q[4*ki])
-					w1 := float32(q[4*ki+1])
-					w2 := float32(q[4*ki+2])
-					w3 := float32(q[4*ki+3])
-					inCh := int(ch)
-					if c.Depthwise {
-						inCh = pf.orig
-					}
-					iplane := padded.Data[inCh*phpw:]
-					for oh := ohBase; oh < ohEnd; oh++ {
-						ihBase := oh * c.Stride
-						r0 := iplane[(ihBase+t0[0])*pw+t0[1]:]
-						r1 := iplane[(ihBase+t1[0])*pw+t1[1]:]
-						r2 := iplane[(ihBase+t2[0])*pw+t2[1]:]
-						r3 := iplane[(ihBase+t3[0])*pw+t3[1]:]
-						orow := oplane[oh*c.OutW : oh*c.OutW+c.OutW]
-						if c.Stride == 1 {
-							for ow := range orow {
-								orow[ow] += w0*r0[ow] + w1*r1[ow] + w2*r2[ow] + w3*r3[ow]
-							}
-						} else {
-							for ow := range orow {
-								iw := ow * c.Stride
-								orow[ow] += w0*r0[iw] + w1*r1[iw] + w2*r2[iw] + w3*r3[iw]
-							}
-						}
-					}
-				}
-			}
-		}
-		// Dequant-fused epilogue: one scale multiply (and bias add) per
-		// output element, after the filter's full accumulation.
-		scale := pf.scale
-		b := float32(0)
-		if bias != nil {
-			b = bias[pf.orig]
-		}
 		if relu {
 			for i, v := range oplane {
-				v = v*scale + b
 				if v < 0 {
-					v = 0
+					oplane[i] = 0
 				}
-				oplane[i] = v
-			}
-		} else {
-			for i, v := range oplane {
-				oplane[i] = v*scale + b
 			}
 		}
 	}

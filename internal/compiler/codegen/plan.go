@@ -27,6 +27,7 @@ import (
 	"patdnn/internal/compiler/lre"
 	"patdnn/internal/compiler/reorder"
 	"patdnn/internal/pruned"
+	"patdnn/internal/simd"
 	"patdnn/internal/sparse"
 	"patdnn/internal/tensor"
 )
@@ -124,7 +125,15 @@ type Plan struct {
 	// q8Bytes is the resident size of the quantized weight payload (levels +
 	// scale table), recorded before the float32 streams are dropped.
 	q8Bytes int64
+	// kern is the SIMD microkernel set captured when the packed views were
+	// built. Freezing it at compile time keeps the hot path free of global
+	// reads: simd.ForceGeneric only affects plans compiled afterwards.
+	kern simd.Kernels
 }
+
+// KernelArch reports which microkernel set a packed plan dispatches to
+// ("avx2", "neon", or "generic"); empty for non-packed levels.
+func (p *Plan) KernelArch() string { return p.kern.Name }
 
 // Compile builds the plan for the requested level. Layers must carry weights.
 func Compile(c *pruned.Conv, level Level, tune lr.Tuning) (*Plan, error) {
@@ -152,12 +161,16 @@ func Compile(c *pruned.Conv, level Level, tune lr.Tuning) (*Plan, error) {
 	p.FKW = fkw
 	p.offsets = make([][][2]int, len(c.Set))
 	for i, pat := range c.Set {
-		for _, pos := range pat.Indices() {
-			p.offsets[i] = append(p.offsets[i], [2]int{pos / c.KW, pos % c.KW})
+		taps, terr := sparse.TapOffsets(pat, c.KH, c.KW)
+		if terr != nil {
+			return nil, terr
 		}
+		p.offsets[i] = taps
 	}
 	if level == Packed {
-		p.buildPacked()
+		if err := p.buildPacked(); err != nil {
+			return nil, err
+		}
 	}
 	if level == PackedQ8 {
 		if err := p.buildPackedQ8(); err != nil {

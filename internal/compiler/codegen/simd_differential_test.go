@@ -1,0 +1,217 @@
+package codegen
+
+// Differential suite for the SIMD microkernel dispatch: the same layer
+// compiled twice — once capturing the arch's best kernel set, once under
+// simd.ForceGeneric — must agree to float32 accumulation-order tolerance
+// (1e-6 for the FP32 packed level, 1e-2 for PackedQ8's scaled levels). On a
+// machine without vector kernels (or under -tags noasm) both plans capture
+// the generic set and the comparison is exact; on AVX2/NEON hardware this is
+// the test that pins the assembly to the pure-Go reference across pattern
+// classes, strides, odd output widths, and every tail-remainder geometry the
+// register blocking produces.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"patdnn/internal/compiler/lr"
+	"patdnn/internal/pattern"
+	"patdnn/internal/pruned"
+	"patdnn/internal/simd"
+	"patdnn/internal/tensor"
+)
+
+// compileForcedGeneric compiles the layer with the generic microkernel set
+// captured into the plan, restoring the dispatch before returning.
+func compileForcedGeneric(t *testing.T, c *pruned.Conv, level Level, tune lr.Tuning) *Plan {
+	t.Helper()
+	simd.ForceGeneric(true)
+	defer simd.ForceGeneric(false)
+	p, err := Compile(c, level, tune)
+	if err != nil {
+		t.Fatalf("generic compile: %v", err)
+	}
+	if p.KernelArch() != "generic" {
+		t.Fatalf("ForceGeneric compile captured %q kernels", p.KernelArch())
+	}
+	return p
+}
+
+func simdTol(level Level) float64 {
+	if level == PackedQ8 {
+		return 1e-2
+	}
+	return 1e-6
+}
+
+// TestPackedAsmMatchesGeneric sweeps geometries chosen to exercise every
+// ragged edge of the register blocking: output widths around the 8- and
+// 4-lane vector boundaries, strides 1 and 2 (the scalar fallback), all three
+// pattern-class sizes, and tile/group/pixel-block knobs that leave odd
+// remainders in every loop.
+func TestPackedAsmMatchesGeneric(t *testing.T) {
+	type geom struct {
+		inH, inW, stride, pad, patterns int
+	}
+	geoms := []geom{
+		{9, 9, 1, 1, 6},    // OutW 9: one vector + 1-col tail
+		{8, 8, 1, 0, 8},    // OutW 6: sub-vector rows (all tail on AVX2)
+		{12, 23, 1, 1, 8},  // OutW 23: odd width, 7-col tail
+		{16, 16, 1, 1, 12}, // OutW 16: exact vector multiple
+		{14, 33, 1, 1, 8},  // OutW 33: 8|8|8|8|1
+		{13, 13, 2, 1, 6},  // stride 2: scalar fallback path
+		{18, 10, 2, 0, 8},  // stride 2, pad 0
+	}
+	tunings := []lr.Tuning{
+		lr.DefaultTuning(), // tileOH 32, fg 4, pbw 8
+		func() lr.Tuning { // ragged everything: 3-row tiles, group of 3, 5-col chunks
+			tn := lr.DefaultTuning()
+			tn.Tile[1], tn.Unroll[0], tn.Unroll[2] = 3, 3, 5
+			return tn
+		}(),
+		func() lr.Tuning { // whole-map sweep, single-filter groups
+			tn := lr.DefaultTuning()
+			tn.Tile[1], tn.Unroll[0], tn.Unroll[2] = 0, 1, 0
+			return tn
+		}(),
+	}
+	for gi, g := range geoms {
+		for ti, tune := range tunings {
+			t.Run(fmt.Sprintf("g%d_t%d_s%d_w%d", gi, ti, g.stride, g.inW), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(100*gi + ti)))
+				outC, inC := 2+rng.Intn(9), 1+rng.Intn(9)
+				w := tensor.New(outC, inC, 3, 3)
+				w.Randn(rng, 0.25)
+				geo := pruned.ConvGeom{
+					Stride: g.stride, Pad: g.pad, InH: g.inH, InW: g.inW,
+					OutH: tensor.ConvOutDim(g.inH, 3, g.stride, g.pad),
+					OutW: tensor.ConvOutDim(g.inW, 3, g.stride, g.pad),
+				}
+				keep := 1 + rng.Intn(outC*inC)
+				c := pruned.FromWeights(fmt.Sprintf("simd-%d-%d", gi, ti), w,
+					pattern.Canonical(g.patterns), keep, geo)
+				input := tensor.New(inC, g.inH, g.inW)
+				input.Randn(rng, 0.5)
+				bias := make([]float32, outC)
+				for i := range bias {
+					bias[i] = float32(rng.NormFloat64()) * 0.25
+				}
+				for _, level := range []Level{Packed, PackedQ8} {
+					pAsm, err := Compile(c, level, tune)
+					if err != nil {
+						t.Fatalf("level %v: %v", level, err)
+					}
+					pGen := compileForcedGeneric(t, c, level, tune)
+					want := pGen.Execute(input, bias)
+					got := pAsm.Execute(input, bias)
+					if !got.AllClose(want, simdTol(level)) {
+						t.Errorf("level %v (%s vs generic): max diff %g",
+							level, pAsm.KernelArch(), got.MaxAbsDiff(want))
+					}
+					// Fused path over a dirty pooled buffer, with ReLU.
+					padded := pAsm.PadInput(input)
+					outAsm := tensor.New(c.OutC, c.OutH, c.OutW)
+					outGen := tensor.New(c.OutC, c.OutH, c.OutW)
+					for i := range outAsm.Data {
+						outAsm.Data[i] = float32(i%5) - 2
+						outGen.Data[i] = -7
+					}
+					pAsm.ExecuteRangeFused(padded, outAsm, 0, c.OutC, bias, true)
+					pGen.ExecuteRangeFused(padded, outGen, 0, c.OutC, bias, true)
+					if !outAsm.AllClose(outGen, simdTol(level)) {
+						t.Errorf("level %v fused (%s vs generic): max diff %g",
+							level, pAsm.KernelArch(), outAsm.MaxAbsDiff(outGen))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPackedAsmMatchesGenericDepthwise covers the depthwise branch (input
+// plane = filter index) through both kernel sets, strides 1 and 2.
+func TestPackedAsmMatchesGenericDepthwise(t *testing.T) {
+	for seed := int64(501); seed <= 506; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ch := 2 + rng.Intn(8)
+		inH, inW := 6+rng.Intn(12), 6+rng.Intn(12)
+		stride := 1 + rng.Intn(2)
+		w := tensor.New(ch, 1, 3, 3)
+		w.Randn(rng, 0.25)
+		geo := pruned.ConvGeom{
+			Stride: stride, Pad: 1, InH: inH, InW: inW,
+			OutH: tensor.ConvOutDim(inH, 3, stride, 1),
+			OutW: tensor.ConvOutDim(inW, 3, stride, 1),
+		}
+		c := pruned.FromWeights(fmt.Sprintf("simd-dw-%d", seed), w, pattern.Canonical(8), ch, geo)
+		c.Depthwise = true
+		input := tensor.New(c.InChannels(), inH, inW)
+		input.Randn(rng, 0.5)
+		for _, level := range []Level{Packed, PackedQ8} {
+			pAsm, err := Compile(c, level, lr.DefaultTuning())
+			if err != nil {
+				t.Fatalf("seed %d level %v: %v", seed, level, err)
+			}
+			pGen := compileForcedGeneric(t, c, level, lr.DefaultTuning())
+			want := pGen.Execute(input, nil)
+			got := pAsm.Execute(input, nil)
+			if !got.AllClose(want, simdTol(level)) {
+				t.Errorf("seed %d level %v depthwise: max diff %g", seed, level, got.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+// FuzzPackedKernelDifferential feeds the FuzzFKWRoundTrip layer recipe
+// through the packed execution path: for any layer the fuzzer derives, the
+// arch microkernels, the forced-generic microkernels, and the dense
+// reference must agree. Run with:
+//
+//	go test -fuzz=FuzzPackedKernelDifferential -fuzztime=20s ./internal/compiler/codegen
+func FuzzPackedKernelDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(50), uint8(8), uint8(1))
+	f.Add(int64(42), uint8(1), uint8(10), uint8(3), uint8(2))
+	f.Add(int64(7), uint8(2), uint8(90), uint8(0), uint8(1))
+	f.Add(int64(-3), uint8(0), uint8(1), uint8(255), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, patSize, connPct, knob, strideSel uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		outC := 1 + rng.Intn(10)
+		inC := 1 + rng.Intn(8)
+		sizes := []int{6, 8, 12}
+		set := pattern.Canonical(sizes[int(patSize)%len(sizes)])
+		w := tensor.New(outC, inC, 3, 3)
+		w.Randn(rng, 0.25)
+		keep := 1 + int(connPct)%(outC*inC)
+		stride := 1 + int(strideSel)%2
+		inH, inW := 5+rng.Intn(14), 5+rng.Intn(14)
+		geo := pruned.ConvGeom{
+			Stride: stride, Pad: 1, InH: inH, InW: inW,
+			OutH: tensor.ConvOutDim(inH, 3, stride, 1),
+			OutW: tensor.ConvOutDim(inW, 3, stride, 1),
+		}
+		c := pruned.FromWeights("fuzz-kern", w, set, keep, geo)
+		// The fuzzed knob perturbs all three blocking genes so the driver's
+		// tail loops see arbitrary tile/group/chunk remainders.
+		tune := lr.DefaultTuning()
+		tune.Tile[1] = 1 + int(knob)%9
+		tune.Unroll[0] = 1 + int(knob>>2)%5
+		tune.Unroll[2] = 1 + int(knob>>4)%17
+		input := tensor.New(inC, inH, inW)
+		input.Randn(rng, 0.5)
+		pAsm, err := Compile(c, Packed, tune)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		pGen := compileForcedGeneric(t, c, Packed, tune)
+		want := refConv(c, input, nil)
+		genOut := pGen.Execute(input, nil)
+		asmOut := pAsm.Execute(input, nil)
+		if !genOut.AllClose(want, 1e-4) {
+			t.Fatalf("generic vs dense reference: max diff %g", genOut.MaxAbsDiff(want))
+		}
+		if !asmOut.AllClose(genOut, 1e-6) {
+			t.Fatalf("%s vs generic kernels: max diff %g", pAsm.KernelArch(), asmOut.MaxAbsDiff(genOut))
+		}
+	})
+}

@@ -43,43 +43,73 @@ func PackedTile(outH, outW, paddedW, weightsPerFilter, stride, bytesPerWeight in
 	return best
 }
 
+// Packed driver knob defaults: the register-tiled driver reads three genes —
+// Tile[1] (output rows per microkernel sweep), Unroll[0] (filters sharing an
+// input tile), and Unroll[2] (output columns per microkernel call).
+const (
+	// packedDefaultGroup is the heuristic filter-group size: enough filters
+	// to amortize each input-tile load several times without the group's
+	// output tiles crowding the input rows out of L1.
+	packedDefaultGroup = 4
+	// packedLanes is the vector width the cost model assumes when scoring a
+	// pixel-block width: blocks narrower than a vector register waste lanes.
+	packedLanes = 8
+)
+
 // PackedTuning returns the tuning a packed plan should be compiled with: the
 // default configuration with the spatial tile swapped for the PackedTile
-// choice. The unroll/permutation genes do not apply to the packed kernels
-// (the run structure is fixed by the FKW layout) and are left at defaults.
+// choice, a packedDefaultGroup filter group, and whole-row pixel blocks (one
+// microkernel call per tile row span — column chunking only pays off when a
+// row is too wide for L1, which the GA discovers, not the heuristic). The
+// remaining genes do not apply to the packed kernels (the run structure is
+// fixed by the FKW layout) and are left at defaults.
 func PackedTuning(outH, outW, paddedW, weightsPerFilter, stride, bytesPerWeight int) lr.Tuning {
 	t := lr.DefaultTuning()
 	t.Tile[1] = PackedTile(outH, outW, paddedW, weightsPerFilter, stride, bytesPerWeight)
+	t.Unroll[0] = packedDefaultGroup
+	t.Unroll[2] = outW
 	return t
 }
 
-// PackedSpace returns the search space for the packed FKW-direct backend:
-// only the spatial output-row tile is free — the FKW run structure fixes the
-// unroll and permutation genes, and the serving pool owns the thread count —
-// so every other gene is pinned at its default candidate. The tiny space keeps
-// compile-time GA searches and measured background searches cheap (at most
-// len(TileOH) distinct genomes; the eval cache collapses repeats).
+// PackedSpace returns the search space for the packed FKW-direct backend.
+// Three genes are free — the output-row tile, the filter-group size
+// (UnrollOC), and the pixel-block width (UnrollOW) — matching the three
+// blocking knobs of the register-tiled driver. The FKW run structure fixes
+// the rest, and the serving pool owns the thread count, so the remaining
+// genes stay pinned at their default candidate. Pixel-block candidates top
+// out at 256: the driver clamps Unroll[2] to the output width, so 256 means
+// "whole row" for every map in the paper's networks.
 func PackedSpace() Space {
 	d := lr.DefaultTuning()
 	return Space{
 		TileOC:   []int{d.Tile[0]},
 		TileOH:   DefaultSpace().TileOH,
 		TileIC:   []int{d.Tile[2]},
-		UnrollOC: []int{d.Unroll[0]},
+		UnrollOC: []int{1, 2, 4, 8},
 		UnrollOH: []int{d.Unroll[1]},
-		UnrollOW: []int{d.Unroll[2]},
+		UnrollOW: []int{16, 32, 64, 256},
 		Permute:  []lr.Permutation{d.Permute},
 		Threads:  []int{d.Threads},
 	}
 }
 
 // PackedCost is the analytic cost model a compile-time search over
-// PackedSpace minimizes: the packed kernels replay one filter's weight stream
-// per spatial tile, so cost is the MAC work plus a weight-replay term per
-// tile, scaled up sharply when the tile's working set spills the L1 budget.
-// Its minimum coincides with PackedTile's choice — the tallest tile that
-// still fits — while ranking non-fitting tiles worst, which is what makes the
-// GA's winner safe to persist.
+// PackedSpace minimizes, covering the register-tiled driver's three blocking
+// knobs:
+//
+//   - Tile[1] (output-row tile): one weight-stream replay per tile, and the
+//     tile's rows bound the working set.
+//   - Unroll[0] (filter group): input-tile traffic divides by the group size
+//     (the rows are loaded once per group, not per filter), but the group's
+//     output tiles multiply the working set.
+//   - Unroll[2] (pixel block): each microkernel call re-broadcasts the tap
+//     weights into vector registers and recomputes the source pointers, so
+//     narrow blocks pay call overhead per chunk; blocks narrower than a
+//     vector register additionally waste lanes on the ragged edge.
+//
+// Working sets that spill the L1 budget are scaled up sharply, so no
+// spilling configuration ever beats a fitting one — what makes the GA's
+// winner safe to persist.
 func PackedCost(outH, outW, paddedW, weightsPerFilter, stride, bytesPerWeight int, t lr.Tuning) float64 {
 	if stride < 1 {
 		stride = 1
@@ -91,14 +121,40 @@ func PackedCost(outH, outW, paddedW, weightsPerFilter, stride, bytesPerWeight in
 	if rows < 1 || rows > outH {
 		rows = outH
 	}
+	fg := t.Unroll[0]
+	if fg < 1 {
+		fg = 1
+	}
+	pbw := t.Unroll[2]
+	if pbw < 1 || pbw > outW {
+		pbw = outW
+	}
 	tiles := (outH + rows - 1) / rows
 	inRows := (rows-1)*stride + 3
-	work := 4*(rows*outW+inRows*paddedW) + bytesPerWeight*weightsPerFilter
-	// MACs over the output map plus one weight-stream replay per tile.
-	cost := float64(outH*outW*max(weightsPerFilter, 1)) + float64(tiles*weightsPerFilter)
+	// The group's working set: fg output tiles + the shared input rows + fg
+	// weight streams.
+	work := 4*(fg*rows*outW+inRows*paddedW) + fg*bytesPerWeight*weightsPerFilter
+	wpf := max(weightsPerFilter, 1)
+	// MACs over the output map, discounted for vector lanes the pixel block
+	// leaves idle (the ragged-edge columns run scalar).
+	laneEff := 1.0
+	if pbw < packedLanes {
+		laneEff = float64(pbw) / float64(packedLanes)
+	}
+	cost := float64(outH*outW*wpf) / laneEff
+	// One weight-stream replay per tile.
+	cost += float64(tiles * weightsPerFilter)
+	// Input rows streamed once per filter group per tile.
+	cost += float64(tiles*inRows*paddedW) / float64(fg)
+	// Microkernel call overhead: one weight-broadcast + pointer setup per
+	// column chunk per kernel pair per tile (each call costs on the order of
+	// a dozen scalar ops; 16 keeps the term comparable to the MAC work it
+	// displaces on narrow chunks).
+	chunks := (outW + pbw - 1) / pbw
+	cost += 16 * float64(tiles*chunks*max(wpf/8, 1))
 	if work > packedL1Bytes {
-		// The tile thrashes L1: at least double the cost (so no spilling tile
-		// ever beats a fitting one) and grow with the spill size.
+		// The group thrashes L1: at least double the cost (so no spilling
+		// configuration ever beats a fitting one) and grow with the spill.
 		cost *= 2 + float64(work-packedL1Bytes)/float64(packedL1Bytes)
 	}
 	return cost

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"patdnn/internal/compiler/lr"
+	"patdnn/internal/cpu"
 	"patdnn/internal/pruned"
 )
 
@@ -87,7 +88,10 @@ func (k Key) valid() bool {
 }
 
 // ConvKey derives the DB key for one pattern-pruned conv at a codegen level
-// tag, on the running architecture.
+// tag, on the running architecture. Arch carries both the instruction set and
+// the detected SIMD microkernel tier ("amd64/avx2", "arm64/neon",
+// "amd64/generic" under -tags noasm), so a tuning measured against the vector
+// kernels never transfers to a scalar build of the same GOARCH, or vice versa.
 func ConvKey(c *pruned.Conv, levelTag string) Key {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -103,7 +107,7 @@ func ConvKey(c *pruned.Conv, levelTag string) Key {
 		wr(uint64(id))
 	}
 	return Key{
-		Arch: runtime.GOARCH, Level: levelTag,
+		Arch: runtime.GOARCH + "/" + cpu.Arch(), Level: levelTag,
 		OutC: c.OutC, InC: c.InC, KH: c.KH, KW: c.KW,
 		InH: c.InH, InW: c.InW, Stride: c.Stride, Pad: c.Pad,
 		Depthwise: c.Depthwise,

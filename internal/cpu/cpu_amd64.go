@@ -1,0 +1,34 @@
+//go:build amd64 && !noasm
+
+package cpu
+
+// cpuid executes CPUID with the given leaf/subleaf.
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (requires OSXSAVE, checked before calling).
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if ecx1&(fma|osxsave|avx) != fma|osxsave|avx {
+		return
+	}
+	// The OS must save/restore XMM and YMM state across context switches,
+	// or executing VEX-encoded code faults.
+	xcr0, _ := xgetbv()
+	if xcr0&0x6 != 0x6 {
+		return
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	HasAVX2FMA = ebx7&avx2 != 0
+}

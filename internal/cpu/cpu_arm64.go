@@ -1,0 +1,8 @@
+//go:build arm64 && !noasm
+
+package cpu
+
+func init() {
+	// Advanced SIMD is architecturally mandatory on AArch64; no probe needed.
+	HasNEON = true
+}

@@ -1,0 +1,6 @@
+//go:build noasm || !(amd64 || arm64)
+
+package cpu
+
+// No hand-written kernels for this build: the flags keep their false zero
+// values and Arch() reports "generic".

@@ -1,0 +1,27 @@
+package cpu
+
+import "testing"
+
+// The probe must agree with itself: Arch names exactly the flag that is set,
+// and at most one vector implementation is ever selected.
+func TestArchConsistent(t *testing.T) {
+	if HasAVX2FMA && HasNEON {
+		t.Fatal("both AVX2 and NEON reported on one core")
+	}
+	switch Arch() {
+	case "avx2":
+		if !HasAVX2FMA {
+			t.Fatal("Arch avx2 without HasAVX2FMA")
+		}
+	case "neon":
+		if !HasNEON {
+			t.Fatal("Arch neon without HasNEON")
+		}
+	case "generic":
+		if HasAVX2FMA || HasNEON {
+			t.Fatal("Arch generic with a vector flag set")
+		}
+	default:
+		t.Fatalf("unknown Arch %q", Arch())
+	}
+}

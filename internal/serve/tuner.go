@@ -133,6 +133,15 @@ func (e *Engine) tuneModel(key modelKey, entry *modelEntry, cm *compiledModel) {
 	}
 }
 
+// packedConfigDiffers reports whether two tunings differ in any knob the
+// packed register-tiled driver reads: the output-row tile (Tile[1]), the
+// filter-group size (Unroll[0]), and the pixel-block width (Unroll[2]).
+// Comparing only the tile would miss verdicts that reblocked the group or
+// the column chunk and skip the recompile that applies them.
+func packedConfigDiffers(a, b lr.Tuning) bool {
+	return a.Tile[1] != b.Tile[1] || a.Unroll[0] != b.Unroll[0] || a.Unroll[2] != b.Unroll[2]
+}
+
 // tuneConv ensures the DB holds a measured verdict for one packed conv and
 // reports whether that verdict differs from the configuration the conv is
 // currently compiled with (i.e. whether a recompile would change the plan).
@@ -140,7 +149,7 @@ func (e *Engine) tuneConv(n *execgraph.Node) bool {
 	pc := n.Plan.Conv
 	key := tunedb.ConvKey(pc, codegen.LevelTag(codegen.Packed))
 	if ent, ok := e.tdb.Lookup(key); ok && ent.Source == tunedb.SourceMeasured {
-		return ent.Config.Tile[1] != n.Plan.Tune.Tile[1]
+		return packedConfigDiffers(ent.Config, n.Plan.Tune)
 	}
 
 	// Measured evaluation: compile the candidate and time the fused layer on
@@ -171,7 +180,7 @@ func (e *Engine) tuneConv(n *execgraph.Node) bool {
 	}
 	e.bgSearches.Add(1)
 	e.tdb.Record(key, tunedb.Entry{Config: best.Config, CostMs: best.CostMs, Source: tunedb.SourceMeasured})
-	return best.Config.Tile[1] != n.Plan.Tune.Tile[1]
+	return packedConfigDiffers(best.Config, n.Plan.Tune)
 }
 
 // stopping reports whether Close has started (checked between layer

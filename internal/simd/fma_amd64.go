@@ -1,0 +1,27 @@
+//go:build amd64 && !noasm
+
+package simd
+
+import "patdnn/internal/cpu"
+
+// AVX2+FMA tile kernels (fma_amd64.s). The wrappers are direct asm
+// declarations; //go:noescape keeps the caller's stack-allocated pointer and
+// weight arrays from escaping, so a microkernel call allocates nothing.
+
+//go:noescape
+func fmaTile4AVX2(dst *float32, dstStride int, src *[4]*float32, srcStride int, w *[4]float32, cols, rows int)
+
+//go:noescape
+func fmaTile8AVX2(dst *float32, dstStride int, src *[8]*float32, srcStride int, w *[8]float32, cols, rows int)
+
+//go:noescape
+func fmaTile8Q8AVX2(dst *float32, dstStride int, src *[8]*float32, srcStride int, q *[8]int8, scale float32, cols, rows int)
+
+func init() {
+	if cpu.HasAVX2FMA {
+		bestSet = Kernels{
+			Name: "avx2", Lanes: 8,
+			Tile4: fmaTile4AVX2, Tile8: fmaTile8AVX2, Tile8Q8: fmaTile8Q8AVX2,
+		}
+	}
+}

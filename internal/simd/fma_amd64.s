@@ -1,0 +1,312 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX2+FMA tile-FMA microkernels. Shared shape: tap weights are broadcast
+// into YMM registers once per call (the register-level hoist), then every
+// tile row is swept 8 output columns at a time — per 8 columns: one
+// accumulator load, one FMA per tap, one store. Two accumulator chains
+// (Y8/Y9) halve the FMA latency chain; a scalar VFMADD231SS loop finishes
+// the cols%8 ragged edge so the iteration domain matches the generic
+// kernels exactly. Strides arrive in float32 elements and are converted to
+// bytes here.
+
+// func fmaTile4AVX2(dst *float32, dstStride int, src *[4]*float32, srcStride int, w *[4]float32, cols, rows int)
+TEXT ·fmaTile4AVX2(SB), NOSPLIT, $0-56
+	MOVQ dst+0(FP), DI
+	MOVQ dstStride+8(FP), R8
+	MOVQ src+16(FP), SI
+	MOVQ srcStride+24(FP), R9
+	MOVQ w+32(FP), DX
+	MOVQ cols+40(FP), CX
+	MOVQ rows+48(FP), BX
+
+	VBROADCASTSS 0(DX), Y0
+	VBROADCASTSS 4(DX), Y1
+	VBROADCASTSS 8(DX), Y2
+	VBROADCASTSS 12(DX), Y3
+
+	MOVQ 0(SI), R10
+	MOVQ 8(SI), R11
+	MOVQ 16(SI), R12
+	MOVQ 24(SI), R13
+
+	SHLQ $2, R8
+	SHLQ $2, R9
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+rows4:
+	TESTQ BX, BX
+	JZ   done4
+	XORQ SI, SI
+
+vec4:
+	CMPQ SI, DX
+	JGE  tail4
+	VMOVUPS (DI)(SI*4), Y8
+	VMOVUPS (R10)(SI*4), Y10
+	VFMADD231PS Y0, Y10, Y8
+	VMOVUPS (R11)(SI*4), Y11
+	VMULPS Y1, Y11, Y9
+	VMOVUPS (R12)(SI*4), Y12
+	VFMADD231PS Y2, Y12, Y8
+	VMOVUPS (R13)(SI*4), Y13
+	VFMADD231PS Y3, Y13, Y9
+	VADDPS Y9, Y8, Y8
+	VMOVUPS Y8, (DI)(SI*4)
+	ADDQ $8, SI
+	JMP  vec4
+
+tail4:
+	CMPQ SI, CX
+	JGE  next4
+	VMOVSS (DI)(SI*4), X8
+	VMOVSS (R10)(SI*4), X10
+	VFMADD231SS X0, X10, X8
+	VMOVSS (R11)(SI*4), X11
+	VFMADD231SS X1, X11, X8
+	VMOVSS (R12)(SI*4), X12
+	VFMADD231SS X2, X12, X8
+	VMOVSS (R13)(SI*4), X13
+	VFMADD231SS X3, X13, X8
+	VMOVSS X8, (DI)(SI*4)
+	INCQ SI
+	JMP  tail4
+
+next4:
+	ADDQ R8, DI
+	ADDQ R9, R10
+	ADDQ R9, R11
+	ADDQ R9, R12
+	ADDQ R9, R13
+	DECQ BX
+	JMP  rows4
+
+done4:
+	VZEROUPPER
+	RET
+
+// func fmaTile8AVX2(dst *float32, dstStride int, src *[8]*float32, srcStride int, w *[8]float32, cols, rows int)
+TEXT ·fmaTile8AVX2(SB), NOSPLIT, $8-56
+	MOVQ dst+0(FP), DI
+	MOVQ dstStride+8(FP), R8
+	MOVQ src+16(FP), SI
+	MOVQ srcStride+24(FP), R9
+	MOVQ w+32(FP), DX
+	MOVQ cols+40(FP), CX
+	MOVQ rows+48(FP), BX
+
+	VBROADCASTSS 0(DX), Y0
+	VBROADCASTSS 4(DX), Y1
+	VBROADCASTSS 8(DX), Y2
+	VBROADCASTSS 12(DX), Y3
+	VBROADCASTSS 16(DX), Y4
+	VBROADCASTSS 20(DX), Y5
+	VBROADCASTSS 24(DX), Y6
+	VBROADCASTSS 28(DX), Y7
+
+	MOVQ CX, AX
+	ANDQ $-8, AX
+	MOVQ AX, limit-8(SP)
+
+	MOVQ 0(SI), R10
+	MOVQ 8(SI), R11
+	MOVQ 16(SI), R12
+	MOVQ 24(SI), R13
+	MOVQ 32(SI), R14
+	MOVQ 40(SI), R15
+	MOVQ 48(SI), DX
+	MOVQ 56(SI), AX
+
+	SHLQ $2, R8
+	SHLQ $2, R9
+
+rows8:
+	TESTQ BX, BX
+	JZ   done8
+	XORQ SI, SI
+
+vec8:
+	CMPQ SI, limit-8(SP)
+	JGE  tail8
+	VMOVUPS (DI)(SI*4), Y8
+	VMOVUPS (R10)(SI*4), Y10
+	VFMADD231PS Y0, Y10, Y8
+	VMOVUPS (R11)(SI*4), Y11
+	VMULPS Y1, Y11, Y9
+	VMOVUPS (R12)(SI*4), Y12
+	VFMADD231PS Y2, Y12, Y8
+	VMOVUPS (R13)(SI*4), Y13
+	VFMADD231PS Y3, Y13, Y9
+	VMOVUPS (R14)(SI*4), Y10
+	VFMADD231PS Y4, Y10, Y8
+	VMOVUPS (R15)(SI*4), Y11
+	VFMADD231PS Y5, Y11, Y9
+	VMOVUPS (DX)(SI*4), Y12
+	VFMADD231PS Y6, Y12, Y8
+	VMOVUPS (AX)(SI*4), Y13
+	VFMADD231PS Y7, Y13, Y9
+	VADDPS Y9, Y8, Y8
+	VMOVUPS Y8, (DI)(SI*4)
+	ADDQ $8, SI
+	JMP  vec8
+
+tail8:
+	CMPQ SI, CX
+	JGE  next8
+	VMOVSS (DI)(SI*4), X8
+	VMOVSS (R10)(SI*4), X10
+	VFMADD231SS X0, X10, X8
+	VMOVSS (R11)(SI*4), X11
+	VFMADD231SS X1, X11, X8
+	VMOVSS (R12)(SI*4), X12
+	VFMADD231SS X2, X12, X8
+	VMOVSS (R13)(SI*4), X13
+	VFMADD231SS X3, X13, X8
+	VMOVSS (R14)(SI*4), X10
+	VFMADD231SS X4, X10, X8
+	VMOVSS (R15)(SI*4), X11
+	VFMADD231SS X5, X11, X8
+	VMOVSS (DX)(SI*4), X12
+	VFMADD231SS X6, X12, X8
+	VMOVSS (AX)(SI*4), X13
+	VFMADD231SS X7, X13, X8
+	VMOVSS X8, (DI)(SI*4)
+	INCQ SI
+	JMP  tail8
+
+next8:
+	ADDQ R8, DI
+	ADDQ R9, R10
+	ADDQ R9, R11
+	ADDQ R9, R12
+	ADDQ R9, R13
+	ADDQ R9, R14
+	ADDQ R9, R15
+	ADDQ R9, DX
+	ADDQ R9, AX
+	DECQ BX
+	JMP  rows8
+
+done8:
+	VZEROUPPER
+	RET
+
+// func fmaTile8Q8AVX2(dst *float32, dstStride int, src *[8]*float32, srcStride int, q *[8]int8, scale float32, cols, rows int)
+//
+// The widening-multiply variant for the PackedQ8 int8 weight stream: the 8
+// quantization levels are sign-extended to int32, converted to float32, and
+// scaled in-register once per call (VPMOVSXBD + VCVTDQ2PS + VMULPS), spilled
+// to a stack buffer, and re-broadcast one lane per tap register — then the
+// sweep is identical to fmaTile8AVX2.
+TEXT ·fmaTile8Q8AVX2(SB), NOSPLIT, $48-64
+	MOVQ dst+0(FP), DI
+	MOVQ dstStride+8(FP), R8
+	MOVQ src+16(FP), SI
+	MOVQ srcStride+24(FP), R9
+	MOVQ q+32(FP), DX
+	MOVQ cols+48(FP), CX
+	MOVQ rows+56(FP), BX
+
+	VPMOVSXBD (DX), Y8
+	VCVTDQ2PS Y8, Y8
+	VBROADCASTSS scale+40(FP), Y9
+	VMULPS Y9, Y8, Y8
+	VMOVUPS Y8, wbuf-48(SP)
+
+	VBROADCASTSS wbuf-48(SP), Y0
+	VBROADCASTSS wbuf-44(SP), Y1
+	VBROADCASTSS wbuf-40(SP), Y2
+	VBROADCASTSS wbuf-36(SP), Y3
+	VBROADCASTSS wbuf-32(SP), Y4
+	VBROADCASTSS wbuf-28(SP), Y5
+	VBROADCASTSS wbuf-24(SP), Y6
+	VBROADCASTSS wbuf-20(SP), Y7
+
+	MOVQ CX, AX
+	ANDQ $-8, AX
+	MOVQ AX, limit-8(SP)
+
+	MOVQ 0(SI), R10
+	MOVQ 8(SI), R11
+	MOVQ 16(SI), R12
+	MOVQ 24(SI), R13
+	MOVQ 32(SI), R14
+	MOVQ 40(SI), R15
+	MOVQ 48(SI), DX
+	MOVQ 56(SI), AX
+
+	SHLQ $2, R8
+	SHLQ $2, R9
+
+rowsq:
+	TESTQ BX, BX
+	JZ   doneq
+	XORQ SI, SI
+
+vecq:
+	CMPQ SI, limit-8(SP)
+	JGE  tailq
+	VMOVUPS (DI)(SI*4), Y8
+	VMOVUPS (R10)(SI*4), Y10
+	VFMADD231PS Y0, Y10, Y8
+	VMOVUPS (R11)(SI*4), Y11
+	VMULPS Y1, Y11, Y9
+	VMOVUPS (R12)(SI*4), Y12
+	VFMADD231PS Y2, Y12, Y8
+	VMOVUPS (R13)(SI*4), Y13
+	VFMADD231PS Y3, Y13, Y9
+	VMOVUPS (R14)(SI*4), Y10
+	VFMADD231PS Y4, Y10, Y8
+	VMOVUPS (R15)(SI*4), Y11
+	VFMADD231PS Y5, Y11, Y9
+	VMOVUPS (DX)(SI*4), Y12
+	VFMADD231PS Y6, Y12, Y8
+	VMOVUPS (AX)(SI*4), Y13
+	VFMADD231PS Y7, Y13, Y9
+	VADDPS Y9, Y8, Y8
+	VMOVUPS Y8, (DI)(SI*4)
+	ADDQ $8, SI
+	JMP  vecq
+
+tailq:
+	CMPQ SI, CX
+	JGE  nextq
+	VMOVSS (DI)(SI*4), X8
+	VMOVSS (R10)(SI*4), X10
+	VFMADD231SS X0, X10, X8
+	VMOVSS (R11)(SI*4), X11
+	VFMADD231SS X1, X11, X8
+	VMOVSS (R12)(SI*4), X12
+	VFMADD231SS X2, X12, X8
+	VMOVSS (R13)(SI*4), X13
+	VFMADD231SS X3, X13, X8
+	VMOVSS (R14)(SI*4), X10
+	VFMADD231SS X4, X10, X8
+	VMOVSS (R15)(SI*4), X11
+	VFMADD231SS X5, X11, X8
+	VMOVSS (DX)(SI*4), X12
+	VFMADD231SS X6, X12, X8
+	VMOVSS (AX)(SI*4), X13
+	VFMADD231SS X7, X13, X8
+	VMOVSS X8, (DI)(SI*4)
+	INCQ SI
+	JMP  tailq
+
+nextq:
+	ADDQ R8, DI
+	ADDQ R9, R10
+	ADDQ R9, R11
+	ADDQ R9, R12
+	ADDQ R9, R13
+	ADDQ R9, R14
+	ADDQ R9, R15
+	ADDQ R9, DX
+	ADDQ R9, AX
+	DECQ BX
+	JMP  rowsq
+
+doneq:
+	VZEROUPPER
+	RET

@@ -1,0 +1,215 @@
+//go:build arm64 && !noasm
+
+#include "textflag.h"
+
+// NEON tile-FMA microkernels, mirroring fma_amd64.s: tap weights VDUPed
+// into vector registers once per call, rows swept 4 output columns per
+// iteration with one FMLA per tap into a single accumulator, scalar FMADDS
+// loop for the cols%4 ragged edge. Strides arrive in float32 elements and
+// are converted to bytes here.
+//
+// Go asm operand order reminders (verified against cmd/asm testdata
+// encodings): VFMLA Vm, Vn, Vd computes Vd += Vn*Vm elementwise;
+// FMADDS Fm, Fa, Fn, Fd computes Fd = Fa + Fn*Fm.
+
+// func fmaTile4NEON(dst *float32, dstStride int, src *[4]*float32, srcStride int, w *[4]float32, cols, rows int)
+TEXT ·fmaTile4NEON(SB), NOSPLIT, $0-56
+	MOVD dst+0(FP), R0
+	MOVD dstStride+8(FP), R1
+	MOVD src+16(FP), R2
+	MOVD srcStride+24(FP), R3
+	MOVD w+32(FP), R4
+	MOVD cols+40(FP), R5
+	MOVD rows+48(FP), R6
+
+	VLD1 (R4), [V16.S4]
+	VDUP V16.S[0], V0.S4
+	VDUP V16.S[1], V1.S4
+	VDUP V16.S[2], V2.S4
+	VDUP V16.S[3], V3.S4
+
+	MOVD 0(R2), R7
+	MOVD 8(R2), R8
+	MOVD 16(R2), R9
+	MOVD 24(R2), R10
+
+	LSL $2, R1, R1
+	LSL $2, R3, R3
+	AND $-4, R5, R15
+
+rows4:
+	CBZ  R6, done4
+	MOVD $0, R16
+
+vec4:
+	CMP  R15, R16
+	BGE  tail4
+	ADD  R16<<2, R0, R19
+	VLD1 (R19), [V8.S4]
+	ADD  R16<<2, R7, R17
+	VLD1 (R17), [V10.S4]
+	VFMLA V0.S4, V10.S4, V8.S4
+	ADD  R16<<2, R8, R17
+	VLD1 (R17), [V11.S4]
+	VFMLA V1.S4, V11.S4, V8.S4
+	ADD  R16<<2, R9, R17
+	VLD1 (R17), [V10.S4]
+	VFMLA V2.S4, V10.S4, V8.S4
+	ADD  R16<<2, R10, R17
+	VLD1 (R17), [V11.S4]
+	VFMLA V3.S4, V11.S4, V8.S4
+	VST1 [V8.S4], (R19)
+	ADD  $4, R16
+	B    vec4
+
+tail4:
+	CMP  R5, R16
+	BGE  next4
+	ADD  R16<<2, R0, R19
+	FMOVS (R19), F8
+	ADD  R16<<2, R7, R17
+	FMOVS (R17), F10
+	FMADDS F0, F8, F10, F8
+	ADD  R16<<2, R8, R17
+	FMOVS (R17), F11
+	FMADDS F1, F8, F11, F8
+	ADD  R16<<2, R9, R17
+	FMOVS (R17), F10
+	FMADDS F2, F8, F10, F8
+	ADD  R16<<2, R10, R17
+	FMOVS (R17), F11
+	FMADDS F3, F8, F11, F8
+	FMOVS F8, (R19)
+	ADD  $1, R16
+	B    tail4
+
+next4:
+	ADD  R1, R0
+	ADD  R3, R7
+	ADD  R3, R8
+	ADD  R3, R9
+	ADD  R3, R10
+	SUB  $1, R6
+	B    rows4
+
+done4:
+	RET
+
+// func fmaTile8NEON(dst *float32, dstStride int, src *[8]*float32, srcStride int, w *[8]float32, cols, rows int)
+TEXT ·fmaTile8NEON(SB), NOSPLIT, $0-56
+	MOVD dst+0(FP), R0
+	MOVD dstStride+8(FP), R1
+	MOVD src+16(FP), R2
+	MOVD srcStride+24(FP), R3
+	MOVD w+32(FP), R4
+	MOVD cols+40(FP), R5
+	MOVD rows+48(FP), R6
+
+	VLD1 (R4), [V16.S4, V17.S4]
+	VDUP V16.S[0], V0.S4
+	VDUP V16.S[1], V1.S4
+	VDUP V16.S[2], V2.S4
+	VDUP V16.S[3], V3.S4
+	VDUP V17.S[0], V4.S4
+	VDUP V17.S[1], V5.S4
+	VDUP V17.S[2], V6.S4
+	VDUP V17.S[3], V7.S4
+
+	MOVD 0(R2), R7
+	MOVD 8(R2), R8
+	MOVD 16(R2), R9
+	MOVD 24(R2), R10
+	MOVD 32(R2), R11
+	MOVD 40(R2), R12
+	MOVD 48(R2), R13
+	MOVD 56(R2), R14
+
+	LSL $2, R1, R1
+	LSL $2, R3, R3
+	AND $-4, R5, R15
+
+rows8:
+	CBZ  R6, done8
+	MOVD $0, R16
+
+vec8:
+	CMP  R15, R16
+	BGE  tail8
+	ADD  R16<<2, R0, R19
+	VLD1 (R19), [V8.S4]
+	ADD  R16<<2, R7, R17
+	VLD1 (R17), [V10.S4]
+	VFMLA V0.S4, V10.S4, V8.S4
+	ADD  R16<<2, R8, R17
+	VLD1 (R17), [V11.S4]
+	VFMLA V1.S4, V11.S4, V8.S4
+	ADD  R16<<2, R9, R17
+	VLD1 (R17), [V10.S4]
+	VFMLA V2.S4, V10.S4, V8.S4
+	ADD  R16<<2, R10, R17
+	VLD1 (R17), [V11.S4]
+	VFMLA V3.S4, V11.S4, V8.S4
+	ADD  R16<<2, R11, R17
+	VLD1 (R17), [V10.S4]
+	VFMLA V4.S4, V10.S4, V8.S4
+	ADD  R16<<2, R12, R17
+	VLD1 (R17), [V11.S4]
+	VFMLA V5.S4, V11.S4, V8.S4
+	ADD  R16<<2, R13, R17
+	VLD1 (R17), [V10.S4]
+	VFMLA V6.S4, V10.S4, V8.S4
+	ADD  R16<<2, R14, R17
+	VLD1 (R17), [V11.S4]
+	VFMLA V7.S4, V11.S4, V8.S4
+	VST1 [V8.S4], (R19)
+	ADD  $4, R16
+	B    vec8
+
+tail8:
+	CMP  R5, R16
+	BGE  next8
+	ADD  R16<<2, R0, R19
+	FMOVS (R19), F8
+	ADD  R16<<2, R7, R17
+	FMOVS (R17), F10
+	FMADDS F0, F8, F10, F8
+	ADD  R16<<2, R8, R17
+	FMOVS (R17), F11
+	FMADDS F1, F8, F11, F8
+	ADD  R16<<2, R9, R17
+	FMOVS (R17), F10
+	FMADDS F2, F8, F10, F8
+	ADD  R16<<2, R10, R17
+	FMOVS (R17), F11
+	FMADDS F3, F8, F11, F8
+	ADD  R16<<2, R11, R17
+	FMOVS (R17), F10
+	FMADDS F4, F8, F10, F8
+	ADD  R16<<2, R12, R17
+	FMOVS (R17), F11
+	FMADDS F5, F8, F11, F8
+	ADD  R16<<2, R13, R17
+	FMOVS (R17), F10
+	FMADDS F6, F8, F10, F8
+	ADD  R16<<2, R14, R17
+	FMOVS (R17), F11
+	FMADDS F7, F8, F11, F8
+	FMOVS F8, (R19)
+	ADD  $1, R16
+	B    tail8
+
+next8:
+	ADD  R1, R0
+	ADD  R3, R7
+	ADD  R3, R8
+	ADD  R3, R9
+	ADD  R3, R10
+	ADD  R3, R11
+	ADD  R3, R12
+	ADD  R3, R13
+	ADD  R3, R14
+	SUB  $1, R6
+	B    rows8
+
+done8:
+	RET

@@ -1,0 +1,6 @@
+//go:build noasm || !(amd64 || arm64)
+
+package simd
+
+// No hand-written kernels in this build: bestSet keeps its generic zero
+// state, so Active() == Generic() — the noasm fallback contract.

@@ -157,6 +157,23 @@ func (f *FKW) Runs(dst []Run, pos int, wOff int) ([]Run, int) {
 	return dst, wOff
 }
 
+// TapOffsets decodes pattern p's retained positions into (dr, dc) offsets
+// within a KH×KW kernel. Pattern indices are row-major over the pattern's own
+// K×K grid, so decoding them against a kernel of a different width would
+// silently alias distinct taps onto the same input rows; the grid is checked
+// here once instead of trusting every executor's divide/modulo arithmetic.
+func TapOffsets(p pattern.Pattern, kh, kw int) ([][2]int, error) {
+	if p.K != kh || p.K != kw {
+		return nil, fmt.Errorf("sparse: pattern grid %dx%d does not match %dx%d kernel", p.K, p.K, kh, kw)
+	}
+	idx := p.Indices()
+	taps := make([][2]int, len(idx))
+	for i, pos := range idx {
+		taps[i] = [2]int{pos / kw, pos % kw}
+	}
+	return taps, nil
+}
+
 // Validate checks the structural invariants of an FKW instance — array
 // lengths, offset/stride monotonicity, index ranges, and the weight count
 // implied by the stride table. Decoding a malformed instance (e.g. one read
@@ -199,6 +216,9 @@ func (f *FKW) Validate() error {
 	for i, p := range f.Patterns {
 		if p.IsEmpty() {
 			return fmt.Errorf("sparse: FKW pattern slot %d is empty", i)
+		}
+		if p.K != f.KH || p.K != f.KW {
+			return fmt.Errorf("sparse: FKW pattern slot %d is a %dx%d grid on a %dx%d kernel", i, p.K, p.K, f.KH, f.KW)
 		}
 		for _, posIdx := range p.Indices() {
 			if posIdx >= f.KH*f.KW {
