@@ -40,7 +40,7 @@ func main() {
 		"measure serving throughput + p50/p99 latency and write the versioned JSON artifact (BENCH_serve.json) to this path")
 	serveRequests := flag.Int("serve-requests", 96, "timed requests per -serve-json case")
 	serveNet := flag.String("serve-net", "VGG",
-		"network the -serve-json sweep drives (VGG, RNT, MBNT; CIFAR-10 variants) — CI uploads one artifact per net")
+		"network the -serve-json sweep drives (VGG, RNT, MBNT, SR; CIFAR-10 variants) — CI uploads one artifact per net")
 	serveLevel := flag.String("serve-level", "",
 		"pin the -serve-json engine to this optimization level (e.g. packedq8 for the quantized-serving baseline); empty = engine default")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file (go tool pprof)")

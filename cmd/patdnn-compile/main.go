@@ -59,7 +59,7 @@ func writeModelFile(path, format string, quantBits int, c *patdnn.Compiled) erro
 }
 
 func main() {
-	network := flag.String("model", "VGG", "network: VGG, RNT, MBNT")
+	network := flag.String("model", "VGG", "network: VGG, RNT, MBNT, SR")
 	ds := flag.String("dataset", "imagenet", "dataset: imagenet or cifar10")
 	patterns := flag.Int("patterns", 8, "pattern-set size")
 	connRate := flag.Float64("conn", 3.6, "connectivity pruning rate")

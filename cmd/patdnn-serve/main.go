@@ -105,6 +105,10 @@ func main() {
 		"kernel optimization level: noopt, reorder, lre, tuned, packed, or auto (tuner picks per layer)")
 	queueDepth := flag.Int("queue-depth", 0,
 		"per-model, per-class request queue bound; a full queue sheds with 429 (0 = default max(64, 8*batch))")
+	queueBytes := flag.String("queue-bytes", "",
+		"per-model, per-class bound on queued response-tensor bytes, e.g. 64MB; feature-map "+
+			"models (SR) commit ~48KB per request where classifiers commit ~40B, so the byte "+
+			"budget sheds what a slot count alone would admit (empty = 64MB)")
 	batchWorkers := flag.Int("batch-workers", 0,
 		"worker-pool width granted to batch-class sweeps so background traffic can't crowd out interactive (0 = workers/4)")
 	preload := flag.String("preload", "VGG/cifar10",
@@ -140,10 +144,14 @@ func main() {
 		log.Printf("tuning: using %s (set -tuning-db=off to disable)", db)
 	}
 
+	qBytes, err := parseBytes(*queueBytes)
+	if err != nil {
+		log.Fatalf("bad -queue-bytes: %v", err)
+	}
 	eng := serve.New(serve.Config{
 		Workers: *workers, MaxBatch: *batch, BatchWindow: *window,
 		Patterns: *patterns, ConnRate: *connRate, Level: *level,
-		QueueDepth: *queueDepth, BatchWorkers: *batchWorkers,
+		QueueDepth: *queueDepth, QueueBytes: qBytes, BatchWorkers: *batchWorkers,
 		TuningDB: db, BackgroundTune: *bgTune, TuneInterval: *tuneInterval,
 	})
 	var reg *registry.Registry

@@ -94,6 +94,22 @@ var calibs = map[string]calib{
 			12: 0.2, 56: 0.25},
 		connPen: anchorCurve{1: 0, 2: 0.03, 3.6: 0.1, 8: 0.9, 18: 2.7},
 	},
+	// The SR generator is an image-to-image net; its quality metric is PSNR
+	// (dB) rather than classification accuracy. The same anchor-curve shape
+	// holds: pattern pruning's regularization slightly helps at moderate set
+	// sizes, connectivity pruning degrades reconstruction monotonically.
+	"SR/cifar10": {
+		baseline: 28.4,
+		patGain: anchorCurve{1: -1.1, 2: -0.4, 4: 0.1, 6: 0.15, 8: 0.2,
+			12: 0.2, 56: 0.25},
+		connPen: anchorCurve{1: 0, 2: 0.1, 3.6: 0.3, 8: 1.2, 18: 3.1},
+	},
+	"SR/imagenet": {
+		baseline: 26.9,
+		patGain: anchorCurve{1: -1.3, 2: -0.5, 4: 0.0, 6: 0.1, 8: 0.15,
+			12: 0.15, 56: 0.2},
+		connPen: anchorCurve{1: 0, 2: 0.15, 3.6: 0.4, 8: 1.5, 18: 3.6},
+	},
 }
 
 func lookup(short, dataset string) calib {

@@ -182,6 +182,23 @@ func CompilePatDNN(m *model.Model, setSize int, connRate float64, level codegen.
 				return nil, err
 			}
 			ps.Stats = append(ps.Stats, plan.Stats())
+		case l.Kind == model.ConvTranspose && l.KH == 3 && l.KW == 3:
+			// A transposed conv executes as its stride-1 equivalent conv over
+			// the dilated input (what the graph executor actually runs), so
+			// model that layer's cost, not the scatter form's.
+			eq := &model.Layer{
+				Name: l.Name, Kind: model.Conv, InC: l.InC, OutC: l.OutC,
+				KH: l.KH, KW: l.KW, Stride: 1, Pad: l.KH - 1 - l.Pad, Groups: 1,
+				InH:  (l.InH-1)*l.Stride + 1 + l.OutPad,
+				InW:  (l.InW-1)*l.Stride + 1 + l.OutPad,
+				OutH: l.OutH, OutW: l.OutW,
+			}
+			c := pruned.Generate(eq, set, connRate, seed+int64(len(ps.Stats)), true)
+			plan, err := codegen.Compile(c, level, tune)
+			if err != nil {
+				return nil, err
+			}
+			ps.Stats = append(ps.Stats, plan.Stats())
 		case l.Kind == model.Conv && l.KH == 1 && l.KW == 1 && connRate > 1:
 			// 1x1 bottleneck/expand layers: real connectivity-pruned plan.
 			plan, err := codegen.Compile1x1FromLayer(l, connRate, seed+int64(len(ps.Stats)))

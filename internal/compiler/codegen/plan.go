@@ -391,6 +391,33 @@ func PadInto(input, out *tensor.Tensor, pd int) {
 	}
 }
 
+// DilatePadInto scatters input into out, a zero-dilated and zero-padded view
+// whose contents may be garbage: element (y, x) of each input plane lands at
+// (pd + y*stride, pd + x*stride), and every other element of out is zeroed.
+// This is the staging step of transposed-conv execution — the stride-1
+// equivalent conv then sweeps out with PadInto-style arena views, so the FKW
+// packed walk and microkernels apply unchanged. out's dims determine the
+// dilated extent (trailing output-padding rows/cols stay zero).
+func DilatePadInto(input, out *tensor.Tensor, stride, pd int) {
+	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
+	ph, pw := out.Dim(1), out.Dim(2)
+	for ic := 0; ic < c; ic++ {
+		plane := out.Data[ic*ph*pw : (ic+1)*ph*pw]
+		clear(plane)
+		for y := 0; y < h; y++ {
+			src := input.Data[(ic*h+y)*w : (ic*h+y)*w+w]
+			row := plane[(pd+y*stride)*pw+pd:]
+			if stride == 1 {
+				copy(row[:w], src)
+				continue
+			}
+			for x, v := range src {
+				row[x*stride] = v
+			}
+		}
+	}
+}
+
 // InstrStats aggregates the instruction-level quantities the mobile device
 // model consumes.
 type InstrStats struct {

@@ -55,13 +55,19 @@ const (
 	KindReLU // unfused activation (fallback)
 	KindFlatten
 	KindSoftmax
+	// KindConvT is a pattern-pruned 3×3 transposed conv, executed as its
+	// stride-1 equivalent conv (flipped kernels) over a stride-dilated input
+	// staged in the padding scratch; Plan holds the equivalent conv's plan.
+	KindConvT
+	// KindUpsample is parameter-free nearest-neighbor expansion by Scale.
+	KindUpsample
 )
 
 var kindNames = map[Kind]string{
 	KindInput: "input", KindConv: "conv", KindConv1x1: "conv1x1",
 	KindFC: "fc", KindMaxPool: "maxpool", KindGAP: "avgpool",
 	KindAdd: "add", KindReLU: "relu", KindFlatten: "flatten",
-	KindSoftmax: "softmax",
+	KindSoftmax: "softmax", KindConvT: "convtranspose", KindUpsample: "upsample",
 }
 
 func (k Kind) String() string { return kindNames[k] }
@@ -80,11 +86,16 @@ type Node struct {
 	// BNFolded marks a conv whose weights/bias absorbed a BatchNorm.
 	BNFolded bool
 
-	Plan    *codegen.Plan    // KindConv
+	Plan    *codegen.Plan    // KindConv / KindConvT (equivalent-conv plan)
 	Plan1x1 *codegen.Plan1x1 // KindConv1x1
 	W       *tensor.Tensor   // KindFC weight matrix [Out, In]
 	Bias    []float32        // conv/fc bias after folding (nil = zero)
 	PoolK   int              // KindMaxPool kernel == stride
+	// DilStride is the KindConvT dilation factor (the transposed conv's
+	// original stride): the input scatters into the padding scratch at that
+	// spacing before the stride-1 equivalent conv sweeps it.
+	DilStride int
+	Scale     int // KindUpsample nearest-neighbor factor
 
 	OutC, OutH, OutW int
 
@@ -154,7 +165,7 @@ func (p *Plan) MemoryBytes() int64 {
 	var b int64
 	for _, n := range p.Nodes {
 		switch n.Kind {
-		case KindConv:
+		case KindConv, KindConvT:
 			if qb, ok := n.Plan.QuantizedWeightBytes(); ok {
 				// PackedQ8 plans drop both float32 streams: resident weights
 				// are the int8 levels + per-filter scales, plus FKW indices.
@@ -412,6 +423,61 @@ func (p *Plan) lower(m *model.Model, g *graphopt.Graph, gn *graphopt.Node, param
 			p.Fused.ConvReLU++
 		}
 
+	case model.ConvTranspose:
+		cp, ok := params.Convs[l.Name]
+		if !ok {
+			return nil, fmt.Errorf("execgraph: %s/%s: no parameters for transposed conv %s", m.Short, m.Dataset, l.Name)
+		}
+		pc, bias := cp.Conv, cp.Bias
+		if in != [3]int{pc.InChannels(), pc.InH, pc.InW} {
+			return nil, badInput(pc.InChannels(), pc.InH, pc.InW)
+		}
+		if bn != nil {
+			if len(bn.Gamma) != pc.OutC {
+				return nil, fmt.Errorf("execgraph: %s/%s: batchnorm %s has %d channels; transposed conv %s produces %d",
+					m.Short, m.Dataset, gn.BN.Name, len(bn.Gamma), l.Name, pc.OutC)
+			}
+			pc, bias = foldBNConv(pc, bias, bn)
+			p.Fused.ConvBN++
+		}
+		eq, err := transposedEquivalent(pc, l.OutPad)
+		if err != nil {
+			return nil, fmt.Errorf("execgraph: %s/%s: %w", m.Short, m.Dataset, err)
+		}
+		level, err := layerLevel(cfg.Level, eq)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := codegen.Compile(eq, level, p.resolveTuning(cfg, level, eq))
+		if err != nil {
+			return nil, fmt.Errorf("execgraph: %s/%s: %w", m.Short, m.Dataset, err)
+		}
+		n.Kind, n.Plan, n.Bias = KindConvT, plan, bias
+		n.DilStride = pc.Stride
+		n.OutC, n.OutH, n.OutW = pc.OutC, pc.OutH, pc.OutW
+		p.TotalWeights += int64(eq.TotalWeights())
+		p.KeptWeights += int64(eq.NNZ())
+		p.ConvLayers++
+		if gn.Residual {
+			n.Shortcut = n.Inputs[len(n.Inputs)-1]
+			sc := dims[n.Shortcut]
+			if sc != [3]int{n.OutC, n.OutH, n.OutW} {
+				return nil, fmt.Errorf("execgraph: %s/%s: residual shortcut into %s is [%d,%d,%d], want [%d,%d,%d]",
+					m.Short, m.Dataset, l.Name, sc[0], sc[1], sc[2], n.OutC, n.OutH, n.OutW)
+			}
+			p.Fused.Residual++
+		}
+		if n.ReLU {
+			p.Fused.ConvReLU++
+		}
+
+	case model.Upsample:
+		if in != [3]int{l.InC, l.InH, l.InW} {
+			return nil, badInput(l.InC, l.InH, l.InW)
+		}
+		n.Kind, n.Scale = KindUpsample, l.Stride
+		n.OutC, n.OutH, n.OutW = in[0], in[1]*l.Stride, in[2]*l.Stride
+
 	case model.FC:
 		dp, ok := params.Dense[l.Name]
 		if !ok {
@@ -577,7 +643,9 @@ func (p *Plan) planArena() {
 				padReleased[j] = true
 			}
 		}
-		if n.Kind == KindConv && n.Plan.Conv.Pad > 0 {
+		// A transposed conv always needs the scratch, even at equivalent pad 0:
+		// the dilated input is materialized there.
+		if (n.Kind == KindConv && n.Plan.Conv.Pad > 0) || n.Kind == KindConvT {
 			n.padSlot = alloc(n.Plan.PaddedLen())
 			p.naiveLen += n.Plan.PaddedLen()
 		}

@@ -178,6 +178,46 @@ func (ex *Executor) build() {
 				}
 			}
 
+		case KindConvT:
+			// Same range decomposition as KindConv, but the pad step scatters
+			// the input into the dilated scratch (always present) and the plan
+			// is the stride-1 equivalent conv over it.
+			in0 := n.Inputs[0]
+			ex.padFns[i] = func(s, e int) {
+				for it := s; it < e; it++ {
+					st := ex.states[it]
+					codegen.DilatePadInto(st.out[in0], st.pad[i], n.DilStride, n.Plan.Conv.Pad)
+				}
+			}
+			ex.wide[i] = n.OutC
+			ex.runFns[i] = func(s, e int) {
+				for idx := s; idx < e; {
+					it, from := idx/n.OutC, idx%n.OutC
+					to := from + (e - idx)
+					if to > n.OutC {
+						to = n.OutC
+					}
+					st := ex.states[it]
+					if n.Shortcut >= 0 {
+						n.Plan.ExecuteRangeResidual(st.pad[i], st.out[i], from, to,
+							n.Bias, st.out[n.Shortcut], n.ReLU)
+					} else {
+						n.Plan.ExecuteRangeFused(st.pad[i], st.out[i], from, to,
+							n.Bias, n.ReLU)
+					}
+					idx += to - from
+				}
+			}
+
+		case KindUpsample:
+			in0 := n.Inputs[0]
+			ex.runFns[i] = func(s, e int) {
+				for it := s; it < e; it++ {
+					st := ex.states[it]
+					tensor.Upsample2DInto(st.out[in0], n.Scale, st.out[i])
+				}
+			}
+
 		case KindConv1x1:
 			in0 := n.Inputs[0]
 			ex.wide[i] = n.OutC

@@ -41,10 +41,23 @@ func FromFile(name string, mf *modelfile.File) (*model.Model, *Params, error) {
 		for _, layer := range mf.Layers {
 			pc := layer.Conv
 			l := mf.Net.Layer(pc.Name)
-			if l == nil || !l.IsConv() || l.KH != pc.KH || l.KW != pc.KW ||
-				l.OutC != pc.OutC || l.InC != pc.InChannels() ||
-				l.Stride != pc.Stride || l.Pad != pc.Pad ||
-				l.InH != pc.InH || l.InW != pc.InW || l.OutH != pc.OutH || l.OutW != pc.OutW {
+			ok := l != nil && l.KH == pc.KH && l.KW == pc.KW &&
+				l.OutC == pc.OutC && l.Stride == pc.Stride && l.Pad == pc.Pad &&
+				l.InH == pc.InH && l.InW == pc.InW && l.OutH == pc.OutH && l.OutW == pc.OutW
+			if ok {
+				switch {
+				case l.IsConv():
+					ok = l.InC == pc.InChannels()
+				case l.Kind == model.ConvTranspose:
+					// Transposed-conv records ride the same wire format; the
+					// output-geometry relation (incl. OutPad) is checked by
+					// ValidateModel at compile time.
+					ok = !pc.Depthwise && l.InC == pc.InC
+				default:
+					ok = false
+				}
+			}
+			if !ok {
 				return nil, nil, badRecord("conv", pc.Name)
 			}
 		}
@@ -114,6 +127,16 @@ func FromFile(name string, mf *modelfile.File) (*model.Model, *Params, error) {
 				return nil, nil, fmt.Errorf("execgraph: artifact %s: layer %s expects %dx%d input but the trunk carries %dx%d (no stride==kernel pool bridges them)",
 					name, pc.Name, pc.InH, pc.InW, h, w)
 			}
+			// A composite shrink ratio admits more than one pool decomposition
+			// (32→8 is one 4×4 pool or two 2×2 pools), and max is not
+			// associative across window splits — the choices compute different
+			// values. The chain convention is only deterministic for prime
+			// ratios, where a single k×k pool is the unique bridge; anything
+			// else is rejected rather than silently picking one reading.
+			if !isPrime(k) {
+				return nil, nil, fmt.Errorf("execgraph: artifact %s: layer %s expects %dx%d input but the trunk carries %dx%d; the %dx shrink is composite and admits multiple stride==kernel pool decompositions — write the pools into the topology (v2) instead of relying on chain inference",
+					name, pc.Name, pc.InH, pc.InW, h, w, k)
+			}
 			m.Layers = append(m.Layers, &model.Layer{
 				Name: fmt.Sprintf("pool%d", i), Kind: model.MaxPool, InC: c, OutC: c,
 				KH: k, KW: k, Stride: k, InH: h, InW: w, OutH: pc.InH, OutW: pc.InW,
@@ -136,4 +159,19 @@ func FromFile(name string, mf *modelfile.File) (*model.Model, *Params, error) {
 		c, h, w = pc.OutC, pc.OutH, pc.OutW
 	}
 	return m, params, nil
+}
+
+// isPrime reports whether k >= 2 has no divisor other than 1 and itself —
+// the condition under which a spatial shrink ratio has exactly one
+// stride==kernel pool decomposition.
+func isPrime(k int) bool {
+	if k < 2 {
+		return false
+	}
+	for d := 2; d*d <= k; d++ {
+		if k%d == 0 {
+			return false
+		}
+	}
+	return true
 }

@@ -70,6 +70,35 @@ func ValidateModel(m *model.Model) error {
 			if l.Kind == model.DWConv && l.KH != 3 {
 				return fmt.Errorf("execgraph: %s/%s: depthwise layer %s must be 3x3", m.Short, m.Dataset, l.Name)
 			}
+		case model.ConvTranspose:
+			if l.KH != 3 || l.KW != 3 {
+				return fmt.Errorf("execgraph: %s/%s: layer %s is a %dx%d transposed conv; only 3x3 pattern kernels are servable",
+					m.Short, m.Dataset, l.Name, l.KH, l.KW)
+			}
+			if l.Groups != 1 {
+				return fmt.Errorf("execgraph: %s/%s: transposed conv %s has groups %d; only dense channel connectivity is servable",
+					m.Short, m.Dataset, l.Name, l.Groups)
+			}
+			if l.Stride < 1 || l.OutPad < 0 || l.OutPad >= l.Stride {
+				return fmt.Errorf("execgraph: %s/%s: transposed conv %s has stride %d output padding %d; output padding must lie in [0, stride)",
+					m.Short, m.Dataset, l.Name, l.Stride, l.OutPad)
+			}
+			if l.Pad < 0 || l.Pad > l.KH-1 {
+				return fmt.Errorf("execgraph: %s/%s: transposed conv %s has padding %d; the stride-1 equivalent conv needs 0 <= pad <= %d",
+					m.Short, m.Dataset, l.Name, l.Pad, l.KH-1)
+			}
+			if want := (l.InH-1)*l.Stride - 2*l.Pad + l.KH + l.OutPad; l.OutH != want || l.OutW != (l.InW-1)*l.Stride-2*l.Pad+l.KW+l.OutPad {
+				return fmt.Errorf("execgraph: %s/%s: transposed conv %s declares output %dx%d but geometry yields %dx%d",
+					m.Short, m.Dataset, l.Name, l.OutH, l.OutW, want, (l.InW-1)*l.Stride-2*l.Pad+l.KW+l.OutPad)
+			}
+		case model.Upsample:
+			if l.Stride < 1 {
+				return fmt.Errorf("execgraph: %s/%s: upsample %s has scale %d; need >= 1", m.Short, m.Dataset, l.Name, l.Stride)
+			}
+			if l.OutH != l.InH*l.Stride || l.OutW != l.InW*l.Stride {
+				return fmt.Errorf("execgraph: %s/%s: upsample %s declares output %dx%d but x%d of %dx%d yields %dx%d",
+					m.Short, m.Dataset, l.Name, l.OutH, l.OutW, l.Stride, l.InH, l.InW, l.InH*l.Stride, l.InW*l.Stride)
+			}
 		case model.MaxPool:
 			if l.KW != l.KH || l.Stride != l.KH || l.KH < 1 {
 				return fmt.Errorf("execgraph: %s/%s: pool %s is %dx%d stride %d; only square stride==kernel pools are servable",
@@ -116,6 +145,13 @@ func Generate(m *model.Model, patterns int, connRate float64, seed int64) (*Para
 			w := l.AllocWeights(rng)
 			prune1x1(w, connRate)
 			p.Dense[l.Name] = &DenseParams{W: w}
+		case model.ConvTranspose:
+			// Transposed convs take the same pattern + connectivity pruning
+			// path as forward 3×3 convs; the stored Conv carries the direct
+			// (pre-flip) weights and geometry, which both the dense reference
+			// and the equivalent-conv lowering consume.
+			pc := pruned.Generate(l, set, connRate, seed+int64(i), true)
+			p.Convs[l.Name] = &ConvParams{Conv: pc}
 		case model.FC:
 			rng := rand.New(rand.NewSource(seed + int64(i)))
 			p.Dense[l.Name] = &DenseParams{W: l.AllocWeights(rng)}
@@ -210,6 +246,48 @@ func foldBNConv(pc *pruned.Conv, bias []float32, bn *BNParams) (*pruned.Conv, []
 		outBias[oc] = (b-bn.Mean[oc])*scale + bn.Beta[oc]
 	}
 	return &folded, outBias
+}
+
+// transposedEquivalent rewrites a direct transposed conv (stride s, padding
+// p, output padding op, weights/patterns in forward orientation) as the
+// stride-1 forward conv computing the same map: the input is dilated by s
+// (zeros between elements, op extra trailing rows/cols), padded by k-1-p, and
+// convolved with the 180°-rotated kernels. Rotating a 4-entry pattern yields
+// a 4-entry pattern and kernel/pattern IDs are preserved, so the equivalent
+// layer rides the FKW packed walk — and, being stride 1, the SIMD
+// microkernels — unchanged. The returned Conv's InH/InW are the *dilated*
+// (pre-padding) dims, which is what the executor's dilate-pad scratch and
+// PaddedLen sizing key off.
+func transposedEquivalent(pc *pruned.Conv, outPad int) (*pruned.Conv, error) {
+	if pc.Depthwise {
+		return nil, fmt.Errorf("execgraph: transposed conv %s: depthwise is not supported", pc.Name)
+	}
+	if pc.Weights == nil {
+		return nil, fmt.Errorf("execgraph: transposed conv %s has no weights", pc.Name)
+	}
+	kk := pc.KH * pc.KW
+	eq := *pc
+	eq.Stride = 1
+	eq.Pad = pc.KH - 1 - pc.Pad
+	eq.InH = (pc.InH-1)*pc.Stride + 1 + outPad
+	eq.InW = (pc.InW-1)*pc.Stride + 1 + outPad
+	eq.Set = make([]pattern.Pattern, len(pc.Set))
+	for i, pat := range pc.Set {
+		eq.Set[i] = pat.Rotate180()
+	}
+	eq.IDs = append([]int(nil), pc.IDs...)
+	eq.Weights = tensor.New(pc.OutC, pc.InC, pc.KH, pc.KW)
+	for fk := 0; fk < pc.OutC*pc.InC; fk++ {
+		src := pc.Weights.Data[fk*kk : (fk+1)*kk]
+		dst := eq.Weights.Data[fk*kk : (fk+1)*kk]
+		for pos, v := range src {
+			dst[kk-1-pos] = v
+		}
+	}
+	if err := eq.Validate(); err != nil {
+		return nil, fmt.Errorf("execgraph: transposed conv %s: flipped equivalent invalid: %w", pc.Name, err)
+	}
+	return &eq, nil
 }
 
 // foldBNDense is foldBNConv for a dense [Co,...] weight tensor (1×1 convs).

@@ -10,6 +10,7 @@ package execgraph
 import (
 	"fmt"
 
+	"patdnn/internal/compiler/graphopt"
 	"patdnn/internal/model"
 	"patdnn/internal/tensor"
 )
@@ -21,10 +22,10 @@ func Reference(m *model.Model, params *Params, x *tensor.Tensor) (*tensor.Tensor
 	for i, l := range m.Layers {
 		var in *tensor.Tensor
 		switch {
-		case l.Projection:
+		case graphopt.IsBranchLayer(l):
 			src, ok := byName[l.ShortcutOf]
 			if !ok {
-				return nil, fmt.Errorf("execgraph: reference: projection %s has unknown source %q", l.Name, l.ShortcutOf)
+				return nil, fmt.Errorf("execgraph: reference: branch %s has unknown source %q", l.Name, l.ShortcutOf)
 			}
 			in = outs[src]
 		case i > 0:
@@ -40,6 +41,21 @@ func Reference(m *model.Model, params *Params, x *tensor.Tensor) (*tensor.Tensor
 			if err != nil {
 				return nil, err
 			}
+		case model.ConvTranspose:
+			cp, ok := params.Convs[l.Name]
+			if !ok {
+				return nil, fmt.Errorf("execgraph: reference: no parameters for transposed conv %s", l.Name)
+			}
+			var bias *tensor.Tensor
+			if cp.Bias != nil {
+				bias = tensor.FromSlice(cp.Bias, len(cp.Bias))
+			}
+			// The direct scatter form — no kernel flip, no input dilation —
+			// so the equivalent-conv lowering is checked against genuinely
+			// independent arithmetic.
+			out = tensor.ConvTranspose2D(in, cp.Conv.Weights, bias, l.Stride, l.Pad, l.OutPad)
+		case model.Upsample:
+			out = tensor.Upsample2D(in, l.Stride)
 		case model.BatchNorm:
 			bn, ok := params.BNs[l.Name]
 			if !ok {
@@ -58,10 +74,10 @@ func Reference(m *model.Model, params *Params, x *tensor.Tensor) (*tensor.Tensor
 			out = tensor.AvgPool2DGlobal(in)
 		case model.Add:
 			main, shortcut := in, (*tensor.Tensor)(nil)
-			if i > 0 && m.Layers[i-1].Projection {
-				// The projection conv sits between the main path and the add:
-				// main is the layer before the projection, shortcut the
-				// projection output.
+			if i > 0 && graphopt.IsBranchLayer(m.Layers[i-1]) {
+				// The branch layer (projection conv or skip upsample) sits
+				// between the main path and the add: main is the layer before
+				// the branch, shortcut the branch output.
 				main, shortcut = outs[i-2], outs[i-1]
 			} else {
 				src, ok := byName[l.ShortcutOf]

@@ -54,11 +54,11 @@ func FromModel(m *model.Model) *Graph {
 		}
 		if l.Kind == model.Add {
 			// Inputs[0] is the main (conv) path, Inputs[1] the shortcut. When
-			// a projection conv sits between the main path and the add (the
-			// first block of a ResNet stage), prev IS the projection: the add
-			// combines the node before the projection with the projection's
-			// output, not the raw block input.
-			if prev >= 0 && g.Nodes[prev].Layer != nil && g.Nodes[prev].Layer.Projection {
+			// a branch layer sits between the main path and the add — a ResNet
+			// projection conv, or an SR-head skip upsample — prev IS the
+			// branch: the add combines the node before the branch with the
+			// branch's output, not the raw block input.
+			if prev >= 0 && IsBranchLayer(g.Nodes[prev].Layer) {
 				n.Inputs = nil
 				if prev-1 >= 0 {
 					n.Inputs = append(n.Inputs, prev-1)
@@ -70,8 +70,8 @@ func FromModel(m *model.Model) *Graph {
 				}
 			}
 		}
-		if l.Projection {
-			// Projection convs branch from the block input, not from prev.
+		if IsBranchLayer(l) {
+			// Branch layers feed from the referenced earlier layer, not prev.
 			n.Inputs = nil
 			if src, ok := g.byName[l.ShortcutOf]; ok {
 				n.Inputs = append(n.Inputs, src)
@@ -82,6 +82,18 @@ func FromModel(m *model.Model) *Graph {
 		prev = n.ID
 	}
 	return g
+}
+
+// IsBranchLayer reports whether l is a side-branch producer: it reads the
+// layer named by ShortcutOf instead of the preceding layer, and the add that
+// follows consumes its output as the shortcut operand. ResNet projection
+// convs and skip upsamples (SR head) are the two branch forms. Exported so
+// the dense reference walk applies the identical wiring rule.
+func IsBranchLayer(l *model.Layer) bool {
+	if l == nil {
+		return false
+	}
+	return l.Projection || (l.Kind == model.Upsample && l.ShortcutOf != "")
 }
 
 // Validate checks topological ordering and input validity.
@@ -124,7 +136,7 @@ func (g *Graph) FuseConvBNReLU() PassStats {
 	uses := g.consumers()
 	remove := make(map[int]bool)
 	for _, n := range g.Nodes {
-		if n.Op != "conv" && n.Op != "dwconv" {
+		if n.Op != "conv" && n.Op != "dwconv" && n.Op != "convtranspose" {
 			continue
 		}
 		cur := n
@@ -174,9 +186,11 @@ func (g *Graph) FuseResidual() PassStats {
 		}
 		main := g.Nodes[n.Inputs[0]]
 		// The epilogue initializes the output before the conv accumulates, so
-		// fusion requires the main input to be a conv whose only consumer is
-		// this add, with no ReLU already fused (ReLU must run after the add).
-		if main.Layer == nil || !main.Layer.IsConv() ||
+		// fusion requires the main input to be a conv (forward or transposed)
+		// whose only consumer is this add, with no ReLU already fused (ReLU
+		// must run after the add).
+		if main.Layer == nil ||
+			(!main.Layer.IsConv() && main.Layer.Kind != model.ConvTranspose) ||
 			uses[main.ID] != 1 || main.FusedReLU || main.Residual {
 			continue
 		}

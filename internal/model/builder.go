@@ -58,6 +58,37 @@ func (b *builder) dwconv(name string, k, stride, pad int) *Layer {
 	return l
 }
 
+func (b *builder) convt(name string, outC, k, stride, pad, outPad int) *Layer {
+	l := &Layer{
+		Name: name, Kind: ConvTranspose,
+		InC: b.c, OutC: outC, KH: k, KW: k, Stride: stride, Pad: pad,
+		OutPad: outPad, Groups: 1, InH: b.h, InW: b.w, HasBias: true,
+	}
+	l.OutH = (b.h-1)*stride - 2*pad + k + outPad
+	l.OutW = (b.w-1)*stride - 2*pad + k + outPad
+	b.c, b.h, b.w = outC, l.OutH, l.OutW
+	b.m.Layers = append(b.m.Layers, l)
+	return l
+}
+
+// upsampleBranch appends a nearest-neighbor upsample of an earlier layer's
+// output (a skip branch, like ResNet's projection shortcuts): it does not
+// advance the builder's running shape, and the following add consumes it as
+// the shortcut operand. The scale is stored in Stride.
+func (b *builder) upsampleBranch(name string, scale int, srcName string) *Layer {
+	src := b.m.Layer(srcName)
+	if src == nil {
+		panic("model: upsampleBranch source " + srcName + " not found")
+	}
+	l := &Layer{
+		Name: name, Kind: Upsample, InC: src.OutC, OutC: src.OutC,
+		Stride: scale, InH: src.OutH, InW: src.OutW,
+		OutH: src.OutH * scale, OutW: src.OutW * scale, ShortcutOf: srcName,
+	}
+	b.m.Layers = append(b.m.Layers, l)
+	return l
+}
+
 func (b *builder) bn() {
 	b.m.Layers = append(b.m.Layers, &Layer{
 		Name: b.name("bn"), Kind: BatchNorm, InC: b.c, OutC: b.c,
@@ -283,6 +314,33 @@ func MobileNetV2(dataset string) *Model {
 	return b.m
 }
 
+// SRNet builds the SR-style image-to-image generator: a 3×3 conv trunk with
+// a local residual block, a ×2 transposed-conv upsampling head (k=3, s=2,
+// p=1, output padding 1, so 32 -> 64 exactly), and a global skip adding the
+// nearest-neighbor-upsampled input to the reconstruction — the architecture
+// family of the "Image Enhancing Pattern-based Sparsity" companion work. The
+// output is a [3, 2H, 2W] image tensor, not a class vector.
+func SRNet(dataset string) *Model {
+	b := newBuilder("SR-Gen", "SR", dataset)
+	b.conv("conv1", 32, 3, 1, 1, false)
+	b.relu()
+	skip := b.m.Layers[len(b.m.Layers)-1].Name
+	b.conv("conv2", 32, 3, 1, 1, false)
+	b.bn()
+	b.relu()
+	b.conv("conv3", 32, 3, 1, 1, false)
+	b.bn()
+	b.add(skip)
+	b.relu()
+	b.convt("up", 32, 3, 2, 1, 1)
+	b.bn()
+	b.relu()
+	b.conv("conv_out", 3, 3, 1, 1, false)
+	b.upsampleBranch("up_skip", 2, "input")
+	b.add("input")
+	return b.m
+}
+
 // ByName returns a model by the paper's short or full name.
 func ByName(name, dataset string) (*Model, error) {
 	switch name {
@@ -292,6 +350,8 @@ func ByName(name, dataset string) (*Model, error) {
 		return ResNet50(dataset), nil
 	case "MBNT", "MobileNet-V2", "mobilenetv2", "mbnt":
 		return MobileNetV2(dataset), nil
+	case "SR", "SR-Gen", "sr", "srgen", "srnet":
+		return SRNet(dataset), nil
 	}
 	return nil, fmt.Errorf("model: unknown network %q", name)
 }

@@ -33,12 +33,19 @@ const (
 	Add
 	Flatten
 	SoftmaxOp
+	// ConvTranspose is the stride-s upsampling convolution of image-to-image
+	// heads (weights [OutC, InC, KH, KW], same layout as Conv); Upsample is
+	// parameter-free nearest-neighbor expansion by an integer scale (stored
+	// in Stride).
+	ConvTranspose
+	Upsample
 )
 
 var kindNames = map[OpKind]string{
 	Input: "input", Conv: "conv", DWConv: "dwconv", FC: "fc",
 	MaxPool: "maxpool", AvgPoolGlobal: "avgpool", ReLU: "relu",
 	BatchNorm: "batchnorm", Add: "add", Flatten: "flatten", SoftmaxOp: "softmax",
+	ConvTranspose: "convtranspose", Upsample: "upsample",
 }
 
 func (k OpKind) String() string { return kindNames[k] }
@@ -52,6 +59,7 @@ type Layer struct {
 	InC, OutC   int
 	KH, KW      int
 	Stride, Pad int
+	OutPad      int // ConvTranspose only: extra rows/cols at the bottom/right
 	Groups      int
 	InH, InW    int
 	OutH, OutW  int
@@ -67,7 +75,7 @@ func (l *Layer) IsConv() bool { return l.Kind == Conv || l.Kind == DWConv }
 // Params returns the number of weights (plus biases) the layer owns.
 func (l *Layer) Params() int64 {
 	switch l.Kind {
-	case Conv, DWConv:
+	case Conv, DWConv, ConvTranspose:
 		w := int64(l.OutC) * int64(l.InC/l.Groups) * int64(l.KH) * int64(l.KW)
 		if l.HasBias {
 			w += int64(l.OutC)
@@ -91,6 +99,10 @@ func (l *Layer) MACs() int64 {
 	switch l.Kind {
 	case Conv, DWConv:
 		return int64(l.OutC) * int64(l.OutH) * int64(l.OutW) *
+			int64(l.InC/l.Groups) * int64(l.KH) * int64(l.KW)
+	case ConvTranspose:
+		// Every input element scatters through the full kernel.
+		return int64(l.OutC) * int64(l.InH) * int64(l.InW) *
 			int64(l.InC/l.Groups) * int64(l.KH) * int64(l.KW)
 	case FC:
 		return int64(l.InC) * int64(l.OutC)
@@ -117,7 +129,7 @@ func (l *Layer) FilterShape() string {
 // tensor with a deterministic RNG.
 func (l *Layer) AllocWeights(rng *rand.Rand) *tensor.Tensor {
 	switch l.Kind {
-	case Conv, DWConv:
+	case Conv, DWConv, ConvTranspose:
 		w := tensor.New(l.OutC, l.InC/l.Groups, l.KH, l.KW)
 		fanIn := (l.InC / l.Groups) * l.KH * l.KW
 		fanOut := l.OutC * l.KH * l.KW

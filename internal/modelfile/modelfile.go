@@ -683,6 +683,7 @@ type layerJSON struct {
 	KW         int    `json:"kw,omitempty"`
 	Stride     int    `json:"stride,omitempty"`
 	Pad        int    `json:"pad,omitempty"`
+	OutPad     int    `json:"out_pad,omitempty"`
 	Groups     int    `json:"groups,omitempty"`
 	InH        int    `json:"in_h,omitempty"`
 	InW        int    `json:"in_w,omitempty"`
@@ -698,6 +699,7 @@ var kindByName = map[string]model.OpKind{
 	"fc": model.FC, "maxpool": model.MaxPool, "avgpool": model.AvgPoolGlobal,
 	"relu": model.ReLU, "batchnorm": model.BatchNorm, "add": model.Add,
 	"flatten": model.Flatten, "softmax": model.SoftmaxOp,
+	"convtranspose": model.ConvTranspose, "upsample": model.Upsample,
 }
 
 func marshalNet(m *model.Model) ([]byte, error) {
@@ -712,7 +714,7 @@ func marshalNet(m *model.Model) ([]byte, error) {
 		nj.Layers = append(nj.Layers, layerJSON{
 			Name: l.Name, Kind: l.Kind.String(),
 			InC: l.InC, OutC: l.OutC, KH: l.KH, KW: l.KW,
-			Stride: l.Stride, Pad: l.Pad, Groups: l.Groups,
+			Stride: l.Stride, Pad: l.Pad, OutPad: l.OutPad, Groups: l.Groups,
 			InH: l.InH, InW: l.InW, OutH: l.OutH, OutW: l.OutW,
 			HasBias: l.HasBias, Projection: l.Projection, ShortcutOf: l.ShortcutOf,
 		})
@@ -740,7 +742,7 @@ func unmarshalNet(data []byte) (*model.Model, error) {
 		m.Layers = append(m.Layers, &model.Layer{
 			Name: lj.Name, Kind: kind,
 			InC: lj.InC, OutC: lj.OutC, KH: lj.KH, KW: lj.KW,
-			Stride: lj.Stride, Pad: lj.Pad, Groups: lj.Groups,
+			Stride: lj.Stride, Pad: lj.Pad, OutPad: lj.OutPad, Groups: lj.Groups,
 			InH: lj.InH, InW: lj.InW, OutH: lj.OutH, OutW: lj.OutW,
 			HasBias: lj.HasBias, Projection: lj.Projection, ShortcutOf: lj.ShortcutOf,
 		})

@@ -81,6 +81,60 @@ func sampleV2File(seed int64) *File {
 	return f
 }
 
+// sampleImg2ImgFile builds a small image-to-image artifact: a transposed-conv
+// record (out_pad carried in the topology), an upsample skip branch, and the
+// residual add tying them together — the node kinds the SR generator serves.
+func sampleImg2ImgFile(seed int64) *File {
+	m := &model.Model{Name: "Tiny-I2I", Short: "TI", Dataset: "synthetic",
+		InC: 2, InH: 6, InW: 6}
+	m.Layers = []*model.Layer{
+		{Name: "input", Kind: model.Input, OutC: 2, OutH: 6, OutW: 6},
+		{Name: "up", Kind: model.ConvTranspose, InC: 2, OutC: 2, KH: 3, KW: 3,
+			Stride: 2, Pad: 1, OutPad: 1, Groups: 1,
+			InH: 6, InW: 6, OutH: 12, OutW: 12, HasBias: true},
+		{Name: "relu1", Kind: model.ReLU, InC: 2, OutC: 2, InH: 12, InW: 12, OutH: 12, OutW: 12},
+		{Name: "us", Kind: model.Upsample, InC: 2, OutC: 2, Stride: 2,
+			InH: 6, InW: 6, OutH: 12, OutW: 12, ShortcutOf: "input"},
+		{Name: "add1", Kind: model.Add, InC: 2, OutC: 2, InH: 12, InW: 12,
+			OutH: 12, OutW: 12, ShortcutOf: "input"},
+	}
+	set := pattern.Canonical(8)
+	rng := rand.New(rand.NewSource(seed))
+	f := &File{LR: &lr.Representation{Model: m.Name, Device: "CPU"}, Net: m}
+	c := pruned.Generate(m.Layer("up"), set, 2, seed, true)
+	bias := make([]float32, c.OutC)
+	for i := range bias {
+		bias[i] = float32(rng.NormFloat64()) * 0.1
+	}
+	f.Layers = append(f.Layers, Layer{Conv: c, Bias: bias})
+	return f
+}
+
+func TestImg2ImgTopologyRoundTrip(t *testing.T) {
+	f := sampleImg2ImgFile(71)
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := got.Net.Layer("up")
+	if up == nil || up.Kind != model.ConvTranspose || up.OutPad != 1 || up.Stride != 2 {
+		t.Fatalf("transposed conv did not round-trip: %+v", up)
+	}
+	us := got.Net.Layer("us")
+	if us == nil || us.Kind != model.Upsample || us.Stride != 2 || us.ShortcutOf != "input" {
+		t.Fatalf("upsample branch did not round-trip: %+v", us)
+	}
+	// The conv record must not pick up the depthwise flag (the restoration
+	// keys on the dwconv topology kind only).
+	if got.Layers[0].Conv.Depthwise {
+		t.Fatal("transposed-conv record mis-marked depthwise on read")
+	}
+}
+
 func TestV1WritesV1Magic(t *testing.T) {
 	// A file with no v2 content must keep emitting v1 bytes, so artifacts
 	// written by earlier releases and by this one stay interchangeable.
@@ -246,6 +300,28 @@ func FuzzModelFileRead(f *testing.F) {
 	f.Add(reseal(truncated))
 	trailing := append(append([]byte(nil), v3.Bytes()...), 0xca, 0xfe)
 	f.Add(reseal(trailing))
+	// Image-to-image seeds: an artifact whose topology carries transposed-conv
+	// and upsample node kinds (with out_pad), plus crafted corrupt-shape
+	// variants. Same-length replacements keep the length-prefixed topology
+	// section parseable, so the damage reaches the JSON decoder and the shape
+	// fields rather than dying at the framing layer.
+	var i2i bytes.Buffer
+	if err := Write(&i2i, sampleImg2ImgFile(63)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(i2i.Bytes())
+	badKind := bytes.Replace(append([]byte(nil), i2i.Bytes()...),
+		[]byte(`"convtranspose"`), []byte(`"convtransposX"`), 1)
+	f.Add(reseal(badKind))
+	badUp := bytes.Replace(append([]byte(nil), i2i.Bytes()...),
+		[]byte(`"upsample"`), []byte(`"upsampl!"`), 1)
+	f.Add(reseal(badUp))
+	badPad := bytes.Replace(append([]byte(nil), i2i.Bytes()...),
+		[]byte(`"out_pad":1`), []byte(`"out_pad":9`), 1)
+	f.Add(reseal(badPad))
+	badShape := bytes.Replace(append([]byte(nil), i2i.Bytes()...),
+		[]byte(`"out_h":12`), []byte(`"out_h":-2`), 1)
+	f.Add(reseal(badShape))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		mf, err := Read(bytes.NewReader(data))
 		if err != nil {

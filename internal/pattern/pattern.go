@@ -67,6 +67,22 @@ func (p Pattern) Indices() []int {
 // IsEmpty reports whether the pattern retains no weights.
 func (p Pattern) IsEmpty() bool { return p.Mask == 0 }
 
+// Rotate180 returns the pattern rotated by 180° (row-major position pos maps
+// to K*K-1-pos). A transposed convolution over a stride-dilated input is an
+// ordinary convolution with the kernel flipped both ways, so the equivalent
+// conv's kernels carry the rotated patterns; rotation preserves the entry
+// count and, for odd K, the center.
+func (p Pattern) Rotate180() Pattern {
+	out := Pattern{K: p.K}
+	n := p.K * p.K
+	for pos := 0; pos < n; pos++ {
+		if p.Has(pos) {
+			out.Mask |= uint16(1) << uint(n-1-pos)
+		}
+	}
+	return out
+}
+
 // HasCenter reports whether the central weight is retained (only meaningful
 // for odd K).
 func (p Pattern) HasCenter() bool {

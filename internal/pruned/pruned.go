@@ -237,7 +237,7 @@ func GeomOf(l *model.Layer) ConvGeom {
 // stats-only layer (IDs but nil weights), cheap enough for the largest VGG
 // layers.
 func Generate(l *model.Layer, set []pattern.Pattern, connRate float64, seed int64, withWeights bool) *Conv {
-	if !l.IsConv() || l.KH != 3 || l.KW != 3 {
+	if (!l.IsConv() && l.Kind != model.ConvTranspose) || l.KH != 3 || l.KW != 3 {
 		panic("pruned: Generate requires a 3x3 conv layer, got " + l.Name)
 	}
 	rng := rand.New(rand.NewSource(seed))

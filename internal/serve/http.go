@@ -50,7 +50,11 @@ func NewHandler(eng *Engine, reg *registry.Registry, replica string) http.Handle
 			httpError(w, InferStatus(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, resp)
+		// Compact encoding: an image-to-image response carries the whole
+		// output feature map (12288 floats for the ×2 SR head on CIFAR-sized
+		// input), and the indent writer would more than double that payload
+		// by putting every element on its own line.
+		writeJSONCompact(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
 		models := eng.Models()
@@ -152,12 +156,23 @@ type routeRequest struct {
 	Weights map[string]int `json:"weights"`
 }
 
+// writeJSON pretty-prints the small operator-facing endpoints (/stats,
+// /models, ...); /infer responses go through writeJSONCompact because their
+// payload scales with the model's output tensor.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
+		log.Printf("serve: encode response: %v", err)
+	}
+}
+
+func writeJSONCompact(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
 		log.Printf("serve: encode response: %v", err)
 	}
 }

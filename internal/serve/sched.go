@@ -88,6 +88,11 @@ type QueueStat struct {
 	Depth    int    `json:"depth"`
 	Capacity int    `json:"capacity"`
 	Peak     int    `json:"peak"`
+	// QueuedBytes is the output-tensor commitment of the requests currently
+	// between admission and sweep completion (4 bytes × plan output elements
+	// each); ByteCapacity is the configured Config.QueueBytes bound.
+	QueuedBytes  int64 `json:"queued_bytes"`
+	ByteCapacity int64 `json:"byte_capacity"`
 	// Admitted counts requests ever admitted to this lane. It is scoped to
 	// the lane's artifact (a hot-reload swap starts the replacement's lane at
 	// zero); Stats.Admitted carries the cumulative per-model total across
@@ -135,14 +140,21 @@ type lane struct {
 	ch       chan *call
 	peak     atomic.Int64  // admission-time high-water mark of len(ch)
 	admitted atomic.Uint64 // requests ever admitted to this lane
+	// callBytes is the output commitment of one request against this
+	// artifact (4 bytes per output element — what runBatch will allocate per
+	// call); bytes tracks the lane's outstanding total from admission until
+	// the sweep delivers or sheds the call, bounded by Config.QueueBytes.
+	callBytes int64
+	bytes     atomic.Int64
 }
 
 // newBatcher creates the batcher and starts both lane goroutines. Callers
 // hold e.mu and have already accounted e.wg.Add(numClasses).
 func newBatcher(e *Engine, cm *compiledModel) *batcher {
+	outBytes := 4 * int64(cm.plan.OutC) * int64(cm.plan.OutH) * int64(cm.plan.OutW)
 	bt := &batcher{eng: e, cm: cm}
 	for cl := Class(0); cl < numClasses; cl++ {
-		ln := &lane{eng: e, cm: cm, class: cl,
+		ln := &lane{eng: e, cm: cm, class: cl, callBytes: outBytes,
 			ch: make(chan *call, e.cfg.QueueDepth)}
 		bt.lanes[cl] = ln
 		go ln.loop()
@@ -163,6 +175,16 @@ func (bt *batcher) closeLanes() {
 // backlog. Callers hold the engine lifecycle read lock across the send.
 func (bt *batcher) enqueue(c *call, class Class) error {
 	ln := bt.lanes[class]
+	// Byte admission first: reserve this call's output commitment, and shed
+	// if the reservation overshoots the lane budget. The add-then-check keeps
+	// the bound exact under concurrent admission (two racing reservations
+	// cannot both read a pre-reservation total and slip past the budget).
+	if ln.bytes.Add(ln.callBytes) > bt.eng.cfg.QueueBytes {
+		ln.bytes.Add(-ln.callBytes)
+		bt.eng.sheds.Add(1)
+		bt.eng.shedByClass[class].Add(1)
+		return ErrOverloaded
+	}
 	select {
 	case ln.ch <- c:
 		ln.admitted.Add(1)
@@ -173,6 +195,7 @@ func (bt *batcher) enqueue(c *call, class Class) error {
 		}
 		return nil
 	default:
+		ln.bytes.Add(-ln.callBytes)
 		bt.eng.sheds.Add(1)
 		bt.eng.shedByClass[class].Add(1)
 		return ErrOverloaded
@@ -224,6 +247,9 @@ func (ln *lane) loop() {
 // the executed-expired tripwire below can never fire unless the filter
 // itself is broken.
 func (ln *lane) run(calls []*call) {
+	// Every gathered call releases its byte reservation here — completed,
+	// deadline-shed, and drain-on-close alike all pass through run.
+	defer ln.bytes.Add(-int64(len(calls)) * ln.callBytes)
 	start := time.Now()
 	alive := calls[:0]
 	for _, c := range calls {

@@ -63,6 +63,15 @@ type Config struct {
 	// arriving at a full queue is shed immediately with ErrOverloaded rather
 	// than queued behind work it can't wait out. Default max(64, 8*MaxBatch).
 	QueueDepth int
+	// QueueBytes bounds the output bytes each lane may have committed to
+	// queued requests (4 bytes × the plan's output elements per call). A
+	// classifier's 10-float output never approaches it, but an image-to-image
+	// model emits whole feature maps — e.g. 3×64×64 ≈ 48 KiB per request — so
+	// a slot-count bound alone would let one lane commit to hundreds of
+	// megabytes of response tensors. A request whose output would push the
+	// lane past the budget is shed with ErrOverloaded, exactly like a full
+	// queue. Default 64 MiB per lane.
+	QueueBytes int64
 	// BatchWorkers caps the worker-pool width batch-class sweeps may use, so
 	// canary/bench traffic cannot monopolize the compute interactive traffic
 	// needs. Default max(1, Workers/4); values above Workers are clamped.
@@ -107,6 +116,9 @@ func (c Config) withDefaults() Config {
 		if c.QueueDepth < 64 {
 			c.QueueDepth = 64
 		}
+	}
+	if c.QueueBytes < 1 {
+		c.QueueBytes = 64 << 20
 	}
 	if c.TuneInterval <= 0 {
 		c.TuneInterval = 15 * time.Second
@@ -802,7 +814,8 @@ func (e *Engine) Stats() Stats {
 				Network: cm.model.Short, Dataset: cm.model.Dataset,
 				Version: cm.version, Class: ln.class.String(),
 				Depth: len(ln.ch), Capacity: cap(ln.ch), Peak: int(ln.peak.Load()),
-				Admitted: ln.admitted.Load(),
+				Admitted:    ln.admitted.Load(),
+				QueuedBytes: ln.bytes.Load(), ByteCapacity: e.cfg.QueueBytes,
 			})
 			if n := ln.admitted.Load(); n > 0 {
 				k := laneKey{cm.model.Short, cm.model.Dataset, ln.class}

@@ -1,5 +1,7 @@
 package tensor
 
+import "fmt"
+
 // Convolution and pooling reference implementations. These are the ground
 // truth the compiled sparse kernels in internal/compiler/codegen are checked
 // against, and the compute core of the training substrate.
@@ -217,11 +219,155 @@ func MatMulT2(a, b *Tensor) *Tensor {
 	return c
 }
 
+// ConvTransposeOutDim returns the output spatial size of a transposed
+// convolution for input size in, kernel k, stride s, padding p, and output
+// padding op (extra rows/columns appended at the bottom/right edge so that
+// e.g. a k=3, s=2, p=1 head maps 32 -> 64 exactly instead of 63).
+func ConvTransposeOutDim(in, k, s, p, op int) int {
+	return (in-1)*s - 2*p + k + op
+}
+
+// ConvTranspose2D computes a direct 2-D transposed convolution (the adjoint
+// of Conv2D's input->output map), the upsampling operator of
+// super-resolution-style generator heads.
+//
+//	input:  [Ci, H, W]
+//	weight: [Co, Ci, Kh, Kw]  (same layout as Conv2D / pruned.Conv)
+//	bias:   [Co] or nil
+//	output: [Co, (H-1)s-2p+Kh+op, (W-1)s-2p+Kw+op]
+//
+// Each input element scatters through the kernel: out[oc][ih*s-p+r][iw*s-p+c]
+// += in[ic][ih][iw] * w[oc][ic][r][c].
+func ConvTranspose2D(input, weight, bias *Tensor, stride, pad, outPad int) *Tensor {
+	co := weight.Dim(0)
+	ho := ConvTransposeOutDim(input.Dim(1), weight.Dim(2), stride, pad, outPad)
+	wo := ConvTransposeOutDim(input.Dim(2), weight.Dim(3), stride, pad, outPad)
+	out := New(co, ho, wo)
+	ConvTranspose2DInto(input, weight, bias, stride, pad, out)
+	return out
+}
+
+// ConvTranspose2DInto is the scratch-buffer form of ConvTranspose2D: it
+// writes into a caller-provided output tensor whose contents may be garbage
+// (every element is overwritten — the scatter zero-initializes first). The
+// output tensor's spatial dims determine the effective output padding.
+func ConvTranspose2DInto(input, weight, bias *Tensor, stride, pad int, out *Tensor) {
+	ci, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
+	co, wci, kh, kw := weight.Dim(0), weight.Dim(1), weight.Dim(2), weight.Dim(3)
+	if ci != wci {
+		panic("tensor: ConvTranspose2D channel mismatch")
+	}
+	if stride < 1 {
+		panic("tensor: ConvTranspose2D stride must be >= 1")
+	}
+	ho, wo := out.Dim(1), out.Dim(2)
+	if out.Dim(0) != co || ho < ConvTransposeOutDim(h, kh, stride, pad, 0) ||
+		wo < ConvTransposeOutDim(w, kw, stride, pad, 0) {
+		panic(fmt.Sprintf("tensor: ConvTranspose2D output [%d,%d,%d] too small for input [%d,%d,%d] k=%dx%d s=%d p=%d",
+			out.Dim(0), ho, wo, ci, h, w, kh, kw, stride, pad))
+	}
+	for oc := 0; oc < co; oc++ {
+		plane := out.Data[oc*ho*wo : (oc+1)*ho*wo]
+		var b float32
+		if bias != nil {
+			b = bias.Data[oc]
+		}
+		for i := range plane {
+			plane[i] = b
+		}
+		for ic := 0; ic < ci; ic++ {
+			kbase := ((oc*ci + ic) * kh) * kw
+			for ih := 0; ih < h; ih++ {
+				irow := input.Data[(ic*h+ih)*w : (ic*h+ih)*w+w]
+				for r := 0; r < kh; r++ {
+					oh := ih*stride - pad + r
+					if oh < 0 || oh >= ho {
+						continue
+					}
+					orow := plane[oh*wo : (oh+1)*wo]
+					for c := 0; c < kw; c++ {
+						wv := weight.Data[kbase+r*kw+c]
+						if wv == 0 {
+							continue
+						}
+						owBase := -pad + c
+						for iw, v := range irow {
+							ow := iw*stride + owBase
+							if ow < 0 || ow >= wo {
+								continue
+							}
+							orow[ow] += v * wv
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Upsample2D performs nearest-neighbor upsampling by an integer scale:
+// [C,H,W] -> [C,H*scale,W*scale].
+func Upsample2D(input *Tensor, scale int) *Tensor {
+	out := New(input.Dim(0), input.Dim(1)*scale, input.Dim(2)*scale)
+	Upsample2DInto(input, scale, out)
+	return out
+}
+
+// Upsample2DInto is the allocation-free form of Upsample2D: it writes the
+// nearest-neighbor expansion into a caller-provided [C, H*scale, W*scale]
+// tensor whose contents may be garbage (every element is overwritten), so
+// pooled arena buffers flow through the inference path without allocation.
+func Upsample2DInto(input *Tensor, scale int, out *Tensor) {
+	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
+	if scale < 1 {
+		panic("tensor: Upsample2D scale must be >= 1")
+	}
+	if out.Dim(0) != c || out.Dim(1) != h*scale || out.Dim(2) != w*scale {
+		panic(fmt.Sprintf("tensor: Upsample2D output [%d,%d,%d] does not match input [%d,%d,%d] x%d",
+			out.Dim(0), out.Dim(1), out.Dim(2), c, h, w, scale))
+	}
+	ho, wo := h*scale, w*scale
+	for ic := 0; ic < c; ic++ {
+		for ih := 0; ih < h; ih++ {
+			src := input.Data[(ic*h+ih)*w : (ic*h+ih)*w+w]
+			// Expand one source row into the first destination row of the
+			// band, then replicate it for the remaining scale-1 rows.
+			first := out.Data[(ic*ho+ih*scale)*wo : (ic*ho+ih*scale)*wo+wo]
+			for iw, v := range src {
+				dst := first[iw*scale : (iw+1)*scale]
+				for j := range dst {
+					dst[j] = v
+				}
+			}
+			for r := 1; r < scale; r++ {
+				row := out.Data[(ic*ho+ih*scale+r)*wo : (ic*ho+ih*scale+r)*wo+wo]
+				copy(row, first)
+			}
+		}
+	}
+}
+
+// validPool panics unless the pooling window evenly tiles the input: the
+// kernels below implement stride==kernel pooling only, and an indivisible
+// H or W would silently truncate output rows (the historical behavior, a
+// real bug once non-2^n image-to-image geometries appeared).
+func validPool(h, w, k int) {
+	if k < 1 {
+		panic(fmt.Sprintf("tensor: MaxPool2D window %d must be >= 1", k))
+	}
+	if h%k != 0 || w%k != 0 {
+		panic(fmt.Sprintf("tensor: MaxPool2D window %d does not evenly divide input %dx%d (stride==kernel pooling requires divisibility; pad the input or choose a dividing window)", k, h, w))
+	}
+}
+
 // MaxPool2D performs max pooling with a square window and equal stride.
-// Input [C,H,W] -> output [C,H/k,W/k] (floor). It also returns the argmax
-// flat indices (into the input plane) for backprop.
+// Input [C,H,W] -> output [C,H/k,W/k]. H and W must be divisible by k — the
+// kernel is stride==kernel only and panics otherwise rather than silently
+// truncating. It also returns the argmax flat indices (into the input plane)
+// for backprop.
 func MaxPool2D(input *Tensor, k int) (*Tensor, []int) {
 	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
+	validPool(h, w, k)
 	ho, wo := h/k, w/k
 	out := New(c, ho, wo)
 	arg := make([]int, c*ho*wo)
@@ -250,9 +396,11 @@ func MaxPool2D(input *Tensor, k int) (*Tensor, []int) {
 // MaxPool2DInto is the inference-path variant of MaxPool2D: it writes into a
 // caller-provided [C, H/k, W/k] tensor (which may hold garbage — every
 // element is overwritten) and skips the argmax bookkeeping training needs, so
-// pooled scratch buffers flow through without allocation.
+// pooled scratch buffers flow through without allocation. Like MaxPool2D it
+// panics when k does not evenly divide H and W.
 func MaxPool2DInto(input *Tensor, k int, out *Tensor) {
 	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
+	validPool(h, w, k)
 	ho, wo := h/k, w/k
 	for ic := 0; ic < c; ic++ {
 		for oh := 0; oh < ho; oh++ {

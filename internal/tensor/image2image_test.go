@@ -1,0 +1,186 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConvTransposeOutDim(t *testing.T) {
+	cases := []struct{ in, k, s, p, op, want int }{
+		{4, 3, 1, 0, 0, 6},
+		{4, 3, 1, 1, 0, 4},
+		{16, 3, 2, 1, 1, 32}, // the SR ×2 head
+		{5, 3, 2, 0, 0, 11},
+		{3, 3, 3, 1, 2, 9},
+	}
+	for _, c := range cases {
+		if got := ConvTransposeOutDim(c.in, c.k, c.s, c.p, c.op); got != c.want {
+			t.Fatalf("ConvTransposeOutDim(%d,%d,%d,%d,%d) = %d, want %d",
+				c.in, c.k, c.s, c.p, c.op, got, c.want)
+		}
+	}
+}
+
+func TestConvTranspose2DKnownValues(t *testing.T) {
+	// 1×1 input scattered through a 3×3 kernel at stride 1, pad 0 reproduces
+	// the kernel scaled by the input value.
+	in := FromSlice([]float32{2}, 1, 1, 1)
+	w := FromSlice([]float32{1, 2, 3, 4, 5, 6, 7, 8, 9}, 1, 1, 3, 3)
+	out := ConvTranspose2D(in, w, nil, 1, 0, 0)
+	want := []float32{2, 4, 6, 8, 10, 12, 14, 16, 18}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("out[%d] = %v, want %v (full %v)", i, out.Data[i], v, out.Data)
+		}
+	}
+
+	// Stride 2 separates the scatters: a 2×2 input of ones with a kernel of
+	// ones overlaps only where scatter footprints meet.
+	in2 := FromSlice([]float32{1, 1, 1, 1}, 1, 2, 2)
+	w2 := New(1, 1, 3, 3)
+	for i := range w2.Data {
+		w2.Data[i] = 1
+	}
+	out2 := ConvTranspose2D(in2, w2, nil, 2, 0, 0) // 5×5
+	// Column overlap at x=2, row overlap at y=2; the center gets all four.
+	wantGrid := []float32{
+		1, 1, 2, 1, 1,
+		1, 1, 2, 1, 1,
+		2, 2, 4, 2, 2,
+		1, 1, 2, 1, 1,
+		1, 1, 2, 1, 1,
+	}
+	for i, v := range wantGrid {
+		if out2.Data[i] != v {
+			t.Fatalf("stride-2 out[%d] = %v, want %v", i, out2.Data[i], v)
+		}
+	}
+}
+
+// TestConvTransposeIsConvAdjoint pins the defining property: for a conv with
+// weights W [Co,Ci,K,K], its adjoint is the transposed conv with the
+// channel-transposed weights Wt [Ci,Co,K,K] (no spatial flip), and
+// <ConvT(x, Wt), z> == <x, Conv(z, W)>. This checks the scatter arithmetic
+// against the long-standing Conv2D gather without reimplementing either.
+func TestConvTransposeIsConvAdjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const ci, co, hs, ws, k = 3, 4, 5, 6, 3
+	for _, g := range []struct{ s, p, op int }{{1, 0, 0}, {1, 1, 0}, {2, 1, 1}, {2, 0, 1}, {3, 1, 2}} {
+		w := New(co, ci, k, k)
+		w.Randn(rng, 1)
+		wt := New(ci, co, k, k)
+		for oc := 0; oc < co; oc++ {
+			for ic := 0; ic < ci; ic++ {
+				copy(wt.Data[(ic*co+oc)*k*k:(ic*co+oc+1)*k*k],
+					w.Data[(oc*ci+ic)*k*k:(oc*ci+ic+1)*k*k])
+			}
+		}
+		x := New(co, hs, ws)
+		x.Randn(rng, 1)
+		up := ConvTranspose2D(x, wt, nil, g.s, g.p, g.op) // co → ci planes
+		z := New(ci, up.Dim(1), up.Dim(2))
+		z.Randn(rng, 1)
+		var lhs float64
+		for i, v := range up.Data {
+			lhs += float64(v) * float64(z.Data[i])
+		}
+		down := Conv2D(z, w, nil, ConvSpec{Stride: g.s, Pad: g.p}) // ci → co planes
+		if down.Dim(1) != hs || down.Dim(2) != ws {
+			t.Fatalf("s=%d p=%d op=%d: adjoint conv yields %dx%d, want %dx%d",
+				g.s, g.p, g.op, down.Dim(1), down.Dim(2), hs, ws)
+		}
+		var rhs float64
+		for i, v := range down.Data {
+			rhs += float64(v) * float64(x.Data[i])
+		}
+		if d := lhs - rhs; d > 1e-2 || d < -1e-2 {
+			t.Fatalf("s=%d p=%d op=%d: adjoint identity violated: %g vs %g", g.s, g.p, g.op, lhs, rhs)
+		}
+	}
+}
+
+func TestConvTranspose2DBias(t *testing.T) {
+	in := FromSlice([]float32{0, 0, 0, 0}, 1, 2, 2)
+	w := New(1, 1, 3, 3)
+	bias := FromSlice([]float32{1.5}, 1)
+	out := ConvTranspose2D(in, w, bias, 2, 1, 1)
+	if out.Dim(1) != 4 || out.Dim(2) != 4 {
+		t.Fatalf("output %dx%d, want 4x4", out.Dim(1), out.Dim(2))
+	}
+	for i, v := range out.Data {
+		if v != 1.5 {
+			t.Fatalf("out[%d] = %v, want bias 1.5 everywhere", i, v)
+		}
+	}
+}
+
+func TestConvTranspose2DPanicsOnMismatch(t *testing.T) {
+	in := New(2, 4, 4)
+	w := New(3, 3, 3, 3) // wants 3 input channels, input has 2
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for channel mismatch")
+		}
+	}()
+	ConvTranspose2D(in, w, nil, 1, 0, 0)
+}
+
+func TestUpsample2DKnownValues(t *testing.T) {
+	in := FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
+	out := Upsample2D(in, 2)
+	want := []float32{
+		1, 1, 2, 2,
+		1, 1, 2, 2,
+		3, 3, 4, 4,
+		3, 3, 4, 4,
+	}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("out[%d] = %v, want %v", i, out.Data[i], v)
+		}
+	}
+	// Scale 1 is the identity.
+	id := Upsample2D(in, 1)
+	for i := range in.Data {
+		if id.Data[i] != in.Data[i] {
+			t.Fatal("scale-1 upsample is not the identity")
+		}
+	}
+}
+
+func TestUpsample2DIntoPanicsOnBadShape(t *testing.T) {
+	in := New(1, 2, 2)
+	out := New(1, 5, 4) // 2×2 at scale 2 must be 4×4
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched output dims")
+		}
+	}()
+	Upsample2DInto(in, 2, out)
+}
+
+// TestMaxPoolRejectsIndivisible is the regression test for the silent
+// truncation bug: pooling a 7×7 map with a 2×2 stride==kernel window used to
+// drop the last row/column quietly; it must panic with a clear message.
+func TestMaxPoolRejectsIndivisible(t *testing.T) {
+	in := New(2, 7, 7)
+	for _, f := range []func(){
+		func() { MaxPool2D(in, 2) },
+		func() { MaxPool2DInto(in, 2, New(2, 3, 3)) },
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("expected panic for indivisible pooling input")
+				}
+			}()
+			f()
+		}()
+	}
+	// Divisible inputs still pool fine.
+	ok := New(2, 8, 8)
+	if out, _ := MaxPool2D(ok, 2); out.Dim(1) != 4 || out.Dim(2) != 4 {
+		t.Fatal("divisible pooling broke")
+	}
+}

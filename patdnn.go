@@ -232,6 +232,15 @@ func (c *Compiled) WriteModelGraphQuant(w io.Writer, bits int) error {
 	}
 	for _, l := range c.Model.Layers {
 		switch l.Kind {
+		case model.ConvTranspose:
+			// Transposed convs ride the 3×3 conv record format (the direct,
+			// pre-flip weights; the topology's kind + out_pad distinguish them
+			// at load time). Upsample layers are parameter-free and live in the
+			// topology alone.
+			cp := params.Convs[l.Name]
+			file.Layers = append(file.Layers, modelfile.Layer{Conv: cp.Conv, Bias: cp.Bias})
+			file.LR.Layers = append(file.LR.Layers,
+				lr.FromPruned(cp.Conv, reorder.Build(cp.Conv), lr.DefaultTuning()))
 		case model.Conv, model.DWConv:
 			if l.KH == 3 {
 				cp := params.Convs[l.Name]
